@@ -1,0 +1,79 @@
+//! E9 — §10's ordering trade-off: skip-locked dequeue vs. strict FIFO under
+//! concurrent dequeuers ("the performance degradation that strict ordering
+//! would imply").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrq_qm::meta::{OrderingMode, QueueMeta};
+use rrq_qm::ops::{DequeueOptions, EnqueueOptions};
+use rrq_qm::repository::Repository;
+use std::sync::Arc;
+
+const ELEMENTS: usize = 200;
+
+fn drain_with_threads(repo: &Arc<Repository>, queue: &str, threads: usize) {
+    let mut handles = Vec::new();
+    for i in 0..threads {
+        let repo = Arc::clone(repo);
+        let queue = queue.to_string();
+        handles.push(std::thread::spawn(move || {
+            let (h, _) = repo.qm().register(&queue, &format!("d{i}"), false).unwrap();
+            loop {
+                let r = repo.autocommit(|t| {
+                    repo.qm().dequeue(t.id().raw(), &h, DequeueOptions::default())
+                });
+                if r.is_err() {
+                    return; // empty
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_ordering_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("drain_200_elements");
+    g.sample_size(10);
+    for mode in [OrderingMode::SkipLocked, OrderingMode::StrictFifo] {
+        for threads in [1usize, 4, 8] {
+            let name = format!(
+                "{}_{threads}thr",
+                match mode {
+                    OrderingMode::SkipLocked => "skip_locked",
+                    OrderingMode::StrictFifo => "strict_fifo",
+                }
+            );
+            g.bench_with_input(BenchmarkId::from_parameter(&name), &threads, |b, &threads| {
+                b.iter_batched(
+                    || {
+                        let repo =
+                            Arc::new(Repository::create(format!("bench-ord-{name}")).unwrap());
+                        let mut meta = QueueMeta::with_defaults("q");
+                        meta.mode = mode;
+                        repo.qm().create_queue(meta).unwrap();
+                        let (h, _) = repo.qm().register("q", "filler", false).unwrap();
+                        for i in 0..ELEMENTS {
+                            repo.autocommit(|t| {
+                                repo.qm().enqueue(
+                                    t.id().raw(),
+                                    &h,
+                                    &i.to_le_bytes(),
+                                    EnqueueOptions::default(),
+                                )
+                            })
+                            .unwrap();
+                        }
+                        repo
+                    },
+                    |repo| drain_with_threads(&repo, "q", threads),
+                    criterion::BatchSize::PerIteration,
+                );
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ordering_modes);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E4 — end-to-end request→reply latency of the Fig 4/5 system model,
+//! local and across the simulated network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrq_core::api::LocalQm;
+use rrq_core::clerk::{Clerk, ClerkConfig};
+use rrq_core::remote::{QmRpcServer, RemoteQm};
+use rrq_core::rid::Rid;
+use rrq_core::server::spawn_pool;
+use rrq_net::NetworkBus;
+use rrq_qm::repository::Repository;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn echo() -> rrq_core::server::Handler {
+    Arc::new(|_ctx, req| Ok(rrq_core::server::HandlerOutcome::Reply(req.body.clone())))
+}
+
+fn bench_local_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("request_reply_roundtrip");
+    g.sample_size(30);
+    g.bench_function("local_clerk", |b| {
+        let repo = Arc::new(Repository::create("bench-e2e-local").unwrap());
+        repo.create_queue_defaults("req").unwrap();
+        repo.create_queue_defaults("reply.c").unwrap();
+        let (_servers, handles, stop) = spawn_pool(&repo, "req", 1, echo()).unwrap();
+
+        let api = Arc::new(LocalQm::new(Arc::clone(&repo)));
+        let mut cfg = ClerkConfig::new("c", "req");
+        cfg.reply_queue = "reply.c".into();
+        cfg.receive_block = Duration::from_secs(10);
+        let clerk = Clerk::new(api, cfg);
+        clerk.connect().unwrap();
+
+        let mut serial = 0u64;
+        b.iter(|| {
+            serial += 1;
+            clerk
+                .transceive("echo", b"ping".to_vec(), Rid::new("c", serial), b"")
+                .unwrap()
+        });
+
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    g.bench_function("remote_clerk_over_rpc", |b| {
+        let bus = NetworkBus::new(5);
+        let repo = Arc::new(Repository::create("bench-e2e-remote").unwrap());
+        repo.create_queue_defaults("req").unwrap();
+        repo.create_queue_defaults("reply.c").unwrap();
+        let _guard = QmRpcServer::spawn(&bus, "qm", Arc::clone(&repo));
+        let (_servers, handles, stop) = spawn_pool(&repo, "req", 1, echo()).unwrap();
+
+        let remote = Arc::new(RemoteQm::new(&bus, "bench-client", "qm"));
+        let mut cfg = ClerkConfig::new("c", "req");
+        cfg.reply_queue = "reply.c".into();
+        cfg.receive_block = Duration::from_secs(10);
+        let clerk = Clerk::new(remote, cfg);
+        clerk.connect().unwrap();
+
+        let mut serial = 0u64;
+        b.iter(|| {
+            serial += 1;
+            clerk
+                .transceive("echo", b"ping".to_vec(), Rid::new("c", serial), b"")
+                .unwrap()
+        });
+
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_local_roundtrip);
+criterion_main!(benches);

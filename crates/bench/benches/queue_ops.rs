@@ -1,0 +1,132 @@
+//! E2 — microbenchmarks of every §4.2 data-manipulation operation (Fig 3),
+//! swept over element size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rrq_bench::repo_with;
+use rrq_qm::ops::{DequeueOptions, EnqueueOptions};
+
+fn bench_enqueue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enqueue");
+    for size in [64usize, 1024, 16 * 1024] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let repo = repo_with("bench-enq", &["q"]);
+            let (h, _) = repo.qm().register("q", "bench", false).unwrap();
+            let payload = vec![0xABu8; size];
+            b.iter(|| {
+                repo.autocommit(|t| {
+                    repo.qm()
+                        .enqueue(t.id().raw(), &h, &payload, EnqueueOptions::default())
+                })
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_enqueue_dequeue_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enqueue_dequeue_pair");
+    for size in [64usize, 1024, 16 * 1024] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let repo = repo_with("bench-pair", &["q"]);
+            let (h, _) = repo.qm().register("q", "bench", false).unwrap();
+            let payload = vec![0xCDu8; size];
+            b.iter(|| {
+                repo.autocommit(|t| {
+                    repo.qm()
+                        .enqueue(t.id().raw(), &h, &payload, EnqueueOptions::default())
+                })
+                .unwrap();
+                repo.autocommit(|t| {
+                    repo.qm().dequeue(t.id().raw(), &h, DequeueOptions::default())
+                })
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    c.bench_function("read_live_element", |b| {
+        let repo = repo_with("bench-read", &["q"]);
+        let (h, _) = repo.qm().register("q", "bench", false).unwrap();
+        let eid = repo
+            .autocommit(|t| {
+                repo.qm()
+                    .enqueue(t.id().raw(), &h, b"readable", EnqueueOptions::default())
+            })
+            .unwrap();
+        b.iter(|| repo.qm().read(eid).unwrap());
+    });
+}
+
+fn bench_kill(c: &mut Criterion) {
+    c.bench_function("kill_element", |b| {
+        let repo = repo_with("bench-kill", &["q"]);
+        let (h, _) = repo.qm().register("q", "bench", false).unwrap();
+        b.iter_batched(
+            || {
+                repo.autocommit(|t| {
+                    repo.qm()
+                        .enqueue(t.id().raw(), &h, b"victim", EnqueueOptions::default())
+                })
+                .unwrap()
+            },
+            |eid| repo.qm().kill_element(eid).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_register(c: &mut Criterion) {
+    c.bench_function("register_existing", |b| {
+        let repo = repo_with("bench-reg", &["q"]);
+        repo.qm().register("q", "client", true).unwrap();
+        // Re-registration (the recovery path) is the hot case.
+        b.iter(|| repo.qm().register("q", "client", true).unwrap());
+    });
+}
+
+fn bench_dequeue_from_deep_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dequeue_at_depth");
+    g.sample_size(20);
+    for depth in [10usize, 1_000, 50_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let repo = repo_with(&format!("bench-depth-{depth}"), &["q"]);
+            let (h, _) = repo.qm().register("q", "bench", false).unwrap();
+            for _ in 0..depth {
+                repo.autocommit(|t| {
+                    repo.qm()
+                        .enqueue(t.id().raw(), &h, b"x", EnqueueOptions::default())
+                })
+                .unwrap();
+            }
+            // Dequeue + re-enqueue keeps the depth constant per iteration.
+            b.iter(|| {
+                repo.autocommit(|t| {
+                    let e = repo
+                        .qm()
+                        .dequeue(t.id().raw(), &h, DequeueOptions::default())?;
+                    repo.qm()
+                        .enqueue(t.id().raw(), &h, &e.payload, EnqueueOptions::default())
+                })
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_enqueue,
+    bench_enqueue_dequeue_pair,
+    bench_read,
+    bench_kill,
+    bench_register,
+    bench_dequeue_from_deep_queue
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E10 — the cost of persistent registration with operation tags (§4.3):
+//! tagged vs. untagged queue operations, and stable vs. unstable
+//! registrations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrq_bench::repo_with;
+use rrq_qm::ops::{DequeueOptions, EnqueueOptions};
+
+fn bench_tagged_vs_untagged_enqueue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enqueue_tagging");
+    g.bench_function("untagged", |b| {
+        let repo = repo_with("bench-tag-none", &["q"]);
+        let (h, _) = repo.qm().register("q", "c", false).unwrap();
+        b.iter(|| {
+            repo.autocommit(|t| {
+                repo.qm()
+                    .enqueue(t.id().raw(), &h, b"payload", EnqueueOptions::default())
+            })
+            .unwrap()
+        });
+    });
+    g.bench_function("tagged_stable", |b| {
+        let repo = repo_with("bench-tag-stable", &["q"]);
+        let (h, _) = repo.qm().register("q", "c", true).unwrap();
+        let mut serial = 0u64;
+        b.iter(|| {
+            serial += 1;
+            repo.autocommit(|t| {
+                repo.qm().enqueue(
+                    t.id().raw(),
+                    &h,
+                    b"payload",
+                    EnqueueOptions {
+                        tag: Some(serial.to_le_bytes().to_vec()),
+                        ..Default::default()
+                    },
+                )
+            })
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_tagged_receive_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dequeue_tagging");
+    for (name, tag) in [("untagged", false), ("tagged_with_ckpt", true)] {
+        g.bench_function(name, |b| {
+            let repo = repo_with(&format!("bench-deq-{name}"), &["q"]);
+            let (h, _) = repo.qm().register("q", "c", true).unwrap();
+            let mut serial = 0u64;
+            b.iter(|| {
+                repo.autocommit(|t| {
+                    repo.qm()
+                        .enqueue(t.id().raw(), &h, b"reply", EnqueueOptions::default())
+                })
+                .unwrap();
+                serial += 1;
+                let opts = if tag {
+                    DequeueOptions {
+                        tag: Some(format!("rid={serial};ckpt=state").into_bytes()),
+                        ..Default::default()
+                    }
+                } else {
+                    DequeueOptions::default()
+                };
+                repo.autocommit(|t| repo.qm().dequeue(t.id().raw(), &h, opts))
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tagged_vs_untagged_enqueue, bench_tagged_receive_path);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! E13 — the §10 "main-memory database with a log" design point: commit
+//! cost with and without the forced log, checkpoint cost, and recovery time
+//! as a function of log length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrq_storage::disk::SimDisk;
+use rrq_storage::kv::{KvOptions, KvStore};
+use std::sync::Arc;
+
+fn open(sync_on_commit: bool) -> (Arc<KvStore>, SimDisk, SimDisk) {
+    let wal = SimDisk::new();
+    let ckpt = SimDisk::new();
+    let (store, _) = KvStore::open(
+        Arc::new(wal.clone()),
+        Arc::new(ckpt.clone()),
+        KvOptions { sync_on_commit },
+    )
+    .unwrap();
+    (store, wal, ckpt)
+}
+
+fn bench_commit_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kv_commit");
+    for (name, sync) in [("forced_log", true), ("volatile", false)] {
+        g.bench_function(name, |b| {
+            let (store, _, _) = open(sync);
+            let mut t = 1u64;
+            b.iter(|| {
+                store.begin(t).unwrap();
+                store.put(t, b"key", b"value-bytes").unwrap();
+                store.commit(t).unwrap();
+                t += 1;
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_txn_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kv_commit_writes_per_txn");
+    for writes in [1usize, 10, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(writes), &writes, |b, &writes| {
+            let (store, _, _) = open(true);
+            let mut t = 1u64;
+            b.iter(|| {
+                store.begin(t).unwrap();
+                for i in 0..writes {
+                    store
+                        .put(t, format!("k{i}").as_bytes(), b"v")
+                        .unwrap();
+                }
+                store.commit(t).unwrap();
+                t += 1;
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery_by_log_length");
+    g.sample_size(10);
+    for txns in [100u64, 1_000, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(txns), &txns, |b, &txns| {
+            let (store, wal, ckpt) = open(true);
+            for t in 1..=txns {
+                store.begin(t).unwrap();
+                store.put(t, &t.to_le_bytes(), b"payload").unwrap();
+                store.commit(t).unwrap();
+            }
+            b.iter(|| {
+                let (s, report) = KvStore::open(
+                    Arc::new(wal.clone()),
+                    Arc::new(ckpt.clone()),
+                    KvOptions::default(),
+                )
+                .unwrap();
+                assert_eq!(report.committed_txns as u64, txns);
+                s
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovery_after_checkpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery_after_checkpoint");
+    g.sample_size(10);
+    g.bench_function("10k_txns_checkpointed", |b| {
+        let (store, wal, ckpt) = open(true);
+        for t in 1..=10_000u64 {
+            store.begin(t).unwrap();
+            store.put(t, &t.to_le_bytes(), b"payload").unwrap();
+            store.commit(t).unwrap();
+        }
+        store.checkpoint().unwrap();
+        b.iter(|| {
+            let (s, report) = KvStore::open(
+                Arc::new(wal.clone()),
+                Arc::new(ckpt.clone()),
+                KvOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(report.replayed, 0);
+            s
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_commit_cost,
+    bench_txn_size,
+    bench_recovery,
+    bench_recovery_after_checkpoint
+);
+criterion_main!(benches);

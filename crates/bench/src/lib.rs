@@ -1,0 +1,29 @@
+//! Shared scaffolding for the benchmarks and the experiment harness.
+
+use rrq_qm::repository::Repository;
+use std::sync::Arc;
+
+/// A fresh repository with `queues` created.
+pub fn repo_with(name: &str, queues: &[&str]) -> Arc<Repository> {
+    let repo = Arc::new(Repository::create(name).expect("create repository"));
+    for q in queues {
+        repo.create_queue_defaults(q).expect("create queue");
+    }
+    repo
+}
+
+/// Format a rate as a fixed-width table cell.
+pub fn fmt_rate(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{:>9.0}", v)
+    } else if v >= 100.0 {
+        format!("{:>9.1}", v)
+    } else {
+        format!("{:>9.2}", v)
+    }
+}
+
+/// Print a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}

@@ -1,0 +1,196 @@
+//! The fault-tolerant client program (§3, Figs 1–2).
+//!
+//! The client is "a fault-tolerant sequential program": it keeps *no*
+//! durable state of its own. At recovery time it reconstructs where it left
+//! off from the rids the system returns at `Connect`, then decides — exactly
+//! per Fig 2 — whether to receive an outstanding reply, whether to reprocess
+//! (rereceive) the last reply, or to proceed with new work.
+//!
+//! Reply processing is delegated to a [`ReplyProcessor`], which is "just
+//! another resource manager" from the protocol's point of view (§2): it
+//! supplies the checkpoint that rides in the Receive tag and answers the
+//! §3 question "did I already process this reply?" using its device state.
+
+use crate::clerk::{Clerk, ConnectInfo};
+use crate::error::{CoreError, CoreResult};
+use crate::request::Reply;
+use crate::rid::Rid;
+
+/// How the client consumes replies. Implementations range from idempotent
+/// displays to non-idempotent testable devices (ticket printers, §3).
+pub trait ReplyProcessor {
+    /// Produce the checkpoint bytes recorded with the upcoming Receive —
+    /// e.g. the printer's next ticket number read *before* receiving.
+    fn checkpoint(&mut self) -> Vec<u8>;
+
+    /// Consume a reply. May be non-idempotent.
+    fn process(&mut self, rid: &Rid, reply: &Reply);
+
+    /// §3 resynchronization question: given the checkpoint recorded with the
+    /// last Receive, was its reply already processed? (Testable devices
+    /// compare the device state with the checkpoint.)
+    fn already_processed(&mut self, rid: &Rid, ckpt: Option<&[u8]>) -> bool;
+}
+
+/// What the Fig 2 resynchronization decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResyncAction {
+    /// No outstanding request: proceed to new work.
+    Fresh,
+    /// A request is outstanding whose reply was never received: Receive it
+    /// (and process it).
+    ReceivedOutstanding {
+        /// Rid of the outstanding request.
+        rid: Rid,
+        /// The reply that was received during resync.
+        reply: Reply,
+    },
+    /// The last reply was received before the failure and the processor
+    /// confirmed it was already processed: nothing to redo.
+    AlreadyProcessed {
+        /// Rid of the last completed request.
+        rid: Rid,
+    },
+    /// The last reply was received but (possibly) never processed: it was
+    /// re-obtained with Rereceive and processed (again) — at-least-once.
+    Reprocessed {
+        /// Rid of the reprocessed request.
+        rid: Rid,
+        /// The rereceived reply.
+        reply: Reply,
+    },
+}
+
+/// The Fig 2 client program, one request at a time.
+pub struct ClientRuntime {
+    clerk: Clerk,
+    next_serial: u64,
+    client_id: String,
+}
+
+impl ClientRuntime {
+    /// Wrap a clerk. Call [`ClientRuntime::resume`] before submitting work.
+    pub fn new(clerk: Clerk) -> Self {
+        let client_id = clerk.config().client_id.clone();
+        ClientRuntime {
+            clerk,
+            next_serial: 1,
+            client_id,
+        }
+    }
+
+    /// The wrapped clerk.
+    pub fn clerk(&self) -> &Clerk {
+        &self.clerk
+    }
+
+    /// Connect and run the Fig 2 lines 2–11 resynchronization against the
+    /// reply processor. Returns what was done. After this, the runtime is
+    /// ready for [`ClientRuntime::submit`].
+    pub fn resume(&mut self, processor: &mut dyn ReplyProcessor) -> CoreResult<ResyncAction> {
+        let info: ConnectInfo = self.clerk.connect()?;
+        if let Some(s) = &info.s_rid {
+            self.next_serial = s.serial + 1;
+        }
+        match (&info.s_rid, &info.r_rid) {
+            (None, _) => Ok(ResyncAction::Fresh),
+            (Some(s_rid), r_rid) if r_rid.as_ref() != Some(s_rid) => {
+                let _ = r_rid;
+                // Sent but reply not received: Receive it now.
+                let ckpt = processor.checkpoint();
+                let reply = self.clerk.receive(&ckpt)?;
+                if reply.rid != *s_rid {
+                    return Err(CoreError::Protocol(format!(
+                        "request-reply mismatch: expected {}, got {}",
+                        s_rid, reply.rid
+                    )));
+                }
+                processor.process(s_rid, &reply);
+                Ok(ResyncAction::ReceivedOutstanding {
+                    rid: s_rid.clone(),
+                    reply,
+                })
+            }
+            (Some(s_rid), _) => {
+                // Reply was received; was it processed?
+                if processor.already_processed(s_rid, info.ckpt.as_deref()) {
+                    Ok(ResyncAction::AlreadyProcessed { rid: s_rid.clone() })
+                } else {
+                    let reply = self.clerk.rereceive()?;
+                    processor.process(s_rid, &reply);
+                    Ok(ResyncAction::Reprocessed {
+                        rid: s_rid.clone(),
+                        reply,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Submit one request and process its reply: the Fig 2 main loop body.
+    pub fn submit(
+        &mut self,
+        op: &str,
+        body: Vec<u8>,
+        processor: &mut dyn ReplyProcessor,
+    ) -> CoreResult<(Rid, Reply)> {
+        let rid = Rid::new(self.client_id.clone(), self.next_serial);
+        self.next_serial += 1;
+        self.clerk.send(op, body, rid.clone())?;
+        let ckpt = processor.checkpoint();
+        let reply = self.clerk.receive(&ckpt)?;
+        if reply.rid != rid {
+            return Err(CoreError::Protocol(format!(
+                "request-reply mismatch: expected {rid}, got {}",
+                reply.rid
+            )));
+        }
+        processor.process(&rid, &reply);
+        Ok((rid, reply))
+    }
+
+    /// Disconnect when the client has no more work (§3).
+    pub fn disconnect(&self) -> CoreResult<()> {
+        self.clerk.disconnect()
+    }
+
+    /// The serial the next request will use.
+    pub fn next_serial(&self) -> u64 {
+        self.next_serial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Display;
+    use crate::rid::Rid;
+    use crate::request::ReplyStatus;
+
+    #[test]
+    fn resync_action_equality() {
+        let a = ResyncAction::Fresh;
+        assert_eq!(a, ResyncAction::Fresh);
+        let r = ResyncAction::AlreadyProcessed {
+            rid: Rid::new("c", 1),
+        };
+        assert_ne!(a, r);
+    }
+
+    #[test]
+    fn display_processor_detects_duplicates() {
+        let mut d = Display::new();
+        let rid = Rid::new("c", 1);
+        let reply = Reply {
+            rid: rid.clone(),
+            status: ReplyStatus::Ok,
+            body: b"x".to_vec(),
+        };
+        assert!(!d.already_processed(&rid, None));
+        d.process(&rid, &reply);
+        assert!(d.already_processed(&rid, None));
+        d.process(&rid, &reply);
+        assert_eq!(d.duplicates_ignored(), 1);
+        assert_eq!(d.shown().len(), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Single-transaction interactive requests with logged intermediate I/O
+//! (§8.3).
+//!
+//! The alternative to pseudo-conversational transactions: "have the request
+//! execute as one transaction, which solicits all the intermediate inputs by
+//! exchanging ordinary messages with the client". The request stays
+//! cancellable until the last input and request executions stay
+//! serializable — but an abort loses intermediate I/O unless the client logs
+//! it:
+//!
+//! "The client logs all intermediate I/O … If the interactive transaction
+//! aborts, the server starts another transaction for the request … During
+//! this replay, as long as the client receives intermediate output that is
+//! identical to the request's previous incarnation, it can re-use the
+//! intermediate input that it logged … once the client receives intermediate
+//! output that differs … it must discard the remaining logged intermediate
+//! input and must … solicit intermediate input from scratch."
+//!
+//! The solicitation channel is an ordinary RPC ([`rrq_net`]) from the server
+//! to the client's conversation endpoint — *not* a queue.
+
+use crate::error::{CoreError, CoreResult};
+use crate::server::HandlerError;
+use parking_lot::Mutex;
+use rrq_net::rpc::{spawn_server, RpcClient, ServerGuard};
+use rrq_net::NetworkBus;
+use rrq_storage::codec::{put, Reader};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server-side handle for soliciting intermediate input inside the
+/// transaction.
+pub trait Conversation {
+    /// Show `output` to the client and block for its input.
+    fn solicit(&mut self, output: &[u8]) -> Result<Vec<u8>, HandlerError>;
+}
+
+/// Wire format of a solicitation: `rid`, per-incarnation sequence number,
+/// output bytes.
+pub fn encode_solicit(rid: &str, seq: u32, output: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put::string(&mut buf, rid);
+    put::u32(&mut buf, seq);
+    put::bytes(&mut buf, output);
+    buf
+}
+
+/// Decode a solicitation.
+pub fn decode_solicit(raw: &[u8]) -> CoreResult<(String, u32, Vec<u8>)> {
+    let m = |e: rrq_storage::StorageError| CoreError::Malformed(e.to_string());
+    let mut r = Reader::new(raw);
+    Ok((r.string().map_err(m)?, r.u32().map_err(m)?, r.bytes().map_err(m)?))
+}
+
+/// Server-side conversation over RPC: each `solicit` is one call to the
+/// client's conversation endpoint.
+pub struct RpcConversation {
+    client: RpcClient,
+    target: String,
+    rid: String,
+    seq: u32,
+    timeout: Duration,
+}
+
+impl RpcConversation {
+    /// Build a conversation for one request incarnation. `client` is the
+    /// server's private RPC endpoint; `target` the client's conversation
+    /// endpoint; `rid` labels the log on the client side.
+    pub fn new(client: RpcClient, target: impl Into<String>, rid: impl Into<String>) -> Self {
+        RpcConversation {
+            client,
+            target: target.into(),
+            rid: rid.into(),
+            seq: 0,
+            timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// Rounds solicited so far in this incarnation.
+    pub fn rounds(&self) -> u32 {
+        self.seq
+    }
+}
+
+impl Conversation for RpcConversation {
+    fn solicit(&mut self, output: &[u8]) -> Result<Vec<u8>, HandlerError> {
+        let payload = encode_solicit(&self.rid, self.seq, output);
+        self.seq += 1;
+        self.client
+            .call(&self.target, payload, self.timeout)
+            // A client that can't answer (crash, partition) aborts the
+            // server transaction; the request returns to its queue.
+            .map_err(|e| HandlerError::Abort(format!("intermediate input unavailable: {e}")))
+    }
+}
+
+/// Statistics from the client's conversation endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoLogStats {
+    /// Inputs answered from the log (replays after server aborts).
+    pub replayed: u64,
+    /// Inputs solicited fresh from the user.
+    pub fresh: u64,
+    /// Log suffixes discarded because the replayed output diverged.
+    pub divergences: u64,
+}
+
+/// One logged round: (intermediate output, intermediate input).
+pub type IoEntry = (Vec<u8>, Vec<u8>);
+
+/// The scripted/interactive user answering solicitations.
+pub type UserFn = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+struct IoLogInner {
+    /// rid → logged rounds.
+    log: HashMap<String, Vec<IoEntry>>,
+    stats: IoLogStats,
+}
+
+/// The client-side intermediate-I/O log with replay.
+pub struct IoLog {
+    inner: Mutex<IoLogInner>,
+}
+
+impl Default for IoLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IoLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        IoLog {
+            inner: Mutex::new(IoLogInner {
+                log: HashMap::new(),
+                stats: IoLogStats::default(),
+            }),
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> IoLogStats {
+        self.inner.lock().stats
+    }
+
+    /// Answer a solicitation: replay from the log when the output matches
+    /// the previous incarnation, otherwise consult `user` and record.
+    pub fn answer(
+        &self,
+        rid: &str,
+        seq: u32,
+        output: &[u8],
+        user: &(dyn Fn(&[u8]) -> Vec<u8> + Sync),
+    ) -> Vec<u8> {
+        let mut g = self.inner.lock();
+        let entries = g.log.entry(rid.to_string()).or_default();
+        let i = seq as usize;
+        if i < entries.len() {
+            if entries[i].0 == output {
+                let input = entries[i].1.clone();
+                g.stats.replayed += 1;
+                return input;
+            }
+            // Divergent incarnation: discard the remaining logged input.
+            entries.truncate(i);
+            g.stats.divergences += 1;
+        }
+        let input = user(output);
+        g.log
+            .get_mut(rid)
+            .expect("entry created above")
+            .push((output.to_vec(), input.clone()));
+        g.stats.fresh += 1;
+        input
+    }
+
+    /// Drop a request's log after its final reply is processed.
+    pub fn forget(&self, rid: &str) {
+        self.inner.lock().log.remove(rid);
+    }
+}
+
+/// Spawn the client's conversation endpoint: answers solicitations with the
+/// log + `user` function. Returns the guard that stops it.
+pub fn spawn_conversation_endpoint(
+    bus: &NetworkBus,
+    endpoint: &str,
+    log: Arc<IoLog>,
+    user: UserFn,
+) -> ServerGuard {
+    spawn_server(bus, endpoint, move |env| {
+        match decode_solicit(&env.payload) {
+            Ok((rid, seq, output)) => log.answer(&rid, seq, &output, &*user),
+            Err(_) => Vec::new(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solicit_codec_roundtrip() {
+        let raw = encode_solicit("c/1", 3, b"amount?");
+        let (rid, seq, out) = decode_solicit(&raw).unwrap();
+        assert_eq!((rid.as_str(), seq, out.as_slice()), ("c/1", 3, b"amount?".as_slice()));
+    }
+
+    #[test]
+    fn iolog_replays_matching_prefix() {
+        let log = IoLog::new();
+        let user = |out: &[u8]| {
+            let mut v = b"ans:".to_vec();
+            v.extend_from_slice(out);
+            v
+        };
+        // First incarnation: two fresh inputs.
+        assert_eq!(log.answer("r", 0, b"q1", &user), b"ans:q1");
+        assert_eq!(log.answer("r", 1, b"q2", &user), b"ans:q2");
+        // Second incarnation (after a server abort): identical outputs →
+        // replay, no user involvement.
+        let poison = |_: &[u8]| -> Vec<u8> { panic!("user must not be asked on replay") };
+        assert_eq!(log.answer("r", 0, b"q1", &poison), b"ans:q1");
+        assert_eq!(log.answer("r", 1, b"q2", &poison), b"ans:q2");
+        let s = log.stats();
+        assert_eq!((s.fresh, s.replayed, s.divergences), (2, 2, 0));
+    }
+
+    #[test]
+    fn iolog_discards_suffix_on_divergence() {
+        let log = IoLog::new();
+        let user = |out: &[u8]| out.to_vec();
+        log.answer("r", 0, b"q1", &user);
+        log.answer("r", 1, b"q2", &user);
+        log.answer("r", 2, b"q3", &user);
+        // Replay diverges at seq 1.
+        assert_eq!(log.answer("r", 0, b"q1", &user), b"q1"); // replayed
+        assert_eq!(log.answer("r", 1, b"DIFFERENT", &user), b"DIFFERENT"); // fresh
+        // seq 2 must NOT replay the stale "q3" input even if the output
+        // happens to match again.
+        let s0 = log.stats();
+        assert_eq!(s0.divergences, 1);
+        assert_eq!(log.answer("r", 2, b"q3", &user), b"q3");
+        let s = log.stats();
+        assert_eq!(s.replayed, 1, "only seq 0 replayed after divergence");
+    }
+
+    #[test]
+    fn iolog_forget_clears_request() {
+        let log = IoLog::new();
+        let user = |out: &[u8]| out.to_vec();
+        log.answer("r", 0, b"q", &user);
+        log.forget("r");
+        // Fresh again.
+        log.answer("r", 0, b"q", &user);
+        assert_eq!(log.stats().fresh, 2);
+        assert_eq!(log.stats().replayed, 0);
+    }
+
+    #[test]
+    fn iolog_separate_rids_independent() {
+        let log = IoLog::new();
+        let user = |out: &[u8]| out.to_vec();
+        log.answer("a", 0, b"q", &user);
+        log.answer("b", 0, b"q", &user);
+        assert_eq!(log.stats().fresh, 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Output devices for reply processing (§3).
+//!
+//! Two cases from the paper:
+//!
+//! * [`Display`] — reply processing is idempotent "if the client is
+//!   communicating with a display, and the user supplies a unique id for
+//!   each request … the user can detect and ignore duplicate replies".
+//!   At-least-once processing is acceptable; duplicates are counted.
+//! * [`TicketPrinter`] — reply processing is **not** idempotent ("printing a
+//!   ticket or dispensing cash"), but the device is *testable* [Pausch 88]:
+//!   "the client can read the state of the device, such as the next ticket
+//!   to be printed". The client reads the ticket counter before Receive,
+//!   stores it in the ckpt, and after a failure compares the device state
+//!   with the ckpt returned by Connect — if they differ, the reply was
+//!   already processed. This upgrades at-least-once to exactly-once.
+
+use crate::client::ReplyProcessor;
+use crate::request::Reply;
+use crate::rid::Rid;
+use std::collections::HashSet;
+
+/// An idempotent display with user-level duplicate detection.
+#[derive(Debug, Default)]
+pub struct Display {
+    shown: Vec<(Rid, Vec<u8>)>,
+    seen: HashSet<Rid>,
+    duplicates: u64,
+}
+
+impl Display {
+    /// A blank display.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything shown, in order (duplicates excluded).
+    pub fn shown(&self) -> &[(Rid, Vec<u8>)] {
+        &self.shown
+    }
+
+    /// Duplicate replies the "user" detected and ignored.
+    pub fn duplicates_ignored(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+impl ReplyProcessor for Display {
+    fn checkpoint(&mut self) -> Vec<u8> {
+        Vec::new() // a display needs no checkpoint
+    }
+
+    fn process(&mut self, rid: &Rid, reply: &Reply) {
+        if self.seen.contains(rid) {
+            self.duplicates += 1; // user sees the id and ignores the repeat
+            return;
+        }
+        self.seen.insert(rid.clone());
+        self.shown.push((rid.clone(), reply.body.clone()));
+    }
+
+    fn already_processed(&mut self, rid: &Rid, _ckpt: Option<&[u8]>) -> bool {
+        // The display itself remembers (models the user recognizing the id).
+        self.seen.contains(rid)
+    }
+}
+
+/// A non-idempotent, testable ticket printer.
+///
+/// The physical device survives client-process crashes, so tests keep the
+/// printer alive while restarting the [`crate::client::ClientRuntime`]
+/// around it.
+#[derive(Debug, Default)]
+pub struct TicketPrinter {
+    next_ticket: u64,
+    printed: Vec<(u64, Rid, Vec<u8>)>,
+}
+
+impl TicketPrinter {
+    /// A printer with ticket 0 loaded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read the device state: the next ticket number (§3's testable device).
+    pub fn state(&self) -> u64 {
+        self.next_ticket
+    }
+
+    /// Every ticket ever printed: `(ticket_no, rid, body)`.
+    pub fn printed(&self) -> &[(u64, Rid, Vec<u8>)] {
+        &self.printed
+    }
+
+    /// True if any rid was printed more than once — the failure mode the
+    /// testable-device protocol exists to prevent.
+    pub fn has_duplicate_prints(&self) -> bool {
+        let mut seen = HashSet::new();
+        self.printed.iter().any(|(_, rid, _)| !seen.insert(rid.clone()))
+    }
+}
+
+impl ReplyProcessor for TicketPrinter {
+    fn checkpoint(&mut self) -> Vec<u8> {
+        // "The client reads the state (e.g., the ticket number) before
+        // receiving the reply, and uses that state as part of the ckpt."
+        self.next_ticket.to_le_bytes().to_vec()
+    }
+
+    fn process(&mut self, rid: &Rid, reply: &Reply) {
+        // Printing is the non-idempotent action.
+        self.printed
+            .push((self.next_ticket, rid.clone(), reply.body.clone()));
+        self.next_ticket += 1;
+    }
+
+    fn already_processed(&mut self, _rid: &Rid, ckpt: Option<&[u8]>) -> bool {
+        // Compare the device state with the ckpt recorded at the Receive:
+        // if the printer advanced past it, the ticket was printed.
+        let Some(ckpt) = ckpt else {
+            return false;
+        };
+        let Ok(bytes) = <[u8; 8]>::try_from(ckpt) else {
+            return false;
+        };
+        let at_receive = u64::from_le_bytes(bytes);
+        self.next_ticket > at_receive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ReplyStatus;
+
+    fn reply(rid: &Rid) -> Reply {
+        Reply {
+            rid: rid.clone(),
+            status: ReplyStatus::Ok,
+            body: b"ticket!".to_vec(),
+        }
+    }
+
+    #[test]
+    fn printer_state_advances_on_print() {
+        let mut p = TicketPrinter::new();
+        assert_eq!(p.state(), 0);
+        let rid = Rid::new("c", 1);
+        p.process(&rid, &reply(&rid));
+        assert_eq!(p.state(), 1);
+        assert_eq!(p.printed().len(), 1);
+    }
+
+    #[test]
+    fn testable_device_answers_already_processed() {
+        let mut p = TicketPrinter::new();
+        let rid = Rid::new("c", 1);
+        // Checkpoint taken before Receive.
+        let ckpt = p.checkpoint();
+        // Crash before processing: device state equals ckpt → not processed.
+        assert!(!p.already_processed(&rid, Some(&ckpt)));
+        // Process, then crash: device advanced past ckpt → processed.
+        p.process(&rid, &reply(&rid));
+        assert!(p.already_processed(&rid, Some(&ckpt)));
+    }
+
+    #[test]
+    fn missing_or_bad_ckpt_means_not_processed() {
+        let mut p = TicketPrinter::new();
+        let rid = Rid::new("c", 1);
+        assert!(!p.already_processed(&rid, None));
+        assert!(!p.already_processed(&rid, Some(b"junk")));
+    }
+
+    #[test]
+    fn duplicate_detection_helper() {
+        let mut p = TicketPrinter::new();
+        let rid = Rid::new("c", 1);
+        p.process(&rid, &reply(&rid));
+        assert!(!p.has_duplicate_prints());
+        p.process(&rid, &reply(&rid));
+        assert!(p.has_duplicate_prints());
+    }
+}

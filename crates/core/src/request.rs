@@ -1,0 +1,207 @@
+//! Request and reply records — "a request is a data structure (e.g., a
+//! record) that describes some work that the system should perform" (§2).
+
+use crate::rid::Rid;
+use rrq_storage::codec::{put, Decode, Encode, Reader};
+use rrq_storage::{StorageError, StorageResult};
+
+/// A request as carried in a queue element payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The client-assigned request id.
+    pub rid: Rid,
+    /// Reply queue name — passed with the request so the server "knows where
+    /// to Enqueue the reply" (§5 multi-client extension).
+    pub reply_queue: String,
+    /// Operation name the server dispatches on.
+    pub op: String,
+    /// Operation arguments, opaque to the transport.
+    pub body: Vec<u8>,
+    /// Pipeline state carried across the transactions of a
+    /// multi-transaction request (§6: state "must [be stored] either in a
+    /// database or in the next request").
+    pub state: Vec<u8>,
+    /// When set, the stage transaction processing this request begins under
+    /// this pre-allocated id — §6 lock inheritance plumbing.
+    pub inherit_txn: Option<u64>,
+}
+
+impl Request {
+    /// A fresh single-transaction request.
+    pub fn new(rid: Rid, reply_queue: impl Into<String>, op: impl Into<String>, body: Vec<u8>) -> Self {
+        Request {
+            rid,
+            reply_queue: reply_queue.into(),
+            op: op.into(),
+            body,
+            state: Vec::new(),
+            inherit_txn: None,
+        }
+    }
+}
+
+impl Encode for Request {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.rid.encode(buf);
+        put::string(buf, &self.reply_queue);
+        put::string(buf, &self.op);
+        put::bytes(buf, &self.body);
+        put::bytes(buf, &self.state);
+        match self.inherit_txn {
+            None => put::u8(buf, 0),
+            Some(t) => {
+                put::u8(buf, 1);
+                put::u64(buf, t);
+            }
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        let rid = Rid::decode(r)?;
+        let reply_queue = r.string()?;
+        let op = r.string()?;
+        let body = r.bytes()?;
+        let state = r.bytes()?;
+        let inherit_txn = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            b => return Err(StorageError::Decode(format!("bad option tag {b}"))),
+        };
+        Ok(Request {
+            rid,
+            reply_queue,
+            op,
+            body,
+            state,
+            inherit_txn,
+        })
+    }
+}
+
+/// Outcome class of a reply.
+///
+/// §3: "The system may process the request by unsuccessfully attempting to
+/// execute the request, and then returning a reply that indicates that fact;
+/// the reply is a promise that it will not attempt to execute the request
+/// any more."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// The request executed and committed.
+    Ok,
+    /// The system gave up on the request (rejected by the handler, or its
+    /// element exhausted the retry limit); it will not be attempted again.
+    Failed,
+    /// Intermediate output of an interactive request (§8) — not the final
+    /// reply.
+    Intermediate,
+}
+
+impl ReplyStatus {
+    fn to_byte(self) -> u8 {
+        match self {
+            ReplyStatus::Ok => 0,
+            ReplyStatus::Failed => 1,
+            ReplyStatus::Intermediate => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> StorageResult<Self> {
+        match b {
+            0 => Ok(ReplyStatus::Ok),
+            1 => Ok(ReplyStatus::Failed),
+            2 => Ok(ReplyStatus::Intermediate),
+            b => Err(StorageError::Decode(format!("bad reply status {b}"))),
+        }
+    }
+}
+
+/// A reply as carried in a queue element payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Rid of the request this answers — request/reply matching is checked
+    /// against this.
+    pub rid: Rid,
+    /// Outcome class.
+    pub status: ReplyStatus,
+    /// Result payload.
+    pub body: Vec<u8>,
+}
+
+impl Reply {
+    /// A successful reply.
+    pub fn ok(rid: Rid, body: Vec<u8>) -> Self {
+        Reply {
+            rid,
+            status: ReplyStatus::Ok,
+            body,
+        }
+    }
+
+    /// A gave-up reply.
+    pub fn failed(rid: Rid, body: Vec<u8>) -> Self {
+        Reply {
+            rid,
+            status: ReplyStatus::Failed,
+            body,
+        }
+    }
+}
+
+impl Encode for Reply {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.rid.encode(buf);
+        put::u8(buf, self.status.to_byte());
+        put::bytes(buf, &self.body);
+    }
+}
+
+impl Decode for Reply {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        Ok(Reply {
+            rid: Rid::decode(r)?,
+            status: ReplyStatus::from_byte(r.u8()?)?,
+            body: r.bytes()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = Request::new(Rid::new("c", 1), "c.reply", "transfer", b"100".to_vec());
+        req.state = b"stage-2".to_vec();
+        req.inherit_txn = Some(77);
+        let d = Request::decode_all(&req.encode_to_vec()).unwrap();
+        assert_eq!(d, req);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        for r in [
+            Reply::ok(Rid::new("c", 1), b"done".to_vec()),
+            Reply::failed(Rid::new("c", 2), b"no funds".to_vec()),
+            Reply {
+                rid: Rid::new("c", 3),
+                status: ReplyStatus::Intermediate,
+                body: b"enter PIN".to_vec(),
+            },
+        ] {
+            let d = Reply::decode_all(&r.encode_to_vec()).unwrap();
+            assert_eq!(d, r);
+        }
+    }
+
+    #[test]
+    fn bad_status_rejected() {
+        let r = Reply::ok(Rid::new("c", 1), vec![]);
+        let mut buf = r.encode_to_vec();
+        // status byte sits after rid: client("c")=4+1 bytes + serial 8 = 13.
+        buf[13] = 9;
+        assert!(Reply::decode_all(&buf).is_err());
+    }
+}

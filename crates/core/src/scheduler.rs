@@ -1,0 +1,355 @@
+//! Request scheduling (§10).
+//!
+//! "Requests may be scheduled for the server by priority, request contents
+//! (highest dollar amount first), submission time, etc. The server itself is
+//! subject to scheduling policy, which determines when it should run and how
+//! many instances (threads) it should run. The request scheduler is a major
+//! component of most TP monitors, and usually requires a QM with
+//! content-based retrieval capability."
+//!
+//! Two pieces here:
+//!
+//! * [`SchedulingPolicy`] + [`scheduled_dequeue`] — pick the next request by
+//!   priority, submission time, or a content attribute (the "highest dollar
+//!   amount first" example), using the QM's content-based retrieval.
+//! * [`PoolController`] — elastic server instances driven by queue depth.
+
+use crate::error::CoreResult;
+use crate::server::{Handler, Server, ServerConfig};
+use rrq_qm::element::Element;
+use rrq_qm::ops::{DequeueOptions, QueueHandle, QueueManager};
+use rrq_qm::repository::Repository;
+use rrq_qm::{Predicate, QmError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How the next request is chosen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulingPolicy {
+    /// Queue order (priority bands, FIFO within) — the QM default.
+    QueueOrder,
+    /// Highest numeric value of a content attribute first (§10's "highest
+    /// dollar amount first").
+    HighestAttr(String),
+    /// Oldest element first regardless of priority band.
+    OldestFirst,
+}
+
+/// Dequeue the next element per `policy`, within transaction `txn`.
+///
+/// Content policies scan the committed queue to choose a target, then
+/// dequeue it by a content predicate; a concurrent consumer may win the
+/// race, in which case the choice is retried (bounded).
+pub fn scheduled_dequeue(
+    qm: &QueueManager,
+    txn: u64,
+    handle: &QueueHandle,
+    policy: &SchedulingPolicy,
+) -> Result<Element, QmError> {
+    match policy {
+        SchedulingPolicy::QueueOrder => qm.dequeue(txn, handle, DequeueOptions::default()),
+        SchedulingPolicy::HighestAttr(attr) => {
+            for _ in 0..16 {
+                let candidates = qm.query(&handle.queue, &Predicate::True)?;
+                let best = candidates
+                    .iter()
+                    .filter_map(|e| {
+                        e.attr(attr)
+                            .and_then(|v| v.parse::<i64>().ok())
+                            .map(|v| (v, e))
+                    })
+                    .max_by_key(|(v, _)| *v);
+                let Some((value, _)) = best else {
+                    return Err(QmError::Empty(handle.queue.clone()));
+                };
+                // Dequeue any element carrying the winning value (ties are
+                // broken by queue order).
+                match qm.dequeue(
+                    txn,
+                    handle,
+                    DequeueOptions {
+                        predicate: Some(Predicate::AttrGe(attr.clone(), value)),
+                        ..Default::default()
+                    },
+                ) {
+                    Ok(e) => return Ok(e),
+                    Err(QmError::Empty(_)) => continue, // lost the race
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(QmError::Empty(handle.queue.clone()))
+        }
+        SchedulingPolicy::OldestFirst => {
+            for _ in 0..16 {
+                let candidates = qm.query(&handle.queue, &Predicate::True)?;
+                let Some(oldest) = candidates.iter().min_by_key(|e| e.seq) else {
+                    return Err(QmError::Empty(handle.queue.clone()));
+                };
+                let rid = oldest.attr("rid").map(str::to_string);
+                let pred = match rid {
+                    Some(r) => Predicate::AttrEq("rid".into(), r),
+                    None => Predicate::True,
+                };
+                match qm.dequeue(
+                    txn,
+                    handle,
+                    DequeueOptions {
+                        predicate: Some(pred),
+                        ..Default::default()
+                    },
+                ) {
+                    Ok(e) => return Ok(e),
+                    Err(QmError::Empty(_)) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(QmError::Empty(handle.queue.clone()))
+        }
+    }
+}
+
+/// Elastic server pool: grows while the queue backlog exceeds
+/// `scale_up_depth`, shrinks to `min` when the queue is empty.
+pub struct PoolController {
+    repo: Arc<Repository>,
+    queue: String,
+    handler: Handler,
+    min: usize,
+    max: usize,
+    scale_up_depth: usize,
+    instances: Vec<(Arc<AtomicBool>, JoinHandle<()>)>,
+    spawned_total: usize,
+}
+
+impl PoolController {
+    /// Build a controller (no servers started yet; call
+    /// [`PoolController::tick`]).
+    pub fn new(
+        repo: Arc<Repository>,
+        queue: impl Into<String>,
+        handler: Handler,
+        min: usize,
+        max: usize,
+        scale_up_depth: usize,
+    ) -> Self {
+        PoolController {
+            repo,
+            queue: queue.into(),
+            handler,
+            min,
+            max: max.max(min),
+            scale_up_depth: scale_up_depth.max(1),
+            instances: Vec::new(),
+            spawned_total: 0,
+        }
+    }
+
+    /// Current number of running instances.
+    pub fn instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Total instances ever spawned (diagnostics).
+    pub fn spawned_total(&self) -> usize {
+        self.spawned_total
+    }
+
+    /// Observe the backlog and scale. Returns the instance count after the
+    /// adjustment.
+    pub fn tick(&mut self) -> CoreResult<usize> {
+        let depth = self.repo.qm().depth(&self.queue)?;
+        let want = if depth >= self.scale_up_depth {
+            (self.instances.len() + 1).min(self.max)
+        } else if depth == 0 {
+            self.min
+        } else {
+            self.instances.len().clamp(self.min, self.max)
+        };
+        while self.instances.len() < want.max(self.min) {
+            let cfg = ServerConfig::new(
+                format!("pool-{}-{}", self.queue, self.spawned_total),
+                self.queue.clone(),
+            );
+            let server = Server::new(Arc::clone(&self.repo), cfg, Arc::clone(&self.handler))?;
+            let stop = Arc::new(AtomicBool::new(false));
+            let handle = server.spawn(Arc::clone(&stop));
+            self.instances.push((stop, handle));
+            self.spawned_total += 1;
+        }
+        while self.instances.len() > want {
+            if let Some((stop, handle)) = self.instances.pop() {
+                stop.store(true, Ordering::Relaxed);
+                let _ = handle.join();
+            }
+        }
+        Ok(self.instances.len())
+    }
+
+    /// Stop every instance.
+    pub fn shutdown(&mut self) {
+        for (stop, _) in &self.instances {
+            stop.store(true, Ordering::Relaxed);
+        }
+        for (_, handle) in self.instances.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PoolController {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrq_qm::ops::EnqueueOptions;
+    use std::time::{Duration, Instant};
+
+    fn enqueue_with_amount(repo: &Repository, h: &QueueHandle, amount: i64, rid: &str) {
+        repo.autocommit(|t| {
+            repo.qm().enqueue(
+                t.id().raw(),
+                h,
+                rid.as_bytes(),
+                EnqueueOptions {
+                    attrs: vec![
+                        ("amount".into(), amount.to_string()),
+                        ("rid".into(), rid.into()),
+                    ],
+                    ..Default::default()
+                },
+            )
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn highest_attr_policy_picks_biggest_dollar_amount() {
+        let repo = Repository::create("sched1").unwrap();
+        repo.create_queue_defaults("q").unwrap();
+        let (h, _) = repo.qm().register("q", "s", false).unwrap();
+        enqueue_with_amount(&repo, &h, 100, "small");
+        enqueue_with_amount(&repo, &h, 90_000, "big");
+        enqueue_with_amount(&repo, &h, 5_000, "mid");
+
+        let policy = SchedulingPolicy::HighestAttr("amount".into());
+        let order: Vec<Vec<u8>> = (0..3)
+            .map(|_| {
+                repo.autocommit(|t| {
+                    scheduled_dequeue(repo.qm(), t.id().raw(), &h, &policy)
+                })
+                .unwrap()
+                .payload
+            })
+            .collect();
+        assert_eq!(order, vec![b"big".to_vec(), b"mid".to_vec(), b"small".to_vec()]);
+    }
+
+    #[test]
+    fn oldest_first_ignores_priority_bands() {
+        let repo = Repository::create("sched2").unwrap();
+        repo.create_queue_defaults("q").unwrap();
+        let (h, _) = repo.qm().register("q", "s", false).unwrap();
+        // Low-priority element first, then a high-priority one.
+        repo.autocommit(|t| {
+            repo.qm().enqueue(
+                t.id().raw(),
+                &h,
+                b"old-low",
+                EnqueueOptions {
+                    priority: 0,
+                    attrs: vec![("rid".into(), "a".into())],
+                    ..Default::default()
+                },
+            )
+        })
+        .unwrap();
+        repo.autocommit(|t| {
+            repo.qm().enqueue(
+                t.id().raw(),
+                &h,
+                b"new-high",
+                EnqueueOptions {
+                    priority: 9,
+                    attrs: vec![("rid".into(), "b".into())],
+                    ..Default::default()
+                },
+            )
+        })
+        .unwrap();
+        // Queue order would take "new-high"; OldestFirst takes "old-low".
+        let e = repo
+            .autocommit(|t| {
+                scheduled_dequeue(repo.qm(), t.id().raw(), &h, &SchedulingPolicy::OldestFirst)
+            })
+            .unwrap();
+        assert_eq!(e.payload, b"old-low");
+    }
+
+    #[test]
+    fn empty_queue_reports_empty_for_all_policies() {
+        let repo = Repository::create("sched3").unwrap();
+        repo.create_queue_defaults("q").unwrap();
+        let (h, _) = repo.qm().register("q", "s", false).unwrap();
+        for policy in [
+            SchedulingPolicy::QueueOrder,
+            SchedulingPolicy::HighestAttr("amount".into()),
+            SchedulingPolicy::OldestFirst,
+        ] {
+            let r = repo.autocommit(|t| {
+                scheduled_dequeue(repo.qm(), t.id().raw(), &h, &policy)
+            });
+            assert!(matches!(r, Err(QmError::Empty(_))), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn pool_controller_scales_with_backlog() {
+        let repo = Arc::new(Repository::create("sched4").unwrap());
+        repo.create_queue_defaults("q").unwrap();
+        repo.create_queue_defaults("reply.c").unwrap();
+        let handler: Handler = Arc::new(|_ctx, req| {
+            std::thread::sleep(Duration::from_millis(3));
+            Ok(crate::server::HandlerOutcome::Reply(req.body.clone()))
+        });
+        let mut pool = PoolController::new(Arc::clone(&repo), "q", handler, 1, 4, 5);
+        assert_eq!(pool.tick().unwrap(), 1, "min instances on idle");
+
+        // Build a backlog; ticks scale up to max.
+        let (h, _) = repo.qm().register("q", "c", false).unwrap();
+        for i in 0..60u64 {
+            let req = crate::request::Request::new(
+                crate::rid::Rid::new("c", i + 1),
+                "reply.c",
+                "op",
+                vec![],
+            );
+            use rrq_storage::codec::Encode;
+            repo.autocommit(|t| {
+                repo.qm()
+                    .enqueue(t.id().raw(), &h, &req.encode_to_vec(), EnqueueOptions::default())
+            })
+            .unwrap();
+        }
+        let mut n = 0;
+        for _ in 0..4 {
+            n = pool.tick().unwrap();
+        }
+        assert!(n >= 3, "scaled up under backlog, got {n}");
+
+        // Drain; ticks scale back down to min.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while repo.qm().depth("q").unwrap() > 0 {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let n = pool.tick().unwrap();
+        assert_eq!(n, 1, "scaled back to min when idle");
+        pool.shutdown();
+    }
+}

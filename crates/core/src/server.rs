@@ -1,0 +1,455 @@
+//! The server of the System Model (§5, Figs 4–5): for each request, within
+//! one transaction — dequeue it, process it, enqueue the reply, commit.
+//!
+//! Failure behaviour follows the paper exactly:
+//!
+//! * a handler that returns [`HandlerError::Abort`] (or a crash/deadlock)
+//!   aborts the transaction, returning the request to its queue for
+//!   reprocessing;
+//! * after the queue's retry limit, the element moves to the error queue —
+//!   "to avoid cyclic restart of the request … the server should use the
+//!   error queue facility" — where [`Server::failed_reply_reaper`] turns it
+//!   into a `Failed` reply, the §3 "promise that it will not attempt to
+//!   execute the request any more";
+//! * a handler that returns [`HandlerError::Reject`] commits a `Failed`
+//!   reply immediately (the request *was* processed exactly once: the
+//!   processing concluded "don't do it").
+
+use crate::error::{CoreError, CoreResult};
+use crate::request::{Reply, Request};
+use crate::rid::Rid;
+use parking_lot::Mutex;
+use rrq_qm::ops::{DequeueOptions, EnqueueOptions, QueueHandle};
+use rrq_qm::repository::Repository;
+use rrq_qm::QmError;
+use rrq_storage::codec::{Decode, Encode};
+use rrq_txn::{ResourceManager, Txn, TxnError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handler failure classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandlerError {
+    /// Transient failure: abort the transaction; the request returns to the
+    /// queue and will be retried (until the retry limit).
+    Abort(String),
+    /// Permanent failure: commit a `Failed` reply; the request will never be
+    /// attempted again.
+    Reject(String),
+}
+
+/// What a handler produced.
+#[derive(Debug, Clone)]
+pub enum HandlerOutcome {
+    /// Final reply for the client.
+    Reply(Vec<u8>),
+    /// Intermediate output of an interactive request (§8.2): a reply with
+    /// `Intermediate` status; the conversation continues on `next_queue`.
+    IntermediateReply {
+        /// Bytes shown to the client.
+        body: Vec<u8>,
+        /// Queue for the client's next input.
+        next_queue: String,
+        /// Conversation state echoed back by the client (§9's IMS "scratch
+        /// pad" rides in the element instead of program variables).
+        state: Vec<u8>,
+    },
+    /// Forward the (rewritten) request to the next stage of a
+    /// multi-transaction request (§6) — no reply yet.
+    Forward {
+        /// Next stage's input queue.
+        queue: String,
+        /// The rewritten request (state carried in `request.state`).
+        request: Request,
+    },
+    /// Forward and *inherit locks*: the transaction's locks transfer to a
+    /// parking id embedded in the forwarded request, and the next stage
+    /// adopts them (§6 request-level serializability).
+    ForwardInheriting {
+        /// Next stage's input queue.
+        queue: String,
+        /// The rewritten request.
+        request: Request,
+    },
+}
+
+/// Processing context handed to handlers.
+pub struct ServerCtx<'a> {
+    /// The open transaction (locks, id).
+    pub txn: &'a Txn,
+    /// The node's repository (application state lives in `repo.store()`).
+    pub repo: &'a Arc<Repository>,
+}
+
+/// The handler signature: pure request → outcome, using `ctx` for state.
+pub type Handler =
+    Arc<dyn Fn(&ServerCtx<'_>, &Request) -> Result<HandlerOutcome, HandlerError> + Send + Sync>;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Name used for queue registration.
+    pub server_name: String,
+    /// Input queue.
+    pub request_queue: String,
+    /// Dequeue blocking window per loop iteration.
+    pub block: Duration,
+}
+
+impl ServerConfig {
+    /// Defaults: 200 ms poll window.
+    pub fn new(server_name: impl Into<String>, request_queue: impl Into<String>) -> Self {
+        ServerConfig {
+            server_name: server_name.into(),
+            request_queue: request_queue.into(),
+            block: Duration::from_millis(200),
+        }
+    }
+}
+
+/// What one `run_once` iteration did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// A request was processed and committed.
+    Committed,
+    /// The handler asked for an abort (request returned to the queue).
+    Aborted,
+    /// The transaction lost a deadlock or was poisoned by a cancel.
+    Rolled,
+    /// Nothing to do.
+    Idle,
+}
+
+/// Counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Requests committed.
+    pub committed: u64,
+    /// Handler-requested aborts.
+    pub aborted: u64,
+    /// Rejected (Failed reply) requests.
+    pub rejected: u64,
+    /// Deadlock/cancel rollbacks.
+    pub rolled: u64,
+}
+
+/// A server process (one dequeue loop).
+pub struct Server {
+    repo: Arc<Repository>,
+    app_rms: Vec<Arc<dyn ResourceManager>>,
+    handler: Handler,
+    cfg: ServerConfig,
+    handle: QueueHandle,
+    stats: Mutex<ServerStats>,
+}
+
+impl Server {
+    /// Build a server; registers with the request queue immediately.
+    pub fn new(
+        repo: Arc<Repository>,
+        cfg: ServerConfig,
+        handler: Handler,
+    ) -> CoreResult<Arc<Self>> {
+        let (handle, _) = repo
+            .qm()
+            .register(&cfg.request_queue, &cfg.server_name, false)?;
+        Ok(Arc::new(Server {
+            repo,
+            app_rms: Vec::new(),
+            handler,
+            cfg,
+            handle,
+            stats: Mutex::new(ServerStats::default()),
+        }))
+    }
+
+    /// Build a server that additionally enlists application resource
+    /// managers in every request transaction.
+    pub fn with_resources(
+        repo: Arc<Repository>,
+        cfg: ServerConfig,
+        handler: Handler,
+        app_rms: Vec<Arc<dyn ResourceManager>>,
+    ) -> CoreResult<Arc<Self>> {
+        let (handle, _) = repo
+            .qm()
+            .register(&cfg.request_queue, &cfg.server_name, false)?;
+        Ok(Arc::new(Server {
+            repo,
+            app_rms,
+            handler,
+            cfg,
+            handle,
+            stats: Mutex::new(ServerStats::default()),
+        }))
+    }
+
+    /// A reaper for `error_queue`: turns dead requests into `Failed` replies
+    /// so the client's Receive eventually completes (§3's unsuccessful-
+    /// attempt reply).
+    pub fn failed_reply_reaper(
+        repo: Arc<Repository>,
+        server_name: &str,
+        error_queue: &str,
+    ) -> CoreResult<Arc<Self>> {
+        let handler: Handler = Arc::new(|_ctx, req| {
+            Ok(HandlerOutcome::Reply(
+                format!("request {} gave up after repeated failures", req.rid).into_bytes(),
+            ))
+        });
+        // The reaper wraps the reply as Failed via a marker op below.
+        let cfg = ServerConfig::new(server_name, error_queue);
+        // The error queue is normally created lazily by the first retry-limit
+        // move; the reaper may boot earlier, so create it here (no cascading
+        // retries on error queues).
+        let mut meta = rrq_qm::meta::QueueMeta::with_defaults(error_queue);
+        meta.retry_limit = 0;
+        match repo.qm().create_queue(meta) {
+            Ok(()) | Err(QmError::QueueExists(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+        let (handle, _) = repo.qm().register(&cfg.request_queue, &cfg.server_name, false)?;
+        Ok(Arc::new(Server {
+            repo,
+            app_rms: Vec::new(),
+            handler,
+            cfg: ServerConfig {
+                // A sentinel so run_once marks replies Failed.
+                server_name: format!("!failed!{}", cfg.server_name),
+                ..cfg
+            },
+            handle,
+            stats: Mutex::new(ServerStats::default()),
+        }))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock()
+    }
+
+    /// The repository this server runs on.
+    pub fn repo(&self) -> &Arc<Repository> {
+        &self.repo
+    }
+
+    fn reply_failed_sentinel(&self) -> bool {
+        self.cfg.server_name.starts_with("!failed!")
+    }
+
+    /// One iteration of the Fig 5 loop.
+    pub fn run_once(&self) -> CoreResult<Served> {
+        let mut txn = self.repo.begin()?;
+        for rm in &self.app_rms {
+            txn.enlist(Arc::clone(rm))?;
+        }
+        let elem = match self.repo.qm().dequeue(
+            txn.id().raw(),
+            &self.handle,
+            DequeueOptions {
+                block: Some(self.cfg.block),
+                ..Default::default()
+            },
+        ) {
+            Ok(e) => e,
+            Err(QmError::Empty(_)) => {
+                txn.abort()?;
+                return Ok(Served::Idle);
+            }
+            Err(QmError::Txn(TxnError::Deadlock { .. })) => {
+                txn.abort()?;
+                self.stats.lock().rolled += 1;
+                return Ok(Served::Rolled);
+            }
+            Err(e) => {
+                let _ = txn.abort();
+                return Err(e.into());
+            }
+        };
+
+        let request = match Request::decode_all(&elem.payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // Undecodable request: reject it permanently by committing
+                // the dequeue without a reply (nothing to match it to).
+                txn.commit()?;
+                return Err(CoreError::Malformed(format!(
+                    "dropped undecodable request: {e}"
+                )));
+            }
+        };
+
+        // §6 lock inheritance: adopt locks parked by the previous stage.
+        if let Some(parked) = request.inherit_txn {
+            self.repo
+                .tm()
+                .locks()
+                .transfer_locks(parked, txn.id().raw());
+        }
+
+        let ctx = ServerCtx {
+            txn: &txn,
+            repo: &self.repo,
+        };
+        let outcome = if self.reply_failed_sentinel() {
+            // Error-queue reaper: always produce a Failed reply.
+            Err(HandlerError::Reject(format!(
+                "request {} exhausted its retries (abort count {})",
+                request.rid, elem.abort_count
+            )))
+        } else {
+            (self.handler)(&ctx, &request)
+        };
+
+        match outcome {
+            Ok(HandlerOutcome::Reply(body)) => {
+                self.enqueue_reply(&txn, &request, Reply::ok(request.rid.clone(), body))?;
+                self.commit(txn)
+            }
+            Ok(HandlerOutcome::IntermediateReply {
+                body,
+                next_queue,
+                state,
+            }) => {
+                let reply = Reply {
+                    rid: request.rid.clone(),
+                    status: crate::request::ReplyStatus::Intermediate,
+                    body: crate::interactive::encode_intermediate(&next_queue, &body, &state),
+                };
+                self.enqueue_reply(&txn, &request, reply)?;
+                self.commit(txn)
+            }
+            Ok(HandlerOutcome::Forward { queue, request }) => {
+                self.forward(&txn, &queue, &request)?;
+                self.commit(txn)
+            }
+            Ok(HandlerOutcome::ForwardInheriting { queue, mut request }) => {
+                let parked = self.repo.tm().reserve_id();
+                request.inherit_txn = Some(parked.raw());
+                self.forward(&txn, &queue, &request)?;
+                match txn.commit_inheriting_locks(parked) {
+                    Ok(()) => {
+                        self.stats.lock().committed += 1;
+                        Ok(Served::Committed)
+                    }
+                    Err(e) => {
+                        self.stats.lock().rolled += 1;
+                        let _ = e;
+                        Ok(Served::Rolled)
+                    }
+                }
+            }
+            Err(HandlerError::Reject(msg)) => {
+                self.enqueue_reply(
+                    &txn,
+                    &request,
+                    Reply::failed(request.rid.clone(), msg.into_bytes()),
+                )?;
+                self.stats.lock().rejected += 1;
+                self.commit(txn)
+            }
+            Err(HandlerError::Abort(_)) => {
+                txn.abort()?;
+                self.stats.lock().aborted += 1;
+                Ok(Served::Aborted)
+            }
+        }
+    }
+
+    fn enqueue_reply(&self, txn: &Txn, request: &Request, reply: Reply) -> CoreResult<()> {
+        // The server enqueues into the client's reply queue named in the
+        // request (§5 multi-client extension). The reply queue must exist;
+        // requests naming unknown queues get their reply dropped (the client
+        // would never see it anyway).
+        let h = QueueHandle {
+            queue: request.reply_queue.clone(),
+            registrant: self.cfg.server_name.clone(),
+        };
+        let payload = reply.encode_to_vec();
+        let opts = EnqueueOptions {
+            attrs: vec![("rid".into(), reply.rid.to_attr())],
+            ..Default::default()
+        };
+        match self.repo.qm().enqueue(txn.id().raw(), &h, &payload, opts) {
+            Ok(_) => Ok(()),
+            Err(QmError::NoSuchQueue(_)) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn forward(&self, txn: &Txn, queue: &str, request: &Request) -> CoreResult<()> {
+        let h = QueueHandle {
+            queue: queue.to_string(),
+            registrant: self.cfg.server_name.clone(),
+        };
+        let payload = request.encode_to_vec();
+        let opts = EnqueueOptions {
+            attrs: vec![
+                ("rid".into(), request.rid.to_attr()),
+                ("reply_queue".into(), request.reply_queue.clone()),
+            ],
+            ..Default::default()
+        };
+        self.repo.qm().enqueue(txn.id().raw(), &h, &payload, opts)?;
+        Ok(())
+    }
+
+    fn commit(&self, txn: Txn) -> CoreResult<Served> {
+        match txn.commit() {
+            Ok(()) => {
+                self.stats.lock().committed += 1;
+                Ok(Served::Committed)
+            }
+            Err(TxnError::InvalidState(_)) | Err(TxnError::PrepareFailed(_)) => {
+                // Poisoned by a cancel, or a participant failed to prepare:
+                // the manager already aborted everything.
+                self.stats.lock().rolled += 1;
+                Ok(Served::Rolled)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Run the loop on a thread until `stop` is set.
+    pub fn spawn(self: &Arc<Self>, stop: Arc<AtomicBool>) -> JoinHandle<()> {
+        let me = Arc::clone(self);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match me.run_once() {
+                    Ok(_) => {}
+                    Err(CoreError::Malformed(_)) => {} // dropped bad request
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        })
+    }
+}
+
+/// A running pool: the servers, their join handles, and the shared stop flag.
+pub type Pool = (Vec<Arc<Server>>, Vec<JoinHandle<()>>, Arc<AtomicBool>);
+
+/// Spawn `n` servers sharing one queue (§1 load sharing).
+pub fn spawn_pool(
+    repo: &Arc<Repository>,
+    queue: &str,
+    n: usize,
+    handler: Handler,
+) -> CoreResult<Pool> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut servers = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let cfg = ServerConfig::new(format!("server-{i}"), queue);
+        let s = Server::new(Arc::clone(repo), cfg, Arc::clone(&handler))?;
+        handles.push(s.spawn(Arc::clone(&stop)));
+        servers.push(s);
+    }
+    Ok((servers, handles, stop))
+}
+
+/// Extract the rid attribute from a queue element (diagnostics).
+pub fn element_rid(elem: &rrq_qm::element::Element) -> Option<Rid> {
+    elem.attr("rid").and_then(Rid::from_attr)
+}

@@ -1,0 +1,162 @@
+//! Concurrent threads within one client — the §5 extension.
+//!
+//! "Another extension is to allow concurrency within a client. This amounts
+//! to identifying a client by both a client-id and a 'thread'-id. The system
+//! now maintains an array of [req-tag, reply-tag] pairs for the client, one
+//! for each thread-id. The entire array is returned by a Connect operation."
+//!
+//! Each thread is a full Client-Model participant: its registrant name is
+//! `client#thread`, it has a private reply queue, and its resynchronization
+//! state is independent — one thread crashing and resyncing does not disturb
+//! the others.
+
+use crate::api::QmApi;
+use crate::clerk::{Clerk, ClerkConfig, ConnectInfo, SendMode};
+use crate::error::{CoreError, CoreResult};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A clerk array for one multi-threaded client.
+pub struct ThreadedClerk {
+    clerks: Vec<Clerk>,
+    client_id: String,
+}
+
+impl ThreadedClerk {
+    /// Build `threads` clerks over one QM transport. Thread `t` registers as
+    /// `client#t` and replies arrive on `reply.client.t`.
+    pub fn new(
+        api: Arc<dyn QmApi>,
+        client_id: impl Into<String>,
+        request_queue: impl Into<String>,
+        threads: usize,
+    ) -> Self {
+        let client_id = client_id.into();
+        let request_queue = request_queue.into();
+        let clerks = (0..threads.max(1))
+            .map(|t| {
+                let cfg = ClerkConfig {
+                    client_id: format!("{client_id}#{t}"),
+                    request_queue: request_queue.clone(),
+                    reply_queue: format!("reply.{client_id}.{t}"),
+                    send_mode: SendMode::Acked,
+                    receive_block: Duration::from_secs(10),
+                };
+                Clerk::new(Arc::clone(&api), cfg)
+            })
+            .collect();
+        ThreadedClerk { clerks, client_id }
+    }
+
+    /// The client id (without the thread suffix).
+    pub fn client_id(&self) -> &str {
+        &self.client_id
+    }
+
+    /// Number of threads.
+    pub fn threads(&self) -> usize {
+        self.clerks.len()
+    }
+
+    /// Connect every thread; returns the per-thread array of
+    /// resynchronization triples — the §5 "entire array … returned by a
+    /// Connect operation".
+    pub fn connect_all(&self) -> CoreResult<Vec<ConnectInfo>> {
+        self.clerks.iter().map(|c| c.connect()).collect()
+    }
+
+    /// Disconnect every thread.
+    pub fn disconnect_all(&self) -> CoreResult<()> {
+        for c in &self.clerks {
+            c.disconnect()?;
+        }
+        Ok(())
+    }
+
+    /// The clerk of one thread.
+    pub fn thread(&self, t: usize) -> CoreResult<&Clerk> {
+        self.clerks
+            .get(t)
+            .ok_or_else(|| CoreError::Protocol(format!("no thread {t}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::LocalQm;
+    use crate::rid::Rid;
+    use crate::server::spawn_pool;
+    use rrq_qm::repository::Repository;
+    use std::sync::atomic::Ordering;
+
+    fn setup(threads: usize) -> (Arc<Repository>, ThreadedClerk) {
+        let repo = Arc::new(Repository::create("threaded").unwrap());
+        repo.create_queue_defaults("req").unwrap();
+        for t in 0..threads {
+            repo.create_queue_defaults(&format!("reply.multi.{t}")).unwrap();
+        }
+        let api = Arc::new(LocalQm::new(Arc::clone(&repo)));
+        let tc = ThreadedClerk::new(api, "multi", "req", threads);
+        (repo, tc)
+    }
+
+    #[test]
+    fn threads_have_independent_sessions() {
+        let (repo, tc) = setup(3);
+        let (_s, handles, stop) = spawn_pool(
+            &repo,
+            "req",
+            2,
+            Arc::new(|_ctx, req: &crate::request::Request| {
+                Ok(crate::server::HandlerOutcome::Reply(req.body.clone()))
+            }),
+        )
+        .unwrap();
+
+        let infos = tc.connect_all().unwrap();
+        assert_eq!(infos.len(), 3);
+        assert!(infos.iter().all(|i| i.s_rid.is_none()));
+
+        // Thread 0 completes a request; thread 1 sends and "crashes".
+        let c0 = tc.thread(0).unwrap();
+        c0.send("echo", b"t0".to_vec(), Rid::new("multi#0", 1)).unwrap();
+        let r0 = c0.receive(b"").unwrap();
+        assert_eq!(r0.body, b"t0");
+
+        let c1 = tc.thread(1).unwrap();
+        c1.send("echo", b"t1".to_vec(), Rid::new("multi#1", 1)).unwrap();
+        // (crash: no receive)
+
+        // A fresh incarnation of the whole client: the per-thread array shows
+        // thread 0 complete, thread 1 outstanding, thread 2 untouched.
+        let api = Arc::new(LocalQm::new(Arc::clone(&repo)));
+        let tc2 = ThreadedClerk::new(api, "multi", "req", 3);
+        let infos2 = tc2.connect_all().unwrap();
+        assert_eq!(infos2[0].s_rid, Some(Rid::new("multi#0", 1)));
+        assert_eq!(infos2[0].r_rid, Some(Rid::new("multi#0", 1)));
+        assert_eq!(infos2[1].s_rid, Some(Rid::new("multi#1", 1)));
+        assert_eq!(infos2[1].r_rid, None, "thread 1 has an outstanding request");
+        assert_eq!(infos2[2].s_rid, None);
+
+        // Thread 1's new incarnation picks up its reply.
+        let c1b = tc2.thread(1).unwrap();
+        let r1 = c1b.receive(b"").unwrap();
+        assert_eq!(r1.rid, Rid::new("multi#1", 1));
+        assert_eq!(r1.body, b"t1");
+
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn thread_index_bounds_checked() {
+        let (_repo, tc) = setup(2);
+        assert!(tc.thread(0).is_ok());
+        assert!(tc.thread(5).is_err());
+        assert_eq!(tc.threads(), 2);
+        assert_eq!(tc.client_id(), "multi");
+    }
+}

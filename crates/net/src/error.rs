@@ -1,0 +1,45 @@
+//! Network-layer errors.
+
+use std::fmt;
+
+/// Result alias for the network crate.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Errors raised by the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No endpoint with this name is registered.
+    UnknownEndpoint(String),
+    /// The RPC deadline passed without a reply (lost message, partition, or
+    /// slow server — indistinguishable to the caller, exactly as in a real
+    /// network).
+    Timeout,
+    /// The local endpoint was shut down.
+    Closed,
+    /// The remote handler returned an application-level error payload.
+    Remote(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownEndpoint(e) => write!(f, "unknown endpoint: {e}"),
+            NetError::Timeout => write!(f, "rpc timed out"),
+            NetError::Closed => write!(f, "endpoint closed"),
+            NetError::Remote(m) => write!(f, "remote error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(NetError::Timeout.to_string().contains("timed out"));
+        assert!(NetError::UnknownEndpoint("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,179 @@
+//! Fault injection for the simulated network.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// The injectable fault state of the network, shared by all endpoints.
+///
+/// Links are directional: partitioning `a → b` stops messages from `a` to
+/// `b` but not replies from `b` to `a` (use [`FaultPlan::partition_pair`]
+/// for symmetric cuts).
+pub struct FaultPlan {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    partitions: HashSet<(String, String)>,
+    drop_prob: HashMap<(String, String), f64>,
+    delay: HashMap<(String, String), Duration>,
+    default_drop: f64,
+    rng: StdRng,
+    dropped: u64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults, seeded for reproducible loss decisions.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            inner: Mutex::new(Inner {
+                partitions: HashSet::new(),
+                drop_prob: HashMap::new(),
+                delay: HashMap::new(),
+                default_drop: 0.0,
+                rng: StdRng::seed_from_u64(seed),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Cut the directional link `from → to`.
+    pub fn partition(&self, from: &str, to: &str) {
+        self.inner
+            .lock()
+            .partitions
+            .insert((from.to_string(), to.to_string()));
+    }
+
+    /// Cut both directions between `a` and `b`.
+    pub fn partition_pair(&self, a: &str, b: &str) {
+        self.partition(a, b);
+        self.partition(b, a);
+    }
+
+    /// Remove any partition on `from → to` (and nothing else).
+    pub fn heal(&self, from: &str, to: &str) {
+        self.inner
+            .lock()
+            .partitions
+            .remove(&(from.to_string(), to.to_string()));
+    }
+
+    /// Heal both directions.
+    pub fn heal_pair(&self, a: &str, b: &str) {
+        self.heal(a, b);
+        self.heal(b, a);
+    }
+
+    /// Heal every partition.
+    pub fn heal_all(&self) {
+        self.inner.lock().partitions.clear();
+    }
+
+    /// Drop messages on `from → to` with probability `p`.
+    pub fn set_drop(&self, from: &str, to: &str, p: f64) {
+        self.inner
+            .lock()
+            .drop_prob
+            .insert((from.to_string(), to.to_string()), p.clamp(0.0, 1.0));
+    }
+
+    /// Drop messages on every link with probability `p` unless overridden.
+    pub fn set_default_drop(&self, p: f64) {
+        self.inner.lock().default_drop = p.clamp(0.0, 1.0);
+    }
+
+    /// Delay deliveries on `from → to`.
+    pub fn set_delay(&self, from: &str, to: &str, d: Duration) {
+        self.inner
+            .lock()
+            .delay
+            .insert((from.to_string(), to.to_string()), d);
+    }
+
+    /// Number of messages dropped so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Decide the fate of one message: `None` = dropped, `Some(delay)` =
+    /// deliver after `delay`.
+    pub fn judge(&self, from: &str, to: &str) -> Option<Duration> {
+        let mut g = self.inner.lock();
+        let link = (from.to_string(), to.to_string());
+        if g.partitions.contains(&link) {
+            g.dropped += 1;
+            return None;
+        }
+        let p = g.drop_prob.get(&link).copied().unwrap_or(g.default_drop);
+        if p > 0.0 && g.rng.gen::<f64>() < p {
+            g.dropped += 1;
+            return None;
+        }
+        Some(g.delay.get(&link).copied().unwrap_or(Duration::ZERO))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_delivers_immediately() {
+        let f = FaultPlan::new(1);
+        assert_eq!(f.judge("a", "b"), Some(Duration::ZERO));
+        assert_eq!(f.dropped_count(), 0);
+    }
+
+    #[test]
+    fn partition_is_directional() {
+        let f = FaultPlan::new(1);
+        f.partition("a", "b");
+        assert_eq!(f.judge("a", "b"), None);
+        assert!(f.judge("b", "a").is_some());
+        f.heal("a", "b");
+        assert!(f.judge("a", "b").is_some());
+    }
+
+    #[test]
+    fn partition_pair_cuts_both_ways() {
+        let f = FaultPlan::new(1);
+        f.partition_pair("a", "b");
+        assert_eq!(f.judge("a", "b"), None);
+        assert_eq!(f.judge("b", "a"), None);
+        f.heal_pair("a", "b");
+        assert!(f.judge("a", "b").is_some());
+        assert!(f.judge("b", "a").is_some());
+    }
+
+    #[test]
+    fn drop_probability_is_statistical_and_seeded() {
+        let f = FaultPlan::new(42);
+        f.set_drop("a", "b", 0.5);
+        let drops: usize = (0..1000).filter(|_| f.judge("a", "b").is_none()).count();
+        assert!((300..700).contains(&drops), "got {drops}");
+        // Same seed → same decisions.
+        let f2 = FaultPlan::new(42);
+        f2.set_drop("a", "b", 0.5);
+        let drops2: usize = (0..1000).filter(|_| f2.judge("a", "b").is_none()).count();
+        assert_eq!(drops, drops2);
+    }
+
+    #[test]
+    fn delay_reported() {
+        let f = FaultPlan::new(1);
+        f.set_delay("a", "b", Duration::from_millis(7));
+        assert_eq!(f.judge("a", "b"), Some(Duration::from_millis(7)));
+    }
+
+    #[test]
+    fn drop_one_and_zero() {
+        let f = FaultPlan::new(3);
+        f.set_drop("a", "b", 1.0);
+        assert_eq!(f.judge("a", "b"), None);
+        f.set_drop("a", "b", 0.0);
+        assert!(f.judge("a", "b").is_some());
+    }
+}

@@ -1,0 +1,26 @@
+//! # rrq-net
+//!
+//! A simulated interprocess network. The paper's client/server split (§2)
+//! assumes "interprocess communication primitives … to exchange requests and
+//! replies", and §5 has the clerk invoke queue-manager operations by remote
+//! procedure call. This crate provides both primitives — request/response
+//! RPC and fire-and-forget one-way messages — over an in-process message
+//! [`bus::NetworkBus`] with injectable faults:
+//!
+//! * **partitions** between named endpoints (the paper's "client and server
+//!   nodes are frequently partitioned by communication failures", §1),
+//! * probabilistic **message loss** per link,
+//! * fixed **delivery delay** per link.
+//!
+//! Faults are controlled by a seeded RNG, so failure schedules are
+//! reproducible.
+
+pub mod bus;
+pub mod error;
+pub mod faults;
+pub mod rpc;
+
+pub use bus::{Endpoint, Envelope, NetworkBus};
+pub use error::{NetError, NetResult};
+pub use faults::FaultPlan;
+pub use rpc::{RpcClient, RpcServer};

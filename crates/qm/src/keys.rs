@@ -1,0 +1,156 @@
+//! Key layout of the queue store.
+//!
+//! All queue state lives in one ordered key-value namespace per repository:
+//!
+//! | prefix | contents |
+//! |--------|----------|
+//! | `m/<queue>`                | [`crate::meta::QueueMeta`] |
+//! | `e/<queue>/<ord>`          | live [`crate::element::Element`]s, ordered |
+//! | `x/<eid-be>`               | eid → element key (live-element index) |
+//! | `d/<eid-be>`               | retained (dequeued) elements, for `Read`/`Rereceive` |
+//! | `k/<eid-be>`               | kill tombstones (§7 cancellation in flight) |
+//! | `r/<queue>/<registrant>`   | [`crate::registration::Registration`] |
+//! | `t/<trigger>`              | [`crate::trigger::Trigger`] |
+//! | `c/epoch`                  | restart epoch counter |
+//!
+//! The element ordering key `<ord>` is `(0xFF - priority) ‖ seq_be`, so a
+//! plain ascending prefix scan yields highest-priority-first, FIFO within a
+//! priority — the dequeue order.
+
+use crate::element::{Eid, Priority};
+
+/// Key of a queue's metadata record.
+pub fn meta_key(queue: &str) -> Vec<u8> {
+    let mut k = Vec::with_capacity(2 + queue.len());
+    k.extend_from_slice(b"m/");
+    k.extend_from_slice(queue.as_bytes());
+    k
+}
+
+/// Prefix under which a queue's live elements sort.
+pub fn element_prefix(queue: &str) -> Vec<u8> {
+    let mut k = Vec::with_capacity(3 + queue.len());
+    k.extend_from_slice(b"e/");
+    k.extend_from_slice(queue.as_bytes());
+    k.push(b'/');
+    k
+}
+
+/// Ordering suffix for an element: priority-descending, then seq-ascending.
+pub fn ord_suffix(priority: Priority, seq: u64) -> [u8; 9] {
+    let mut s = [0u8; 9];
+    s[0] = 0xFF - priority;
+    s[1..].copy_from_slice(&seq.to_be_bytes());
+    s
+}
+
+/// Full key of a live element.
+pub fn element_key(queue: &str, priority: Priority, seq: u64) -> Vec<u8> {
+    let mut k = element_prefix(queue);
+    k.extend_from_slice(&ord_suffix(priority, seq));
+    k
+}
+
+/// Key of the live-element index entry for `eid`.
+pub fn index_key(eid: Eid) -> Vec<u8> {
+    let mut k = Vec::with_capacity(10);
+    k.extend_from_slice(b"x/");
+    k.extend_from_slice(&eid.raw().to_be_bytes());
+    k
+}
+
+/// Key of the retained (dequeued) copy of `eid`.
+pub fn retained_key(eid: Eid) -> Vec<u8> {
+    let mut k = Vec::with_capacity(10);
+    k.extend_from_slice(b"d/");
+    k.extend_from_slice(&eid.raw().to_be_bytes());
+    k
+}
+
+/// Key of the kill tombstone for `eid`.
+pub fn kill_key(eid: Eid) -> Vec<u8> {
+    let mut k = Vec::with_capacity(10);
+    k.extend_from_slice(b"k/");
+    k.extend_from_slice(&eid.raw().to_be_bytes());
+    k
+}
+
+/// Key of a registration record.
+pub fn registration_key(queue: &str, registrant: &str) -> Vec<u8> {
+    let mut k = Vec::with_capacity(3 + queue.len() + registrant.len());
+    k.extend_from_slice(b"r/");
+    k.extend_from_slice(queue.as_bytes());
+    k.push(b'/');
+    k.extend_from_slice(registrant.as_bytes());
+    k
+}
+
+/// Key of a trigger record.
+pub fn trigger_key(id: &str) -> Vec<u8> {
+    let mut k = Vec::with_capacity(2 + id.len());
+    k.extend_from_slice(b"t/");
+    k.extend_from_slice(id.as_bytes());
+    k
+}
+
+/// Key of the repository epoch counter.
+pub fn epoch_key() -> Vec<u8> {
+    b"c/epoch".to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_key_sorts_priority_desc_then_seq_asc() {
+        let hi_p = element_key("q", 9, 100);
+        let lo_p_early = element_key("q", 1, 1);
+        let lo_p_late = element_key("q", 1, 2);
+        assert!(hi_p < lo_p_early, "higher priority sorts first");
+        assert!(lo_p_early < lo_p_late, "FIFO within priority");
+    }
+
+    #[test]
+    fn element_keys_stay_under_queue_prefix() {
+        let k = element_key("req", 0, 42);
+        assert!(k.starts_with(&element_prefix("req")));
+        assert!(!k.starts_with(&element_prefix("reply")));
+    }
+
+    #[test]
+    fn queue_names_with_shared_prefixes_do_not_collide() {
+        // "req" vs "req2": the '/' separator keeps prefixes disjoint.
+        let a = element_prefix("req");
+        let k = element_key("req2", 0, 1);
+        assert!(!k.starts_with(&a));
+    }
+
+    #[test]
+    fn distinct_namespaces() {
+        let eid = Eid(7);
+        let keys = [
+            meta_key("q"),
+            element_key("q", 0, 1),
+            index_key(eid),
+            retained_key(eid),
+            kill_key(eid),
+            registration_key("q", "c"),
+            trigger_key("t"),
+            epoch_key(),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seq_big_endian_ordering() {
+        assert!(ord_suffix(0, 255).as_slice() < ord_suffix(0, 256).as_slice());
+        assert!(ord_suffix(0, u64::MAX - 1).as_slice() < ord_suffix(0, u64::MAX).as_slice());
+    }
+}

@@ -1,0 +1,107 @@
+//! Blocking dequeue support — the paper's "notify lock" (§10: "an extension
+//! is needed to allow a transaction that Dequeues from an empty queue to
+//! become blocked").
+//!
+//! Each queue carries a version counter bumped whenever elements may have
+//! become available (an enqueue committed, or an aborted dequeue returned an
+//! element). A blocked dequeuer samples the version, re-scans, and waits for
+//! the version to move.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Per-queue availability versions with wakeups.
+#[derive(Default)]
+pub struct QueueNotifier {
+    versions: Mutex<HashMap<String, u64>>,
+    cv: Condvar,
+}
+
+impl QueueNotifier {
+    /// New notifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current version for `queue` (0 if never signalled).
+    pub fn version(&self, queue: &str) -> u64 {
+        *self.versions.lock().get(queue).unwrap_or(&0)
+    }
+
+    /// Signal that `queue` may have gained elements.
+    pub fn signal(&self, queue: &str) {
+        let mut g = self.versions.lock();
+        *g.entry(queue.to_string()).or_insert(0) += 1;
+        self.cv.notify_all();
+    }
+
+    /// Block until `queue`'s version exceeds `seen` or `timeout` elapses.
+    /// Returns `true` when woken by a signal, `false` on timeout.
+    pub fn wait_past(&self, queue: &str, seen: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.versions.lock();
+        loop {
+            if *g.get(queue).unwrap_or(&0) > seen {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            if self.cv.wait_until(&mut g, deadline).timed_out() {
+                return *g.get(queue).unwrap_or(&0) > seen;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn signal_bumps_version() {
+        let n = QueueNotifier::new();
+        assert_eq!(n.version("q"), 0);
+        n.signal("q");
+        assert_eq!(n.version("q"), 1);
+        assert_eq!(n.version("other"), 0);
+    }
+
+    #[test]
+    fn wait_returns_immediately_when_version_already_past() {
+        let n = QueueNotifier::new();
+        n.signal("q");
+        assert!(n.wait_past("q", 0, Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn wait_times_out() {
+        let n = QueueNotifier::new();
+        let t0 = Instant::now();
+        assert!(!n.wait_past("q", 0, Duration::from_millis(30)));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn waiter_woken_by_signal() {
+        let n = Arc::new(QueueNotifier::new());
+        let n2 = Arc::clone(&n);
+        let h = thread::spawn(move || n2.wait_past("q", 0, Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(20));
+        n.signal("q");
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn signals_are_per_queue_but_wakeups_recheck() {
+        let n = Arc::new(QueueNotifier::new());
+        let n2 = Arc::clone(&n);
+        let h = thread::spawn(move || n2.wait_past("a", 0, Duration::from_millis(200)));
+        thread::sleep(Duration::from_millis(20));
+        n.signal("b"); // wakes, rechecks, keeps waiting
+        assert!(!h.join().unwrap());
+    }
+}

@@ -1,0 +1,1086 @@
+//! The queue manager's data-manipulation operations (Fig 3) and its role as
+//! a two-phase-commit participant.
+//!
+//! ## Transactional semantics (§4.2)
+//!
+//! Every operation runs under a transaction token issued by
+//! [`rrq_txn::TxnManager`]; the manager itself implements
+//! [`rrq_txn::ResourceManager`], so queue updates commit or abort atomically
+//! with whatever else the transaction did. The key behaviours:
+//!
+//! * An **aborted dequeue returns the element to its queue** — automatic,
+//!   because uncommitted deletes never touch the committed tree.
+//! * On the **n-th aborted dequeue** of an element, the abort handler moves
+//!   it to the queue's *error queue* (with the abort code recorded), which is
+//!   what guarantees a poisoned request cannot cyclically restart a server
+//!   forever (§5's termination argument).
+//! * A **dequeued element is retained** (keyed by eid) until purged, so
+//!   `Read` works "even if the last operation was a Dequeue" (§4.3) — the
+//!   basis of the clerk's `Rereceive`.
+//!
+//! ## Concurrency (§10)
+//!
+//! Dequeue scans the queue in priority-then-FIFO order and write-locks the
+//! element it takes. In [`OrderingMode::SkipLocked`] the scan ignores
+//! elements locked by concurrent uncommitted dequeuers (the paper's relaxed
+//! ordering, trading strict FIFO for concurrency); in
+//! [`OrderingMode::StrictFifo`] it blocks behind the head element's lock.
+//! Blocking dequeue on an empty queue uses the [`crate::notify`] versioning
+//! — the paper's "notify lock".
+
+use crate::element::{Eid, Element, Priority};
+use crate::error::{QmError, QmResult};
+use crate::keys;
+use crate::meta::{OrderingMode, QueueMeta};
+use crate::notify::QueueNotifier;
+use crate::registration::{LastOp, Registration};
+use crate::retrieval::Predicate;
+use crate::trigger::Trigger;
+use parking_lot::Mutex;
+use rrq_storage::codec::{put, Decode, Encode, Reader};
+use rrq_storage::kv::KvStore;
+use rrq_txn::{LockKey, LockManager, LockMode, ResourceManager, TxnError, TxnId, TxnIdGen, TxnResult};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifies a registered (queue, registrant) binding — the `handle`
+/// returned by `Register` in Fig 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueHandle {
+    /// Queue name.
+    pub queue: String,
+    /// Registrant name.
+    pub registrant: String,
+}
+
+/// Options for [`QueueManager::enqueue`].
+#[derive(Debug, Clone, Default)]
+pub struct EnqueueOptions {
+    /// Scheduling priority (higher dequeues first).
+    pub priority: Priority,
+    /// Content attributes for predicate retrieval.
+    pub attrs: Vec<(String, String)>,
+    /// Registrant-defined operation tag (§4.3), recorded atomically with the
+    /// operation in the registrant's stable registration record.
+    pub tag: Option<Vec<u8>>,
+}
+
+/// Options for [`QueueManager::dequeue`].
+#[derive(Debug, Clone, Default)]
+pub struct DequeueOptions {
+    /// Operation tag (§4.3).
+    pub tag: Option<Vec<u8>>,
+    /// Only elements matching this predicate are candidates.
+    pub predicate: Option<Predicate>,
+    /// Block up to this long when no candidate is available.
+    pub block: Option<Duration>,
+    /// Route to this error queue instead of the queue's default (`eh` in
+    /// Fig 3's Dequeue).
+    pub error_queue: Option<String>,
+}
+
+/// Operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QmStats {
+    /// Committed-path enqueue calls.
+    pub enqueues: u64,
+    /// Successful dequeue calls.
+    pub dequeues: u64,
+    /// Read calls.
+    pub reads: u64,
+    /// Elements skipped because a concurrent dequeuer held their lock.
+    pub lock_skips: u64,
+    /// Dequeues undone by transaction aborts.
+    pub aborted_dequeues: u64,
+    /// Elements moved to an error queue.
+    pub error_moves: u64,
+    /// KillElement calls that cancelled an element.
+    pub kills: u64,
+    /// Alert-threshold crossings observed at commit.
+    pub alerts: u64,
+    /// Triggers fired.
+    pub triggers_fired: u64,
+}
+
+/// A dequeue performed by a still-open transaction.
+#[derive(Debug, Clone)]
+struct DequeuedRef {
+    queue: String,
+    elem_key: Vec<u8>,
+    eid: Eid,
+    /// Error-queue override from the Dequeue call.
+    error_queue: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct PendingTxn {
+    dequeued: Vec<DequeuedRef>,
+    enqueued_queues: HashSet<String>,
+    /// Set by KillElement when this transaction holds a cancelled element:
+    /// the transaction must abort (§7).
+    poisoned: Option<Eid>,
+}
+
+/// The queue manager for one repository.
+pub struct QueueManager {
+    name: String,
+    durable: Arc<KvStore>,
+    volatile: Arc<KvStore>,
+    locks: Arc<LockManager>,
+    notifier: QueueNotifier,
+    pending: Mutex<HashMap<u64, PendingTxn>>,
+    /// Ids for internal system transactions (registration writes, abort-count
+    /// maintenance). High floor keeps them disjoint from user transactions.
+    sys_ids: TxnIdGen,
+    epoch: u64,
+    counter: AtomicU64,
+    ns_map: Mutex<HashMap<String, u32>>,
+    next_ns: AtomicU32,
+    stats: Mutex<QmStats>,
+    /// Queues whose alert threshold was crossed (drained by `take_alerts`).
+    alerts: Mutex<Vec<String>>,
+}
+
+/// How many candidates a dequeue scan decodes per storage page.
+const SCAN_PAGE: usize = 64;
+
+impl QueueManager {
+    /// Build a manager over a durable store and a volatile store, sharing the
+    /// node's lock manager. Bumps and persists the repository epoch (element
+    /// ids and sequence numbers from this incarnation sort after every
+    /// earlier one).
+    pub fn new(
+        name: impl Into<String>,
+        durable: Arc<KvStore>,
+        volatile: Arc<KvStore>,
+        locks: Arc<LockManager>,
+    ) -> QmResult<Arc<Self>> {
+        let sys_ids = TxnIdGen::new(1 << 56);
+        // Bump the epoch in a system transaction.
+        let t = sys_ids.next().raw();
+        durable.begin(t)?;
+        let epoch = match durable.get(Some(t), &keys::epoch_key())? {
+            Some(raw) => u64::decode_all(&raw).map_err(QmError::Storage)? + 1,
+            None => 1,
+        };
+        durable.put(t, &keys::epoch_key(), &epoch.encode_to_vec())?;
+        durable.commit(t)?;
+
+        Ok(Arc::new(QueueManager {
+            name: name.into(),
+            durable,
+            volatile,
+            locks,
+            notifier: QueueNotifier::new(),
+            pending: Mutex::new(HashMap::new()),
+            sys_ids,
+            epoch,
+            counter: AtomicU64::new(0),
+            ns_map: Mutex::new(HashMap::new()),
+            next_ns: AtomicU32::new(1),
+            stats: Mutex::new(QmStats::default()),
+            alerts: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// This manager's participant name.
+    pub fn qm_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The repository epoch of this incarnation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> QmStats {
+        *self.stats.lock()
+    }
+
+    /// Drain the queue names whose alert thresholds were crossed since the
+    /// last call (§9 "alert thresholds").
+    pub fn take_alerts(&self) -> Vec<String> {
+        std::mem::take(&mut *self.alerts.lock())
+    }
+
+    /// The shared lock manager.
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    fn ns_of(&self, queue: &str) -> u32 {
+        let mut g = self.ns_map.lock();
+        if let Some(&n) = g.get(queue) {
+            return n;
+        }
+        let n = self.next_ns.fetch_add(1, Ordering::Relaxed);
+        g.insert(queue.to_string(), n);
+        n
+    }
+
+    fn next_eid(&self) -> (Eid, u64) {
+        let c = self.counter.fetch_add(1, Ordering::Relaxed);
+        let eid = Eid::compose(self.epoch, c);
+        // The same epoch-qualified counter doubles as the FIFO sequence.
+        (eid, eid.raw())
+    }
+
+    fn store_for(&self, meta: &QueueMeta) -> &Arc<KvStore> {
+        if meta.durable {
+            &self.durable
+        } else {
+            &self.volatile
+        }
+    }
+
+    /// Run `f` inside a fresh system transaction on the durable store.
+    fn system_txn<R>(
+        &self,
+        f: impl FnOnce(u64) -> QmResult<R>,
+    ) -> QmResult<R> {
+        let t = self.sys_ids.next().raw();
+        self.durable.begin(t)?;
+        match f(t) {
+            Ok(r) => {
+                self.durable.commit(t)?;
+                Ok(r)
+            }
+            Err(e) => {
+                let _ = self.durable.abort(t);
+                Err(e)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data definition (§4.1)
+    // ------------------------------------------------------------------
+
+    /// Create a queue. Its error queue is created lazily on first use.
+    pub fn create_queue(&self, meta: QueueMeta) -> QmResult<()> {
+        self.system_txn(|t| {
+            let key = keys::meta_key(&meta.name);
+            if self.durable.get(Some(t), &key)?.is_some() {
+                return Err(QmError::QueueExists(meta.name.clone()));
+            }
+            self.durable.put(t, &key, &meta.encode_to_vec())?;
+            Ok(())
+        })
+    }
+
+    /// Fetch a queue's metadata.
+    pub fn queue_meta(&self, queue: &str) -> QmResult<QueueMeta> {
+        match self.durable.get(None, &keys::meta_key(queue))? {
+            Some(raw) => Ok(QueueMeta::decode_all(&raw).map_err(QmError::Storage)?),
+            None => Err(QmError::NoSuchQueue(queue.to_string())),
+        }
+    }
+
+    /// Update a queue's metadata in place (start/stop, redirect, thresholds…).
+    pub fn update_queue(
+        &self,
+        queue: &str,
+        f: impl FnOnce(&mut QueueMeta),
+    ) -> QmResult<QueueMeta> {
+        self.system_txn(|t| {
+            let key = keys::meta_key(queue);
+            let raw = self
+                .durable
+                .get(Some(t), &key)?
+                .ok_or_else(|| QmError::NoSuchQueue(queue.to_string()))?;
+            let mut meta = QueueMeta::decode_all(&raw).map_err(QmError::Storage)?;
+            f(&mut meta);
+            meta.name = queue.to_string(); // the name is immutable
+            self.durable.put(t, &key, &meta.encode_to_vec())?;
+            Ok(meta)
+        })
+    }
+
+    /// Destroy a queue and all of its live elements and registrations.
+    pub fn destroy_queue(&self, queue: &str) -> QmResult<()> {
+        let meta = self.queue_meta(queue)?;
+        let store = Arc::clone(self.store_for(&meta));
+        self.system_txn(|t| {
+            // Volatile elements live in the other store; handle both.
+            if !meta.durable {
+                store.begin(t).ok(); // may double-begin if same store
+            }
+            let rows = self.durable.scan_prefix(Some(t), &keys::element_prefix(queue))?;
+            for (k, _) in rows {
+                self.durable.delete(t, &k)?;
+            }
+            if !meta.durable {
+                let vrows = store.scan_prefix(None, &keys::element_prefix(queue))?;
+                for (k, _) in vrows {
+                    store.delete(t, &k)?;
+                }
+                store.commit(t).ok();
+            }
+            let regs = self
+                .durable
+                .scan_prefix(Some(t), format!("r/{queue}/").as_bytes())?;
+            for (k, _) in regs {
+                self.durable.delete(t, &k)?;
+            }
+            self.durable.delete(t, &keys::meta_key(queue))?;
+            Ok(())
+        })
+    }
+
+    /// List all queue names in the repository.
+    pub fn list_queues(&self) -> QmResult<Vec<String>> {
+        let rows = self.durable.scan_prefix(None, b"m/")?;
+        let mut out = Vec::with_capacity(rows.len());
+        for (_, raw) in rows {
+            out.push(QueueMeta::decode_all(&raw).map_err(QmError::Storage)?.name);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Registration (§4.3)
+    // ------------------------------------------------------------------
+
+    /// `Register(qname, client, stable-flag)` — idempotent. If the registrant
+    /// is already registered (e.g. recovering from a failure), the existing
+    /// record — including the last tagged operation — is returned unchanged.
+    pub fn register(
+        &self,
+        queue: &str,
+        registrant: &str,
+        stable: bool,
+    ) -> QmResult<(QueueHandle, Registration)> {
+        self.queue_meta(queue)?; // must exist
+        let handle = QueueHandle {
+            queue: queue.to_string(),
+            registrant: registrant.to_string(),
+        };
+        let key = keys::registration_key(queue, registrant);
+        if let Some(raw) = self.durable.get(None, &key)? {
+            let reg = Registration::decode_all(&raw).map_err(QmError::Storage)?;
+            return Ok((handle, reg));
+        }
+        let reg = Registration::new(registrant, queue, stable);
+        let reg2 = reg.clone();
+        self.system_txn(move |t| {
+            self.durable.put(t, &key, &reg2.encode_to_vec())?;
+            Ok(())
+        })?;
+        Ok((handle, reg))
+    }
+
+    /// `Deregister` — destroys all registration information (§4.3).
+    pub fn deregister(&self, handle: &QueueHandle) -> QmResult<()> {
+        let key = keys::registration_key(&handle.queue, &handle.registrant);
+        self.system_txn(|t| {
+            if self.durable.get(Some(t), &key)?.is_none() {
+                return Err(QmError::NotRegistered(handle.registrant.clone()));
+            }
+            self.durable.delete(t, &key)?;
+            Ok(())
+        })
+    }
+
+    /// Update the registrant's stable last-operation record inside the user
+    /// transaction `txn` — atomic with the tagged operation.
+    fn record_op(
+        &self,
+        txn: u64,
+        handle: &QueueHandle,
+        op: LastOp,
+        tag: Option<&[u8]>,
+        eid: Eid,
+        payload: &[u8],
+    ) -> QmResult<()> {
+        let key = keys::registration_key(&handle.queue, &handle.registrant);
+        let raw = self
+            .durable
+            .get(Some(txn), &key)?
+            .ok_or_else(|| QmError::NotRegistered(handle.registrant.clone()))?;
+        let mut reg = Registration::decode_all(&raw).map_err(QmError::Storage)?;
+        if reg.stable {
+            reg.record(op, tag, eid, payload);
+            self.durable.put(txn, &key, &reg.encode_to_vec())?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Enqueue / Dequeue / Read / KillElement (§4.2, §7)
+    // ------------------------------------------------------------------
+
+    /// Resolve §9 queue redirection, guarding against cycles.
+    fn resolve_queue(&self, queue: &str) -> QmResult<QueueMeta> {
+        let mut name = queue.to_string();
+        for _ in 0..32 {
+            let meta = self.queue_meta(&name)?;
+            match &meta.redirect_to {
+                Some(t) if t != &meta.name => name = t.clone(),
+                _ => return Ok(meta),
+            }
+        }
+        Err(QmError::RedirectCycle(queue.to_string()))
+    }
+
+    /// `Enqueue(h, element, t)` — create an element in the handle's queue
+    /// under transaction `txn`, returning its eid.
+    pub fn enqueue(
+        &self,
+        txn: u64,
+        handle: &QueueHandle,
+        payload: &[u8],
+        opts: EnqueueOptions,
+    ) -> QmResult<Eid> {
+        let meta = self.resolve_queue(&handle.queue)?;
+        if !meta.started {
+            return Err(QmError::QueueStopped(meta.name.clone()));
+        }
+        let store = self.store_for(&meta);
+        let (eid, seq) = self.next_eid();
+        let elem = Element {
+            eid,
+            priority: opts.priority,
+            seq,
+            abort_count: 0,
+            abort_code: 0,
+            attrs: opts.attrs,
+            payload: payload.to_vec(),
+        };
+        let ekey = keys::element_key(&meta.name, elem.priority, seq);
+        store.put(txn, &ekey, &elem.encode_to_vec())?;
+        // Live-element index: eid → (queue, element key). Always durable so
+        // Read/Kill can find volatile elements too? No — volatile elements
+        // index in the volatile store, consistent with their lifetime.
+        store.put(txn, &keys::index_key(eid), &encode_index(&meta.name, &ekey))?;
+        if opts.tag.is_some() {
+            self.record_op(
+                txn,
+                handle,
+                LastOp::Enqueue,
+                opts.tag.as_deref(),
+                eid,
+                payload,
+            )?;
+        }
+        self.pending
+            .lock()
+            .entry(txn)
+            .or_default()
+            .enqueued_queues
+            .insert(meta.name.clone());
+        self.stats.lock().enqueues += 1;
+        Ok(eid)
+    }
+
+    /// `Dequeue(h, t, eh)` — remove and return the next element under
+    /// transaction `txn`. See the module docs for ordering and blocking
+    /// semantics.
+    pub fn dequeue(
+        &self,
+        txn: u64,
+        handle: &QueueHandle,
+        opts: DequeueOptions,
+    ) -> QmResult<Element> {
+        let meta = self.queue_meta(&handle.queue)?;
+        if !meta.started {
+            return Err(QmError::QueueStopped(meta.name.clone()));
+        }
+        let deadline = opts.block.map(|d| Instant::now() + d);
+        loop {
+            let seen = self.notifier.version(&meta.name);
+            match self.try_dequeue_once(txn, handle, &meta, &opts, deadline)? {
+                Some(elem) => return Ok(elem),
+                None => {
+                    let Some(dl) = deadline else {
+                        return Err(QmError::Empty(meta.name.clone()));
+                    };
+                    let now = Instant::now();
+                    if now >= dl {
+                        return Err(QmError::Empty(meta.name.clone()));
+                    }
+                    self.notifier.wait_past(&meta.name, seen, dl - now);
+                    if Instant::now() >= dl {
+                        return Err(QmError::Empty(meta.name.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// One scan pass. `Ok(None)` means no candidate is currently available.
+    fn try_dequeue_once(
+        &self,
+        txn: u64,
+        handle: &QueueHandle,
+        meta: &QueueMeta,
+        opts: &DequeueOptions,
+        deadline: Option<Instant>,
+    ) -> QmResult<Option<Element>> {
+        let store = self.store_for(meta);
+        let ns = self.ns_of(&meta.name);
+        let prefix = keys::element_prefix(&meta.name);
+        'rescan: loop {
+            let mut after: Option<Vec<u8>> = None;
+            loop {
+                let (page, cursor) =
+                    store.scan_prefix_page(Some(txn), &prefix, after.as_deref(), SCAN_PAGE)?;
+                for (ekey, raw) in &page {
+                    let elem = Element::decode_all(raw).map_err(QmError::Storage)?;
+                    if let Some(p) = &opts.predicate {
+                        if !p.matches(&elem) {
+                            continue;
+                        }
+                    }
+                    let lk = LockKey::new(ns, ekey.clone());
+                    let acquired = match meta.mode {
+                        OrderingMode::SkipLocked => {
+                            self.locks.try_lock(txn, &lk, LockMode::Exclusive)
+                        }
+                        OrderingMode::StrictFifo => {
+                            // Block behind the head element's lock.
+                            let wait = deadline
+                                .map(|dl| dl.saturating_duration_since(Instant::now()))
+                                .unwrap_or(Duration::from_secs(5));
+                            self.locks.lock(txn, &lk, LockMode::Exclusive, wait)
+                        }
+                    };
+                    match acquired {
+                        Ok(()) => {
+                            // Re-check under the lock: the element may have
+                            // been taken (committed) between scan and lock.
+                            let Some(raw2) = store.get(Some(txn), ekey)? else {
+                                if meta.mode == OrderingMode::StrictFifo {
+                                    // Head is truly gone; restart the scan.
+                                    continue 'rescan;
+                                }
+                                continue;
+                            };
+                            let elem =
+                                Element::decode_all(&raw2).map_err(QmError::Storage)?;
+                            // A kill tombstone means a cancel is racing; skip.
+                            if self
+                                .durable
+                                .get(None, &keys::kill_key(elem.eid))?
+                                .is_some()
+                            {
+                                continue;
+                            }
+                            store.delete(txn, ekey)?;
+                            store.delete(txn, &keys::index_key(elem.eid))?;
+                            // Retain the element contents for Read/Rereceive.
+                            store.put(txn, &keys::retained_key(elem.eid), &raw2)?;
+                            if opts.tag.is_some() {
+                                self.record_op(
+                                    txn,
+                                    handle,
+                                    LastOp::Dequeue,
+                                    opts.tag.as_deref(),
+                                    elem.eid,
+                                    &elem.payload,
+                                )?;
+                            }
+                            self.pending.lock().entry(txn).or_default().dequeued.push(
+                                DequeuedRef {
+                                    queue: meta.name.clone(),
+                                    elem_key: ekey.clone(),
+                                    eid: elem.eid,
+                                    error_queue: opts.error_queue.clone(),
+                                },
+                            );
+                            self.stats.lock().dequeues += 1;
+                            return Ok(Some(elem));
+                        }
+                        Err(TxnError::LockTimeout) => {
+                            self.stats.lock().lock_skips += 1;
+                            match meta.mode {
+                                OrderingMode::SkipLocked => continue,
+                                OrderingMode::StrictFifo => return Ok(None),
+                            }
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                match cursor {
+                    Some(c) => after = Some(c),
+                    None => return Ok(None),
+                }
+            }
+        }
+    }
+
+    /// Batch dequeue (§1: requests "can be captured reliably in a queue, and
+    /// processed later in a batch"): remove up to `max` elements in one
+    /// transaction. Returns fewer (possibly zero) when the queue runs dry —
+    /// batch consumers don't block.
+    pub fn dequeue_batch(
+        &self,
+        txn: u64,
+        handle: &QueueHandle,
+        max: usize,
+        opts: &DequeueOptions,
+    ) -> QmResult<Vec<Element>> {
+        let mut out = Vec::with_capacity(max.min(64));
+        for _ in 0..max {
+            match self.dequeue(
+                txn,
+                handle,
+                DequeueOptions {
+                    tag: None, // tags describe single ops; batch is untagged
+                    predicate: opts.predicate.clone(),
+                    block: None,
+                    error_queue: opts.error_queue.clone(),
+                },
+            ) {
+                Ok(e) => out.push(e),
+                Err(QmError::Empty(_)) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dequeue from a *queue set* (§9, DECintact: "queue sets (a view of a
+    /// set of queues)"): take the next available element from any of the
+    /// named queues, trying them in order. Blocks (when `opts.block` is set)
+    /// until one of them yields.
+    pub fn dequeue_from_set(
+        &self,
+        txn: u64,
+        handles: &[QueueHandle],
+        opts: DequeueOptions,
+    ) -> QmResult<(usize, Element)> {
+        if handles.is_empty() {
+            return Err(QmError::Invalid("empty queue set".into()));
+        }
+        let deadline = opts.block.map(|d| Instant::now() + d);
+        loop {
+            // Record versions before scanning so wakeups are not missed.
+            let versions: Vec<u64> = handles
+                .iter()
+                .map(|h| self.notifier.version(&h.queue))
+                .collect();
+            for (i, h) in handles.iter().enumerate() {
+                match self.dequeue(
+                    txn,
+                    h,
+                    DequeueOptions {
+                        tag: opts.tag.clone(),
+                        predicate: opts.predicate.clone(),
+                        block: None,
+                        error_queue: opts.error_queue.clone(),
+                    },
+                ) {
+                    Ok(e) => return Ok((i, e)),
+                    Err(QmError::Empty(_)) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            let Some(dl) = deadline else {
+                return Err(QmError::Empty(format!(
+                    "queue set [{}]",
+                    handles
+                        .iter()
+                        .map(|h| h.queue.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            };
+            let now = Instant::now();
+            if now >= dl {
+                return Err(QmError::Empty("queue set".into()));
+            }
+            // Wait for any member queue to gain elements (short poll slices
+            // so a signal on a later queue is still noticed promptly).
+            let slice = (dl - now).min(Duration::from_millis(25));
+            let mut woken = false;
+            for (h, &seen) in handles.iter().zip(&versions) {
+                if self.notifier.version(&h.queue) > seen {
+                    woken = true;
+                    break;
+                }
+            }
+            if !woken {
+                self.notifier.wait_past(&handles[0].queue, versions[0], slice);
+            }
+        }
+    }
+
+    /// `Read(h, e)` — return the element with `eid` without modifying it.
+    /// Works for live elements and for retained (already dequeued) ones.
+    pub fn read(&self, eid: Eid) -> QmResult<Element> {
+        self.stats.lock().reads += 1;
+        for store in [&self.durable, &self.volatile] {
+            if let Some(raw) = store.get(None, &keys::index_key(eid))? {
+                let (_, ekey) = decode_index(&raw)?;
+                if let Some(eraw) = store.get(None, &ekey)? {
+                    return Element::decode_all(&eraw).map_err(QmError::Storage);
+                }
+            }
+            if let Some(raw) = store.get(None, &keys::retained_key(eid))? {
+                return Element::decode_all(&raw).map_err(QmError::Storage);
+            }
+        }
+        Err(QmError::NoSuchElement(eid.raw()))
+    }
+
+    /// `KillElement(e)` — §7 cancellation.
+    ///
+    /// * Live and unlocked: deleted immediately; returns `true`.
+    /// * Dequeued by an uncommitted transaction: that transaction is poisoned
+    ///   (its commit fails, forcing an abort) and a tombstone ensures the
+    ///   element is deleted instead of requeued; returns `true`.
+    /// * Already dequeued and committed: returns `false` — too late (§7: with
+    ///   multi-transaction requests, use compensation).
+    pub fn kill_element(&self, eid: Eid) -> QmResult<bool> {
+        // Find the element in either store.
+        for store in [&self.durable, &self.volatile] {
+            let Some(raw) = store.get(None, &keys::index_key(eid))? else {
+                continue;
+            };
+            let (queue, ekey) = decode_index(&raw)?;
+            let ns = self.ns_of(&queue);
+            let lk = LockKey::new(ns, ekey.clone());
+            let sys = self.sys_ids.next().raw();
+            match self.locks.try_lock(sys, &lk, LockMode::Exclusive) {
+                Ok(()) => {
+                    // Unlocked: delete right now in a system transaction.
+                    let r = (|| -> QmResult<bool> {
+                        store.begin(sys)?;
+                        let still_there = store.get(Some(sys), &ekey)?.is_some();
+                        if still_there {
+                            store.delete(sys, &ekey)?;
+                            store.delete(sys, &keys::index_key(eid))?;
+                        }
+                        store.commit(sys)?;
+                        Ok(still_there)
+                    })();
+                    self.locks.unlock_all(sys);
+                    let killed = r?;
+                    if killed {
+                        self.stats.lock().kills += 1;
+                    }
+                    return Ok(killed);
+                }
+                Err(_) => {
+                    // Held by an in-flight dequeuer: poison it and leave a
+                    // tombstone for its abort path.
+                    self.system_txn(|t| {
+                        self.durable.put(t, &keys::kill_key(eid), &[1])?;
+                        Ok(())
+                    })?;
+                    let mut g = self.pending.lock();
+                    for p in g.values_mut() {
+                        if p.dequeued.iter().any(|d| d.eid == eid) {
+                            p.poisoned = Some(eid);
+                        }
+                    }
+                    self.stats.lock().kills += 1;
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Number of live (committed) elements in `queue`.
+    pub fn depth(&self, queue: &str) -> QmResult<usize> {
+        let meta = self.queue_meta(queue)?;
+        let store = self.store_for(&meta);
+        let prefix = keys::element_prefix(queue);
+        let mut after: Option<Vec<u8>> = None;
+        let mut n = 0usize;
+        loop {
+            let (page, cursor) = store.scan_prefix_page(None, &prefix, after.as_deref(), 256)?;
+            n += page.len();
+            match cursor {
+                Some(c) => after = Some(c),
+                None => return Ok(n),
+            }
+        }
+    }
+
+    /// Read-only content query over a queue's live elements.
+    pub fn query(&self, queue: &str, predicate: &Predicate) -> QmResult<Vec<Element>> {
+        let meta = self.queue_meta(queue)?;
+        let store = self.store_for(&meta);
+        let rows = store.scan_prefix(None, &keys::element_prefix(queue))?;
+        let mut out = Vec::new();
+        for (_, raw) in rows {
+            let e = Element::decode_all(&raw).map_err(QmError::Storage)?;
+            if predicate.matches(&e) {
+                out.push(e);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Drop the retained copy of a processed element (garbage collection for
+    /// the `Read`-after-dequeue guarantee; "the reply is retained until the
+    /// client says to delete it", §2).
+    pub fn purge_retained(&self, eid: Eid) -> QmResult<bool> {
+        self.system_txn(|t| {
+            let key = keys::retained_key(eid);
+            if self.durable.get(Some(t), &key)?.is_none() {
+                return Ok(false);
+            }
+            self.durable.delete(t, &key)?;
+            Ok(true)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Triggers (§6 fork/join)
+    // ------------------------------------------------------------------
+
+    /// Install a trigger: when all `required_rids` are present (as `rid`
+    /// attributes) among the live elements of `join_queue`, enqueue `payload`
+    /// into `target_queue` exactly once.
+    pub fn set_trigger(&self, trigger: Trigger) -> QmResult<()> {
+        self.system_txn(|t| {
+            self.durable.put(
+                t,
+                &keys::trigger_key(&trigger.id),
+                &trigger.encode_to_vec(),
+            )?;
+            Ok(())
+        })
+    }
+
+    /// Evaluate triggers watching `queue`; fire those whose join condition
+    /// is now satisfied.
+    fn check_triggers(&self, queue: &str) -> QmResult<()> {
+        let rows = self.durable.scan_prefix(None, b"t/")?;
+        for (tkey, raw) in rows {
+            let mut trig = Trigger::decode_all(&raw).map_err(QmError::Storage)?;
+            if trig.fired || trig.join_queue != queue {
+                continue;
+            }
+            let live = self.query(queue, &Predicate::True)?;
+            let present: HashSet<&str> =
+                live.iter().filter_map(|e| e.attr("rid")).collect();
+            if trig
+                .required_rids
+                .iter()
+                .all(|r| present.contains(r.as_str()))
+            {
+                trig.fired = true;
+                let target = trig.target_queue.clone();
+                let payload = trig.payload.clone();
+                let raw2 = trig.encode_to_vec();
+                self.system_txn(|t| {
+                    self.durable.put(t, &tkey, &raw2)?;
+                    Ok(())
+                })?;
+                // Fire via a normal system enqueue (outside the user txn).
+                let sys = self.sys_ids.next().raw();
+                self.begin(TxnId(sys))
+                    .map_err(QmError::Txn)?;
+                let h = QueueHandle {
+                    queue: target,
+                    registrant: format!("trigger/{}", trig.id),
+                };
+                let r = self.enqueue(sys, &h, &payload, EnqueueOptions::default());
+                match r {
+                    Ok(_) => {
+                        ResourceManager::commit(self, TxnId(sys)).map_err(QmError::Txn)?;
+                        self.stats.lock().triggers_fired += 1;
+                    }
+                    Err(e) => {
+                        let _ = ResourceManager::abort(self, TxnId(sys));
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Abort-side maintenance
+    // ------------------------------------------------------------------
+
+    /// After a transaction abort returned `d`'s element to its queue, bump
+    /// its abort count, honour kill tombstones, and move it to the error
+    /// queue when the retry limit is reached (§4.2).
+    fn handle_aborted_dequeue(&self, d: &DequeuedRef, abort_code: u32) -> QmResult<()> {
+        self.stats.lock().aborted_dequeues += 1;
+        let meta = self.queue_meta(&d.queue)?;
+        let store = Arc::clone(self.store_for(&meta));
+        let tomb = keys::kill_key(d.eid);
+        let killed = self.durable.get(None, &tomb)?.is_some();
+
+        let sys = self.sys_ids.next().raw();
+        store.begin(sys)?;
+        let result = (|| -> QmResult<bool> {
+            let Some(raw) = store.get(Some(sys), &d.elem_key)? else {
+                return Ok(false); // vanished (e.g. concurrent destroy)
+            };
+            let mut elem = Element::decode_all(&raw).map_err(QmError::Storage)?;
+            if killed {
+                store.delete(sys, &d.elem_key)?;
+                store.delete(sys, &keys::index_key(d.eid))?;
+                return Ok(false);
+            }
+            elem.abort_count += 1;
+            elem.abort_code = abort_code;
+            let limit = meta.retry_limit;
+            if limit > 0 && elem.abort_count >= limit {
+                // Move to the error queue, keeping the element's identity.
+                let errq = d
+                    .error_queue
+                    .clone()
+                    .unwrap_or_else(|| meta.error_queue.clone());
+                self.ensure_error_queue(&errq)?;
+                store.delete(sys, &d.elem_key)?;
+                let (_, seq) = self.next_eid(); // fresh ordering slot
+                let ekey = keys::element_key(&errq, elem.priority, seq);
+                elem.seq = seq;
+                store.put(sys, &ekey, &elem.encode_to_vec())?;
+                store.put(sys, &keys::index_key(d.eid), &encode_index(&errq, &ekey))?;
+                self.stats.lock().error_moves += 1;
+                self.notifier.signal(&errq);
+                Ok(false)
+            } else if meta.requeue_at_back_on_abort {
+                // Rotate to the back of the queue: same element identity,
+                // fresh ordering slot. Prevents head-of-line livelock when
+                // the head's required resources are held by requests deeper
+                // in the queue.
+                store.delete(sys, &d.elem_key)?;
+                let (_, seq) = self.next_eid();
+                elem.seq = seq;
+                let ekey = keys::element_key(&meta.name, elem.priority, seq);
+                store.put(sys, &ekey, &elem.encode_to_vec())?;
+                store.put(
+                    sys,
+                    &keys::index_key(d.eid),
+                    &encode_index(&meta.name, &ekey),
+                )?;
+                Ok(true)
+            } else {
+                store.put(sys, &d.elem_key, &elem.encode_to_vec())?;
+                Ok(true)
+            }
+        })();
+        match result {
+            Ok(returned) => {
+                store.commit(sys)?;
+                if killed {
+                    // Clear the tombstone now the element is gone.
+                    self.system_txn(|t| {
+                        self.durable.delete(t, &tomb)?;
+                        Ok(())
+                    })?;
+                }
+                if returned {
+                    self.notifier.signal(&d.queue);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                let _ = store.abort(sys);
+                Err(e)
+            }
+        }
+    }
+
+    fn ensure_error_queue(&self, name: &str) -> QmResult<()> {
+        if self.queue_meta(name).is_ok() {
+            return Ok(());
+        }
+        let mut meta = QueueMeta::with_defaults(name);
+        meta.retry_limit = 0; // error queues never cascade
+        match self.create_queue(meta) {
+            Ok(()) | Err(QmError::QueueExists(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+fn encode_index(queue: &str, ekey: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + queue.len() + ekey.len());
+    put::string(&mut buf, queue);
+    put::bytes(&mut buf, ekey);
+    buf
+}
+
+fn decode_index(raw: &[u8]) -> QmResult<(String, Vec<u8>)> {
+    let mut r = Reader::new(raw);
+    let queue = r.string().map_err(QmError::Storage)?;
+    let ekey = r.bytes().map_err(QmError::Storage)?;
+    Ok((queue, ekey))
+}
+
+// ----------------------------------------------------------------------
+// ResourceManager: the QM as a transaction participant
+// ----------------------------------------------------------------------
+
+impl ResourceManager for QueueManager {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin(&self, txn: TxnId) -> TxnResult<()> {
+        self.durable.begin(txn.raw())?;
+        self.volatile.begin(txn.raw())?;
+        self.pending.lock().insert(txn.raw(), PendingTxn::default());
+        Ok(())
+    }
+
+    fn prepare(&self, txn: TxnId) -> TxnResult<()> {
+        if let Some(p) = self.pending.lock().get(&txn.raw()) {
+            if let Some(eid) = p.poisoned {
+                return Err(TxnError::InvalidState(format!(
+                    "element {eid} cancelled; transaction must abort"
+                )));
+            }
+        }
+        self.durable.prepare(txn.raw())?;
+        self.volatile.prepare(txn.raw())?;
+        Ok(())
+    }
+
+    fn commit(&self, txn: TxnId) -> TxnResult<()> {
+        // One-phase path: the poison check runs here too.
+        if let Some(p) = self.pending.lock().get(&txn.raw()) {
+            if let Some(eid) = p.poisoned {
+                return Err(TxnError::InvalidState(format!(
+                    "element {eid} cancelled; transaction must abort"
+                )));
+            }
+        }
+        self.durable.commit(txn.raw())?;
+        self.volatile.commit(txn.raw())?;
+        let pend = self.pending.lock().remove(&txn.raw()).unwrap_or_default();
+        for q in &pend.enqueued_queues {
+            self.notifier.signal(q);
+            // Alert thresholds (§9).
+            if let Ok(meta) = self.queue_meta(q) {
+                if let Some(thresh) = meta.alert_threshold {
+                    if let Ok(d) = self.depth(q) {
+                        if d as u64 >= thresh {
+                            self.alerts.lock().push(q.clone());
+                            self.stats.lock().alerts += 1;
+                        }
+                    }
+                }
+            }
+            // Fork/join triggers (§6).
+            let _ = self.check_triggers(q);
+        }
+        Ok(())
+    }
+
+    fn abort(&self, txn: TxnId) -> TxnResult<()> {
+        self.durable.abort(txn.raw())?;
+        self.volatile.abort(txn.raw())?;
+        let pend = self.pending.lock().remove(&txn.raw()).unwrap_or_default();
+        for d in &pend.dequeued {
+            self.handle_aborted_dequeue(d, 1)
+                .map_err(|e| TxnError::InvalidState(e.to_string()))?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,189 @@
+//! Persistent registration with operation tags — §4.3, the paper's
+//! claimed-novel queue-manager feature.
+//!
+//! A registration associates an authenticated registrant with a queue and
+//! survives registrant failures: "the failure of a registrant does not
+//! implicitly deregister it". For a registrant that asked for stability, the
+//! QM keeps a durable copy of the **tag**, **eid**, **operation type**, and
+//! **element contents** of the registrant's most recent tagged operation,
+//! updated *in the same transaction* as the operation itself. Re-registering
+//! after a failure returns that record — this is the whole basis of the
+//! client's connect-time resynchronization (Fig 2): the tag carries the
+//! clerk's rid/ckpt state, so the QM performs the client's checkpoint for
+//! free (§2).
+
+use crate::element::Eid;
+use rrq_storage::codec::{put, Decode, Encode, Reader};
+use rrq_storage::{StorageError, StorageResult};
+
+/// Which operation the stable record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LastOp {
+    /// No tagged operation has run yet.
+    None,
+    /// Last tagged operation was an Enqueue.
+    Enqueue,
+    /// Last tagged operation was a Dequeue.
+    Dequeue,
+}
+
+impl LastOp {
+    fn to_byte(self) -> u8 {
+        match self {
+            LastOp::None => 0,
+            LastOp::Enqueue => 1,
+            LastOp::Dequeue => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> StorageResult<Self> {
+        match b {
+            0 => Ok(LastOp::None),
+            1 => Ok(LastOp::Enqueue),
+            2 => Ok(LastOp::Dequeue),
+            b => Err(StorageError::Decode(format!("bad last-op byte {b}"))),
+        }
+    }
+}
+
+/// The durable registration record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registration {
+    /// Registrant name (unique, authenticated by the caller).
+    pub registrant: String,
+    /// The queue this registration binds to.
+    pub queue: String,
+    /// Maintain the last-operation record? (`stable-flag` of Fig 3.)
+    pub stable: bool,
+    /// Type of the most recent tagged operation.
+    pub last_op: LastOp,
+    /// Tag supplied with that operation.
+    pub tag: Option<Vec<u8>>,
+    /// Eid of the element operated on.
+    pub eid: Option<Eid>,
+    /// Stable copy of that element's contents (payload only).
+    pub element_copy: Option<Vec<u8>>,
+}
+
+impl Registration {
+    /// Fresh registration with no history.
+    pub fn new(registrant: impl Into<String>, queue: impl Into<String>, stable: bool) -> Self {
+        Registration {
+            registrant: registrant.into(),
+            queue: queue.into(),
+            stable,
+            last_op: LastOp::None,
+            tag: None,
+            eid: None,
+            element_copy: None,
+        }
+    }
+
+    /// Record a tagged operation (only kept when `stable`).
+    pub fn record(&mut self, op: LastOp, tag: Option<&[u8]>, eid: Eid, payload: &[u8]) {
+        if !self.stable {
+            return;
+        }
+        self.last_op = op;
+        self.tag = tag.map(|t| t.to_vec());
+        self.eid = Some(eid);
+        self.element_copy = Some(payload.to_vec());
+    }
+}
+
+impl Encode for Registration {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put::string(buf, &self.registrant);
+        put::string(buf, &self.queue);
+        put::bool(buf, self.stable);
+        put::u8(buf, self.last_op.to_byte());
+        self.tag.encode(buf);
+        match self.eid {
+            None => put::u8(buf, 0),
+            Some(e) => {
+                put::u8(buf, 1);
+                put::u64(buf, e.raw());
+            }
+        }
+        self.element_copy.encode(buf);
+    }
+}
+
+impl Decode for Registration {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        let registrant = r.string()?;
+        let queue = r.string()?;
+        let stable = r.bool()?;
+        let last_op = LastOp::from_byte(r.u8()?)?;
+        let tag = Option::<Vec<u8>>::decode(r)?;
+        let eid = match r.u8()? {
+            0 => None,
+            1 => Some(Eid(r.u64()?)),
+            b => return Err(StorageError::Decode(format!("bad eid tag {b}"))),
+        };
+        let element_copy = Option::<Vec<u8>>::decode(r)?;
+        Ok(Registration {
+            registrant,
+            queue,
+            stable,
+            last_op,
+            tag,
+            eid,
+            element_copy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_registration_has_no_history() {
+        let r = Registration::new("client-1", "req", true);
+        assert_eq!(r.last_op, LastOp::None);
+        assert!(r.tag.is_none() && r.eid.is_none() && r.element_copy.is_none());
+    }
+
+    #[test]
+    fn record_updates_stable_registration() {
+        let mut r = Registration::new("c", "q", true);
+        r.record(LastOp::Enqueue, Some(b"rid-42"), Eid(9), b"body");
+        assert_eq!(r.last_op, LastOp::Enqueue);
+        assert_eq!(r.tag.as_deref(), Some(b"rid-42".as_slice()));
+        assert_eq!(r.eid, Some(Eid(9)));
+        assert_eq!(r.element_copy.as_deref(), Some(b"body".as_slice()));
+    }
+
+    #[test]
+    fn record_is_ignored_without_stable_flag() {
+        let mut r = Registration::new("c", "q", false);
+        r.record(LastOp::Dequeue, Some(b"t"), Eid(1), b"x");
+        assert_eq!(r.last_op, LastOp::None);
+        assert!(r.tag.is_none());
+    }
+
+    #[test]
+    fn roundtrip_full() {
+        let mut r = Registration::new("client-7", "reply", true);
+        r.record(LastOp::Dequeue, Some(b"ckpt:3"), Eid::compose(2, 5), b"reply!");
+        let d = Registration::decode_all(&r.encode_to_vec()).unwrap();
+        assert_eq!(d, r);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let r = Registration::new("c", "q", false);
+        let d = Registration::decode_all(&r.encode_to_vec()).unwrap();
+        assert_eq!(d, r);
+    }
+
+    #[test]
+    fn record_with_no_tag() {
+        let mut r = Registration::new("c", "q", true);
+        r.record(LastOp::Enqueue, None, Eid(3), b"p");
+        assert_eq!(r.tag, None);
+        let d = Registration::decode_all(&r.encode_to_vec()).unwrap();
+        assert_eq!(d, r);
+    }
+}

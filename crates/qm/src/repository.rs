@@ -1,0 +1,251 @@
+//! A queue repository: "a set of queues … Each repository has a system- (or
+//! network-) wide unique name" (§4.1), bundled with the node-local
+//! transaction machinery and its recovery path.
+//!
+//! [`Repository::open`] is the restart entry point: it recovers the durable
+//! store from checkpoint + log, resolves in-doubt two-phase-commit
+//! participants against the coordinator log, re-creates the volatile store
+//! empty (volatile queues lose their contents on a node failure, §10), and
+//! hands back a ready [`QueueManager`] + [`TxnManager`] pair.
+
+use crate::error::{QmError, QmResult};
+use crate::meta::QueueMeta;
+use crate::ops::QueueManager;
+use rrq_storage::disk::{CrashStyle, SimDisk};
+use rrq_storage::kv::{KvOptions, KvStore};
+use rrq_storage::recovery::RecoveryReport;
+use rrq_txn::{CoordinatorLog, KvResource, LockManager, ResourceManager, Txn, TxnManager};
+use std::sync::Arc;
+
+/// The stable devices backing a repository. Clone-shared: keep a copy to
+/// crash and reopen the "same disks" in tests and simulations.
+#[derive(Debug, Clone, Default)]
+pub struct RepoDisks {
+    /// Write-ahead log device.
+    pub wal: SimDisk,
+    /// Checkpoint device.
+    pub ckpt: SimDisk,
+    /// Two-phase-commit coordinator log device.
+    pub coord: SimDisk,
+}
+
+impl RepoDisks {
+    /// Fresh, empty devices.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Crash all devices (unsynced bytes lost).
+    pub fn crash(&self) {
+        self.wal.crash(CrashStyle::DropVolatile);
+        self.ckpt.crash(CrashStyle::DropVolatile);
+        self.coord.crash(CrashStyle::DropVolatile);
+    }
+}
+
+/// An open repository.
+pub struct Repository {
+    name: String,
+    qm: Arc<QueueManager>,
+    tm: TxnManager,
+    store: Arc<KvStore>,
+    disks: RepoDisks,
+}
+
+impl Repository {
+    /// Open (or recover) the repository on `disks`.
+    pub fn open(name: impl Into<String>, disks: RepoDisks) -> QmResult<(Self, RecoveryReport)> {
+        let name = name.into();
+        let (store, report) = KvStore::open(
+            Arc::new(disks.wal.clone()),
+            Arc::new(disks.ckpt.clone()),
+            KvOptions::default(),
+        )?;
+
+        // Volatile queues: a brand-new in-memory store each incarnation.
+        let (volatile, _) = KvStore::open(
+            Arc::new(SimDisk::new()),
+            Arc::new(SimDisk::new()),
+            KvOptions {
+                sync_on_commit: false,
+            },
+        )?;
+
+        let locks = Arc::new(LockManager::new());
+        let coord = CoordinatorLog::new(Arc::new(disks.coord.clone()));
+        let tm = TxnManager::new(Arc::clone(&locks), Some(coord), 1);
+
+        // Resolve in-doubt transactions left by a crash between 2PC phases.
+        if !report.in_doubt.is_empty() {
+            let rm = KvResource::new(format!("{name}/store"), Arc::clone(&store));
+            tm.resolve_in_doubt(&rm, &report.in_doubt)?;
+        }
+
+        let qm = QueueManager::new(
+            format!("qm/{name}"),
+            Arc::clone(&store),
+            volatile,
+            locks,
+        )?;
+
+        Ok((
+            Repository {
+                name,
+                qm,
+                tm,
+                store,
+                disks,
+            },
+            report,
+        ))
+    }
+
+    /// Open on fresh devices.
+    pub fn create(name: impl Into<String>) -> QmResult<Self> {
+        let (repo, _) = Self::open(name, RepoDisks::new())?;
+        Ok(repo)
+    }
+
+    /// Repository name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The queue manager.
+    pub fn qm(&self) -> &Arc<QueueManager> {
+        &self.qm
+    }
+
+    /// The transaction manager.
+    pub fn tm(&self) -> &TxnManager {
+        &self.tm
+    }
+
+    /// The durable store (application tables can live here too).
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    /// The backing devices (crash injection, reopening).
+    pub fn disks(&self) -> &RepoDisks {
+        &self.disks
+    }
+
+    /// Begin a transaction with the queue manager already enlisted.
+    pub fn begin(&self) -> QmResult<Txn> {
+        let mut txn = self.tm.begin();
+        let rm: Arc<dyn ResourceManager> = Arc::clone(&self.qm) as _;
+        txn.enlist(rm)?;
+        Ok(txn)
+    }
+
+    /// Run `f` inside a transaction and commit; abort on error.
+    pub fn autocommit<R>(&self, f: impl FnOnce(&Txn) -> QmResult<R>) -> QmResult<R> {
+        let txn = self.begin()?;
+        match f(&txn) {
+            Ok(r) => {
+                txn.commit()?;
+                Ok(r)
+            }
+            Err(e) => {
+                let _ = txn.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Create a queue with default settings, returning its metadata.
+    pub fn create_queue_defaults(&self, name: &str) -> QmResult<QueueMeta> {
+        let meta = QueueMeta::with_defaults(name);
+        match self.qm.create_queue(meta.clone()) {
+            Ok(()) => Ok(meta),
+            Err(QmError::QueueExists(_)) => self.qm.queue_meta(name),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Checkpoint the durable store (bounds recovery time).
+    pub fn checkpoint(&self) -> QmResult<()> {
+        Ok(self.store.checkpoint()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{DequeueOptions, EnqueueOptions};
+
+    #[test]
+    fn create_and_reopen_preserves_queues() {
+        let disks = RepoDisks::new();
+        {
+            let (repo, _) = Repository::open("r1", disks.clone()).unwrap();
+            repo.create_queue_defaults("req").unwrap();
+            let (h, _) = repo.qm().register("req", "c1", true).unwrap();
+            repo.autocommit(|t| {
+                repo.qm()
+                    .enqueue(t.id().raw(), &h, b"hello", EnqueueOptions::default())
+            })
+            .unwrap();
+        }
+        disks.crash();
+        let (repo2, _) = Repository::open("r1", disks).unwrap();
+        assert_eq!(repo2.qm().depth("req").unwrap(), 1);
+        let (h, _) = repo2.qm().register("req", "s1", false).unwrap();
+        let e = repo2
+            .autocommit(|t| {
+                repo2
+                    .qm()
+                    .dequeue(t.id().raw(), &h, DequeueOptions::default())
+            })
+            .unwrap();
+        assert_eq!(e.payload, b"hello");
+    }
+
+    #[test]
+    fn autocommit_aborts_on_error() {
+        let repo = Repository::create("r2").unwrap();
+        repo.create_queue_defaults("q").unwrap();
+        let (h, _) = repo.qm().register("q", "c", false).unwrap();
+        let r: QmResult<()> = repo.autocommit(|t| {
+            repo.qm()
+                .enqueue(t.id().raw(), &h, b"x", EnqueueOptions::default())?;
+            Err(QmError::Invalid("boom".into()))
+        });
+        assert!(r.is_err());
+        assert_eq!(repo.qm().depth("q").unwrap(), 0);
+    }
+
+    #[test]
+    fn volatile_queue_empty_after_reopen() {
+        let disks = RepoDisks::new();
+        {
+            let (repo, _) = Repository::open("r3", disks.clone()).unwrap();
+            let mut meta = QueueMeta::with_defaults("vol");
+            meta.durable = false;
+            repo.qm().create_queue(meta).unwrap();
+            let (h, _) = repo.qm().register("vol", "c", false).unwrap();
+            repo.autocommit(|t| {
+                repo.qm()
+                    .enqueue(t.id().raw(), &h, b"gone", EnqueueOptions::default())
+            })
+            .unwrap();
+            assert_eq!(repo.qm().depth("vol").unwrap(), 1);
+        }
+        disks.crash();
+        let (repo2, _) = Repository::open("r3", disks).unwrap();
+        // The queue still exists (metadata is durable) but is empty.
+        assert_eq!(repo2.qm().depth("vol").unwrap(), 0);
+    }
+
+    #[test]
+    fn epoch_increases_across_opens() {
+        let disks = RepoDisks::new();
+        let e1 = {
+            let (repo, _) = Repository::open("r4", disks.clone()).unwrap();
+            repo.qm().epoch()
+        };
+        let (repo2, _) = Repository::open("r4", disks).unwrap();
+        assert!(repo2.qm().epoch() > e1);
+    }
+}

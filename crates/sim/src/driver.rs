@@ -1,0 +1,162 @@
+//! The client crash driver: the Fig 2 program with crashes injectable at
+//! every state of the Fig 1 state-transition diagram.
+//!
+//! A "crash" abandons the clerk instance (its in-memory state is lost — the
+//! process died) and starts a new incarnation, which must resynchronize via
+//! `Connect` exactly as Fig 2 lines 2–11 prescribe. The physical device (the
+//! [`rrq_core::client::ReplyProcessor`]) survives, like a real printer
+//! would.
+
+use rrq_core::clerk::Clerk;
+use rrq_core::client::ReplyProcessor;
+use rrq_core::error::{CoreError, CoreResult};
+use rrq_core::rid::Rid;
+use rrq_core::server::HandlerError;
+use std::collections::HashSet;
+
+/// Make a handler abort-error (helper shared with the oracles).
+pub fn abort_err(msg: String) -> HandlerError {
+    HandlerError::Abort(msg)
+}
+
+/// Where in the request lifecycle the client process dies (Fig 1 states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Crash after `Send` returns, before `Receive` — the reply (when it
+    /// arrives) waits in the reply queue.
+    AfterSend,
+    /// Crash after `Receive` returns, before the reply is processed — the
+    /// reply must be re-obtained (Rereceive) and processed again.
+    AfterReceive,
+    /// Crash after the reply is processed, before the next `Send` — resync
+    /// must detect the reply was already processed and *not* repeat it.
+    AfterProcess,
+}
+
+/// What a full driven run observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DriverReport {
+    /// Requests whose replies were processed at least once.
+    pub completed: u64,
+    /// Client process incarnations (1 = no crashes).
+    pub incarnations: u64,
+    /// Resyncs that found an outstanding request and received its reply.
+    pub resync_received: u64,
+    /// Resyncs that re-processed a possibly-unprocessed reply (Rereceive).
+    pub resync_reprocessed: u64,
+    /// Resyncs where the device proved the reply was already processed.
+    pub resync_already_processed: u64,
+}
+
+/// Drives one client identity through `n_requests` sequential requests,
+/// crashing according to the schedule.
+pub struct ClientCrashDriver<F: Fn() -> Clerk> {
+    make_clerk: F,
+    client_id: String,
+    op: String,
+}
+
+impl<F: Fn() -> Clerk> ClientCrashDriver<F> {
+    /// `make_clerk` builds the clerk of a fresh process incarnation (same
+    /// client id each time).
+    pub fn new(make_clerk: F, op: impl Into<String>) -> Self {
+        let clerk = make_clerk();
+        let client_id = clerk.config().client_id.clone();
+        drop(clerk);
+        ClientCrashDriver {
+            make_clerk,
+            client_id,
+            op: op.into(),
+        }
+    }
+
+    /// Run to completion. `schedule(serial)` names the crash to inject while
+    /// processing that serial — injected at most once per (serial, point).
+    /// `body(serial)` builds each request body.
+    pub fn run(
+        &self,
+        n_requests: u64,
+        schedule: impl Fn(u64) -> Option<CrashPoint>,
+        body: impl Fn(u64) -> Vec<u8>,
+        processor: &mut dyn ReplyProcessor,
+    ) -> CoreResult<DriverReport> {
+        let mut report = DriverReport::default();
+        let mut injected: HashSet<(u64, CrashPoint)> = HashSet::new();
+        // Hard bound: every injected crash adds one incarnation; anything
+        // beyond schedule size + n_requests indicates livelock.
+        let max_incarnations = 3 * n_requests + 10;
+
+        'incarnation: loop {
+            report.incarnations += 1;
+            if report.incarnations > max_incarnations {
+                return Err(CoreError::Protocol(
+                    "crash driver livelocked: too many incarnations".into(),
+                ));
+            }
+            let clerk = (self.make_clerk)();
+            let info = clerk.connect()?;
+
+            // --- Fig 2 resynchronization ---
+            let mut serial_done = 0u64; // highest serial fully processed
+            match (&info.s_rid, &info.r_rid) {
+                (None, _) => {}
+                (Some(s), r) if r.as_ref() != Some(s) => {
+                    // Request outstanding, reply never received.
+                    let ckpt = processor.checkpoint();
+                    let reply = clerk.receive(&ckpt)?;
+                    if reply.rid != *s {
+                        return Err(CoreError::Protocol(format!(
+                            "resync mismatch: {s} vs {}",
+                            reply.rid
+                        )));
+                    }
+                    processor.process(s, &reply);
+                    report.resync_received += 1;
+                    report.completed += 1;
+                    serial_done = s.serial;
+                }
+                (Some(s), _) => {
+                    if processor.already_processed(s, info.ckpt.as_deref()) {
+                        report.resync_already_processed += 1;
+                    } else {
+                        let reply = clerk.rereceive()?;
+                        processor.process(s, &reply);
+                        report.resync_reprocessed += 1;
+                        report.completed += 1;
+                    }
+                    serial_done = s.serial;
+                }
+            }
+
+            // --- main loop ---
+            let mut serial = serial_done + 1;
+            while serial <= n_requests {
+                let crash = schedule(serial).filter(|p| injected.insert((serial, *p)));
+                let rid = Rid::new(self.client_id.clone(), serial);
+                clerk.send(&self.op, body(serial), rid.clone())?;
+                if crash == Some(CrashPoint::AfterSend) {
+                    continue 'incarnation; // process dies
+                }
+                let ckpt = processor.checkpoint();
+                let reply = clerk.receive(&ckpt)?;
+                if reply.rid != rid {
+                    return Err(CoreError::Protocol(format!(
+                        "mismatch: sent {rid}, got reply for {}",
+                        reply.rid
+                    )));
+                }
+                if crash == Some(CrashPoint::AfterReceive) {
+                    continue 'incarnation; // reply received, never processed
+                }
+                processor.process(&rid, &reply);
+                report.completed += 1;
+                if crash == Some(CrashPoint::AfterProcess) {
+                    continue 'incarnation;
+                }
+                serial += 1;
+            }
+            clerk.disconnect()?;
+            return Ok(report);
+        }
+    }
+}

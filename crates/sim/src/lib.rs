@@ -1,0 +1,30 @@
+//! # rrq-sim
+//!
+//! The failure-injection harness and correctness oracles.
+//!
+//! The paper argues (§2, §3, §5) that its protocols preserve request/reply
+//! matching, exactly-once request processing, and at-least-once reply
+//! processing "despite failures and recoveries". This crate makes those
+//! arguments executable:
+//!
+//! * [`driver::ClientCrashDriver`] runs the Fig 2 client program with crashes
+//!   injected at every protocol state of Fig 1 (after Send, after Receive
+//!   before processing, after processing) and reports how resynchronization
+//!   resolved each one.
+//! * [`node::ServerNodeSim`] crash-restarts a whole server node — threads
+//!   stopped, unsynced storage lost, repository recovered from log — under
+//!   load.
+//! * [`oracle`] — the checkers: a store-backed [`oracle::EffectLedger`] that
+//!   counts committed handler effects per rid (exactly-once = every count is
+//!   exactly 1), and a [`oracle::ReplyMatcher`] for request/reply matching
+//!   and at-least-once reply processing.
+//! * [`schedule`] — deterministic crash schedules from a seed.
+
+pub mod driver;
+pub mod node;
+pub mod oracle;
+pub mod schedule;
+
+pub use driver::{ClientCrashDriver, CrashPoint, DriverReport};
+pub use node::ServerNodeSim;
+pub use oracle::{EffectLedger, ReplyMatcher};

@@ -1,0 +1,92 @@
+//! Deterministic crash schedules.
+
+use crate::driver::CrashPoint;
+use rrq_workload::arrivals::SplitMix;
+use std::collections::HashMap;
+
+/// A reproducible schedule: serial → crash point.
+#[derive(Debug, Clone, Default)]
+pub struct CrashSchedule {
+    map: HashMap<u64, CrashPoint>,
+}
+
+impl CrashSchedule {
+    /// No crashes.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Crash with probability `p` at each serial, the point chosen uniformly
+    /// among the three Fig 1 states; deterministic in `seed`.
+    pub fn random(n_requests: u64, p: f64, seed: u64) -> Self {
+        let mut rng = SplitMix::new(seed);
+        let mut map = HashMap::new();
+        for serial in 1..=n_requests {
+            if rng.next_f64() < p {
+                let point = match rng.next_u64() % 3 {
+                    0 => CrashPoint::AfterSend,
+                    1 => CrashPoint::AfterReceive,
+                    _ => CrashPoint::AfterProcess,
+                };
+                map.insert(serial, point);
+            }
+        }
+        CrashSchedule { map }
+    }
+
+    /// Crash at exactly one point.
+    pub fn single(serial: u64, point: CrashPoint) -> Self {
+        let mut map = HashMap::new();
+        map.insert(serial, point);
+        CrashSchedule { map }
+    }
+
+    /// Crash at every serial with the same point (worst case).
+    pub fn every(n_requests: u64, point: CrashPoint) -> Self {
+        CrashSchedule {
+            map: (1..=n_requests).map(|s| (s, point)).collect(),
+        }
+    }
+
+    /// Look up the crash for `serial`.
+    pub fn get(&self, serial: u64) -> Option<CrashPoint> {
+        self.map.get(&serial).copied()
+    }
+
+    /// Number of scheduled crashes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no crashes are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = CrashSchedule::random(100, 0.3, 7);
+        let b = CrashSchedule::random(100, 0.3, 7);
+        for s in 1..=100 {
+            assert_eq!(a.get(s), b.get(s));
+        }
+        assert!(!a.is_empty());
+        assert!(a.len() < 100);
+    }
+
+    #[test]
+    fn probability_extremes() {
+        assert!(CrashSchedule::random(50, 0.0, 1).is_empty());
+        assert_eq!(CrashSchedule::random(50, 1.0, 1).len(), 50);
+        assert_eq!(CrashSchedule::every(10, CrashPoint::AfterSend).len(), 10);
+        assert_eq!(
+            CrashSchedule::single(3, CrashPoint::AfterReceive).get(3),
+            Some(CrashPoint::AfterReceive)
+        );
+    }
+}

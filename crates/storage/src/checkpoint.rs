@@ -1,0 +1,136 @@
+//! Checkpoint snapshots for the key-value store.
+//!
+//! A checkpoint is a full serialization of the committed tree, written with
+//! an atomic device swap ([`crate::disk::Disk::reset`], modelling
+//! write-temp-then-rename) so a crash during checkpointing leaves the
+//! previous checkpoint intact. The snapshot carries a magic header, an entry
+//! count, and a trailing CRC-32 over everything before it; a snapshot that
+//! fails validation is treated as absent (the log still has everything since
+//! the previous good checkpoint — see [`crate::kv::KvStore::checkpoint`],
+//! which only truncates the log *after* the swap succeeds).
+
+use crate::checksum::crc32;
+use crate::codec::{put, Reader};
+use crate::disk::Disk;
+use crate::error::{StorageError, StorageResult};
+use std::collections::BTreeMap;
+
+const CKPT_MAGIC: u32 = 0xC4EC_B001;
+
+/// Serialize the tree and atomically swap it onto `disk`.
+pub fn write_checkpoint(
+    disk: &dyn Disk,
+    mem: &BTreeMap<Vec<u8>, Vec<u8>>,
+) -> StorageResult<()> {
+    let mut buf = Vec::new();
+    put::u32(&mut buf, CKPT_MAGIC);
+    put::u64(&mut buf, mem.len() as u64);
+    for (k, v) in mem {
+        put::bytes(&mut buf, k);
+        put::bytes(&mut buf, v);
+    }
+    let crc = crc32(&buf);
+    put::u32(&mut buf, crc);
+    disk.reset(buf)
+}
+
+/// Load the checkpoint from `disk`, returning an empty tree when the device
+/// is empty or the snapshot is invalid.
+pub fn load_checkpoint(disk: &dyn Disk) -> StorageResult<BTreeMap<Vec<u8>, Vec<u8>>> {
+    let len = disk.len();
+    if len == 0 {
+        return Ok(BTreeMap::new());
+    }
+    if len < 16 {
+        // magic + count + crc can't fit: treat as absent.
+        return Ok(BTreeMap::new());
+    }
+    let raw = disk.read(0, len as usize)?;
+    let (body, crc_bytes) = raw.split_at(raw.len() - 4);
+    let expect = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    if crc32(body) != expect {
+        return Ok(BTreeMap::new());
+    }
+    let mut r = Reader::new(body);
+    let magic = r.u32()?;
+    if magic != CKPT_MAGIC {
+        return Ok(BTreeMap::new());
+    }
+    let count = r.u64()?;
+    let mut mem = BTreeMap::new();
+    for _ in 0..count {
+        let k = r.bytes()?;
+        let v = r.bytes()?;
+        mem.insert(k, v);
+    }
+    if !r.is_empty() {
+        return Err(StorageError::Decode(
+            "trailing bytes in checkpoint body".into(),
+        ));
+    }
+    Ok(mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn sample() -> BTreeMap<Vec<u8>, Vec<u8>> {
+        let mut m = BTreeMap::new();
+        m.insert(b"alpha".to_vec(), b"1".to_vec());
+        m.insert(b"beta".to_vec(), vec![0u8; 1024]);
+        m.insert(Vec::new(), b"empty-key".to_vec());
+        m
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = MemDisk::new();
+        let m = sample();
+        write_checkpoint(&d, &m).unwrap();
+        assert_eq!(load_checkpoint(&d).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_device_loads_empty_tree() {
+        let d = MemDisk::new();
+        assert!(load_checkpoint(&d).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_snapshot_treated_as_absent() {
+        let d = MemDisk::new();
+        write_checkpoint(&d, &sample()).unwrap();
+        // Flip one byte in the middle.
+        let raw = d.read(0, d.len() as usize).unwrap();
+        let mut bad = raw.clone();
+        bad[10] ^= 0xFF;
+        d.reset(bad).unwrap();
+        assert!(load_checkpoint(&d).unwrap().is_empty());
+    }
+
+    #[test]
+    fn short_garbage_treated_as_absent() {
+        let d = MemDisk::new();
+        d.reset(vec![1, 2, 3]).unwrap();
+        assert!(load_checkpoint(&d).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rewrite_replaces_previous_snapshot() {
+        let d = MemDisk::new();
+        write_checkpoint(&d, &sample()).unwrap();
+        let mut m2 = BTreeMap::new();
+        m2.insert(b"only".to_vec(), b"one".to_vec());
+        write_checkpoint(&d, &m2).unwrap();
+        assert_eq!(load_checkpoint(&d).unwrap(), m2);
+    }
+
+    #[test]
+    fn empty_tree_roundtrips() {
+        let d = MemDisk::new();
+        write_checkpoint(&d, &BTreeMap::new()).unwrap();
+        assert!(load_checkpoint(&d).unwrap().is_empty());
+    }
+}

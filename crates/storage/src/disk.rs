@@ -1,0 +1,394 @@
+//! Simulated stable-storage devices.
+//!
+//! The paper's protocols hinge on one physical fact: data survives a failure
+//! only if it reached *stable storage* before the crash (§2, §4.1 "a queue is
+//! a stable memory area"). [`SimDisk`] models exactly that boundary: appends
+//! land in a volatile buffer, [`Disk::sync`] moves the buffer to the durable
+//! region, and [`SimDisk::crash`] throws the volatile region away — optionally
+//! leaving a *torn* (partially written, corrupted) tail so that recovery code
+//! must prove it tolerates half-written records.
+//!
+//! Keeping the device in memory makes a crash+recovery cycle take
+//! microseconds, so tests can run thousands of deterministic crash schedules.
+
+use crate::error::{StorageError, StorageResult};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Byte-level counters a device keeps for benchmarking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Number of `append` calls.
+    pub appends: u64,
+    /// Total bytes appended.
+    pub bytes_appended: u64,
+    /// Number of `sync` calls (each models a forced I/O).
+    pub syncs: u64,
+    /// Number of `read` calls.
+    pub reads: u64,
+    /// Number of crashes injected.
+    pub crashes: u64,
+}
+
+/// An append-only stable-storage device.
+///
+/// The log and checkpoint stores are both built on this narrow interface so
+/// that the crash-simulating [`SimDisk`] and the plain [`MemDisk`] are
+/// interchangeable.
+pub trait Disk: Send + Sync {
+    /// Append bytes, returning the offset at which they begin.
+    ///
+    /// The bytes are *not* durable until [`Disk::sync`] returns.
+    fn append(&self, data: &[u8]) -> StorageResult<u64>;
+
+    /// Read `len` bytes starting at `offset`.
+    fn read(&self, offset: u64, len: usize) -> StorageResult<Vec<u8>>;
+
+    /// Total length (durable + volatile).
+    fn len(&self) -> u64;
+
+    /// True when the device holds no bytes at all.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Force all volatile bytes to stable storage.
+    fn sync(&self) -> StorageResult<()>;
+
+    /// Atomically replace the entire contents (used for checkpoint swap and
+    /// log truncation). The new contents are immediately durable, modelling
+    /// a write-temp-then-rename sequence.
+    fn reset(&self, contents: Vec<u8>) -> StorageResult<()>;
+
+    /// Snapshot of the device's I/O counters.
+    fn stats(&self) -> DiskStats;
+}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    data: Vec<u8>,
+    stats: DiskStats,
+}
+
+/// A trivially durable in-memory device: every append is immediately stable.
+///
+/// Useful for benchmarks that want storage cost without crash modelling.
+#[derive(Debug, Clone, Default)]
+pub struct MemDisk {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl MemDisk {
+    /// Create an empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Disk for MemDisk {
+    fn append(&self, data: &[u8]) -> StorageResult<u64> {
+        let mut g = self.inner.lock();
+        let off = g.data.len() as u64;
+        g.data.extend_from_slice(data);
+        g.stats.appends += 1;
+        g.stats.bytes_appended += data.len() as u64;
+        Ok(off)
+    }
+
+    fn read(&self, offset: u64, len: usize) -> StorageResult<Vec<u8>> {
+        let mut g = self.inner.lock();
+        g.stats.reads += 1;
+        let size = g.data.len() as u64;
+        let end = offset
+            .checked_add(len as u64)
+            .filter(|&e| e <= size)
+            .ok_or(StorageError::OutOfBounds { offset, len, size })?;
+        Ok(g.data[offset as usize..end as usize].to_vec())
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.lock().data.len() as u64
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        self.inner.lock().stats.syncs += 1;
+        Ok(())
+    }
+
+    fn reset(&self, contents: Vec<u8>) -> StorageResult<()> {
+        let mut g = self.inner.lock();
+        g.data = contents;
+        Ok(())
+    }
+
+    fn stats(&self) -> DiskStats {
+        self.inner.lock().stats
+    }
+}
+
+/// How a crash treats the volatile (unsynced) tail of the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashStyle {
+    /// All unsynced bytes vanish — a clean power cut between I/Os.
+    DropVolatile,
+    /// The first `keep` unsynced bytes survive and the final surviving byte
+    /// is bit-flipped — a torn write in the middle of a sector.
+    Torn {
+        /// Number of volatile bytes that (partially) reached the platter.
+        keep: usize,
+    },
+}
+
+#[derive(Debug, Default)]
+struct SimInner {
+    durable: Vec<u8>,
+    volatile: Vec<u8>,
+    failed: bool,
+    stats: DiskStats,
+}
+
+/// The crash-simulating stable store.
+///
+/// Cloning shares the underlying device (it is an `Arc`), which is how a
+/// "restarted process" reopens the same disk after [`SimDisk::crash`].
+#[derive(Debug, Clone, Default)]
+pub struct SimDisk {
+    inner: Arc<Mutex<SimInner>>,
+}
+
+impl SimDisk {
+    /// Create an empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulate a crash: volatile bytes are discarded per `style` and the
+    /// device remains usable (a restart re-reads the durable prefix).
+    pub fn crash(&self, style: CrashStyle) {
+        let mut g = self.inner.lock();
+        g.stats.crashes += 1;
+        match style {
+            CrashStyle::DropVolatile => g.volatile.clear(),
+            CrashStyle::Torn { keep } => {
+                let keep = keep.min(g.volatile.len());
+                g.volatile.truncate(keep);
+                if keep > 0 {
+                    g.volatile[keep - 1] ^= 0x80;
+                }
+                let torn: Vec<u8> = std::mem::take(&mut g.volatile);
+                g.durable.extend_from_slice(&torn);
+            }
+        }
+        // After DropVolatile nothing moves; after Torn the surviving corrupt
+        // prefix is durable (it physically hit the medium).
+        if style == CrashStyle::DropVolatile {
+            // nothing else to do
+        }
+    }
+
+    /// Mark the device as failed: every subsequent operation returns
+    /// [`StorageError::DeviceFailed`] until [`SimDisk::repair`].
+    pub fn fail(&self) {
+        self.inner.lock().failed = true;
+    }
+
+    /// Clear a [`SimDisk::fail`] condition.
+    pub fn repair(&self) {
+        self.inner.lock().failed = false;
+    }
+
+    /// Number of bytes currently durable (synced).
+    pub fn durable_len(&self) -> u64 {
+        self.inner.lock().durable.len() as u64
+    }
+
+    /// Number of bytes currently volatile (would be lost by a crash).
+    pub fn volatile_len(&self) -> u64 {
+        self.inner.lock().volatile.len() as u64
+    }
+
+    fn check(&self, g: &SimInner) -> StorageResult<()> {
+        if g.failed {
+            Err(StorageError::DeviceFailed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Disk for SimDisk {
+    fn append(&self, data: &[u8]) -> StorageResult<u64> {
+        let mut g = self.inner.lock();
+        self.check(&g)?;
+        let off = (g.durable.len() + g.volatile.len()) as u64;
+        g.volatile.extend_from_slice(data);
+        g.stats.appends += 1;
+        g.stats.bytes_appended += data.len() as u64;
+        Ok(off)
+    }
+
+    fn read(&self, offset: u64, len: usize) -> StorageResult<Vec<u8>> {
+        let mut g = self.inner.lock();
+        self.check(&g)?;
+        g.stats.reads += 1;
+        let size = (g.durable.len() + g.volatile.len()) as u64;
+        let end = offset
+            .checked_add(len as u64)
+            .filter(|&e| e <= size)
+            .ok_or(StorageError::OutOfBounds { offset, len, size })?;
+        let dlen = g.durable.len() as u64;
+        let mut out = Vec::with_capacity(len);
+        if offset < dlen {
+            let stop = end.min(dlen);
+            out.extend_from_slice(&g.durable[offset as usize..stop as usize]);
+        }
+        if end > dlen {
+            let start = offset.max(dlen) - dlen;
+            out.extend_from_slice(&g.volatile[start as usize..(end - dlen) as usize]);
+        }
+        Ok(out)
+    }
+
+    fn len(&self) -> u64 {
+        let g = self.inner.lock();
+        (g.durable.len() + g.volatile.len()) as u64
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        let mut g = self.inner.lock();
+        self.check(&g)?;
+        let v: Vec<u8> = std::mem::take(&mut g.volatile);
+        g.durable.extend_from_slice(&v);
+        g.stats.syncs += 1;
+        Ok(())
+    }
+
+    fn reset(&self, contents: Vec<u8>) -> StorageResult<()> {
+        let mut g = self.inner.lock();
+        self.check(&g)?;
+        g.durable = contents;
+        g.volatile.clear();
+        Ok(())
+    }
+
+    fn stats(&self) -> DiskStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memdisk_append_read_roundtrip() {
+        let d = MemDisk::new();
+        let off = d.append(b"hello").unwrap();
+        assert_eq!(off, 0);
+        let off2 = d.append(b"world").unwrap();
+        assert_eq!(off2, 5);
+        assert_eq!(d.read(0, 10).unwrap(), b"helloworld");
+        assert_eq!(d.read(5, 5).unwrap(), b"world");
+    }
+
+    #[test]
+    fn memdisk_out_of_bounds_read() {
+        let d = MemDisk::new();
+        d.append(b"abc").unwrap();
+        assert!(matches!(
+            d.read(2, 5),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn simdisk_crash_drops_unsynced_bytes() {
+        let d = SimDisk::new();
+        d.append(b"synced").unwrap();
+        d.sync().unwrap();
+        d.append(b"lost").unwrap();
+        assert_eq!(d.len(), 10);
+        d.crash(CrashStyle::DropVolatile);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.read(0, 6).unwrap(), b"synced");
+    }
+
+    #[test]
+    fn simdisk_sync_makes_bytes_durable() {
+        let d = SimDisk::new();
+        d.append(b"abc").unwrap();
+        assert_eq!(d.volatile_len(), 3);
+        d.sync().unwrap();
+        assert_eq!(d.volatile_len(), 0);
+        assert_eq!(d.durable_len(), 3);
+        d.crash(CrashStyle::DropVolatile);
+        assert_eq!(d.read(0, 3).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn simdisk_torn_crash_keeps_corrupt_prefix() {
+        let d = SimDisk::new();
+        d.append(b"good").unwrap();
+        d.sync().unwrap();
+        d.append(b"partial").unwrap();
+        d.crash(CrashStyle::Torn { keep: 3 });
+        assert_eq!(d.len(), 7);
+        let tail = d.read(4, 3).unwrap();
+        // first two torn bytes intact, last one flipped
+        assert_eq!(&tail[..2], b"pa");
+        assert_eq!(tail[2], b'r' ^ 0x80);
+    }
+
+    #[test]
+    fn simdisk_read_spans_durable_and_volatile() {
+        let d = SimDisk::new();
+        d.append(b"dur").unwrap();
+        d.sync().unwrap();
+        d.append(b"vol").unwrap();
+        assert_eq!(d.read(1, 4).unwrap(), b"urvo");
+    }
+
+    #[test]
+    fn simdisk_fail_and_repair() {
+        let d = SimDisk::new();
+        d.fail();
+        assert_eq!(d.append(b"x"), Err(StorageError::DeviceFailed));
+        assert_eq!(d.sync(), Err(StorageError::DeviceFailed));
+        d.repair();
+        assert!(d.append(b"x").is_ok());
+    }
+
+    #[test]
+    fn simdisk_reset_is_durable() {
+        let d = SimDisk::new();
+        d.append(b"old").unwrap();
+        d.reset(b"new!".to_vec()).unwrap();
+        d.crash(CrashStyle::DropVolatile);
+        assert_eq!(d.read(0, 4).unwrap(), b"new!");
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let d = SimDisk::new();
+        d.append(b"ab").unwrap();
+        d.append(b"c").unwrap();
+        d.sync().unwrap();
+        d.read(0, 1).unwrap();
+        d.crash(CrashStyle::DropVolatile);
+        let s = d.stats();
+        assert_eq!(s.appends, 2);
+        assert_eq!(s.bytes_appended, 3);
+        assert_eq!(s.syncs, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.crashes, 1);
+    }
+
+    #[test]
+    fn clone_shares_underlying_device() {
+        let d = SimDisk::new();
+        let d2 = d.clone();
+        d.append(b"shared").unwrap();
+        d.sync().unwrap();
+        assert_eq!(d2.read(0, 6).unwrap(), b"shared");
+    }
+}

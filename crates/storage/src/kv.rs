@@ -1,0 +1,841 @@
+//! A recoverable, transactional, main-memory key-value store.
+//!
+//! This is the "main memory database" of §10 of the paper: all live data is
+//! in an in-memory B-tree, durability comes from the write-ahead log, and a
+//! periodic checkpoint bounds recovery time. The store is the foundation for
+//! the queue manager's element, registration, and metadata tables, and for
+//! the application databases (bank accounts, orders) used by the servers.
+//!
+//! ## Transaction discipline
+//!
+//! * All mutations happen under a caller-supplied transaction token
+//!   ([`KvStore::begin`]). Uncommitted writes live only in the transaction's
+//!   private buffer — they never touch the shared tree, so *abort is a no-op*
+//!   on the tree and crash recovery is redo-only.
+//! * Reads within a transaction see the transaction's own writes (the buffer
+//!   is an overlay over the tree).
+//! * [`KvStore::prepare`] forces the transaction's redo records plus a
+//!   `Prepare` record — phase 1 of two-phase commit. A prepared transaction
+//!   survives a crash as *in-doubt* and can be resolved either way by the
+//!   coordinator after recovery.
+//! * [`KvStore::commit`] forces a `Commit` record (logging the writes first
+//!   if `prepare` was skipped, the one-phase fast path) and only then applies
+//!   the writes to the tree.
+//!
+//! Concurrency control (locking) is the responsibility of the transaction
+//! layer above; this store guarantees atomicity and durability only.
+
+use crate::checkpoint::{load_checkpoint, write_checkpoint};
+use crate::codec::{put, Reader};
+use crate::disk::Disk;
+use crate::error::{StorageError, StorageResult};
+use crate::recovery::{replay, RecoveryReport};
+use crate::wal::{RecordKind, Wal};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A single redo operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Insert or overwrite `key`.
+    Put {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Remove `key` (removing an absent key is a logged no-op).
+    Delete {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+}
+
+impl WriteOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            WriteOp::Put { key, .. } | WriteOp::Delete { key } => key,
+        }
+    }
+
+    /// Encode as a WAL payload.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            WriteOp::Put { key, value } => {
+                put::bytes(&mut buf, key);
+                put::bytes(&mut buf, value);
+            }
+            WriteOp::Delete { key } => {
+                put::bytes(&mut buf, key);
+            }
+        }
+        buf
+    }
+
+    /// Decode a `KvPut` payload.
+    pub fn decode_put(payload: &[u8]) -> StorageResult<WriteOp> {
+        let mut r = Reader::new(payload);
+        let key = r.bytes()?;
+        let value = r.bytes()?;
+        Ok(WriteOp::Put { key, value })
+    }
+
+    /// Decode a `KvDelete` payload.
+    pub fn decode_delete(payload: &[u8]) -> StorageResult<WriteOp> {
+        let mut r = Reader::new(payload);
+        let key = r.bytes()?;
+        Ok(WriteOp::Delete { key })
+    }
+}
+
+/// Per-transaction private state.
+#[derive(Debug, Default)]
+struct TxnState {
+    /// Redo operations in execution order.
+    ops: Vec<WriteOp>,
+    /// Overlay for read-your-writes: key → Some(value) | None (deleted).
+    overlay: HashMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Writes have been logged (prepare ran, or recovery found them).
+    logged: bool,
+    /// Prepare record is durable — the txn is in-doubt until resolved.
+    prepared: bool,
+}
+
+/// Tuning knobs for a [`KvStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct KvOptions {
+    /// Force the log on commit (the write-ahead rule). Turning this off
+    /// models the paper's *volatile queues* (§10): cheap, but contents are
+    /// lost on a crash.
+    pub sync_on_commit: bool,
+}
+
+impl Default for KvOptions {
+    fn default() -> Self {
+        KvOptions {
+            sync_on_commit: true,
+        }
+    }
+}
+
+struct Inner {
+    mem: BTreeMap<Vec<u8>, Vec<u8>>,
+    txns: HashMap<u64, TxnState>,
+    wal: Wal,
+    ckpt: Arc<dyn Disk>,
+    opts: KvOptions,
+    commits: u64,
+    aborts: u64,
+}
+
+/// Handle to an open transaction, used purely as documentation — all methods
+/// take the raw token so the transaction layer can drive many stores with
+/// one token.
+pub type KvTxn = u64;
+
+/// One page of a prefix scan: the visible entries plus the continuation
+/// cursor (`Some(key)` → call again with `after = Some(key)`).
+pub type ScanPage = (Vec<(Vec<u8>, Vec<u8>)>, Option<Vec<u8>>);
+
+/// The recoverable key-value store. Cheap to share via `Arc`.
+pub struct KvStore {
+    inner: Mutex<Inner>,
+}
+
+impl KvStore {
+    /// Open (or recover) a store over a log device and a checkpoint device.
+    ///
+    /// Recovery loads the last complete checkpoint, replays every committed
+    /// transaction in the log in commit order, and re-materializes prepared
+    /// but unresolved transactions as in-doubt (listed in the returned
+    /// [`RecoveryReport`]; resolve them with [`KvStore::commit`] /
+    /// [`KvStore::abort`]).
+    pub fn open(
+        wal_disk: Arc<dyn Disk>,
+        ckpt_disk: Arc<dyn Disk>,
+        opts: KvOptions,
+    ) -> StorageResult<(Arc<KvStore>, RecoveryReport)> {
+        let mem = load_checkpoint(ckpt_disk.as_ref())?;
+        let wal = Wal::new(wal_disk);
+        let outcome = replay(&wal)?;
+
+        let mut mem = mem;
+        for op in &outcome.redo {
+            apply(&mut mem, op);
+        }
+        let mut txns = HashMap::new();
+        for (token, ops) in outcome.in_doubt.iter() {
+            let mut st = TxnState {
+                logged: true,
+                prepared: true,
+                ..Default::default()
+            };
+            for op in ops {
+                st.overlay.insert(
+                    op.key().to_vec(),
+                    match op {
+                        WriteOp::Put { value, .. } => Some(value.clone()),
+                        WriteOp::Delete { .. } => None,
+                    },
+                );
+                st.ops.push(op.clone());
+            }
+            txns.insert(*token, st);
+        }
+
+        let report = RecoveryReport {
+            replayed: outcome.redo.len(),
+            committed_txns: outcome.committed_txns,
+            aborted_txns: outcome.aborted_txns,
+            in_doubt: outcome.in_doubt.keys().copied().collect(),
+        };
+        let store = Arc::new(KvStore {
+            inner: Mutex::new(Inner {
+                mem,
+                txns,
+                wal,
+                ckpt: ckpt_disk,
+                opts,
+                commits: 0,
+                aborts: 0,
+            }),
+        });
+        Ok((store, report))
+    }
+
+    /// Begin a transaction under the caller's token.
+    pub fn begin(&self, txn: KvTxn) -> StorageResult<()> {
+        let mut g = self.inner.lock();
+        if g.txns.contains_key(&txn) {
+            return Err(StorageError::InvalidState(format!(
+                "txn {txn} already open"
+            )));
+        }
+        g.txns.insert(txn, TxnState::default());
+        Ok(())
+    }
+
+    /// True if `txn` is currently open (including recovered in-doubt ones).
+    pub fn is_open(&self, txn: KvTxn) -> bool {
+        self.inner.lock().txns.contains_key(&txn)
+    }
+
+    /// Buffer a put in `txn`.
+    pub fn put(&self, txn: KvTxn, key: &[u8], value: &[u8]) -> StorageResult<()> {
+        let mut g = self.inner.lock();
+        let st = g.txns.get_mut(&txn).ok_or(StorageError::UnknownTxn(txn))?;
+        if st.prepared {
+            return Err(StorageError::InvalidState(
+                "cannot write after prepare".into(),
+            ));
+        }
+        st.ops.push(WriteOp::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        });
+        st.overlay.insert(key.to_vec(), Some(value.to_vec()));
+        Ok(())
+    }
+
+    /// Buffer a delete in `txn`.
+    pub fn delete(&self, txn: KvTxn, key: &[u8]) -> StorageResult<()> {
+        let mut g = self.inner.lock();
+        let st = g.txns.get_mut(&txn).ok_or(StorageError::UnknownTxn(txn))?;
+        if st.prepared {
+            return Err(StorageError::InvalidState(
+                "cannot write after prepare".into(),
+            ));
+        }
+        st.ops.push(WriteOp::Delete { key: key.to_vec() });
+        st.overlay.insert(key.to_vec(), None);
+        Ok(())
+    }
+
+    /// Read `key`. With `Some(txn)`, the transaction's own writes are
+    /// visible; with `None`, only committed state is read.
+    pub fn get(&self, txn: Option<KvTxn>, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        let g = self.inner.lock();
+        if let Some(t) = txn {
+            let st = g.txns.get(&t).ok_or(StorageError::UnknownTxn(t))?;
+            if let Some(v) = st.overlay.get(key) {
+                return Ok(v.clone());
+            }
+        }
+        Ok(g.mem.get(key).cloned())
+    }
+
+    /// Scan all committed keys with `prefix`, merged with the transaction's
+    /// overlay when `txn` is supplied. Results are key-ordered.
+    pub fn scan_prefix(
+        &self,
+        txn: Option<KvTxn>,
+        prefix: &[u8],
+    ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let g = self.inner.lock();
+        let mut out: BTreeMap<Vec<u8>, Vec<u8>> = g
+            .mem
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        if let Some(t) = txn {
+            let st = g.txns.get(&t).ok_or(StorageError::UnknownTxn(t))?;
+            for (k, v) in &st.overlay {
+                if k.starts_with(prefix) {
+                    match v {
+                        Some(val) => {
+                            out.insert(k.clone(), val.clone());
+                        }
+                        None => {
+                            out.remove(k);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// Paged prefix scan for large keyspaces (queue scans page through
+    /// candidates instead of copying the whole queue).
+    ///
+    /// Returns up to `limit` visible entries with keys strictly greater than
+    /// `after` (or from the start of the prefix when `after` is `None`),
+    /// plus a continuation cursor: `Some(key)` means call again with
+    /// `after = Some(key)`; `None` means the prefix is exhausted. The cursor
+    /// tracks *raw* tree position, so entries hidden by the transaction's
+    /// own deletes never stall pagination.
+    pub fn scan_prefix_page(
+        &self,
+        txn: Option<KvTxn>,
+        prefix: &[u8],
+        after: Option<&[u8]>,
+        limit: usize,
+    ) -> StorageResult<ScanPage> {
+        let g = self.inner.lock();
+        let overlay = match txn {
+            Some(t) => Some(&g.txns.get(&t).ok_or(StorageError::UnknownTxn(t))?.overlay),
+            None => None,
+        };
+        let start: Vec<u8> = match after {
+            // Strictly-greater start: append a zero byte to form the next key.
+            Some(a) => {
+                let mut s = a.to_vec();
+                s.push(0);
+                s
+            }
+            None => prefix.to_vec(),
+        };
+
+        // Raw page from the tree.
+        let mut raw: Vec<(Vec<u8>, Vec<u8>)> = g
+            .mem
+            .range(start.clone()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .take(limit.max(1))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let raw_full = raw.len() == limit.max(1);
+        let cursor = if raw_full {
+            raw.last().map(|(k, _)| k.clone())
+        } else {
+            None
+        };
+
+        // Merge the transaction's overlay within (start ..= cursor-or-prefix-end).
+        if let Some(ov) = overlay {
+            let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = raw
+                .drain(..)
+                .map(|(k, v)| (k, Some(v)))
+                .collect();
+            for (k, v) in ov.iter() {
+                if !k.starts_with(prefix) || k.as_slice() < start.as_slice() {
+                    continue;
+                }
+                // Beyond the raw page boundary, later pages will pick it up —
+                // unless the raw scan is exhausted, in which case include it.
+                if let Some(c) = &cursor {
+                    if k > c {
+                        continue;
+                    }
+                }
+                merged.insert(k.clone(), v.clone());
+            }
+            let page: Vec<(Vec<u8>, Vec<u8>)> = merged
+                .into_iter()
+                .filter_map(|(k, v)| v.map(|v| (k, v)))
+                .collect();
+            return Ok((page, cursor));
+        }
+
+        Ok((raw, cursor))
+    }
+
+    /// Number of committed keys (diagnostics).
+    pub fn committed_len(&self) -> usize {
+        self.inner.lock().mem.len()
+    }
+
+    /// Phase 1 of two-phase commit: force the transaction's redo records and
+    /// a `Prepare` marker to the log. After this returns, the transaction
+    /// will survive a crash as in-doubt.
+    pub fn prepare(&self, txn: KvTxn) -> StorageResult<()> {
+        let mut g = self.inner.lock();
+        let st = g.txns.get(&txn).ok_or(StorageError::UnknownTxn(txn))?;
+        if st.prepared {
+            return Ok(()); // idempotent
+        }
+        let ops = st.ops.clone();
+        log_ops(&g.wal, txn, &ops)?;
+        g.wal.append(txn, RecordKind::Prepare, &[])?;
+        g.wal.sync()?;
+        let st = g.txns.get_mut(&txn).expect("checked above");
+        st.logged = true;
+        st.prepared = true;
+        Ok(())
+    }
+
+    /// Commit `txn`: make its writes durable and visible.
+    ///
+    /// One-phase path (no prior [`KvStore::prepare`]): writes + `Commit`
+    /// record are logged and forced together — one sync per commit.
+    pub fn commit(&self, txn: KvTxn) -> StorageResult<()> {
+        let mut g = self.inner.lock();
+        let st = g.txns.get(&txn).ok_or(StorageError::UnknownTxn(txn))?;
+        let ops = st.ops.clone();
+        let logged = st.logged;
+        if !logged {
+            log_ops(&g.wal, txn, &ops)?;
+        }
+        g.wal.append(txn, RecordKind::Commit, &[])?;
+        if g.opts.sync_on_commit {
+            g.wal.sync()?;
+        }
+        for op in &ops {
+            apply(&mut g.mem, op);
+        }
+        g.txns.remove(&txn);
+        g.commits += 1;
+        Ok(())
+    }
+
+    /// Abort `txn`: discard its buffered writes.
+    ///
+    /// If the transaction was prepared, an `Abort` record is logged so
+    /// recovery stops considering it in-doubt.
+    pub fn abort(&self, txn: KvTxn) -> StorageResult<()> {
+        let mut g = self.inner.lock();
+        let st = g.txns.remove(&txn).ok_or(StorageError::UnknownTxn(txn))?;
+        if st.logged {
+            g.wal.append(txn, RecordKind::Abort, &[])?;
+            // No sync needed: if the abort record is lost, recovery treats the
+            // txn as in-doubt and the coordinator aborts it again (presumed
+            // abort would also work).
+        }
+        g.aborts += 1;
+        Ok(())
+    }
+
+    /// Write a checkpoint: the complete committed state is atomically swapped
+    /// onto the checkpoint device, then the log is truncated. Open
+    /// transactions are unaffected (their writes are not yet in `mem`), but
+    /// prepared transactions block checkpointing — their redo records live
+    /// only in the log.
+    pub fn checkpoint(&self) -> StorageResult<()> {
+        let g = self.inner.lock();
+        if g.txns.values().any(|t| t.prepared) {
+            return Err(StorageError::InvalidState(
+                "cannot checkpoint with prepared transactions pending".into(),
+            ));
+        }
+        write_checkpoint(g.ckpt.as_ref(), &g.mem)?;
+        g.wal.reset()?;
+        g.wal.append(0, RecordKind::Checkpoint, &[])?;
+        g.wal.sync()?;
+        Ok(())
+    }
+
+    /// Current log length in bytes (drives checkpoint policy).
+    pub fn wal_len(&self) -> u64 {
+        self.inner.lock().wal.len()
+    }
+
+    /// (commits, aborts) counters.
+    pub fn txn_counts(&self) -> (u64, u64) {
+        let g = self.inner.lock();
+        (g.commits, g.aborts)
+    }
+}
+
+fn log_ops(wal: &Wal, txn: u64, ops: &[WriteOp]) -> StorageResult<()> {
+    for op in ops {
+        let (kind, payload) = match op {
+            WriteOp::Put { .. } => (RecordKind::KvPut, op.encode_payload()),
+            WriteOp::Delete { .. } => (RecordKind::KvDelete, op.encode_payload()),
+        };
+        wal.append(txn, kind, &payload)?;
+    }
+    Ok(())
+}
+
+fn apply(mem: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: &WriteOp) {
+    match op {
+        WriteOp::Put { key, value } => {
+            mem.insert(key.clone(), value.clone());
+        }
+        WriteOp::Delete { key } => {
+            mem.remove(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{CrashStyle, SimDisk};
+
+    fn fresh() -> (Arc<KvStore>, SimDisk, SimDisk) {
+        let wal = SimDisk::new();
+        let ckpt = SimDisk::new();
+        let (store, report) = KvStore::open(
+            Arc::new(wal.clone()),
+            Arc::new(ckpt.clone()),
+            KvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.replayed, 0);
+        (store, wal, ckpt)
+    }
+
+    fn reopen(wal: &SimDisk, ckpt: &SimDisk) -> (Arc<KvStore>, RecoveryReport) {
+        KvStore::open(
+            Arc::new(wal.clone()),
+            Arc::new(ckpt.clone()),
+            KvOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn committed_writes_visible_and_durable() {
+        let (store, wal, ckpt) = fresh();
+        store.begin(1).unwrap();
+        store.put(1, b"a", b"1").unwrap();
+        store.put(1, b"b", b"2").unwrap();
+        store.commit(1).unwrap();
+        assert_eq!(store.get(None, b"a").unwrap(), Some(b"1".to_vec()));
+
+        wal.crash(CrashStyle::DropVolatile);
+        let (store2, report) = reopen(&wal, &ckpt);
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(store2.get(None, b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(store2.get(None, b"b").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn uncommitted_writes_invisible_and_lost() {
+        let (store, wal, ckpt) = fresh();
+        store.begin(1).unwrap();
+        store.put(1, b"a", b"1").unwrap();
+        assert_eq!(store.get(None, b"a").unwrap(), None, "not visible outside");
+        assert_eq!(
+            store.get(Some(1), b"a").unwrap(),
+            Some(b"1".to_vec()),
+            "read-your-writes"
+        );
+        wal.crash(CrashStyle::DropVolatile);
+        let (store2, report) = reopen(&wal, &ckpt);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(store2.get(None, b"a").unwrap(), None);
+    }
+
+    #[test]
+    fn abort_discards_buffer() {
+        let (store, _, _) = fresh();
+        store.begin(1).unwrap();
+        store.put(1, b"a", b"1").unwrap();
+        store.abort(1).unwrap();
+        assert_eq!(store.get(None, b"a").unwrap(), None);
+        assert!(!store.is_open(1));
+        assert_eq!(store.txn_counts(), (0, 1));
+    }
+
+    #[test]
+    fn delete_roundtrip() {
+        let (store, _, _) = fresh();
+        store.begin(1).unwrap();
+        store.put(1, b"k", b"v").unwrap();
+        store.commit(1).unwrap();
+        store.begin(2).unwrap();
+        store.delete(2, b"k").unwrap();
+        assert_eq!(store.get(Some(2), b"k").unwrap(), None);
+        assert_eq!(store.get(None, b"k").unwrap(), Some(b"v".to_vec()));
+        store.commit(2).unwrap();
+        assert_eq!(store.get(None, b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn scan_prefix_merges_overlay() {
+        let (store, _, _) = fresh();
+        store.begin(1).unwrap();
+        store.put(1, b"q/1", b"a").unwrap();
+        store.put(1, b"q/2", b"b").unwrap();
+        store.put(1, b"r/1", b"x").unwrap();
+        store.commit(1).unwrap();
+
+        store.begin(2).unwrap();
+        store.put(2, b"q/3", b"c").unwrap();
+        store.delete(2, b"q/1").unwrap();
+        let rows = store.scan_prefix(Some(2), b"q/").unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (b"q/2".to_vec(), b"b".to_vec()),
+                (b"q/3".to_vec(), b"c".to_vec())
+            ]
+        );
+        // Committed view unchanged until commit.
+        let committed = store.scan_prefix(None, b"q/").unwrap();
+        assert_eq!(committed.len(), 2);
+        store.abort(2).unwrap();
+    }
+
+    #[test]
+    fn prepared_txn_survives_crash_as_in_doubt() {
+        let (store, wal, ckpt) = fresh();
+        store.begin(7).unwrap();
+        store.put(7, b"x", b"1").unwrap();
+        store.prepare(7).unwrap();
+        wal.crash(CrashStyle::DropVolatile);
+
+        let (store2, report) = reopen(&wal, &ckpt);
+        assert_eq!(report.in_doubt, vec![7]);
+        assert_eq!(store2.get(None, b"x").unwrap(), None, "still invisible");
+        // Coordinator decides commit:
+        store2.commit(7).unwrap();
+        assert_eq!(store2.get(None, b"x").unwrap(), Some(b"1".to_vec()));
+
+        // And the commit itself is durable.
+        wal.crash(CrashStyle::DropVolatile);
+        let (store3, _) = reopen(&wal, &ckpt);
+        assert_eq!(store3.get(None, b"x").unwrap(), Some(b"1".to_vec()));
+    }
+
+    #[test]
+    fn in_doubt_txn_can_be_aborted_after_recovery() {
+        let (store, wal, ckpt) = fresh();
+        store.begin(7).unwrap();
+        store.put(7, b"x", b"1").unwrap();
+        store.prepare(7).unwrap();
+        wal.crash(CrashStyle::DropVolatile);
+        let (store2, report) = reopen(&wal, &ckpt);
+        assert_eq!(report.in_doubt, vec![7]);
+        store2.abort(7).unwrap();
+        assert_eq!(store2.get(None, b"x").unwrap(), None);
+        let (store3, report3) = reopen(&wal, &ckpt);
+        // The abort may need re-resolution if its record wasn't synced —
+        // presumed abort: still in doubt or gone, but never committed.
+        if !report3.in_doubt.is_empty() {
+            store3.abort(7).unwrap();
+        }
+        assert_eq!(store3.get(None, b"x").unwrap(), None);
+    }
+
+    #[test]
+    fn write_after_prepare_rejected() {
+        let (store, _, _) = fresh();
+        store.begin(1).unwrap();
+        store.put(1, b"a", b"1").unwrap();
+        store.prepare(1).unwrap();
+        assert!(store.put(1, b"b", b"2").is_err());
+        assert!(store.delete(1, b"a").is_err());
+    }
+
+    #[test]
+    fn checkpoint_truncates_log_and_preserves_data() {
+        let (store, wal, ckpt) = fresh();
+        for i in 0..50u32 {
+            let t = 100 + i as u64;
+            store.begin(t).unwrap();
+            store.put(t, format!("k{i}").as_bytes(), b"v").unwrap();
+            store.commit(t).unwrap();
+        }
+        let before = store.wal_len();
+        store.checkpoint().unwrap();
+        assert!(store.wal_len() < before);
+
+        wal.crash(CrashStyle::DropVolatile);
+        let (store2, report) = reopen(&wal, &ckpt);
+        assert_eq!(report.replayed, 0, "state came from checkpoint");
+        assert_eq!(store2.committed_len(), 50);
+        assert_eq!(store2.get(None, b"k49").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn post_checkpoint_commits_replay_over_checkpoint() {
+        let (store, wal, ckpt) = fresh();
+        store.begin(1).unwrap();
+        store.put(1, b"a", b"old").unwrap();
+        store.commit(1).unwrap();
+        store.checkpoint().unwrap();
+        store.begin(2).unwrap();
+        store.put(2, b"a", b"new").unwrap();
+        store.commit(2).unwrap();
+
+        wal.crash(CrashStyle::DropVolatile);
+        let (store2, report) = reopen(&wal, &ckpt);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(store2.get(None, b"a").unwrap(), Some(b"new".to_vec()));
+    }
+
+    #[test]
+    fn checkpoint_blocked_by_prepared_txn() {
+        let (store, _, _) = fresh();
+        store.begin(1).unwrap();
+        store.put(1, b"a", b"1").unwrap();
+        store.prepare(1).unwrap();
+        assert!(store.checkpoint().is_err());
+        store.commit(1).unwrap();
+        assert!(store.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn double_begin_rejected_and_unknown_txn_errors() {
+        let (store, _, _) = fresh();
+        store.begin(1).unwrap();
+        assert!(store.begin(1).is_err());
+        assert!(matches!(
+            store.put(99, b"k", b"v"),
+            Err(StorageError::UnknownTxn(99))
+        ));
+        assert!(store.commit(99).is_err());
+        assert!(store.abort(99).is_err());
+    }
+
+    #[test]
+    fn volatile_mode_loses_data_on_crash() {
+        let wal = SimDisk::new();
+        let ckpt = SimDisk::new();
+        let (store, _) = KvStore::open(
+            Arc::new(wal.clone()),
+            Arc::new(ckpt.clone()),
+            KvOptions {
+                sync_on_commit: false,
+            },
+        )
+        .unwrap();
+        store.begin(1).unwrap();
+        store.put(1, b"a", b"1").unwrap();
+        store.commit(1).unwrap();
+        assert_eq!(store.get(None, b"a").unwrap(), Some(b"1".to_vec()));
+        wal.crash(CrashStyle::DropVolatile);
+        let (store2, _) = reopen(&wal, &ckpt);
+        assert_eq!(store2.get(None, b"a").unwrap(), None, "volatile queue lost");
+    }
+
+    #[test]
+    fn scan_prefix_page_pages_through_everything() {
+        let (store, _, _) = fresh();
+        store.begin(1).unwrap();
+        for i in 0..25u32 {
+            store
+                .put(1, format!("p/{i:04}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        store.put(1, b"q/other", b"x").unwrap();
+        store.commit(1).unwrap();
+
+        let mut seen = Vec::new();
+        let mut after: Option<Vec<u8>> = None;
+        loop {
+            let (page, cursor) = store
+                .scan_prefix_page(None, b"p/", after.as_deref(), 7)
+                .unwrap();
+            seen.extend(page.into_iter().map(|(k, _)| k));
+            match cursor {
+                Some(c) => after = Some(c),
+                None => break,
+            }
+        }
+        assert_eq!(seen.len(), 25);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "ordered");
+    }
+
+    #[test]
+    fn scan_prefix_page_merges_own_overlay() {
+        let (store, _, _) = fresh();
+        store.begin(1).unwrap();
+        store.put(1, b"p/1", b"a").unwrap();
+        store.put(1, b"p/3", b"c").unwrap();
+        store.commit(1).unwrap();
+
+        store.begin(2).unwrap();
+        store.put(2, b"p/2", b"b").unwrap();
+        store.delete(2, b"p/1").unwrap();
+        let (page, cursor) = store.scan_prefix_page(Some(2), b"p/", None, 10).unwrap();
+        assert_eq!(
+            page.iter().map(|(k, _)| k.as_slice()).collect::<Vec<_>>(),
+            vec![b"p/2".as_slice(), b"p/3".as_slice()]
+        );
+        assert!(cursor.is_none());
+        store.abort(2).unwrap();
+    }
+
+    #[test]
+    fn scan_prefix_page_cursor_survives_overlay_deletes() {
+        let (store, _, _) = fresh();
+        store.begin(1).unwrap();
+        for i in 0..6u32 {
+            store.put(1, format!("p/{i}").as_bytes(), b"v").unwrap();
+        }
+        store.commit(1).unwrap();
+        store.begin(2).unwrap();
+        // Delete the entire first page worth of entries.
+        for i in 0..3u32 {
+            store.delete(2, format!("p/{i}").as_bytes()).unwrap();
+        }
+        let (page, cursor) = store.scan_prefix_page(Some(2), b"p/", None, 3).unwrap();
+        assert!(page.is_empty(), "first page fully deleted by overlay");
+        let c = cursor.expect("cursor must continue past deleted page");
+        let (page2, _) = store.scan_prefix_page(Some(2), b"p/", Some(&c), 3).unwrap();
+        assert_eq!(page2.len(), 3);
+        store.abort(2).unwrap();
+    }
+
+    #[test]
+    fn commit_order_respected_on_replay() {
+        let (store, wal, ckpt) = fresh();
+        // Interleave two txns writing the same key; commit order decides.
+        store.begin(1).unwrap();
+        store.begin(2).unwrap();
+        store.put(1, b"k", b"from-1").unwrap();
+        store.put(2, b"k", b"from-2").unwrap();
+        store.commit(2).unwrap();
+        store.commit(1).unwrap();
+        assert_eq!(store.get(None, b"k").unwrap(), Some(b"from-1".to_vec()));
+        wal.crash(CrashStyle::DropVolatile);
+        let (store2, _) = reopen(&wal, &ckpt);
+        assert_eq!(store2.get(None, b"k").unwrap(), Some(b"from-1".to_vec()));
+    }
+
+    #[test]
+    fn torn_tail_after_last_commit_is_harmless() {
+        let (store, wal, ckpt) = fresh();
+        store.begin(1).unwrap();
+        store.put(1, b"a", b"1").unwrap();
+        store.commit(1).unwrap();
+        // Start another commit whose records only partially reach disk.
+        store.begin(2).unwrap();
+        store.put(2, b"b", b"2").unwrap();
+        // Simulate: records appended but torn mid-write during the sync.
+        // (commit would sync; emulate by writing ops without sync then tearing)
+        // We use prepare's logging path indirectly: just crash before commit.
+        wal.crash(CrashStyle::Torn { keep: 5 });
+        let (store2, _) = reopen(&wal, &ckpt);
+        assert_eq!(store2.get(None, b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(store2.get(None, b"b").unwrap(), None);
+    }
+}

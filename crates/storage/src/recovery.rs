@@ -1,0 +1,186 @@
+//! The redo pass run when a store reopens after a crash.
+//!
+//! Because uncommitted writes never reach the shared tree (see
+//! [`crate::kv`]), recovery is redo-only: group the log's write records by
+//! transaction, apply the groups whose `Commit` record is durable — in commit
+//! order — and surface `Prepare`d-but-unresolved transactions as *in-doubt*
+//! for the two-phase-commit coordinator to resolve (paper §6 notes a QM "may
+//! need to support multiple transaction protocols"; in-doubt handoff is the
+//! hook that makes the queue store a well-behaved 2PC participant).
+
+use crate::error::StorageResult;
+use crate::kv::WriteOp;
+use crate::wal::{RecordKind, Wal};
+use std::collections::HashMap;
+
+/// What the redo pass found, before it is applied.
+#[derive(Debug, Default)]
+pub struct ReplayOutcome {
+    /// Redo operations of committed transactions, in commit order.
+    pub redo: Vec<WriteOp>,
+    /// Number of committed transactions replayed.
+    pub committed_txns: usize,
+    /// Number of aborted transactions discarded.
+    pub aborted_txns: usize,
+    /// Prepared transactions with no durable outcome, with their buffered
+    /// writes, keyed by transaction token.
+    pub in_doubt: HashMap<u64, Vec<WriteOp>>,
+}
+
+/// Summary returned to callers of [`crate::kv::KvStore::open`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Redo operations applied.
+    pub replayed: usize,
+    /// Committed transactions found in the log.
+    pub committed_txns: usize,
+    /// Aborted transactions found in the log.
+    pub aborted_txns: usize,
+    /// Tokens of in-doubt (prepared, unresolved) transactions, sorted.
+    pub in_doubt: Vec<u64>,
+}
+
+/// Scan the log and classify every transaction's fate.
+pub fn replay(wal: &Wal) -> StorageResult<ReplayOutcome> {
+    let (records, _valid_end) = wal.scan(0)?;
+    let mut pending: HashMap<u64, Vec<WriteOp>> = HashMap::new();
+    let mut prepared: HashMap<u64, bool> = HashMap::new();
+    let mut out = ReplayOutcome::default();
+
+    for rec in records {
+        match rec.kind {
+            RecordKind::KvPut => {
+                let op = WriteOp::decode_put(&rec.payload)?;
+                pending.entry(rec.txn).or_default().push(op);
+            }
+            RecordKind::KvDelete => {
+                let op = WriteOp::decode_delete(&rec.payload)?;
+                pending.entry(rec.txn).or_default().push(op);
+            }
+            RecordKind::Prepare => {
+                prepared.insert(rec.txn, true);
+            }
+            RecordKind::Commit => {
+                prepared.remove(&rec.txn);
+                if let Some(ops) = pending.remove(&rec.txn) {
+                    out.redo.extend(ops);
+                }
+                out.committed_txns += 1;
+            }
+            RecordKind::Abort => {
+                prepared.remove(&rec.txn);
+                pending.remove(&rec.txn);
+                out.aborted_txns += 1;
+            }
+            RecordKind::Checkpoint | RecordKind::Custom(_) => {
+                // Checkpoint markers carry no redo info; custom records are
+                // scanned by their owners via `Wal::scan` directly.
+            }
+        }
+    }
+
+    for (txn, _) in prepared {
+        let ops = pending.remove(&txn).unwrap_or_default();
+        out.in_doubt.insert(txn, ops);
+    }
+    // Writes without prepare or outcome simply vanish (the crash hit before
+    // commit); `pending` leftovers are dropped here.
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::SimDisk;
+    use std::sync::Arc;
+
+    fn wal() -> Wal {
+        Wal::new(Arc::new(SimDisk::new()))
+    }
+
+    fn put_payload(key: &[u8], value: &[u8]) -> Vec<u8> {
+        WriteOp::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        }
+        .encode_payload()
+    }
+
+    #[test]
+    fn committed_txn_is_replayed() {
+        let w = wal();
+        w.append(1, RecordKind::KvPut, &put_payload(b"a", b"1"))
+            .unwrap();
+        w.append(1, RecordKind::Commit, &[]).unwrap();
+        w.sync().unwrap();
+        let out = replay(&w).unwrap();
+        assert_eq!(out.committed_txns, 1);
+        assert_eq!(out.redo.len(), 1);
+        assert!(out.in_doubt.is_empty());
+    }
+
+    #[test]
+    fn unresolved_writes_are_dropped() {
+        let w = wal();
+        w.append(1, RecordKind::KvPut, &put_payload(b"a", b"1"))
+            .unwrap();
+        w.sync().unwrap();
+        let out = replay(&w).unwrap();
+        assert!(out.redo.is_empty());
+        assert!(out.in_doubt.is_empty());
+    }
+
+    #[test]
+    fn aborted_txn_discarded() {
+        let w = wal();
+        w.append(1, RecordKind::KvPut, &put_payload(b"a", b"1"))
+            .unwrap();
+        w.append(1, RecordKind::Abort, &[]).unwrap();
+        w.sync().unwrap();
+        let out = replay(&w).unwrap();
+        assert!(out.redo.is_empty());
+        assert_eq!(out.aborted_txns, 1);
+    }
+
+    #[test]
+    fn prepared_txn_is_in_doubt_with_its_writes() {
+        let w = wal();
+        w.append(5, RecordKind::KvPut, &put_payload(b"x", b"9"))
+            .unwrap();
+        w.append(5, RecordKind::Prepare, &[]).unwrap();
+        w.sync().unwrap();
+        let out = replay(&w).unwrap();
+        assert_eq!(out.in_doubt.len(), 1);
+        assert_eq!(out.in_doubt[&5].len(), 1);
+    }
+
+    #[test]
+    fn interleaved_txns_apply_in_commit_order() {
+        let w = wal();
+        w.append(1, RecordKind::KvPut, &put_payload(b"k", b"one"))
+            .unwrap();
+        w.append(2, RecordKind::KvPut, &put_payload(b"k", b"two"))
+            .unwrap();
+        w.append(2, RecordKind::Commit, &[]).unwrap();
+        w.append(1, RecordKind::Commit, &[]).unwrap();
+        w.sync().unwrap();
+        let out = replay(&w).unwrap();
+        assert_eq!(out.redo.len(), 2);
+        // txn 2 committed first, so txn 1's write must come last.
+        match &out.redo[1] {
+            WriteOp::Put { value, .. } => assert_eq!(value, b"one"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_and_checkpoint_records_ignored() {
+        let w = wal();
+        w.append(0, RecordKind::Checkpoint, &[]).unwrap();
+        w.append(9, RecordKind::Custom(0x81), b"opaque").unwrap();
+        w.sync().unwrap();
+        let out = replay(&w).unwrap();
+        assert!(out.redo.is_empty());
+        assert!(out.in_doubt.is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! The durable two-phase-commit coordinator log.
+//!
+//! Once every participant has prepared, the coordinator forces a decision
+//! record here *before* telling anyone to commit. After a crash, in-doubt
+//! participants are resolved by consulting [`CoordinatorLog::decisions`]:
+//! a logged commit decision is replayed, anything else is aborted (presumed
+//! abort — the paper's §11 discusses exactly this "forgetting" behaviour of
+//! transaction managers, which motivates queues as the longer-lived record
+//! of a request's disposition).
+
+use crate::error::TxnResult;
+use crate::ids::TxnId;
+use rrq_storage::codec::{put, Reader};
+use rrq_storage::disk::Disk;
+use rrq_storage::wal::{RecordKind, Wal};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// WAL custom-record subtype for decisions.
+const DECISION_KIND: RecordKind = RecordKind::Custom(0xC0);
+
+/// Append-only log of commit/abort decisions.
+pub struct CoordinatorLog {
+    wal: Wal,
+}
+
+impl CoordinatorLog {
+    /// Open over a device (shared with nothing else).
+    pub fn new(disk: Arc<dyn Disk>) -> Self {
+        CoordinatorLog {
+            wal: Wal::new(disk),
+        }
+    }
+
+    /// Durably record the outcome of `txn`. Must be called after all
+    /// participants prepared and before any is told to commit.
+    pub fn log_decision(&self, txn: TxnId, commit: bool) -> TxnResult<()> {
+        let mut payload = Vec::with_capacity(1);
+        put::bool(&mut payload, commit);
+        self.wal.append(txn.raw(), DECISION_KIND, &payload)?;
+        self.wal.sync()?;
+        Ok(())
+    }
+
+    /// Read back every decision (later records win, though a transaction
+    /// only ever gets one).
+    pub fn decisions(&self) -> TxnResult<HashMap<u64, bool>> {
+        let (records, _) = self.wal.scan(0)?;
+        let mut out = HashMap::new();
+        for rec in records {
+            if rec.kind == DECISION_KIND {
+                let mut r = Reader::new(&rec.payload);
+                let commit = r.bool()?;
+                out.insert(rec.txn, commit);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Was `txn` decided commit? `None` means no decision is on record
+    /// (presume abort).
+    pub fn decision_for(&self, txn: TxnId) -> TxnResult<Option<bool>> {
+        Ok(self.decisions()?.get(&txn.raw()).copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrq_storage::disk::{CrashStyle, SimDisk};
+
+    #[test]
+    fn decisions_roundtrip() {
+        let disk = SimDisk::new();
+        let log = CoordinatorLog::new(Arc::new(disk.clone()));
+        log.log_decision(TxnId(1), true).unwrap();
+        log.log_decision(TxnId(2), false).unwrap();
+        let d = log.decisions().unwrap();
+        assert_eq!(d.get(&1), Some(&true));
+        assert_eq!(d.get(&2), Some(&false));
+        assert_eq!(log.decision_for(TxnId(3)).unwrap(), None);
+    }
+
+    #[test]
+    fn decisions_survive_crash() {
+        let disk = SimDisk::new();
+        let log = CoordinatorLog::new(Arc::new(disk.clone()));
+        log.log_decision(TxnId(9), true).unwrap();
+        disk.crash(CrashStyle::DropVolatile);
+        let log2 = CoordinatorLog::new(Arc::new(disk.clone()));
+        assert_eq!(log2.decision_for(TxnId(9)).unwrap(), Some(true));
+    }
+
+    #[test]
+    fn undetermined_after_torn_decision() {
+        let disk = SimDisk::new();
+        let log = CoordinatorLog::new(Arc::new(disk.clone()));
+        log.log_decision(TxnId(1), true).unwrap();
+        // A second decision that tears mid-write must not surface.
+        log.wal.append(2, DECISION_KIND, &[1]).unwrap();
+        disk.crash(CrashStyle::Torn { keep: 4 });
+        let log2 = CoordinatorLog::new(Arc::new(disk.clone()));
+        let d = log2.decisions().unwrap();
+        assert_eq!(d.get(&1), Some(&true));
+        assert_eq!(d.get(&2), None, "torn decision reads as no decision");
+    }
+}

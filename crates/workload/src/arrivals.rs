@@ -1,0 +1,174 @@
+//! Deterministic arrival processes and skewed key selection.
+//!
+//! §1: "queues provide a buffer that mitigates the effects of bursts of
+//! requests" — the on/off burst process here drives experiment E11. The
+//! Zipf-like selector drives contention sweeps (E6).
+
+/// splitmix64 — a tiny deterministic PRNG so arrival schedules are
+/// reproducible from a seed without pulling thread-local state.
+#[derive(Debug, Clone)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Arrival offsets (microseconds from start) for `n` requests at a uniform
+/// rate of `per_sec`.
+pub fn uniform_arrivals(n: usize, per_sec: f64, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix::new(seed);
+    let mean_gap_us = 1e6 / per_sec.max(1e-9);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Exponential inter-arrival (Poisson process).
+        let u = rng.next_f64().max(1e-12);
+        t += -mean_gap_us * u.ln();
+        out.push(t as u64);
+    }
+    out
+}
+
+/// On/off bursts: `burst_len` arrivals back-to-back at `burst_rate_per_sec`,
+/// then an idle gap of `idle_ms`, repeated until `n` arrivals are produced.
+pub fn bursty_arrivals(
+    n: usize,
+    burst_len: usize,
+    burst_rate_per_sec: f64,
+    idle_ms: u64,
+    seed: u64,
+) -> Vec<u64> {
+    let mut rng = SplitMix::new(seed);
+    let gap_us = 1e6 / burst_rate_per_sec.max(1e-9);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        for _ in 0..burst_len.max(1) {
+            if out.len() >= n {
+                break;
+            }
+            t += gap_us * (0.5 + rng.next_f64()); // jittered
+            out.push(t as u64);
+        }
+        t += (idle_ms * 1000) as f64;
+    }
+    out
+}
+
+/// Zipf-like selector over `0..n` with skew `theta` in `[0, 1)`; `theta = 0`
+/// is uniform, larger values concentrate on low indices. Uses the quick
+/// power-law approximation `floor(n * u^(1/(1-theta)))`.
+#[derive(Debug, Clone)]
+pub struct ZipfSelector {
+    n: usize,
+    exponent: f64,
+    rng: SplitMix,
+}
+
+impl ZipfSelector {
+    /// Build a selector.
+    pub fn new(n: usize, theta: f64, seed: u64) -> Self {
+        let theta = theta.clamp(0.0, 0.999);
+        ZipfSelector {
+            n: n.max(1),
+            exponent: 1.0 / (1.0 - theta),
+            rng: SplitMix::new(seed),
+        }
+    }
+
+    /// Draw an index.
+    #[allow(clippy::should_implement_trait)] // deliberate: not an Iterator
+    pub fn next(&mut self) -> usize {
+        let u = self.rng.next_f64();
+        let v = u.powf(self.exponent);
+        ((v * self.n as f64) as usize).min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix::new(42);
+        let mut b = SplitMix::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_arrivals_are_monotone_with_roughly_right_rate() {
+        let arr = uniform_arrivals(1000, 1000.0, 7);
+        assert_eq!(arr.len(), 1000);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        let total_s = *arr.last().unwrap() as f64 / 1e6;
+        assert!((0.5..2.0).contains(&(1000.0 / total_s / 1000.0)));
+    }
+
+    #[test]
+    fn bursts_have_idle_gaps() {
+        let arr = bursty_arrivals(100, 10, 10_000.0, 50, 1);
+        assert_eq!(arr.len(), 100);
+        // Max inter-arrival gap must reflect the idle period (50 ms).
+        let max_gap = arr.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        assert!(max_gap >= 50_000, "got {max_gap}");
+        // Within a burst, gaps are ~100 µs.
+        let min_gap = arr.windows(2).map(|w| w[1] - w[0]).min().unwrap();
+        assert!(min_gap < 1_000);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_indices() {
+        let mut z = ZipfSelector::new(100, 0.9, 3);
+        let mut low = 0;
+        for _ in 0..10_000 {
+            if z.next() < 10 {
+                low += 1;
+            }
+        }
+        assert!(low > 5_000, "90% skew should hit the top decile often: {low}");
+        // theta=0 is roughly uniform.
+        let mut u = ZipfSelector::new(100, 0.0, 3);
+        let mut low_u = 0;
+        for _ in 0..10_000 {
+            if u.next() < 10 {
+                low_u += 1;
+            }
+        }
+        assert!((500..2_000).contains(&low_u), "{low_u}");
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let mut z = ZipfSelector::new(5, 0.99, 9);
+        for _ in 0..1000 {
+            assert!(z.next() < 5);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # rrq-workload
+//!
+//! Workload generators and reference applications for the experiments:
+//!
+//! * [`bank`] — the account database and the §6 funds-transfer request,
+//!   executed either as one transaction or as the paper's three-transaction
+//!   pipeline (debit source, credit target, log with the clearinghouse),
+//!   with conservation invariants for the oracles.
+//! * [`order_entry`] — an order-capture workload (§1's batch-input
+//!   motivation): requests validated against a catalog, with a deliberately
+//!   poisonous request class to exercise error queues.
+//! * [`ticketing`] — requests whose replies drive the §3 non-idempotent
+//!   ticket printer.
+//! * [`arrivals`] — deterministic arrival processes (uniform and on/off
+//!   bursts) and Zipf-like account selection for contention sweeps.
+
+pub mod arrivals;
+pub mod bank;
+pub mod order_entry;
+pub mod ticketing;

@@ -1,0 +1,115 @@
+//! Ticketing workload for the §3 exactly-once reply-processing experiments:
+//! each request books a seat; the reply is a ticket the client prints on the
+//! non-idempotent [`rrq_core::device::TicketPrinter`].
+
+use rrq_core::error::CoreResult;
+use rrq_core::server::{Handler, HandlerError, HandlerOutcome};
+use rrq_qm::repository::Repository;
+use rrq_txn::LockKey;
+use std::sync::Arc;
+
+/// Lock namespace for the seat counter.
+pub const SEAT_NS: u32 = 9;
+
+const SEAT_KEY: &[u8] = b"tickets/next-seat";
+
+/// Initialize the seat counter.
+pub fn seed_seats(repo: &Repository) -> CoreResult<()> {
+    let t = u64::MAX - 301;
+    repo.store().begin(t)?;
+    repo.store().put(t, SEAT_KEY, &0u64.to_le_bytes())?;
+    repo.store().commit(t)?;
+    Ok(())
+}
+
+/// Number of seats booked so far (committed view).
+pub fn seats_booked(repo: &Repository) -> CoreResult<u64> {
+    Ok(repo
+        .store()
+        .get(None, SEAT_KEY)?
+        .map(|raw| u64::from_le_bytes(raw.try_into().unwrap_or([0; 8])))
+        .unwrap_or(0))
+}
+
+/// The booking handler: allocate the next seat number, reply with it.
+/// Because the allocation commits with the dequeue, a request that is
+/// retried after a crash books exactly one seat — the server-side half of
+/// exactly-once.
+pub fn booking_handler() -> Handler {
+    Arc::new(|ctx, req| {
+        ctx.txn
+            .lock_exclusive(&LockKey::new(SEAT_NS, SEAT_KEY))
+            .map_err(|e| HandlerError::Abort(e.to_string()))?;
+        let txn = ctx.txn.id().raw();
+        let next = ctx
+            .repo
+            .store()
+            .get(Some(txn), SEAT_KEY)
+            .map_err(|e| HandlerError::Abort(e.to_string()))?
+            .map(|raw| u64::from_le_bytes(raw.try_into().unwrap_or([0; 8])))
+            .unwrap_or(0);
+        ctx.repo
+            .store()
+            .put(txn, SEAT_KEY, &(next + 1).to_le_bytes())
+            .map_err(|e| HandlerError::Abort(e.to_string()))?;
+        Ok(HandlerOutcome::Reply(
+            format!("seat {next} for {}", req.rid).into_bytes(),
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrq_core::api::{LocalQm, QmApi};
+    use rrq_core::request::{Reply, Request};
+    use rrq_core::rid::Rid;
+    use rrq_core::server::{Server, ServerConfig};
+    use rrq_qm::ops::{DequeueOptions, EnqueueOptions};
+    use rrq_storage::codec::{Decode, Encode};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn each_booking_gets_a_distinct_seat() {
+        let repo = Arc::new(Repository::create("tix").unwrap());
+        repo.create_queue_defaults("book").unwrap();
+        repo.create_queue_defaults("reply.c").unwrap();
+        seed_seats(&repo).unwrap();
+        let server = Server::new(
+            Arc::clone(&repo),
+            ServerConfig::new("s", "book"),
+            booking_handler(),
+        )
+        .unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let h = server.spawn(Arc::clone(&stop));
+
+        let api = LocalQm::new(Arc::clone(&repo));
+        api.register("book", "c", false).unwrap();
+        api.register("reply.c", "c", false).unwrap();
+        let mut bodies = Vec::new();
+        for i in 0..5u64 {
+            let req = Request::new(Rid::new("c", i + 1), "reply.c", "book", vec![]);
+            api.enqueue("book", "c", &req.encode_to_vec(), EnqueueOptions::default())
+                .unwrap();
+            let elem = api
+                .dequeue(
+                    "reply.c",
+                    "c",
+                    DequeueOptions {
+                        block: Some(Duration::from_secs(10)),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            bodies.push(Reply::decode_all(&elem.payload).unwrap().body);
+        }
+        assert_eq!(seats_booked(&repo).unwrap(), 5);
+        bodies.sort();
+        bodies.dedup();
+        assert_eq!(bodies.len(), 5, "all seats distinct");
+        stop.store(true, Ordering::Relaxed);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,92 @@
+//! §1 batch input and load sharing: orders are captured reliably while no
+//! server is running, an alert fires when the backlog crosses its threshold,
+//! and a pool of servers later shares the drain work.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p rrq-bench --example batch_orders
+//! ```
+
+use rrq_core::api::{LocalQm, QmApi};
+use rrq_core::request::{Reply, ReplyStatus, Request};
+use rrq_core::rid::Rid;
+use rrq_core::server::spawn_pool;
+use rrq_qm::meta::QueueMeta;
+use rrq_qm::ops::{DequeueOptions, EnqueueOptions};
+use rrq_qm::repository::Repository;
+use rrq_storage::codec::{Decode, Encode};
+use rrq_workload::order_entry::{self, Order};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ORDERS: u64 = 40;
+const ITEMS: u32 = 5;
+
+fn main() {
+    let repo = Arc::new(Repository::create("orders-node").expect("create repository"));
+    let mut meta = QueueMeta::with_defaults("orders");
+    meta.alert_threshold = Some(25); // §9 alert threshold
+    repo.qm().create_queue(meta).expect("create orders queue");
+    repo.create_queue_defaults("reply.shop").expect("reply queue");
+    order_entry::seed_inventory(&repo, ITEMS, 1_000).expect("seed inventory");
+
+    // Phase 1: capture a batch with NO servers running at all.
+    let api = LocalQm::new(Arc::clone(&repo));
+    api.register("orders", "shop", false).unwrap();
+    api.register("reply.shop", "shop", false).unwrap();
+    for i in 0..ORDERS {
+        let order = Order {
+            item: (i % ITEMS as u64) as u32,
+            qty: 1 + (i % 3) as u32,
+        };
+        let req = Request::new(Rid::new("shop", i + 1), "reply.shop", "order", order.encode());
+        api.enqueue("orders", "shop", &req.encode_to_vec(), EnqueueOptions::default())
+            .unwrap();
+    }
+    println!("captured {} orders with no server running", api.depth("orders").unwrap());
+    let alerts = repo.qm().take_alerts();
+    println!("alerts raised while batching: {alerts:?}");
+    assert!(alerts.contains(&"orders".to_string()), "threshold alert expected");
+
+    // Phase 2: bring up a pool of 4 servers; they share the drain.
+    let (servers, handles, stop) =
+        spawn_pool(&repo, "orders", 4, order_entry::order_handler()).expect("spawn pool");
+    let mut ok = 0u64;
+    for _ in 0..ORDERS {
+        let elem = api
+            .dequeue(
+                "reply.shop",
+                "shop",
+                DequeueOptions {
+                    block: Some(Duration::from_secs(30)),
+                    ..Default::default()
+                },
+            )
+            .expect("reply");
+        let reply = Reply::decode_all(&elem.payload).unwrap();
+        if reply.status == ReplyStatus::Ok {
+            ok += 1;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    println!("orders fulfilled: {ok}/{ORDERS}");
+    let shares: Vec<u64> = servers.iter().map(|s| s.stats().committed).collect();
+    println!("per-server shares: {shares:?}");
+    assert_eq!(ok, ORDERS);
+    assert!(
+        shares.iter().filter(|&&n| n > 0).count() >= 2,
+        "load sharing: more than one server did work"
+    );
+    for i in 0..ITEMS {
+        println!(
+            "item {i}: stock remaining {}",
+            order_entry::stock(&repo, i).unwrap()
+        );
+    }
+    println!("OK: batch captured, alert raised, drained by a shared pool");
+}

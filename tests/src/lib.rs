@@ -1,0 +1,30 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use rrq_core::api::LocalQm;
+use rrq_core::clerk::{Clerk, ClerkConfig, SendMode};
+use rrq_core::server::{Handler, HandlerOutcome};
+use rrq_qm::repository::Repository;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A repository with the standard request/reply queues for `client_id`.
+pub fn repo_with_queues(name: &str, client_id: &str) -> Arc<Repository> {
+    let repo = Arc::new(Repository::create(name).unwrap());
+    repo.create_queue_defaults("req").unwrap();
+    repo.create_queue_defaults(&format!("reply.{client_id}")).unwrap();
+    repo
+}
+
+/// A clerk over a local QM with a short receive window for tests.
+pub fn local_clerk(repo: &Arc<Repository>, client_id: &str) -> Clerk {
+    let api = Arc::new(LocalQm::new(Arc::clone(repo)));
+    let mut cfg = ClerkConfig::new(client_id, "req");
+    cfg.receive_block = Duration::from_secs(10);
+    cfg.send_mode = SendMode::Acked;
+    Clerk::new(api, cfg)
+}
+
+/// An echo handler: replies with the request body.
+pub fn echo_handler() -> Handler {
+    Arc::new(|_ctx, req| Ok(HandlerOutcome::Reply(req.body.clone())))
+}

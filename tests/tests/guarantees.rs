@@ -1,0 +1,134 @@
+//! End-to-end verification of the §3 Client Model guarantees under client
+//! crash schedules: Request-Reply Matching, Exactly-Once Request-Processing,
+//! At-Least-Once Reply-Processing.
+
+use rrq_core::device::{Display, TicketPrinter};
+use rrq_core::rid::Rid;
+use rrq_core::server::spawn_pool;
+use rrq_sim::driver::{ClientCrashDriver, CrashPoint};
+use rrq_sim::oracle::EffectLedger;
+use rrq_sim::schedule::CrashSchedule;
+use rrq_tests::{echo_handler, local_clerk, repo_with_queues};
+use std::sync::atomic::Ordering;
+
+const N: u64 = 12;
+
+fn expected_rids(client: &str) -> Vec<Rid> {
+    (1..=N).map(|s| Rid::new(client, s)).collect()
+}
+
+/// Run the crash driver against an instrumented echo server pool and return
+/// (driver report, exactly-once violations, duplicate prints?).
+fn run_scenario(
+    name: &str,
+    schedule: CrashSchedule,
+    use_printer: bool,
+) -> (rrq_sim::DriverReport, Vec<String>, bool) {
+    let client = "c1";
+    let repo = repo_with_queues(name, client);
+    let handler = EffectLedger::instrument(echo_handler());
+    let (_servers, handles, stop) = spawn_pool(&repo, "req", 2, handler).unwrap();
+
+    let driver = ClientCrashDriver::new(|| local_clerk(&repo, client), "echo");
+    let body = |serial: u64| format!("payload-{serial}").into_bytes();
+
+    let (report, duplicate_prints) = if use_printer {
+        let mut printer = TicketPrinter::new();
+        let report = driver
+            .run(N, |s| schedule.get(s), body, &mut printer)
+            .unwrap();
+        (report, printer.has_duplicate_prints())
+    } else {
+        let mut display = Display::new();
+        let report = driver
+            .run(N, |s| schedule.get(s), body, &mut display)
+            .unwrap();
+        (report, false)
+    };
+
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let violations = EffectLedger::violations(&repo, &expected_rids(client)).unwrap();
+    (report, violations, duplicate_prints)
+}
+
+#[test]
+fn no_crashes_baseline() {
+    let (report, violations, _) = run_scenario("g-none", CrashSchedule::none(), true);
+    assert_eq!(report.completed, N);
+    assert_eq!(report.incarnations, 1);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn crash_after_every_send() {
+    let (report, violations, dups) =
+        run_scenario("g-send", CrashSchedule::every(N, CrashPoint::AfterSend), true);
+    assert_eq!(report.completed, N);
+    assert_eq!(report.resync_received, N, "every reply picked up at resync");
+    assert!(violations.is_empty(), "exactly-once violated: {violations:?}");
+    assert!(!dups, "testable device must prevent duplicate prints");
+}
+
+#[test]
+fn crash_after_every_receive_reprocesses() {
+    let (report, violations, dups) = run_scenario(
+        "g-recv",
+        CrashSchedule::every(N, CrashPoint::AfterReceive),
+        true,
+    );
+    assert_eq!(report.completed, N);
+    assert_eq!(
+        report.resync_reprocessed, N,
+        "each reply reprocessed via Rereceive"
+    );
+    assert!(violations.is_empty(), "{violations:?}");
+    // AfterReceive crashes happen BEFORE processing, so even the printer
+    // never prints twice.
+    assert!(!dups);
+}
+
+#[test]
+fn crash_after_every_process_detects_already_processed() {
+    let (report, violations, dups) = run_scenario(
+        "g-proc",
+        CrashSchedule::every(N, CrashPoint::AfterProcess),
+        true,
+    );
+    assert_eq!(report.completed, N);
+    assert_eq!(
+        report.resync_already_processed, N,
+        "testable device proves the reply was processed"
+    );
+    assert!(violations.is_empty(), "{violations:?}");
+    assert!(!dups, "exactly-once reply processing with a testable device");
+}
+
+#[test]
+fn random_crash_schedule_preserves_all_guarantees() {
+    for seed in [1u64, 7, 42] {
+        let (report, violations, dups) = run_scenario(
+            &format!("g-rand{seed}"),
+            CrashSchedule::random(N, 0.5, seed),
+            true,
+        );
+        assert_eq!(report.completed, N, "seed {seed}");
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        assert!(!dups, "seed {seed}");
+    }
+}
+
+#[test]
+fn display_without_ckpt_still_at_least_once() {
+    // With an idempotent display, at-least-once is the guarantee; the
+    // display's duplicate detection absorbs repeats.
+    let (report, violations, _) = run_scenario(
+        "g-disp",
+        CrashSchedule::random(N, 0.4, 99),
+        false,
+    );
+    assert_eq!(report.completed, N);
+    assert!(violations.is_empty(), "{violations:?}");
+}

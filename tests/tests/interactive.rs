@@ -1,0 +1,215 @@
+//! Interactive requests (§8): the pseudo-conversational mapping and the
+//! single-transaction conversation with logged, replayable intermediate I/O.
+
+use rrq_core::api::LocalQm;
+use rrq_core::conversation::{spawn_conversation_endpoint, Conversation, IoLog, RpcConversation};
+use rrq_core::interactive::InteractiveClient;
+use rrq_core::request::{Request, ReplyStatus};
+use rrq_core::rid::Rid;
+use rrq_core::server::{Handler, HandlerError, HandlerOutcome, Server, ServerConfig};
+use rrq_net::rpc::RpcClient;
+use rrq_net::NetworkBus;
+use rrq_qm::repository::Repository;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A 3-round pseudo-conversational booking: ask for a date, then a seat
+/// class, then confirm.
+#[test]
+fn pseudo_conversational_three_rounds() {
+    let repo = Arc::new(Repository::create("pconv").unwrap());
+    for q in ["conv0", "conv1", "conv2", "reply.c"] {
+        repo.create_queue_defaults(q).unwrap();
+    }
+    // Stage handlers on three queues; state accumulates the answers.
+    let make_handler = |stage: usize| -> Handler {
+        Arc::new(move |_ctx, req: &Request| match stage {
+            0 => Ok(HandlerOutcome::IntermediateReply {
+                body: b"Which date?".to_vec(),
+                next_queue: "conv1".into(),
+                state: b"start".to_vec(),
+            }),
+            1 => {
+                let mut state = req.state.clone();
+                state.extend_from_slice(b"|date=");
+                state.extend_from_slice(&req.body);
+                Ok(HandlerOutcome::IntermediateReply {
+                    body: b"Which class?".to_vec(),
+                    next_queue: "conv2".into(),
+                    state,
+                })
+            }
+            _ => {
+                let mut state = req.state.clone();
+                state.extend_from_slice(b"|class=");
+                state.extend_from_slice(&req.body);
+                state.extend_from_slice(b"|booked");
+                Ok(HandlerOutcome::Reply(state))
+            }
+        })
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for (i, q) in ["conv0", "conv1", "conv2"].iter().enumerate() {
+        let s = Server::new(
+            Arc::clone(&repo),
+            ServerConfig::new(format!("conv-s{i}"), *q),
+            make_handler(i),
+        )
+        .unwrap();
+        handles.push(s.spawn(Arc::clone(&stop)));
+    }
+
+    let api = Arc::new(LocalQm::new(Arc::clone(&repo)));
+    let client = InteractiveClient::new(api, "c", "reply.c");
+    let mut answers = vec![b"tuesday".to_vec(), b"economy".to_vec()].into_iter();
+    let outcome = client
+        .run("conv0", Rid::new("c", 1), "book", b"trip".to_vec(), |_prompt| {
+            answers.next().expect("script exhausted")
+        })
+        .unwrap();
+    assert_eq!(outcome.rounds, 2);
+    assert_eq!(outcome.prompts, vec![b"Which date?".to_vec(), b"Which class?".to_vec()]);
+    assert_eq!(outcome.reply.status, ReplyStatus::Ok);
+    assert_eq!(
+        outcome.reply.body,
+        b"start|date=tuesday|class=economy|booked".to_vec()
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// §8.3: the single-transaction conversation. The server transaction aborts
+/// after collecting two inputs; on retry, both inputs replay from the
+/// client's I/O log — the user is not asked again.
+#[test]
+fn single_txn_conversation_replays_logged_io_after_abort() {
+    let bus = NetworkBus::new(23);
+    let repo = Arc::new(Repository::create("sconv").unwrap());
+    repo.create_queue_defaults("req").unwrap();
+    repo.create_queue_defaults("reply.c").unwrap();
+
+    // Client side: conversation endpoint with scripted user + log.
+    let log = Arc::new(IoLog::new());
+    let asked = Arc::new(AtomicU32::new(0));
+    let asked2 = Arc::clone(&asked);
+    let user: Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync> = Arc::new(move |prompt| {
+        asked2.fetch_add(1, Ordering::Relaxed);
+        let mut v = b"user:".to_vec();
+        v.extend_from_slice(prompt);
+        v
+    });
+    let _conv_guard =
+        spawn_conversation_endpoint(&bus, "c-conv", Arc::clone(&log), Arc::clone(&user));
+
+    // Server side: a conversational handler that aborts its first attempt
+    // AFTER two solicitations (losing the transaction, not the I/O).
+    let attempts = Arc::new(AtomicU32::new(0));
+    let attempts2 = Arc::clone(&attempts);
+    let bus2 = bus.clone();
+    let handler: Handler = Arc::new(move |_ctx, req: &Request| {
+        let n = attempts2.fetch_add(1, Ordering::Relaxed);
+        let rpc = RpcClient::new(&bus2, &format!("conv-srv-{}-{n}", req.rid.serial));
+        let mut conv = RpcConversation::new(rpc, "c-conv", req.rid.to_attr());
+        let a = conv.solicit(b"first?")?;
+        let b = conv.solicit(b"second?")?;
+        if n == 0 {
+            return Err(HandlerError::Abort("injected abort after I/O".into()));
+        }
+        let mut out = a;
+        out.push(b'+');
+        out.extend_from_slice(&b);
+        Ok(HandlerOutcome::Reply(out))
+    });
+    let server = Server::new(
+        Arc::clone(&repo),
+        ServerConfig::new("conv-server", "req"),
+        handler,
+    )
+    .unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let h = server.spawn(Arc::clone(&stop));
+
+    // Drive one request through.
+    let clerk = rrq_tests::local_clerk(&repo, "c");
+    clerk.connect().unwrap();
+    clerk
+        .send("converse", vec![], Rid::new("c", 1))
+        .unwrap();
+    let reply = clerk.receive(b"").unwrap();
+    assert_eq!(reply.body, b"user:first?+user:second?".to_vec());
+
+    // The user answered each prompt exactly once; the retry replayed.
+    assert_eq!(asked.load(Ordering::Relaxed), 2, "no re-solicitation");
+    let stats = log.stats();
+    assert_eq!(stats.fresh, 2);
+    assert_eq!(stats.replayed, 2);
+    assert_eq!(stats.divergences, 0);
+    assert_eq!(attempts.load(Ordering::Relaxed), 2, "one abort, one success");
+
+    stop.store(true, Ordering::Relaxed);
+    h.join().unwrap();
+}
+
+/// §8.3's divergence rule: when the retry's output differs, the remaining
+/// logged input is discarded and the user is asked fresh.
+#[test]
+fn divergent_replay_discards_stale_input() {
+    let bus = NetworkBus::new(29);
+    let repo = Arc::new(Repository::create("sconv2").unwrap());
+    repo.create_queue_defaults("req").unwrap();
+    repo.create_queue_defaults("reply.c").unwrap();
+
+    let log = Arc::new(IoLog::new());
+    let asked = Arc::new(AtomicU32::new(0));
+    let asked2 = Arc::clone(&asked);
+    let user: Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync> = Arc::new(move |prompt| {
+        asked2.fetch_add(1, Ordering::Relaxed);
+        prompt.to_vec()
+    });
+    let _conv_guard =
+        spawn_conversation_endpoint(&bus, "c-conv2", Arc::clone(&log), Arc::clone(&user));
+
+    let attempts = Arc::new(AtomicU32::new(0));
+    let attempts2 = Arc::clone(&attempts);
+    let bus2 = bus.clone();
+    let handler: Handler = Arc::new(move |_ctx, req: &Request| {
+        let n = attempts2.fetch_add(1, Ordering::Relaxed);
+        let rpc = RpcClient::new(&bus2, &format!("conv2-srv-{}-{n}", req.rid.serial));
+        let mut conv = RpcConversation::new(rpc, "c-conv2", req.rid.to_attr());
+        let _a = conv.solicit(b"same-first")?;
+        // Second prompt differs between incarnations.
+        let prompt: &[u8] = if n == 0 { b"old-second" } else { b"NEW-second" };
+        let b = conv.solicit(prompt)?;
+        if n == 0 {
+            return Err(HandlerError::Abort("abort".into()));
+        }
+        Ok(HandlerOutcome::Reply(b))
+    });
+    let server = Server::new(
+        Arc::clone(&repo),
+        ServerConfig::new("conv2-server", "req"),
+        handler,
+    )
+    .unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let h = server.spawn(Arc::clone(&stop));
+
+    let clerk = rrq_tests::local_clerk(&repo, "c");
+    clerk.connect().unwrap();
+    clerk.send("converse", vec![], Rid::new("c", 1)).unwrap();
+    let reply = clerk.receive(b"").unwrap();
+    assert_eq!(reply.body, b"NEW-second".to_vec());
+
+    let stats = log.stats();
+    assert_eq!(stats.replayed, 1, "only the matching first round replayed");
+    assert_eq!(stats.divergences, 1);
+    assert_eq!(stats.fresh, 3, "2 initial + 1 fresh for the new prompt");
+    assert_eq!(asked.load(Ordering::Relaxed), 3);
+
+    stop.store(true, Ordering::Relaxed);
+    h.join().unwrap();
+}
