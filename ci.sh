@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI pipeline: formatting, lints (clippy + rrq-lint), and the
+# tier-1 build/test cycle. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rrq-lint"
+cargo run --release -p rrq-check --bin rrq-lint
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test -q --release
+
+echo "CI OK"

@@ -19,7 +19,8 @@ fn drain_with_threads(repo: &Arc<Repository>, queue: &str, threads: usize) {
             let (h, _) = repo.qm().register(&queue, &format!("d{i}"), false).unwrap();
             loop {
                 let r = repo.autocommit(|t| {
-                    repo.qm().dequeue(t.id().raw(), &h, DequeueOptions::default())
+                    repo.qm()
+                        .dequeue(t.id().raw(), &h, DequeueOptions::default())
                 });
                 if r.is_err() {
                     return; // empty
@@ -44,32 +45,36 @@ fn bench_ordering_modes(c: &mut Criterion) {
                     OrderingMode::StrictFifo => "strict_fifo",
                 }
             );
-            g.bench_with_input(BenchmarkId::from_parameter(&name), &threads, |b, &threads| {
-                b.iter_batched(
-                    || {
-                        let repo =
-                            Arc::new(Repository::create(format!("bench-ord-{name}")).unwrap());
-                        let mut meta = QueueMeta::with_defaults("q");
-                        meta.mode = mode;
-                        repo.qm().create_queue(meta).unwrap();
-                        let (h, _) = repo.qm().register("q", "filler", false).unwrap();
-                        for i in 0..ELEMENTS {
-                            repo.autocommit(|t| {
-                                repo.qm().enqueue(
-                                    t.id().raw(),
-                                    &h,
-                                    &i.to_le_bytes(),
-                                    EnqueueOptions::default(),
-                                )
-                            })
-                            .unwrap();
-                        }
-                        repo
-                    },
-                    |repo| drain_with_threads(&repo, "q", threads),
-                    criterion::BatchSize::PerIteration,
-                );
-            });
+            g.bench_with_input(
+                BenchmarkId::from_parameter(&name),
+                &threads,
+                |b, &threads| {
+                    b.iter_batched(
+                        || {
+                            let repo =
+                                Arc::new(Repository::create(format!("bench-ord-{name}")).unwrap());
+                            let mut meta = QueueMeta::with_defaults("q");
+                            meta.mode = mode;
+                            repo.qm().create_queue(meta).unwrap();
+                            let (h, _) = repo.qm().register("q", "filler", false).unwrap();
+                            for i in 0..ELEMENTS {
+                                repo.autocommit(|t| {
+                                    repo.qm().enqueue(
+                                        t.id().raw(),
+                                        &h,
+                                        &i.to_le_bytes(),
+                                        EnqueueOptions::default(),
+                                    )
+                                })
+                                .unwrap();
+                            }
+                            repo
+                        },
+                        |repo| drain_with_threads(&repo, "q", threads),
+                        criterion::BatchSize::PerIteration,
+                    );
+                },
+            );
         }
     }
     g.finish();

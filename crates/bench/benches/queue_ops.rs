@@ -40,7 +40,8 @@ fn bench_enqueue_dequeue_pair(c: &mut Criterion) {
                 })
                 .unwrap();
                 repo.autocommit(|t| {
-                    repo.qm().dequeue(t.id().raw(), &h, DequeueOptions::default())
+                    repo.qm()
+                        .dequeue(t.id().raw(), &h, DequeueOptions::default())
                 })
                 .unwrap()
             });

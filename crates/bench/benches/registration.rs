@@ -72,5 +72,9 @@ fn bench_tagged_receive_path(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tagged_vs_untagged_enqueue, bench_tagged_receive_path);
+criterion_group!(
+    benches,
+    bench_tagged_vs_untagged_enqueue,
+    bench_tagged_receive_path
+);
 criterion_main!(benches);

@@ -39,20 +39,22 @@ fn bench_commit_cost(c: &mut Criterion) {
 fn bench_txn_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("kv_commit_writes_per_txn");
     for writes in [1usize, 10, 100] {
-        g.bench_with_input(BenchmarkId::from_parameter(writes), &writes, |b, &writes| {
-            let (store, _, _) = open(true);
-            let mut t = 1u64;
-            b.iter(|| {
-                store.begin(t).unwrap();
-                for i in 0..writes {
-                    store
-                        .put(t, format!("k{i}").as_bytes(), b"v")
-                        .unwrap();
-                }
-                store.commit(t).unwrap();
-                t += 1;
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(writes),
+            &writes,
+            |b, &writes| {
+                let (store, _, _) = open(true);
+                let mut t = 1u64;
+                b.iter(|| {
+                    store.begin(t).unwrap();
+                    for i in 0..writes {
+                        store.put(t, format!("k{i}").as_bytes(), b"v").unwrap();
+                    }
+                    store.commit(t).unwrap();
+                    t += 1;
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -13,6 +13,7 @@ use rrq_bench::fmt_rate;
 use rrq_core::api::{LocalQm, QmApi};
 use rrq_core::app_lock::AppLockTable;
 use rrq_core::clerk::{Clerk, ClerkConfig};
+use rrq_core::client::ReplyProcessor;
 use rrq_core::conversation::IoLog;
 use rrq_core::designs::{self, DesignWorkload};
 use rrq_core::device::TicketPrinter;
@@ -20,7 +21,6 @@ use rrq_core::pipeline::{Pipeline, Serializability, StageFn, StageResult};
 use rrq_core::remote::{QmRpcServer, RemoteQm};
 use rrq_core::request::{Reply, Request};
 use rrq_core::rid::Rid;
-use rrq_core::client::ReplyProcessor;
 use rrq_core::server::{spawn_pool, Handler, HandlerError, HandlerOutcome};
 use rrq_net::NetworkBus;
 use rrq_qm::meta::{OrderingMode, QueueMeta};
@@ -48,7 +48,9 @@ struct Scale {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let scale = Scale { n: if quick { 1 } else { 4 } };
+    let scale = Scale {
+        n: if quick { 1 } else { 4 },
+    };
     let wanted: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -129,7 +131,9 @@ fn e1_client_resync(scale: &Scale) {
         let name = format!("e1-{}", (prob * 100.0) as u32);
         let repo = mk_repo(&name, &["req", "reply.c"]);
         let handler = EffectLedger::instrument(Arc::new(|_ctx, req: &Request| {
-            Ok(HandlerOutcome::Reply(format!("r{}", req.rid.serial).into_bytes()))
+            Ok(HandlerOutcome::Reply(
+                format!("r{}", req.rid.serial).into_bytes(),
+            ))
         }));
         let (_s, handles, stop) = spawn_pool(&repo, "req", 2, handler).unwrap();
         let schedule = CrashSchedule::random(n, prob, 42);
@@ -150,8 +154,16 @@ fn e1_client_resync(scale: &Scale) {
             report.resync_received,
             report.resync_reprocessed,
             report.resync_already_processed,
-            if printer.has_duplicate_prints() { "YES" } else { "0" },
-            if violations.is_empty() { "HOLDS" } else { "VIOLATED" },
+            if printer.has_duplicate_prints() {
+                "YES"
+            } else {
+                "0"
+            },
+            if violations.is_empty() {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            },
         );
     }
     println!();
@@ -171,34 +183,56 @@ fn e2_queue_ops() {
     let t0 = Instant::now();
     for _ in 0..iters {
         repo.autocommit(|t| {
-            repo.qm()
-                .enqueue(t.id().raw(), &h, b"payload-64-bytes", EnqueueOptions::default())
+            repo.qm().enqueue(
+                t.id().raw(),
+                &h,
+                b"payload-64-bytes",
+                EnqueueOptions::default(),
+            )
         })
         .unwrap();
     }
-    println!("| Enqueue (txn commit incl.) | {:>5.1} |", t0.elapsed().as_micros() as f64 / iters as f64);
+    println!(
+        "| Enqueue (txn commit incl.) | {:>5.1} |",
+        t0.elapsed().as_micros() as f64 / iters as f64
+    );
 
     let t0 = Instant::now();
     for _ in 0..iters {
-        repo.autocommit(|t| repo.qm().dequeue(t.id().raw(), &h, DequeueOptions::default()))
-            .unwrap();
+        repo.autocommit(|t| {
+            repo.qm()
+                .dequeue(t.id().raw(), &h, DequeueOptions::default())
+        })
+        .unwrap();
     }
-    println!("| Dequeue (txn commit incl.) | {:>5.1} |", t0.elapsed().as_micros() as f64 / iters as f64);
+    println!(
+        "| Dequeue (txn commit incl.) | {:>5.1} |",
+        t0.elapsed().as_micros() as f64 / iters as f64
+    );
 
     let eid = repo
-        .autocommit(|t| repo.qm().enqueue(t.id().raw(), &h, b"x", EnqueueOptions::default()))
+        .autocommit(|t| {
+            repo.qm()
+                .enqueue(t.id().raw(), &h, b"x", EnqueueOptions::default())
+        })
         .unwrap();
     let t0 = Instant::now();
     for _ in 0..iters {
         repo.qm().read(eid).unwrap();
     }
-    println!("| Read                       | {:>5.1} |", t0.elapsed().as_micros() as f64 / iters as f64);
+    println!(
+        "| Read                       | {:>5.1} |",
+        t0.elapsed().as_micros() as f64 / iters as f64
+    );
 
     let t0 = Instant::now();
     for _ in 0..500 {
         repo.qm().register("q", "c", false).unwrap();
     }
-    println!("| Register (existing)        | {:>5.1} |", t0.elapsed().as_micros() as f64 / 500.0);
+    println!(
+        "| Register (existing)        | {:>5.1} |",
+        t0.elapsed().as_micros() as f64 / 500.0
+    );
     println!();
 }
 
@@ -343,7 +377,11 @@ fn e4_end_to_end(scale: &Scale) {
     println!(
         "| {:>12} | {total:>8} | {received:>7} | {} |",
         node.crash_count(),
-        if violations.is_empty() { "HOLDS" } else { "VIOLATED" }
+        if violations.is_empty() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     println!();
 }
@@ -352,7 +390,9 @@ fn e4_end_to_end(scale: &Scale) {
 // E5 — Fig 6 / §6: multi-transaction requests vs one long transaction
 // ======================================================================
 fn e5_multi_txn(scale: &Scale) {
-    println!("## E5 — funds transfer: one long transaction vs three chained transactions (Fig 6)\n");
+    println!(
+        "## E5 — funds transfer: one long transaction vs three chained transactions (Fig 6)\n"
+    );
     println!("The paper's motivation for multi-transaction requests is lock contention:");
     println!("the long transaction holds BOTH account locks for the whole request, the");
     println!("pipeline holds each lock for one stage only. Accounts are hot (4 total).\n");
@@ -365,7 +405,9 @@ fn e5_multi_txn(scale: &Scale) {
         // account locks are held.
         let single = {
             let repo = mk_repo(&format!("e5-s-{stage_us}"), &["req", "reply.c"]);
-            repo.qm().update_queue("req", |m| m.retry_limit = 0).unwrap();
+            repo.qm()
+                .update_queue("req", |m| m.retry_limit = 0)
+                .unwrap();
             repo.tm().set_lock_timeout(Duration::from_secs(60));
             bank::seed_accounts(&repo, ACCOUNTS, 1_000_000).unwrap();
             let inner = bank::single_txn_handler();
@@ -385,10 +427,7 @@ fn e5_multi_txn(scale: &Scale) {
         // Three-transaction pipeline: each stage holds one account lock for
         // one stage's worth of work.
         let pipelined = {
-            let repo = mk_repo(
-                &format!("e5-p-{stage_us}"),
-                &["x0", "x1", "x2", "reply.c"],
-            );
+            let repo = mk_repo(&format!("e5-p-{stage_us}"), &["x0", "x1", "x2", "reply.c"]);
             for q in ["x0", "x1", "x2"] {
                 repo.qm().update_queue(q, |m| m.retry_limit = 0).unwrap();
             }
@@ -460,7 +499,9 @@ fn drive_transfers(repo: &Arc<Repository>, entry: &str, n: u64, accounts: u32) -
 // E6 — §6: request-level serializability mechanisms
 // ======================================================================
 fn e6_request_serializability(scale: &Scale) {
-    println!("## E6 — request serializability: none vs lock inheritance vs application locks (§6)\n");
+    println!(
+        "## E6 — request serializability: none vs lock inheritance vs application locks (§6)\n"
+    );
     println!("| contention θ | none req/s | inherit-locks req/s | app-locks req/s |");
     println!("|-------------:|-----------:|--------------------:|----------------:|");
     let n = 10 * scale.n;
@@ -500,8 +541,7 @@ fn e6_request_serializability(scale: &Scale) {
             // same for every mode so the comparison stays fair.
             let servers = pipeline.build_servers_pool(&repo, 2).unwrap();
             let stop = Arc::new(AtomicBool::new(false));
-            let handles: Vec<_> =
-                servers.iter().map(|s| s.spawn(Arc::clone(&stop))).collect();
+            let handles: Vec<_> = servers.iter().map(|s| s.spawn(Arc::clone(&stop))).collect();
 
             let api = LocalQm::new(Arc::clone(&repo));
             api.register("x0", "c", false).unwrap();
@@ -516,8 +556,7 @@ fn e6_request_serializability(scale: &Scale) {
                     to: if to == from { (to + 1) % 32 } else { to },
                     amount: 5,
                 };
-                let req =
-                    Request::new(Rid::new("c", i + 1), "reply.c", "transfer", t.encode());
+                let req = Request::new(Rid::new("c", i + 1), "reply.c", "transfer", t.encode());
                 api.enqueue("x0", "c", &req.encode_to_vec(), EnqueueOptions::default())
                     .unwrap();
             }
@@ -530,14 +569,14 @@ fn e6_request_serializability(scale: &Scale) {
                         ..Default::default()
                     },
                 );
-                if r.is_err() {
+                if let Err(e) = r {
                     for q in ["x0", "x1", "x2", "reply.c"] {
                         eprintln!(
                             "E6 DIAG mode={mode_name} θ={theta} reply {i}/{n}: depth({q}) = {:?}",
                             api.depth(q)
                         );
                     }
-                    r.unwrap();
+                    panic!("E6 reply dequeue failed: {e:?}");
                 }
             }
             rates.push(n as f64 / t0.elapsed().as_secs_f64());
@@ -638,9 +677,7 @@ fn e7_cancellation(scale: &Scale) {
         let mut cancelled = 0u64;
         let mut too_late = 0u64;
         for i in 0..per_point {
-            clerk
-                .send("op", vec![], Rid::new("c", i + 1))
-                .unwrap();
+            clerk.send("op", vec![], Rid::new("c", i + 1)).unwrap();
             std::thread::sleep(Duration::from_millis(delay_ms));
             if clerk.cancel_last_request().unwrap() {
                 cancelled += 1;
@@ -653,7 +690,8 @@ fn e7_cancellation(scale: &Scale) {
             while repo.qm().depth("reply.c").unwrap_or(0) > 0 {
                 let _ = repo.autocommit(|t| {
                     let (h, _) = repo.qm().register("reply.c", "c", true)?;
-                    repo.qm().dequeue(t.id().raw(), &h, DequeueOptions::default())
+                    repo.qm()
+                        .dequeue(t.id().raw(), &h, DequeueOptions::default())
                 });
             }
         }
@@ -662,9 +700,7 @@ fn e7_cancellation(scale: &Scale) {
             h.join().unwrap();
         }
         let effects = EffectLedger::counts(&repo).unwrap().len() as u64;
-        println!(
-            "| {delay_ms:>15} | {cancelled:>9} | {too_late:>8} | {effects:>17} |"
-        );
+        println!("| {delay_ms:>15} | {cancelled:>9} | {too_late:>8} | {effects:>17} |");
     }
     println!();
 }
@@ -683,7 +719,7 @@ fn e8_interactive(scale: &Scale) {
         let log = Arc::new(IoLog::new());
         let asked = Arc::new(AtomicU32::new(0));
         let asked2 = Arc::clone(&asked);
-        let user: Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync> = Arc::new(move |p| {
+        let user: rrq_core::conversation::UserFn = Arc::new(move |p| {
             asked2.fetch_add(1, Ordering::Relaxed);
             p.to_vec()
         });
@@ -699,10 +735,8 @@ fn e8_interactive(scale: &Scale) {
         let handler: Handler = Arc::new(move |_ctx, req| {
             use rrq_core::conversation::{Conversation, RpcConversation};
             let n = attempts2.fetch_add(1, Ordering::Relaxed);
-            let rpc = rrq_net::rpc::RpcClient::new(
-                &bus2,
-                &format!("conv-srv-{}-{n}", req.rid.serial),
-            );
+            let rpc =
+                rrq_net::rpc::RpcClient::new(&bus2, &format!("conv-srv-{}-{n}", req.rid.serial));
             let mut conv = RpcConversation::new(rpc, "conv-client", req.rid.to_attr());
             let mut collected = Vec::new();
             for r in 0..rounds {
@@ -727,7 +761,9 @@ fn e8_interactive(scale: &Scale) {
             // Reset per-request attempt counter so each request aborts
             // `aborts` times.
             attempts.store(0, Ordering::Relaxed);
-            clerk.send("converse", vec![], Rid::new("c", i + 1)).unwrap();
+            clerk
+                .send("converse", vec![], Rid::new("c", i + 1))
+                .unwrap();
             let _ = clerk.receive(b"").unwrap();
         }
         stop.store(true, Ordering::Relaxed);
@@ -756,9 +792,7 @@ fn e9_dequeue_ordering(scale: &Scale) {
     for threads in [1usize, 2, 4, 8] {
         let mut rates = Vec::new();
         for mode in [OrderingMode::SkipLocked, OrderingMode::StrictFifo] {
-            let repo = Arc::new(
-                Repository::create(format!("e9-{threads}-{mode:?}")).unwrap(),
-            );
+            let repo = Arc::new(Repository::create(format!("e9-{threads}-{mode:?}")).unwrap());
             let mut meta = QueueMeta::with_defaults("q");
             meta.mode = mode;
             repo.qm().create_queue(meta).unwrap();
@@ -778,24 +812,29 @@ fn e9_dequeue_ordering(scale: &Scale) {
             let mut handles = Vec::new();
             for d in 0..threads {
                 let repo = Arc::clone(&repo);
-                handles.push(std::thread::spawn(move || {
-                    let (h, _) = repo.qm().register("q", &format!("d{d}"), false).unwrap();
-                    loop {
-                        // Process the element INSIDE the transaction, so its
-                        // write lock is held for the duration of the work —
-                        // the situation §10's ordering discussion is about.
-                        let r = repo.autocommit(|t| {
-                            let e = repo
-                                .qm()
-                                .dequeue(t.id().raw(), &h, DequeueOptions::default())?;
-                            std::thread::sleep(Duration::from_micros(300));
-                            Ok(e)
-                        });
-                        if r.is_err() {
-                            return;
+                handles.push(rrq_core::threads::spawn_named(
+                    format!("e13-d{d}"),
+                    move || {
+                        let (h, _) = repo.qm().register("q", &format!("d{d}"), false).unwrap();
+                        loop {
+                            // Process the element INSIDE the transaction, so its
+                            // write lock is held for the duration of the work —
+                            // the situation §10's ordering discussion is about.
+                            let r = repo.autocommit(|t| {
+                                let e = repo.qm().dequeue(
+                                    t.id().raw(),
+                                    &h,
+                                    DequeueOptions::default(),
+                                )?;
+                                std::thread::sleep(Duration::from_micros(300));
+                                Ok(e)
+                            });
+                            if r.is_err() {
+                                return;
+                            }
                         }
-                    }
-                }));
+                    },
+                ));
             }
             for hd in handles {
                 hd.join().unwrap();
@@ -865,7 +904,11 @@ fn e10_registration(scale: &Scale) {
         let _ = repo.create_queue_defaults("q");
         let (h, reg) = repo.qm().register("q", "c", true).unwrap();
         // Check the previous incarnation's tag.
-        let expected_prev = if i == 0 { None } else { Some((i - 1).to_le_bytes().to_vec()) };
+        let expected_prev = if i == 0 {
+            None
+        } else {
+            Some((i - 1).to_le_bytes().to_vec())
+        };
         if reg.tag == expected_prev {
             correct += 1;
         }
@@ -884,9 +927,7 @@ fn e10_registration(scale: &Scale) {
         drop(repo);
         disks.crash();
     }
-    println!(
-        "\ncrash/reopen cycles: {cycles}; tags recovered correctly: {correct}/{cycles}\n"
-    );
+    println!("\ncrash/reopen cycles: {cycles}; tags recovered correctly: {correct}/{cycles}\n");
 }
 
 // ======================================================================
@@ -944,7 +985,11 @@ fn e11_burst_and_load_sharing(scale: &Scale) {
     println!("| per-server shares        | {shares:?} |");
     println!(
         "| share imbalance (max/min) | {:.2} |",
-        if idlest > 0.0 { busiest / idlest } else { f64::INFINITY }
+        if idlest > 0.0 {
+            busiest / idlest
+        } else {
+            f64::INFINITY
+        }
     );
     println!();
 }
@@ -1010,7 +1055,10 @@ fn e13_storage(scale: &Scale) {
     println!("| configuration | commit µs | recovery ms (10k txns) |");
     println!("|:--------------|----------:|-----------------------:|");
     let iters = 2_000 * scale.n;
-    for (name, sync) in [("forced log (durable)", true), ("no force (volatile)", false)] {
+    for (name, sync) in [
+        ("forced log (durable)", true),
+        ("no force (volatile)", false),
+    ] {
         let wal = SimDisk::new();
         let ckpt = SimDisk::new();
         let (store, _) = KvStore::open(
@@ -1096,7 +1144,9 @@ fn e14_testable_device(scale: &Scale) {
         let schedule = CrashSchedule::every(n, CrashPoint::AfterProcess);
         let driver = ClientCrashDriver::new(|| mk_clerk(&repo, "c"), "op");
         let duplicates = if device == "dumb printer" {
-            let mut p = DumbPrinter { printed: Vec::new() };
+            let mut p = DumbPrinter {
+                printed: Vec::new(),
+            };
             driver
                 .run(n, |s| schedule.get(s), |_| vec![], &mut p)
                 .unwrap();

@@ -1,0 +1,41 @@
+//! Workspace lint runner: `cargo run -p rrq-check --bin rrq-lint [root]`.
+//!
+//! Scans `crates/*/src` under the workspace root (defaulting to the root
+//! that contains this crate) and exits non-zero on any finding that is not
+//! covered by an allowlist entry. See `rrq_check::lint` for the rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        // crates/check/../.. == the workspace root, wherever cargo runs us.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let outcome = match rrq_check::lint::run(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rrq-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for finding in &outcome.findings {
+        println!("{finding}");
+    }
+    if outcome.findings.is_empty() {
+        println!(
+            "rrq-lint: clean ({} files scanned, {} finding(s) allowlisted)",
+            outcome.files_scanned, outcome.suppressed
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "rrq-lint: {} finding(s) in {} files ({} allowlisted)",
+            outcome.findings.len(),
+            outcome.files_scanned,
+            outcome.suppressed
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,26 @@
+//! Correctness tooling for the recoverable-request workspace (S18).
+//!
+//! Three independent layers, all zero-dependency so every production crate
+//! can link the hooks:
+//!
+//! * [`race`] — a vector-clock happens-before race detector. The lock
+//!   manager, the queue manager, and instrumented shared state report
+//!   acquire/release and enqueue/dequeue edges; unordered conflicting
+//!   accesses to a tracked cell are reported with both access stacks.
+//! * [`protocol`] — the paper's Fig 1 (client) and Fig 5 (server)
+//!   state-transition diagrams as data, plus a conformance checker that
+//!   validates event traces emitted by `rrq-core`'s clerk and server loop.
+//! * [`lint`] — a source-level lint pass over `crates/*/src` enforcing
+//!   workspace rules (no `unwrap` in recovery paths, no raw thread spawns,
+//!   no wall-clock reads in simulation code, `sync()` adjacent to
+//!   commit-point log writes). Run it with `cargo run -p rrq-check --bin
+//!   rrq-lint`; it is also enforced by a `cargo test` gate.
+//!
+//! All runtime hooks are compiled in permanently but gated behind a relaxed
+//! atomic load, so production code pays one predictable branch when no
+//! checker is active.
+
+pub mod clock;
+pub mod lint;
+pub mod protocol;
+pub mod race;

@@ -1,0 +1,393 @@
+//! Source-level workspace lints (plain line scanning, no parsing).
+//!
+//! Four rules over every `.rs` file under `crates/*/src`, skipping
+//! `#[cfg(test)]` items and `//` comment lines:
+//!
+//! * **no-unwrap-in-recovery** — `unwrap()`/`expect(` are banned in the
+//!   crash-recovery path (`storage/src/recovery.rs` and the WAL replay in
+//!   `storage/src/wal.rs`): recovery must degrade to typed errors, never
+//!   panic on a torn log.
+//! * **no-raw-spawn** — `thread::spawn` is banned outside
+//!   `core/src/threads.rs`, so every worker thread goes through one place
+//!   that names it and can later carry instrumentation.
+//! * **no-wallclock-in-sim** — `Instant::now`/`SystemTime::now` are banned
+//!   under `crates/sim/src`: simulation code must take time from its
+//!   driver or deadlines passed in by the caller.
+//! * **commit-sync** — a WAL append of a commit-point record
+//!   (`RecordKind::Commit` or a 2PC `DECISION_KIND`) must have a `sync(`
+//!   call within the next few lines; durability of the commit point is
+//!   the paper's whole game.
+//!
+//! Each lint has an allowlist file at `crates/check/lints/<lint>.allow`
+//! (one `path-suffix [:: line-fragment]` per line, `#` comments) for the
+//! few justified exceptions; every entry should say why.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lines of lookahead for the commit-sync adjacency rule.
+const SYNC_WINDOW: usize = 4;
+
+// Built with concat! so this file does not match its own patterns.
+const PAT_UNWRAP: &str = concat!(".unwr", "ap()");
+const PAT_EXPECT: &str = concat!(".exp", "ect(");
+const PAT_SPAWN: &str = concat!("thread::", "spawn(");
+const PAT_INSTANT: &str = concat!("Instant::", "now");
+const PAT_SYSTIME: &str = concat!("SystemTime::", "now");
+const PAT_COMMIT: &str = concat!("RecordKind::", "Commit");
+const PAT_DECISION: &str = concat!("DECISION_", "KIND");
+
+/// Every lint name, in reporting order.
+pub const LINTS: &[&str] = &[
+    "no-unwrap-in-recovery",
+    "no-raw-spawn",
+    "no-wallclock-in-sim",
+    "commit-sync",
+];
+
+/// One lint hit.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub lint: &'static str,
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.excerpt
+        )
+    }
+}
+
+/// Result of a full lint pass.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Findings that survived the allowlists.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by allowlist entries.
+    pub suppressed: usize,
+}
+
+/// Run every lint over `<root>/crates/*/src`, applying the allowlists
+/// under `<root>/crates/check/lints/`.
+pub fn run(root: &Path) -> io::Result<Outcome> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut out = Outcome::default();
+    let mut raw = Vec::new();
+    for file in &files {
+        let text = fs::read_to_string(file)?;
+        let rel = relative_slash(root, file);
+        lint_file(&rel, &text, &mut raw);
+        out.files_scanned += 1;
+    }
+
+    for finding in raw {
+        let allow = load_allowlist(root, finding.lint);
+        if allow.iter().any(|(suffix, frag)| {
+            finding.file.ends_with(suffix.as_str()) && frag_matches(frag, &finding.excerpt)
+        }) {
+            out.suppressed += 1;
+        } else {
+            out.findings.push(finding);
+        }
+    }
+    Ok(out)
+}
+
+fn frag_matches(frag: &Option<String>, excerpt: &str) -> bool {
+    match frag {
+        None => true,
+        Some(f) => excerpt.contains(f.as_str()),
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_slash(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Mark every line that belongs to a `#[cfg(test)]` item by tracking the
+/// braces of the item that follows the attribute.
+fn test_flags(lines: &[&str]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim_start().starts_with("#[cfg(test)]") {
+            let mut depth: i64 = 0;
+            let mut seen_open = false;
+            let mut j = i;
+            while j < lines.len() {
+                flags[j] = true;
+                for ch in lines[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            seen_open = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if seen_open && depth <= 0 {
+                    break;
+                }
+                if !seen_open && lines[j].contains(';') {
+                    break; // braceless item, e.g. `#[cfg(test)] use …;`
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let in_test = test_flags(&lines);
+    let scannable = |i: usize| -> bool { !in_test[i] && !lines[i].trim_start().starts_with("//") };
+    let push = |out: &mut Vec<Finding>, lint: &'static str, i: usize| {
+        out.push(Finding {
+            lint,
+            file: rel.to_string(),
+            line: i + 1,
+            excerpt: lines[i].trim().to_string(),
+        });
+    };
+
+    let recovery_path =
+        rel.ends_with("storage/src/recovery.rs") || rel.ends_with("storage/src/wal.rs");
+    let spawn_exempt = rel.ends_with("core/src/threads.rs");
+    let sim_path = rel.contains("crates/sim/src");
+
+    for i in 0..lines.len() {
+        if !scannable(i) {
+            continue;
+        }
+        let line = lines[i];
+        if recovery_path && (line.contains(PAT_UNWRAP) || line.contains(PAT_EXPECT)) {
+            push(out, "no-unwrap-in-recovery", i);
+        }
+        if !spawn_exempt && line.contains(PAT_SPAWN) {
+            push(out, "no-raw-spawn", i);
+        }
+        if sim_path && (line.contains(PAT_INSTANT) || line.contains(PAT_SYSTIME)) {
+            push(out, "no-wallclock-in-sim", i);
+        }
+        if line.contains(".append(") && (line.contains(PAT_COMMIT) || line.contains(PAT_DECISION)) {
+            let synced = (i + 1..=i + SYNC_WINDOW)
+                .filter(|&j| j < lines.len())
+                .any(|j| lines[j].contains("sync("));
+            if !synced {
+                push(out, "commit-sync", i);
+            }
+        }
+    }
+}
+
+/// Parse `crates/check/lints/<lint>.allow`: `suffix [:: fragment]` lines.
+fn load_allowlist(root: &Path, lint: &str) -> Vec<(String, Option<String>)> {
+    let path = root
+        .join("crates/check/lints")
+        .join(format!("{lint}.allow"));
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line.split_once("::") {
+            Some((suffix, frag)) => {
+                entries.push((suffix.trim().to_string(), Some(frag.trim().to_string())))
+            }
+            None => entries.push((line.to_string(), None)),
+        }
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    struct TempRoot(PathBuf);
+
+    impl TempRoot {
+        fn new() -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "rrq-lint-test-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            TempRoot(dir)
+        }
+
+        fn write(&self, rel: &str, content: &str) {
+            let path = self.0.join(rel);
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(path, content).unwrap();
+        }
+    }
+
+    impl Drop for TempRoot {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn unwrap_src() -> String {
+        format!("fn f() {{ x{}; }}\n", PAT_UNWRAP)
+    }
+
+    #[test]
+    fn unwrap_in_recovery_is_flagged() {
+        let root = TempRoot::new();
+        root.write("crates/storage/src/recovery.rs", &unwrap_src());
+        let out = run(&root.0).unwrap();
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "no-unwrap-in-recovery");
+        assert_eq!(out.findings[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_elsewhere_is_fine() {
+        let root = TempRoot::new();
+        root.write("crates/storage/src/kv.rs", &unwrap_src());
+        let out = run(&root.0).unwrap();
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn test_module_is_skipped() {
+        let root = TempRoot::new();
+        let src = format!(
+            "fn ok() {{}}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ x{}; }}\n}}\n",
+            PAT_UNWRAP
+        );
+        root.write("crates/storage/src/recovery.rs", &src);
+        let out = run(&root.0).unwrap();
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn raw_spawn_flagged_except_in_threads_rs() {
+        let root = TempRoot::new();
+        let src = format!("fn f() {{ std::{}|| ()); }}\n", PAT_SPAWN);
+        root.write("crates/core/src/server.rs", &src);
+        root.write("crates/core/src/threads.rs", &src);
+        let out = run(&root.0).unwrap();
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "no-raw-spawn");
+        assert!(out.findings[0].file.ends_with("core/src/server.rs"));
+    }
+
+    #[test]
+    fn wallclock_in_sim_flagged() {
+        let root = TempRoot::new();
+        let src = format!("fn f() {{ let _ = {}(); }}\n", PAT_INSTANT);
+        root.write("crates/sim/src/driver.rs", &src);
+        root.write("crates/qm/src/ops.rs", &src); // out of scope
+        let out = run(&root.0).unwrap();
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "no-wallclock-in-sim");
+    }
+
+    #[test]
+    fn commit_append_without_sync_flagged() {
+        let root = TempRoot::new();
+        let bad = format!("fn f() {{ wal.append(t, {}, &[])?; }}\n", PAT_COMMIT);
+        let good = format!(
+            "fn f() {{\n    wal.append(t, {}, &[])?;\n    wal.sync()?;\n}}\n",
+            PAT_COMMIT
+        );
+        root.write("crates/storage/src/a.rs", &bad);
+        root.write("crates/storage/src/b.rs", &good);
+        let out = run(&root.0).unwrap();
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "commit-sync");
+        assert!(out.findings[0].file.ends_with("a.rs"));
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_suffix_and_fragment() {
+        let root = TempRoot::new();
+        let src = format!("fn f() {{ std::{}|| ()); }}\n", PAT_SPAWN);
+        root.write("crates/net/src/bus.rs", &src);
+        root.write(
+            "crates/check/lints/no-raw-spawn.allow",
+            "# io threads predate the helper\nnet/src/bus.rs :: std::\n",
+        );
+        let out = run(&root.0).unwrap();
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn allowlist_fragment_must_match() {
+        let root = TempRoot::new();
+        let src = format!("fn f() {{ std::{}|| ()); }}\n", PAT_SPAWN);
+        root.write("crates/net/src/bus.rs", &src);
+        root.write(
+            "crates/check/lints/no-raw-spawn.allow",
+            "net/src/bus.rs :: something_else\n",
+        );
+        let out = run(&root.0).unwrap();
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.suppressed, 0);
+    }
+
+    #[test]
+    fn comment_lines_are_ignored() {
+        let root = TempRoot::new();
+        let src = format!("// illustrative: x{};\nfn ok() {{}}\n", PAT_UNWRAP);
+        root.write("crates/storage/src/recovery.rs", &src);
+        let out = run(&root.0).unwrap();
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+}

@@ -1,0 +1,28 @@
+//! The workspace lint gate: `cargo test -p rrq-check` fails if any source
+//! lint fires anywhere in `crates/*/src`. Future PRs inherit the checks by
+//! keeping this test green (or by adding a justified allowlist entry under
+//! `crates/check/lints/`).
+
+use rrq_check::lint;
+use std::path::Path;
+
+#[test]
+fn workspace_sources_pass_all_lints() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let outcome = lint::run(&root).expect("lint walk succeeds");
+    assert!(
+        outcome.files_scanned > 20,
+        "the walk must cover the workspace (saw {} files)",
+        outcome.files_scanned
+    );
+    assert!(
+        outcome.findings.is_empty(),
+        "lint violations:\n{}",
+        outcome
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

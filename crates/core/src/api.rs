@@ -49,12 +49,7 @@ pub trait QmApi: Send + Sync {
     ) -> CoreResult<()>;
 
     /// Atomic dequeue (optionally blocking via `opts.block`).
-    fn dequeue(
-        &self,
-        queue: &str,
-        registrant: &str,
-        opts: DequeueOptions,
-    ) -> CoreResult<Element>;
+    fn dequeue(&self, queue: &str, registrant: &str, opts: DequeueOptions) -> CoreResult<Element>;
 
     /// `Read` (§4.2): fetch by eid without modification; works for retained
     /// (already dequeued) elements too.
@@ -98,7 +93,10 @@ impl QmApi for LocalQm {
     }
 
     fn deregister(&self, queue: &str, registrant: &str) -> CoreResult<()> {
-        Ok(self.repo.qm().deregister(&Self::handle(queue, registrant))?)
+        Ok(self
+            .repo
+            .qm()
+            .deregister(&Self::handle(queue, registrant))?)
     }
 
     fn enqueue(
@@ -124,12 +122,7 @@ impl QmApi for LocalQm {
         self.enqueue(queue, registrant, payload, opts).map(|_| ())
     }
 
-    fn dequeue(
-        &self,
-        queue: &str,
-        registrant: &str,
-        opts: DequeueOptions,
-    ) -> CoreResult<Element> {
+    fn dequeue(&self, queue: &str, registrant: &str, opts: DequeueOptions) -> CoreResult<Element> {
         let h = Self::handle(queue, registrant);
         Ok(self
             .repo

@@ -143,6 +143,13 @@ impl Clerk {
             }
         }
         st.connected = true;
+        rrq_check::protocol::emit_client(
+            &self.cfg.client_id,
+            rrq_check::protocol::ClientEvent::Connect {
+                s_rid: info.s_rid.as_ref().map(|r| r.to_attr()),
+                r_rid: info.r_rid.as_ref().map(|r| r.to_attr()),
+            },
+        );
         Ok(info)
     }
 
@@ -156,6 +163,10 @@ impl Clerk {
         self.api
             .deregister(&self.cfg.reply_queue, &self.cfg.client_id)?;
         *self.state.lock() = ClerkState::default();
+        rrq_check::protocol::emit_client(
+            &self.cfg.client_id,
+            rrq_check::protocol::ClientEvent::Disconnect,
+        );
         Ok(())
     }
 
@@ -164,12 +175,7 @@ impl Clerk {
     /// stably stored.
     pub fn send(&self, op: &str, body: Vec<u8>, rid: Rid) -> CoreResult<()> {
         self.ensure_connected()?;
-        let request = Request::new(
-            rid.clone(),
-            self.cfg.reply_queue.clone(),
-            op,
-            body,
-        );
+        let request = Request::new(rid.clone(), self.cfg.reply_queue.clone(), op, body);
         self.send_request(request)
     }
 
@@ -207,6 +213,13 @@ impl Clerk {
                 st.last_request_eid = None; // unknown until resync
             }
         }
+        rrq_check::protocol::emit_client(
+            &self.cfg.client_id,
+            rrq_check::protocol::ClientEvent::Send {
+                rid: rid.to_attr(),
+                acked: self.cfg.send_mode == SendMode::Acked,
+            },
+        );
         st.last_send_rid = Some(rid);
         Ok(())
     }
@@ -233,6 +246,12 @@ impl Clerk {
         let reply =
             Reply::decode_all(&elem.payload).map_err(|e| CoreError::Malformed(e.to_string()))?;
         self.state.lock().last_reply_eid = Some(elem.eid);
+        rrq_check::protocol::emit_client(
+            &self.cfg.client_id,
+            rrq_check::protocol::ClientEvent::Receive {
+                rid: reply.rid.to_attr(),
+            },
+        );
         Ok(reply)
     }
 
@@ -240,13 +259,17 @@ impl Clerk {
     /// the element is retained by the QM even after its dequeue (§4.3).
     pub fn rereceive(&self) -> CoreResult<Reply> {
         self.ensure_connected()?;
-        let eid = self
-            .state
-            .lock()
-            .last_reply_eid
-            .ok_or(CoreError::NoReply)?;
+        let eid = self.state.lock().last_reply_eid.ok_or(CoreError::NoReply)?;
         let elem = self.api.read(eid)?;
-        Reply::decode_all(&elem.payload).map_err(|e| CoreError::Malformed(e.to_string()))
+        let reply =
+            Reply::decode_all(&elem.payload).map_err(|e| CoreError::Malformed(e.to_string()))?;
+        rrq_check::protocol::emit_client(
+            &self.cfg.client_id,
+            rrq_check::protocol::ClientEvent::Rereceive {
+                rid: reply.rid.to_attr(),
+            },
+        );
+        Ok(reply)
     }
 
     /// `Transceive` (§5): Send then block for the Receive in one call.
@@ -340,19 +363,14 @@ mod tests {
     fn receive_before_send_is_protocol_error() {
         let (_repo, clerk) = setup();
         clerk.connect().unwrap();
-        assert!(matches!(
-            clerk.receive(b""),
-            Err(CoreError::Protocol(_))
-        ));
+        assert!(matches!(clerk.receive(b""), Err(CoreError::Protocol(_))));
     }
 
     #[test]
     fn cancel_last_request_kills_queued_element() {
         let (repo, clerk) = setup();
         clerk.connect().unwrap();
-        clerk
-            .send("noop", vec![], Rid::new("c1", 1))
-            .unwrap();
+        clerk.send("noop", vec![], Rid::new("c1", 1)).unwrap();
         assert!(clerk.cancel_last_request().unwrap());
         assert_eq!(repo.qm().depth("req").unwrap(), 0);
     }

@@ -164,8 +164,8 @@ impl ClientRuntime {
 mod tests {
     use super::*;
     use crate::device::Display;
-    use crate::rid::Rid;
     use crate::request::ReplyStatus;
+    use crate::rid::Rid;
 
     #[test]
     fn resync_action_equality() {

@@ -50,7 +50,11 @@ pub fn encode_solicit(rid: &str, seq: u32, output: &[u8]) -> Vec<u8> {
 pub fn decode_solicit(raw: &[u8]) -> CoreResult<(String, u32, Vec<u8>)> {
     let m = |e: rrq_storage::StorageError| CoreError::Malformed(e.to_string());
     let mut r = Reader::new(raw);
-    Ok((r.string().map_err(m)?, r.u32().map_err(m)?, r.bytes().map_err(m)?))
+    Ok((
+        r.string().map_err(m)?,
+        r.u32().map_err(m)?,
+        r.bytes().map_err(m)?,
+    ))
 }
 
 /// Server-side conversation over RPC: each `solicit` is one call to the
@@ -206,7 +210,10 @@ mod tests {
     fn solicit_codec_roundtrip() {
         let raw = encode_solicit("c/1", 3, b"amount?");
         let (rid, seq, out) = decode_solicit(&raw).unwrap();
-        assert_eq!((rid.as_str(), seq, out.as_slice()), ("c/1", 3, b"amount?".as_slice()));
+        assert_eq!(
+            (rid.as_str(), seq, out.as_slice()),
+            ("c/1", 3, b"amount?".as_slice())
+        );
     }
 
     #[test]
@@ -239,8 +246,8 @@ mod tests {
         // Replay diverges at seq 1.
         assert_eq!(log.answer("r", 0, b"q1", &user), b"q1"); // replayed
         assert_eq!(log.answer("r", 1, b"DIFFERENT", &user), b"DIFFERENT"); // fresh
-        // seq 2 must NOT replay the stale "q3" input even if the output
-        // happens to match again.
+                                                                           // seq 2 must NOT replay the stale "q3" input even if the output
+                                                                           // happens to match again.
         let s0 = log.stats();
         assert_eq!(s0.divergences, 1);
         assert_eq!(log.answer("r", 2, b"q3", &user), b"q3");

@@ -137,37 +137,40 @@ fn run_direct(
         let repo = Arc::clone(repo);
         let w = w.clone();
         let conflicts = Arc::clone(&conflicts);
-        handles.push(std::thread::spawn(move || -> CoreResult<u64> {
-            let mut rng = Mix(w.seed ^ (c as u64) << 32);
-            let mut done = 0u64;
-            for _ in 0..w.requests_per_client {
-                let account = (rng.next() as usize) % w.accounts;
-                loop {
-                    let txn = repo.begin()?;
-                    let lk = LockKey::new(ACCOUNT_NS, account_key(account));
-                    match txn.lock_exclusive(&lk) {
-                        Ok(()) => {}
-                        Err(TxnError::Deadlock { .. }) | Err(TxnError::LockTimeout) => {
-                            conflicts.fetch_add(1, Ordering::Relaxed);
-                            txn.abort()?;
-                            continue;
+        handles.push(crate::threads::spawn_named(
+            format!("rrq-d1c{c}"),
+            move || -> CoreResult<u64> {
+                let mut rng = Mix(w.seed ^ (c as u64) << 32);
+                let mut done = 0u64;
+                for _ in 0..w.requests_per_client {
+                    let account = (rng.next() as usize) % w.accounts;
+                    loop {
+                        let txn = repo.begin()?;
+                        let lk = LockKey::new(ACCOUNT_NS, account_key(account));
+                        match txn.lock_exclusive(&lk) {
+                            Ok(()) => {}
+                            Err(TxnError::Deadlock { .. }) | Err(TxnError::LockTimeout) => {
+                                conflicts.fetch_add(1, Ordering::Relaxed);
+                                txn.abort()?;
+                                continue;
+                            }
+                            Err(e) => return Err(e.into()),
                         }
-                        Err(e) => return Err(e.into()),
+                        debit(&repo, txn.id().raw(), account, 1)?;
+                        if think_inside_txn && !w.think.is_zero() {
+                            std::thread::sleep(w.think); // reply processed in-txn
+                        }
+                        txn.commit()?;
+                        break;
                     }
-                    debit(&repo, txn.id().raw(), account, 1)?;
-                    if think_inside_txn && !w.think.is_zero() {
-                        std::thread::sleep(w.think); // reply processed in-txn
+                    if !think_inside_txn && !w.think.is_zero() {
+                        std::thread::sleep(w.think); // reply processed post-commit
                     }
-                    txn.commit()?;
-                    break;
+                    done += 1;
                 }
-                if !think_inside_txn && !w.think.is_zero() {
-                    std::thread::sleep(w.think); // reply processed post-commit
-                }
-                done += 1;
-            }
-            Ok(done)
-        }));
+                Ok(done)
+            },
+        ));
     }
     let mut completed = 0;
     for h in handles {
@@ -205,57 +208,60 @@ pub fn run_queued(
         let repo = Arc::clone(repo);
         let stop = Arc::clone(&stop);
         let conflicts = Arc::clone(&conflicts);
-        server_handles.push(std::thread::spawn(move || -> CoreResult<()> {
-            let (h, _) = repo.qm().register(req_q, &format!("d3s{s}"), false)?;
-            while !stop.load(Ordering::Relaxed) {
-                let txn = repo.begin()?;
-                let elem = match repo.qm().dequeue(
-                    txn.id().raw(),
-                    &h,
-                    DequeueOptions {
-                        block: Some(Duration::from_millis(50)),
-                        ..Default::default()
-                    },
-                ) {
-                    Ok(e) => e,
-                    Err(QmError::Empty(_)) => {
-                        txn.abort()?;
-                        continue;
+        server_handles.push(crate::threads::spawn_named(
+            format!("rrq-d3s{s}"),
+            move || -> CoreResult<()> {
+                let (h, _) = repo.qm().register(req_q, &format!("d3s{s}"), false)?;
+                while !stop.load(Ordering::Relaxed) {
+                    let txn = repo.begin()?;
+                    let elem = match repo.qm().dequeue(
+                        txn.id().raw(),
+                        &h,
+                        DequeueOptions {
+                            block: Some(Duration::from_millis(50)),
+                            ..Default::default()
+                        },
+                    ) {
+                        Ok(e) => e,
+                        Err(QmError::Empty(_)) => {
+                            txn.abort()?;
+                            continue;
+                        }
+                        Err(e) => {
+                            let _ = txn.abort();
+                            return Err(e.into());
+                        }
+                    };
+                    let req = Request::decode_all(&elem.payload)
+                        .map_err(crate::error::CoreError::Storage)?;
+                    let account: usize = String::from_utf8_lossy(&req.body).parse().unwrap_or(0);
+                    let lk = LockKey::new(ACCOUNT_NS, account_key(account));
+                    match txn.lock_exclusive(&lk) {
+                        Ok(()) => {}
+                        Err(TxnError::Deadlock { .. }) | Err(TxnError::LockTimeout) => {
+                            conflicts.fetch_add(1, Ordering::Relaxed);
+                            txn.abort()?; // request returns to the queue
+                            continue;
+                        }
+                        Err(e) => return Err(e.into()),
                     }
-                    Err(e) => {
-                        let _ = txn.abort();
-                        return Err(e.into());
-                    }
-                };
-                let req = Request::decode_all(&elem.payload)
-                    .map_err(crate::error::CoreError::Storage)?;
-                let account: usize = String::from_utf8_lossy(&req.body).parse().unwrap_or(0);
-                let lk = LockKey::new(ACCOUNT_NS, account_key(account));
-                match txn.lock_exclusive(&lk) {
-                    Ok(()) => {}
-                    Err(TxnError::Deadlock { .. }) | Err(TxnError::LockTimeout) => {
-                        conflicts.fetch_add(1, Ordering::Relaxed);
-                        txn.abort()?; // request returns to the queue
-                        continue;
-                    }
-                    Err(e) => return Err(e.into()),
+                    debit(&repo, txn.id().raw(), account, 1)?;
+                    let reply = crate::request::Reply::ok(req.rid.clone(), b"done".to_vec());
+                    let rh = QueueHandle {
+                        queue: req.reply_queue.clone(),
+                        registrant: format!("d3s{s}"),
+                    };
+                    repo.qm().enqueue(
+                        txn.id().raw(),
+                        &rh,
+                        &reply.encode_to_vec(),
+                        EnqueueOptions::default(),
+                    )?;
+                    txn.commit()?;
                 }
-                debit(&repo, txn.id().raw(), account, 1)?;
-                let reply = crate::request::Reply::ok(req.rid.clone(), b"done".to_vec());
-                let rh = QueueHandle {
-                    queue: req.reply_queue.clone(),
-                    registrant: format!("d3s{s}"),
-                };
-                repo.qm().enqueue(
-                    txn.id().raw(),
-                    &rh,
-                    &reply.encode_to_vec(),
-                    EnqueueOptions::default(),
-                )?;
-                txn.commit()?;
-            }
-            Ok(())
-        }));
+                Ok(())
+            },
+        ));
     }
 
     // Clients.
@@ -264,49 +270,52 @@ pub fn run_queued(
     for c in 0..w.clients {
         let repo = Arc::clone(repo);
         let w = w.clone();
-        client_handles.push(std::thread::spawn(move || -> CoreResult<u64> {
-            let reply_q = format!("design3.reply.{c}");
-            let (req_h, _) = repo.qm().register(req_q, &format!("d3c{c}"), false)?;
-            let (rep_h, _) = repo.qm().register(&reply_q, &format!("d3c{c}"), false)?;
-            let mut rng = Mix(w.seed ^ (c as u64) << 32);
-            let mut done = 0u64;
-            for i in 0..w.requests_per_client {
-                let account = (rng.next() as usize) % w.accounts;
-                let rid = Rid::new(format!("d3c{c}"), i as u64 + 1);
-                let req = Request::new(
-                    rid,
-                    reply_q.clone(),
-                    "debit",
-                    account.to_string().into_bytes(),
-                );
-                // Txn 1: submit.
-                repo.autocommit(|t| {
-                    repo.qm().enqueue(
-                        t.id().raw(),
-                        &req_h,
-                        &req.encode_to_vec(),
-                        EnqueueOptions::default(),
-                    )
-                })?;
-                // Txn 3: receive the reply…
-                repo.autocommit(|t| {
-                    repo.qm().dequeue(
-                        t.id().raw(),
-                        &rep_h,
-                        DequeueOptions {
-                            block: Some(Duration::from_secs(30)),
-                            ..Default::default()
-                        },
-                    )
-                })?;
-                // …and process it with no transaction open.
-                if !w.think.is_zero() {
-                    std::thread::sleep(w.think);
+        client_handles.push(crate::threads::spawn_named(
+            format!("rrq-d3c{c}"),
+            move || -> CoreResult<u64> {
+                let reply_q = format!("design3.reply.{c}");
+                let (req_h, _) = repo.qm().register(req_q, &format!("d3c{c}"), false)?;
+                let (rep_h, _) = repo.qm().register(&reply_q, &format!("d3c{c}"), false)?;
+                let mut rng = Mix(w.seed ^ (c as u64) << 32);
+                let mut done = 0u64;
+                for i in 0..w.requests_per_client {
+                    let account = (rng.next() as usize) % w.accounts;
+                    let rid = Rid::new(format!("d3c{c}"), i as u64 + 1);
+                    let req = Request::new(
+                        rid,
+                        reply_q.clone(),
+                        "debit",
+                        account.to_string().into_bytes(),
+                    );
+                    // Txn 1: submit.
+                    repo.autocommit(|t| {
+                        repo.qm().enqueue(
+                            t.id().raw(),
+                            &req_h,
+                            &req.encode_to_vec(),
+                            EnqueueOptions::default(),
+                        )
+                    })?;
+                    // Txn 3: receive the reply…
+                    repo.autocommit(|t| {
+                        repo.qm().dequeue(
+                            t.id().raw(),
+                            &rep_h,
+                            DequeueOptions {
+                                block: Some(Duration::from_secs(30)),
+                                ..Default::default()
+                            },
+                        )
+                    })?;
+                    // …and process it with no transaction open.
+                    if !w.think.is_zero() {
+                        std::thread::sleep(w.think);
+                    }
+                    done += 1;
                 }
-                done += 1;
-            }
-            Ok(done)
-        }));
+                Ok(done)
+            },
+        ));
     }
 
     let mut completed = 0;
@@ -343,7 +352,10 @@ mod tests {
     #[test]
     fn all_designs_complete_and_conserve_money() {
         for (name, runner) in [
-            ("one", run_one_txn as fn(&Arc<Repository>, &DesignWorkload) -> CoreResult<DesignMetrics>),
+            (
+                "one",
+                run_one_txn as fn(&Arc<Repository>, &DesignWorkload) -> CoreResult<DesignMetrics>,
+            ),
             ("two", run_two_txn),
         ] {
             let repo = Arc::new(Repository::create(format!("design-{name}")).unwrap());

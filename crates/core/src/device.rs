@@ -95,7 +95,9 @@ impl TicketPrinter {
     /// testable-device protocol exists to prevent.
     pub fn has_duplicate_prints(&self) -> bool {
         let mut seen = HashSet::new();
-        self.printed.iter().any(|(_, rid, _)| !seen.insert(rid.clone()))
+        self.printed
+            .iter()
+            .any(|(_, rid, _)| !seen.insert(rid.clone()))
     }
 }
 

@@ -87,6 +87,8 @@ mod tests {
         assert!(matches!(e, CoreError::Net(_)));
         let e: CoreError = TxnError::LockTimeout.into();
         assert!(matches!(e, CoreError::Txn(_)));
-        assert!(CoreError::NotConnected.to_string().contains("not connected"));
+        assert!(CoreError::NotConnected
+            .to_string()
+            .contains("not connected"));
     }
 }

@@ -59,7 +59,11 @@ pub struct InteractiveClient {
 
 impl InteractiveClient {
     /// Build a driver. `reply_queue` must exist on the QM.
-    pub fn new(api: Arc<dyn QmApi>, client_id: impl Into<String>, reply_queue: impl Into<String>) -> Self {
+    pub fn new(
+        api: Arc<dyn QmApi>,
+        client_id: impl Into<String>,
+        reply_queue: impl Into<String>,
+    ) -> Self {
         InteractiveClient {
             api,
             client_id: client_id.into(),
@@ -84,7 +88,8 @@ impl InteractiveClient {
         initial_body: Vec<u8>,
         mut input_fn: impl FnMut(&[u8]) -> Vec<u8>,
     ) -> CoreResult<ConversationOutcome> {
-        self.api.register(&self.reply_queue, &self.client_id, true)?;
+        self.api
+            .register(&self.reply_queue, &self.client_id, true)?;
         self.api.register(entry_queue, &self.client_id, true)?;
         let req = Request::new(rid.clone(), self.reply_queue.clone(), op, initial_body);
         self.send_to(entry_queue, &req)?;

@@ -33,9 +33,8 @@ pub enum StageResult {
 }
 
 /// A stage function: `(ctx, request, stage_index) → result`.
-pub type StageFn = Arc<
-    dyn Fn(&ServerCtx<'_>, &Request, usize) -> Result<StageResult, HandlerError> + Send + Sync,
->;
+pub type StageFn =
+    Arc<dyn Fn(&ServerCtx<'_>, &Request, usize) -> Result<StageResult, HandlerError> + Send + Sync>;
 
 /// Request-level serializability discipline (§6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,31 +100,27 @@ impl Pipeline {
             let stage_fn = Arc::clone(&self.stage_fn);
             let mode = self.mode;
             let is_last = next_queue.is_none();
-            let handler: Handler = Arc::new(move |ctx, req| {
-                match stage_fn(ctx, req, i)? {
-                    StageResult::Done(body) => Ok(HandlerOutcome::Reply(body)),
-                    StageResult::Next(state) => {
-                        let Some(nq) = &next_queue else {
-                            return Err(HandlerError::Reject(format!(
-                                "stage {i} is final but tried to continue"
-                            )));
-                        };
-                        let mut fwd = req.clone();
-                        fwd.state = state;
-                        fwd.inherit_txn = None;
-                        let _ = is_last;
-                        match mode {
-                            Serializability::None => Ok(HandlerOutcome::Forward {
-                                queue: nq.clone(),
-                                request: fwd,
-                            }),
-                            Serializability::InheritLocks => {
-                                Ok(HandlerOutcome::ForwardInheriting {
-                                    queue: nq.clone(),
-                                    request: fwd,
-                                })
-                            }
-                        }
+            let handler: Handler = Arc::new(move |ctx, req| match stage_fn(ctx, req, i)? {
+                StageResult::Done(body) => Ok(HandlerOutcome::Reply(body)),
+                StageResult::Next(state) => {
+                    let Some(nq) = &next_queue else {
+                        return Err(HandlerError::Reject(format!(
+                            "stage {i} is final but tried to continue"
+                        )));
+                    };
+                    let mut fwd = req.clone();
+                    fwd.state = state;
+                    fwd.inherit_txn = None;
+                    let _ = is_last;
+                    match mode {
+                        Serializability::None => Ok(HandlerOutcome::Forward {
+                            queue: nq.clone(),
+                            request: fwd,
+                        }),
+                        Serializability::InheritLocks => Ok(HandlerOutcome::ForwardInheriting {
+                            queue: nq.clone(),
+                            request: fwd,
+                        }),
                     }
                 }
             });

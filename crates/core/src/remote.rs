@@ -118,8 +118,7 @@ fn handle(repo: &Repository, raw: &[u8]) -> CoreResult<Vec<u8>> {
             let payload = r.bytes().map_err(m)?;
             let opts = decode_enqueue_opts(&mut r)?;
             let h = QueueHandle { queue, registrant };
-            let eid =
-                repo.autocommit(|t| repo.qm().enqueue(t.id().raw(), &h, &payload, opts))?;
+            let eid = repo.autocommit(|t| repo.qm().enqueue(t.id().raw(), &h, &payload, opts))?;
             Ok(ok_payload(|out| put::u64(out, eid.raw())))
         }
         OP_DEQUEUE => {
@@ -249,7 +248,9 @@ impl QmApi for RemoteQm {
         encode_enqueue_opts(&mut buf, &opts);
         let resp = self.call(buf)?;
         let mut r = Reader::new(&resp);
-        Ok(Eid(r.u64().map_err(|e| CoreError::Malformed(e.to_string()))?))
+        Ok(Eid(r
+            .u64()
+            .map_err(|e| CoreError::Malformed(e.to_string()))?))
     }
 
     fn enqueue_unacked(
@@ -269,12 +270,7 @@ impl QmApi for RemoteQm {
         Ok(self.client.send_one_way(&self.server, buf)?)
     }
 
-    fn dequeue(
-        &self,
-        queue: &str,
-        registrant: &str,
-        opts: DequeueOptions,
-    ) -> CoreResult<Element> {
+    fn dequeue(&self, queue: &str, registrant: &str, opts: DequeueOptions) -> CoreResult<Element> {
         let deadline = opts.block.map(|b| Instant::now() + b);
         loop {
             let mut buf = vec![OP_DEQUEUE];

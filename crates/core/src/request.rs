@@ -28,7 +28,12 @@ pub struct Request {
 
 impl Request {
     /// A fresh single-transaction request.
-    pub fn new(rid: Rid, reply_queue: impl Into<String>, op: impl Into<String>, body: Vec<u8>) -> Self {
+    pub fn new(
+        rid: Rid,
+        reply_queue: impl Into<String>,
+        op: impl Into<String>,
+        body: Vec<u8>,
+    ) -> Self {
         Request {
             rid,
             reply_queue: reply_queue.into(),

@@ -132,7 +132,12 @@ impl SagaLog {
                     format!("{}~comp", rid.client),
                     rid.serial * 1000 + s.step as u64,
                 );
-                let req = Request::new(comp_rid, reply_queue, s.comp_op.clone(), s.comp_body.clone());
+                let req = Request::new(
+                    comp_rid,
+                    reply_queue,
+                    s.comp_op.clone(),
+                    s.comp_body.clone(),
+                );
                 use rrq_storage::codec::Encode;
                 repo.qm().enqueue(
                     t.id().raw(),
@@ -213,7 +218,10 @@ mod tests {
         let mut ops = Vec::new();
         for _ in 0..3 {
             let e = repo
-                .autocommit(|t| repo.qm().dequeue(t.id().raw(), &h, DequeueOptions::default()))
+                .autocommit(|t| {
+                    repo.qm()
+                        .dequeue(t.id().raw(), &h, DequeueOptions::default())
+                })
                 .unwrap();
             let req = Request::decode_all(&e.payload).unwrap();
             ops.push(req.op);

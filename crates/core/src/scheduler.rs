@@ -239,14 +239,15 @@ mod tests {
         let policy = SchedulingPolicy::HighestAttr("amount".into());
         let order: Vec<Vec<u8>> = (0..3)
             .map(|_| {
-                repo.autocommit(|t| {
-                    scheduled_dequeue(repo.qm(), t.id().raw(), &h, &policy)
-                })
-                .unwrap()
-                .payload
+                repo.autocommit(|t| scheduled_dequeue(repo.qm(), t.id().raw(), &h, &policy))
+                    .unwrap()
+                    .payload
             })
             .collect();
-        assert_eq!(order, vec![b"big".to_vec(), b"mid".to_vec(), b"small".to_vec()]);
+        assert_eq!(
+            order,
+            vec![b"big".to_vec(), b"mid".to_vec(), b"small".to_vec()]
+        );
     }
 
     #[test]
@@ -300,9 +301,7 @@ mod tests {
             SchedulingPolicy::HighestAttr("amount".into()),
             SchedulingPolicy::OldestFirst,
         ] {
-            let r = repo.autocommit(|t| {
-                scheduled_dequeue(repo.qm(), t.id().raw(), &h, &policy)
-            });
+            let r = repo.autocommit(|t| scheduled_dequeue(repo.qm(), t.id().raw(), &h, &policy));
             assert!(matches!(r, Err(QmError::Empty(_))), "{policy:?}");
         }
     }
@@ -330,8 +329,12 @@ mod tests {
             );
             use rrq_storage::codec::Encode;
             repo.autocommit(|t| {
-                repo.qm()
-                    .enqueue(t.id().raw(), &h, &req.encode_to_vec(), EnqueueOptions::default())
+                repo.qm().enqueue(
+                    t.id().raw(),
+                    &h,
+                    &req.encode_to_vec(),
+                    EnqueueOptions::default(),
+                )
             })
             .unwrap();
         }

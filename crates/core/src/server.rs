@@ -210,7 +210,9 @@ impl Server {
             Ok(()) | Err(QmError::QueueExists(_)) => {}
             Err(e) => return Err(e.into()),
         }
-        let (handle, _) = repo.qm().register(&cfg.request_queue, &cfg.server_name, false)?;
+        let (handle, _) = repo
+            .qm()
+            .register(&cfg.request_queue, &cfg.server_name, false)?;
         Ok(Arc::new(Server {
             repo,
             app_rms: Vec::new(),
@@ -274,13 +276,46 @@ impl Server {
             Err(e) => {
                 // Undecodable request: reject it permanently by committing
                 // the dequeue without a reply (nothing to match it to).
+                rrq_check::protocol::emit_server(
+                    &self.cfg.server_name,
+                    rrq_check::protocol::ServerEvent::DropMalformed,
+                );
                 txn.commit()?;
+                rrq_check::protocol::emit_server(
+                    &self.cfg.server_name,
+                    rrq_check::protocol::ServerEvent::Commit,
+                );
                 return Err(CoreError::Malformed(format!(
                     "dropped undecodable request: {e}"
                 )));
             }
         };
+        rrq_check::protocol::emit_server(
+            &self.cfg.server_name,
+            rrq_check::protocol::ServerEvent::Dequeue {
+                rid: request.rid.to_attr(),
+            },
+        );
 
+        // Any error below unwinds the server transaction, so the observable
+        // protocol transition is an abort.
+        let served = self.serve_request(txn, &request, &elem);
+        if served.is_err() {
+            rrq_check::protocol::emit_server(
+                &self.cfg.server_name,
+                rrq_check::protocol::ServerEvent::Abort,
+            );
+        }
+        served
+    }
+
+    /// The Fig 5 body after a decodable request was dequeued.
+    fn serve_request(
+        &self,
+        txn: Txn,
+        request: &Request,
+        elem: &rrq_qm::element::Element,
+    ) -> CoreResult<Served> {
         // §6 lock inheritance: adopt locks parked by the previous stage.
         if let Some(parked) = request.inherit_txn {
             self.repo
@@ -300,12 +335,12 @@ impl Server {
                 request.rid, elem.abort_count
             )))
         } else {
-            (self.handler)(&ctx, &request)
+            (self.handler)(&ctx, request)
         };
 
         match outcome {
             Ok(HandlerOutcome::Reply(body)) => {
-                self.enqueue_reply(&txn, &request, Reply::ok(request.rid.clone(), body))?;
+                self.enqueue_reply(&txn, request, Reply::ok(request.rid.clone(), body))?;
                 self.commit(txn)
             }
             Ok(HandlerOutcome::IntermediateReply {
@@ -318,7 +353,7 @@ impl Server {
                     status: crate::request::ReplyStatus::Intermediate,
                     body: crate::interactive::encode_intermediate(&next_queue, &body, &state),
                 };
-                self.enqueue_reply(&txn, &request, reply)?;
+                self.enqueue_reply(&txn, request, reply)?;
                 self.commit(txn)
             }
             Ok(HandlerOutcome::Forward { queue, request }) => {
@@ -331,10 +366,18 @@ impl Server {
                 self.forward(&txn, &queue, &request)?;
                 match txn.commit_inheriting_locks(parked) {
                     Ok(()) => {
+                        rrq_check::protocol::emit_server(
+                            &self.cfg.server_name,
+                            rrq_check::protocol::ServerEvent::Commit,
+                        );
                         self.stats.lock().committed += 1;
                         Ok(Served::Committed)
                     }
                     Err(e) => {
+                        rrq_check::protocol::emit_server(
+                            &self.cfg.server_name,
+                            rrq_check::protocol::ServerEvent::Abort,
+                        );
                         self.stats.lock().rolled += 1;
                         let _ = e;
                         Ok(Served::Rolled)
@@ -344,7 +387,7 @@ impl Server {
             Err(HandlerError::Reject(msg)) => {
                 self.enqueue_reply(
                     &txn,
-                    &request,
+                    request,
                     Reply::failed(request.rid.clone(), msg.into_bytes()),
                 )?;
                 self.stats.lock().rejected += 1;
@@ -352,6 +395,10 @@ impl Server {
             }
             Err(HandlerError::Abort(_)) => {
                 txn.abort()?;
+                rrq_check::protocol::emit_server(
+                    &self.cfg.server_name,
+                    rrq_check::protocol::ServerEvent::Abort,
+                );
                 self.stats.lock().aborted += 1;
                 Ok(Served::Aborted)
             }
@@ -373,8 +420,15 @@ impl Server {
             ..Default::default()
         };
         match self.repo.qm().enqueue(txn.id().raw(), &h, &payload, opts) {
-            Ok(_) => Ok(()),
-            Err(QmError::NoSuchQueue(_)) => Ok(()),
+            Ok(_) | Err(QmError::NoSuchQueue(_)) => {
+                rrq_check::protocol::emit_server(
+                    &self.cfg.server_name,
+                    rrq_check::protocol::ServerEvent::Reply {
+                        rid: reply.rid.to_attr(),
+                    },
+                );
+                Ok(())
+            }
             Err(e) => Err(e.into()),
         }
     }
@@ -393,18 +447,32 @@ impl Server {
             ..Default::default()
         };
         self.repo.qm().enqueue(txn.id().raw(), &h, &payload, opts)?;
+        rrq_check::protocol::emit_server(
+            &self.cfg.server_name,
+            rrq_check::protocol::ServerEvent::Forward {
+                rid: request.rid.to_attr(),
+            },
+        );
         Ok(())
     }
 
     fn commit(&self, txn: Txn) -> CoreResult<Served> {
         match txn.commit() {
             Ok(()) => {
+                rrq_check::protocol::emit_server(
+                    &self.cfg.server_name,
+                    rrq_check::protocol::ServerEvent::Commit,
+                );
                 self.stats.lock().committed += 1;
                 Ok(Served::Committed)
             }
             Err(TxnError::InvalidState(_)) | Err(TxnError::PrepareFailed(_)) => {
                 // Poisoned by a cancel, or a participant failed to prepare:
                 // the manager already aborted everything.
+                rrq_check::protocol::emit_server(
+                    &self.cfg.server_name,
+                    rrq_check::protocol::ServerEvent::Abort,
+                );
                 self.stats.lock().rolled += 1;
                 Ok(Served::Rolled)
             }
@@ -415,7 +483,8 @@ impl Server {
     /// Run the loop on a thread until `stop` is set.
     pub fn spawn(self: &Arc<Self>, stop: Arc<AtomicBool>) -> JoinHandle<()> {
         let me = Arc::clone(self);
-        std::thread::spawn(move || {
+        let name = format!("rrq-server-{}", self.cfg.server_name);
+        crate::threads::spawn_named(name, move || {
             while !stop.load(Ordering::Relaxed) {
                 match me.run_once() {
                     Ok(_) => {}

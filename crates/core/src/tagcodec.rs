@@ -55,9 +55,7 @@ pub fn decode_tag(raw: &[u8]) -> CoreResult<ClerkTag> {
         }
         b'R' => {
             let rid = Rid::decode(&mut r).map_err(|e| CoreError::Malformed(e.to_string()))?;
-            let ckpt = r
-                .bytes()
-                .map_err(|e| CoreError::Malformed(e.to_string()))?;
+            let ckpt = r.bytes().map_err(|e| CoreError::Malformed(e.to_string()))?;
             Ok(ClerkTag::Receive { rid, ckpt })
         }
         b => Err(CoreError::Malformed(format!("unknown tag kind {b:#x}"))),

@@ -16,6 +16,23 @@ use crate::error::{CoreError, CoreResult};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Spawn a named worker thread.
+///
+/// This is the single sanctioned spawn point of the workspace (enforced by
+/// the `no-raw-spawn` lint in `rrq-check`): routing every worker through
+/// one helper gives threads debugger-visible names and one place to hang
+/// future instrumentation.
+pub fn spawn_named<T: Send + 'static>(
+    name: impl Into<String>,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> std::thread::JoinHandle<T> {
+    let name = name.into();
+    std::thread::Builder::new()
+        .name(name.clone())
+        .spawn(f)
+        .unwrap_or_else(|e| panic!("cannot spawn thread `{name}`: {e}"))
+}
+
 /// A clerk array for one multi-threaded client.
 pub struct ThreadedClerk {
     clerks: Vec<Clerk>,
@@ -94,7 +111,8 @@ mod tests {
         let repo = Arc::new(Repository::create("threaded").unwrap());
         repo.create_queue_defaults("req").unwrap();
         for t in 0..threads {
-            repo.create_queue_defaults(&format!("reply.multi.{t}")).unwrap();
+            repo.create_queue_defaults(&format!("reply.multi.{t}"))
+                .unwrap();
         }
         let api = Arc::new(LocalQm::new(Arc::clone(&repo)));
         let tc = ThreadedClerk::new(api, "multi", "req", threads);
@@ -120,12 +138,14 @@ mod tests {
 
         // Thread 0 completes a request; thread 1 sends and "crashes".
         let c0 = tc.thread(0).unwrap();
-        c0.send("echo", b"t0".to_vec(), Rid::new("multi#0", 1)).unwrap();
+        c0.send("echo", b"t0".to_vec(), Rid::new("multi#0", 1))
+            .unwrap();
         let r0 = c0.receive(b"").unwrap();
         assert_eq!(r0.body, b"t0");
 
         let c1 = tc.thread(1).unwrap();
-        c1.send("echo", b"t1".to_vec(), Rid::new("multi#1", 1)).unwrap();
+        c1.send("echo", b"t1".to_vec(), Rid::new("multi#1", 1))
+            .unwrap();
         // (crash: no receive)
 
         // A fresh incarnation of the whole client: the per-thread array shows

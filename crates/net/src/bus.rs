@@ -62,10 +62,7 @@ impl NetworkBus {
     /// messages sent to the old incarnation's queue are lost.
     pub fn endpoint(&self, name: &str) -> Endpoint {
         let (tx, rx) = unbounded();
-        self.inner
-            .endpoints
-            .lock()
-            .insert(name.to_string(), tx);
+        self.inner.endpoints.lock().insert(name.to_string(), tx);
         Endpoint {
             name: name.to_string(),
             rx,
@@ -200,10 +197,7 @@ mod tests {
         bus.faults().set_delay("a", "b", Duration::from_millis(60));
         a.send_to("b", 0, false, b"slow".to_vec()).unwrap();
         assert!(b.recv(Duration::from_millis(10)).is_err());
-        assert_eq!(
-            b.recv(Duration::from_secs(2)).unwrap().payload,
-            b"slow"
-        );
+        assert_eq!(b.recv(Duration::from_secs(2)).unwrap().payload, b"slow");
     }
 
     #[test]

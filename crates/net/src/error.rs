@@ -40,6 +40,8 @@ mod tests {
     #[test]
     fn display() {
         assert!(NetError::Timeout.to_string().contains("timed out"));
-        assert!(NetError::UnknownEndpoint("x".into()).to_string().contains('x'));
+        assert!(NetError::UnknownEndpoint("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -247,10 +247,7 @@ mod tests {
         });
         let client = RpcClient::new(&bus, "client");
         client.send_one_way("server", b"fire".to_vec()).unwrap();
-        assert_eq!(
-            rx.recv_timeout(Duration::from_secs(2)).unwrap(),
-            b"fire"
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), b"fire");
         assert_eq!(client.counts(), (0, 1));
     }
 }

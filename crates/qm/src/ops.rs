@@ -39,7 +39,9 @@ use crate::trigger::Trigger;
 use parking_lot::Mutex;
 use rrq_storage::codec::{put, Decode, Encode, Reader};
 use rrq_storage::kv::KvStore;
-use rrq_txn::{LockKey, LockManager, LockMode, ResourceManager, TxnError, TxnId, TxnIdGen, TxnResult};
+use rrq_txn::{
+    LockKey, LockManager, LockMode, ResourceManager, TxnError, TxnId, TxnIdGen, TxnResult,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -237,10 +239,7 @@ impl QueueManager {
     }
 
     /// Run `f` inside a fresh system transaction on the durable store.
-    fn system_txn<R>(
-        &self,
-        f: impl FnOnce(u64) -> QmResult<R>,
-    ) -> QmResult<R> {
+    fn system_txn<R>(&self, f: impl FnOnce(u64) -> QmResult<R>) -> QmResult<R> {
         let t = self.sys_ids.next().raw();
         self.durable.begin(t)?;
         match f(t) {
@@ -280,11 +279,7 @@ impl QueueManager {
     }
 
     /// Update a queue's metadata in place (start/stop, redirect, thresholds…).
-    pub fn update_queue(
-        &self,
-        queue: &str,
-        f: impl FnOnce(&mut QueueMeta),
-    ) -> QmResult<QueueMeta> {
+    pub fn update_queue(&self, queue: &str, f: impl FnOnce(&mut QueueMeta)) -> QmResult<QueueMeta> {
         self.system_txn(|t| {
             let key = keys::meta_key(queue);
             let raw = self
@@ -308,7 +303,9 @@ impl QueueManager {
             if !meta.durable {
                 store.begin(t).ok(); // may double-begin if same store
             }
-            let rows = self.durable.scan_prefix(Some(t), &keys::element_prefix(queue))?;
+            let rows = self
+                .durable
+                .scan_prefix(Some(t), &keys::element_prefix(queue))?;
             for (k, _) in rows {
                 self.durable.delete(t, &k)?;
             }
@@ -359,12 +356,18 @@ impl QueueManager {
             registrant: registrant.to_string(),
         };
         let key = keys::registration_key(queue, registrant);
+        // Registration records are serialized by the KV store itself, not
+        // by a lock-manager lock; report them through the store-latch hooks
+        // so any future direct access that bypasses this path is flagged.
+        let cell = reg_cell(queue, registrant);
+        rrq_check::race::serialized_read(&cell);
         if let Some(raw) = self.durable.get(None, &key)? {
             let reg = Registration::decode_all(&raw).map_err(QmError::Storage)?;
             return Ok((handle, reg));
         }
         let reg = Registration::new(registrant, queue, stable);
         let reg2 = reg.clone();
+        rrq_check::race::serialized_write(&cell);
         self.system_txn(move |t| {
             self.durable.put(t, &key, &reg2.encode_to_vec())?;
             Ok(())
@@ -375,6 +378,7 @@ impl QueueManager {
     /// `Deregister` — destroys all registration information (§4.3).
     pub fn deregister(&self, handle: &QueueHandle) -> QmResult<()> {
         let key = keys::registration_key(&handle.queue, &handle.registrant);
+        rrq_check::race::serialized_write(&reg_cell(&handle.queue, &handle.registrant));
         self.system_txn(|t| {
             if self.durable.get(Some(t), &key)?.is_none() {
                 return Err(QmError::NotRegistered(handle.registrant.clone()));
@@ -396,6 +400,9 @@ impl QueueManager {
         payload: &[u8],
     ) -> QmResult<()> {
         let key = keys::registration_key(&handle.queue, &handle.registrant);
+        // Read-modify-write of the registration record under the store's
+        // internal serialization (see `register`).
+        rrq_check::race::serialized_write(&reg_cell(&handle.queue, &handle.registrant));
         let raw = self
             .durable
             .get(Some(txn), &key)?
@@ -451,6 +458,9 @@ impl QueueManager {
         };
         let ekey = keys::element_key(&meta.name, elem.priority, seq);
         store.put(txn, &ekey, &elem.encode_to_vec())?;
+        // Tracked for the race detector; the matching dequeue-side access
+        // is ordered by the queue's enqueue→dequeue happens-before edge.
+        rrq_check::race::on_write(&format!("qm/elem/{eid}"));
         // Live-element index: eid → (queue, element key). Always durable so
         // Read/Kill can find volatile elements too? No — volatile elements
         // index in the volatile store, consistent with their lifetime.
@@ -471,6 +481,7 @@ impl QueueManager {
             .or_default()
             .enqueued_queues
             .insert(meta.name.clone());
+        rrq_check::race::queue_enqueued(&meta.name);
         self.stats.lock().enqueues += 1;
         Ok(eid)
     }
@@ -558,16 +569,16 @@ impl QueueManager {
                                 }
                                 continue;
                             };
-                            let elem =
-                                Element::decode_all(&raw2).map_err(QmError::Storage)?;
+                            let elem = Element::decode_all(&raw2).map_err(QmError::Storage)?;
                             // A kill tombstone means a cancel is racing; skip.
-                            if self
-                                .durable
-                                .get(None, &keys::kill_key(elem.eid))?
-                                .is_some()
-                            {
+                            if self.durable.get(None, &keys::kill_key(elem.eid))?.is_some() {
                                 continue;
                             }
+                            // Join the queue's happens-before edge, then
+                            // touch the tracked element cell (we hold its
+                            // element lock, so this is also lock-ordered).
+                            rrq_check::race::queue_dequeued(&meta.name);
+                            rrq_check::race::on_write(&format!("qm/elem/{}", elem.eid));
                             store.delete(txn, ekey)?;
                             store.delete(txn, &keys::index_key(elem.eid))?;
                             // Retain the element contents for Read/Rereceive.
@@ -703,7 +714,8 @@ impl QueueManager {
                 }
             }
             if !woken {
-                self.notifier.wait_past(&handles[0].queue, versions[0], slice);
+                self.notifier
+                    .wait_past(&handles[0].queue, versions[0], slice);
             }
         }
     }
@@ -840,11 +852,8 @@ impl QueueManager {
     /// into `target_queue` exactly once.
     pub fn set_trigger(&self, trigger: Trigger) -> QmResult<()> {
         self.system_txn(|t| {
-            self.durable.put(
-                t,
-                &keys::trigger_key(&trigger.id),
-                &trigger.encode_to_vec(),
-            )?;
+            self.durable
+                .put(t, &keys::trigger_key(&trigger.id), &trigger.encode_to_vec())?;
             Ok(())
         })
     }
@@ -859,8 +868,7 @@ impl QueueManager {
                 continue;
             }
             let live = self.query(queue, &Predicate::True)?;
-            let present: HashSet<&str> =
-                live.iter().filter_map(|e| e.attr("rid")).collect();
+            let present: HashSet<&str> = live.iter().filter_map(|e| e.attr("rid")).collect();
             if trig
                 .required_rids
                 .iter()
@@ -876,8 +884,7 @@ impl QueueManager {
                 })?;
                 // Fire via a normal system enqueue (outside the user txn).
                 let sys = self.sys_ids.next().raw();
-                self.begin(TxnId(sys))
-                    .map_err(QmError::Txn)?;
+                self.begin(TxnId(sys)).map_err(QmError::Txn)?;
                 let h = QueueHandle {
                     queue: target,
                     registrant: format!("trigger/{}", trig.id),
@@ -997,6 +1004,11 @@ impl QueueManager {
             Err(e) => Err(e),
         }
     }
+}
+
+/// Race-detector cell name of a §4.3 registration record.
+fn reg_cell(queue: &str, registrant: &str) -> String {
+    format!("qm/reg/{queue}/{registrant}")
 }
 
 fn encode_index(queue: &str, ekey: &[u8]) -> Vec<u8> {

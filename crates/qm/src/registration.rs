@@ -166,7 +166,12 @@ mod tests {
     #[test]
     fn roundtrip_full() {
         let mut r = Registration::new("client-7", "reply", true);
-        r.record(LastOp::Dequeue, Some(b"ckpt:3"), Eid::compose(2, 5), b"reply!");
+        r.record(
+            LastOp::Dequeue,
+            Some(b"ckpt:3"),
+            Eid::compose(2, 5),
+            b"reply!",
+        );
         let d = Registration::decode_all(&r.encode_to_vec()).unwrap();
         assert_eq!(d, r);
     }

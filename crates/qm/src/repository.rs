@@ -81,12 +81,7 @@ impl Repository {
             tm.resolve_in_doubt(&rm, &report.in_doubt)?;
         }
 
-        let qm = QueueManager::new(
-            format!("qm/{name}"),
-            Arc::clone(&store),
-            volatile,
-            locks,
-        )?;
+        let qm = QueueManager::new(format!("qm/{name}"), Arc::clone(&store), volatile, locks)?;
 
         Ok((
             Repository {

@@ -206,7 +206,7 @@ fn concurrent_consumers_partition_the_queue() {
                 loop {
                     iter += 1;
                     // Mix commits and aborts to shake the ordering.
-                    let abort = (iter + c) % 7 == 0;
+                    let abort = (iter + c).is_multiple_of(7);
                     if abort {
                         let txn = repo.begin().unwrap();
                         let _ = repo
@@ -216,7 +216,8 @@ fn concurrent_consumers_partition_the_queue() {
                         continue;
                     }
                     match repo.autocommit(|t| {
-                        repo.qm().dequeue(t.id().raw(), &h, DequeueOptions::default())
+                        repo.qm()
+                            .dequeue(t.id().raw(), &h, DequeueOptions::default())
                     }) {
                         Ok(e) => consumed
                             .lock()

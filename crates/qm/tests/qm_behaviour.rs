@@ -214,10 +214,7 @@ fn read_works_for_live_and_dequeued_elements() {
     assert_eq!(r.qm().read(eid).unwrap().payload, b"body");
     // Until purged.
     assert!(r.qm().purge_retained(eid).unwrap());
-    assert!(matches!(
-        r.qm().read(eid),
-        Err(QmError::NoSuchElement(_))
-    ));
+    assert!(matches!(r.qm().read(eid), Err(QmError::NoSuchElement(_))));
 }
 
 #[test]
@@ -704,7 +701,10 @@ fn dequeue_batch_takes_up_to_max_atomically() {
     }
     // Take a batch of 5 in one transaction.
     let batch = r
-        .autocommit(|t| r.qm().dequeue_batch(t.id().raw(), &h, 5, &DequeueOptions::default()))
+        .autocommit(|t| {
+            r.qm()
+                .dequeue_batch(t.id().raw(), &h, 5, &DequeueOptions::default())
+        })
         .unwrap();
     assert_eq!(batch.len(), 5);
     assert_eq!(
@@ -714,7 +714,10 @@ fn dequeue_batch_takes_up_to_max_atomically() {
     assert_eq!(r.qm().depth("q").unwrap(), 2);
     // A batch bigger than the queue drains it without blocking.
     let rest = r
-        .autocommit(|t| r.qm().dequeue_batch(t.id().raw(), &h, 100, &DequeueOptions::default()))
+        .autocommit(|t| {
+            r.qm()
+                .dequeue_batch(t.id().raw(), &h, 100, &DequeueOptions::default())
+        })
         .unwrap();
     assert_eq!(rest.len(), 2);
 

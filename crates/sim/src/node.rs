@@ -148,7 +148,9 @@ mod tests {
     fn node_crash_preserves_queued_requests() {
         let factory: Arc<dyn Fn() -> Handler + Send + Sync> = Arc::new(|| {
             Arc::new(|_ctx, req: &Request| {
-                Ok(HandlerOutcome::Reply(format!("did {}", req.rid).into_bytes()))
+                Ok(HandlerOutcome::Reply(
+                    format!("did {}", req.rid).into_bytes(),
+                ))
             })
         });
         let mut node = ServerNodeSim::new(
@@ -180,7 +182,9 @@ mod tests {
     fn node_crash_then_restart_serves_requests() {
         let factory: Arc<dyn Fn() -> Handler + Send + Sync> = Arc::new(|| {
             Arc::new(|_ctx, req: &Request| {
-                Ok(HandlerOutcome::Reply(format!("did {}", req.rid).into_bytes()))
+                Ok(HandlerOutcome::Reply(
+                    format!("did {}", req.rid).into_bytes(),
+                ))
             })
         });
         let mut node = ServerNodeSim::new(

@@ -18,10 +18,7 @@ use std::collections::BTreeMap;
 const CKPT_MAGIC: u32 = 0xC4EC_B001;
 
 /// Serialize the tree and atomically swap it onto `disk`.
-pub fn write_checkpoint(
-    disk: &dyn Disk,
-    mem: &BTreeMap<Vec<u8>, Vec<u8>>,
-) -> StorageResult<()> {
+pub fn write_checkpoint(disk: &dyn Disk, mem: &BTreeMap<Vec<u8>, Vec<u8>>) -> StorageResult<()> {
     let mut buf = Vec::new();
     put::u32(&mut buf, CKPT_MAGIC);
     put::u64(&mut buf, mem.len() as u64);

@@ -347,10 +347,8 @@ impl KvStore {
 
         // Merge the transaction's overlay within (start ..= cursor-or-prefix-end).
         if let Some(ov) = overlay {
-            let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = raw
-                .drain(..)
-                .map(|(k, v)| (k, Some(v)))
-                .collect();
+            let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> =
+                raw.drain(..).map(|(k, v)| (k, Some(v))).collect();
             for (k, v) in ov.iter() {
                 if !k.starts_with(prefix) || k.as_slice() < start.as_slice() {
                     continue;

@@ -154,12 +154,19 @@ impl Wal {
         while off + FRAME_HEADER as u64 <= end {
             let header = self.disk.read(off, FRAME_HEADER)?;
             let mut r = Reader::new(&header);
-            let magic = r.u16().expect("header length checked");
+            // The header reads cannot run short (FRAME_HEADER bytes were just
+            // read), but recovery must never panic: surface any miscount as a
+            // corrupt frame instead of unwrapping.
+            let corrupt = |e: StorageError| StorageError::Corrupt {
+                offset: off,
+                detail: e.to_string(),
+            };
+            let magic = r.u16().map_err(corrupt)?;
             if magic != MAGIC {
                 break;
             }
-            let len = r.u32().expect("header length checked") as usize;
-            let crc = r.u32().expect("header length checked");
+            let len = r.u32().map_err(corrupt)? as usize;
+            let crc = r.u32().map_err(corrupt)?;
             if off + (FRAME_HEADER + len) as u64 > end {
                 break; // truncated tail
             }
@@ -168,12 +175,10 @@ impl Wal {
                 break; // torn write
             }
             let mut br = Reader::new(&body);
-            let txn = br
-                .u64()
-                .map_err(|e| StorageError::Corrupt {
-                    offset: off,
-                    detail: e.to_string(),
-                })?;
+            let txn = br.u64().map_err(|e| StorageError::Corrupt {
+                offset: off,
+                detail: e.to_string(),
+            })?;
             let kind_b = br.u8().map_err(|e| StorageError::Corrupt {
                 offset: off,
                 detail: e.to_string(),

@@ -47,7 +47,9 @@ fn run_script(actions: Vec<Action>, crash_after: usize) {
 
     // Reference model: committed state and per-txn pending buffers.
     let mut committed: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
-    let mut pending: BTreeMap<u8, Vec<(Vec<u8>, Option<Vec<u8>>)>> = BTreeMap::new();
+    // key -> Some(value) for puts, None for deletes, in program order.
+    type PendingWrites = Vec<(Vec<u8>, Option<Vec<u8>>)>;
+    let mut pending: BTreeMap<u8, PendingWrites> = BTreeMap::new();
     let mut open: BTreeMap<u8, u64> = BTreeMap::new();
     let mut next_token = 1u64;
 
@@ -120,8 +122,11 @@ fn run_script(actions: Vec<Action>, crash_after: usize) {
         KvOptions::default(),
     )
     .unwrap();
-    let got: BTreeMap<Vec<u8>, Vec<u8>> =
-        recovered.scan_prefix(None, b"").unwrap().into_iter().collect();
+    let got: BTreeMap<Vec<u8>, Vec<u8>> = recovered
+        .scan_prefix(None, b"")
+        .unwrap()
+        .into_iter()
+        .collect();
     assert_eq!(got, expected, "recovered state diverges from model");
 }
 

@@ -115,10 +115,7 @@ impl LockManager {
                 Some(LockMode::Shared) if mode == LockMode::Shared => true,
                 Some(LockMode::Shared) => entry.holders.len() == 1, // upgrade
                 None => match mode {
-                    LockMode::Shared => entry
-                        .holders
-                        .values()
-                        .all(|m| *m == LockMode::Shared),
+                    LockMode::Shared => entry.holders.values().all(|m| *m == LockMode::Shared),
                     LockMode::Exclusive => entry.holders.is_empty(),
                 },
             };
@@ -140,6 +137,7 @@ impl LockManager {
                 } else {
                     g.stats.immediate_grants += 1;
                 }
+                rrq_check::race::lock_acquired(key.ns, &key.key);
                 return Ok(());
             }
 
@@ -205,6 +203,7 @@ impl LockManager {
                         g.table.remove(&k);
                     }
                 }
+                rrq_check::race::lock_released(k.ns, &k.key);
             }
         }
         g.waits.clear_waiter(txn);
@@ -233,6 +232,11 @@ impl LockManager {
                     e.holders.insert(to, merged);
                 }
             }
+        }
+        // Happens-before: the inheriting transaction's thread (the caller)
+        // adopts each lock without `from` ever releasing it.
+        for k in &keys {
+            rrq_check::race::lock_transferred(k.ns, &k.key);
         }
         g.held.entry(to).or_default().extend(keys);
         g.waits.clear_target(from);

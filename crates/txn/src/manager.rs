@@ -243,14 +243,20 @@ impl Txn {
         // the request and adopt the heir's locks the instant commit lands.
         // Nothing else can touch the heir id until then, so on commit
         // failure the transfer is safely reversed.
-        self.mgr.inner.locks.transfer_locks(self.id.raw(), heir.raw());
+        self.mgr
+            .inner
+            .locks
+            .transfer_locks(self.id.raw(), heir.raw());
         match commit_impl(&self.mgr, self.id, &rms) {
             Ok(()) => {
                 self.mgr.inner.stats.lock().committed += 1;
                 Ok(())
             }
             Err(e) => {
-                self.mgr.inner.locks.transfer_locks(heir.raw(), self.id.raw());
+                self.mgr
+                    .inner
+                    .locks
+                    .transfer_locks(heir.raw(), self.id.raw());
                 abort_impl(&self.mgr, self.id, &rms);
                 self.mgr.inner.locks.unlock_all(self.id.raw());
                 self.mgr.inner.stats.lock().aborted += 1;
@@ -287,9 +293,8 @@ fn commit_impl(mgr: &TxnManager, id: TxnId, rms: &[Arc<dyn ResourceManager>]) ->
         1 => rms[0].commit(id),
         _ => {
             for rm in rms {
-                rm.prepare(id).map_err(|e| {
-                    TxnError::PrepareFailed(format!("{}: {e}", rm.name()))
-                })?;
+                rm.prepare(id)
+                    .map_err(|e| TxnError::PrepareFailed(format!("{}: {e}", rm.name())))?;
             }
             if let Some(coord) = &mgr.inner.coord {
                 coord.log_decision(id, true)?;
@@ -418,8 +423,7 @@ mod tests {
                 Some(CoordinatorLog::new(Arc::new(coord_disk.clone()))),
                 1,
             );
-            let r1: Arc<dyn ResourceManager> =
-                Arc::new(KvResource::new("a", Arc::clone(&s1)));
+            let r1: Arc<dyn ResourceManager> = Arc::new(KvResource::new("a", Arc::clone(&s1)));
             let mut txn = mgr.begin();
             txn.enlist(Arc::clone(&r1)).unwrap();
             s1.put(txn.id().raw(), b"x", b"1").unwrap();
@@ -494,10 +498,7 @@ mod tests {
         t1.commit_inheriting_locks(t2_id).unwrap();
 
         // A third txn still can't touch the account.
-        assert!(mgr
-            .locks()
-            .try_lock(999, &k, LockMode::Shared)
-            .is_err());
+        assert!(mgr.locks().try_lock(999, &k, LockMode::Shared).is_err());
         // t2 holds it and finishes the request.
         assert!(mgr.locks().holds(t2_id.raw(), &k, LockMode::Exclusive));
         t2.commit().unwrap();

@@ -40,8 +40,12 @@ fn concurrent_transfers_conserve_money() {
     // Seed.
     s.begin(999_999).unwrap();
     for a in 0..ACCOUNTS {
-        s.put(999_999, format!("a{a}").as_bytes(), &10_000i64.to_le_bytes())
-            .unwrap();
+        s.put(
+            999_999,
+            format!("a{a}").as_bytes(),
+            &10_000i64.to_le_bytes(),
+        )
+        .unwrap();
     }
     s.commit(999_999).unwrap();
 
@@ -65,8 +69,12 @@ fn concurrent_transfers_conserve_money() {
                 // Deterministic lock order prevents deadlock here; the
                 // deadlock test below covers the victim path.
                 let (lo, hi) = (from.min(to), from.max(to));
-                if txn.lock_exclusive(&LockKey::new(1, format!("a{lo}"))).is_err()
-                    || txn.lock_exclusive(&LockKey::new(1, format!("a{hi}"))).is_err()
+                if txn
+                    .lock_exclusive(&LockKey::new(1, format!("a{lo}")))
+                    .is_err()
+                    || txn
+                        .lock_exclusive(&LockKey::new(1, format!("a{hi}")))
+                        .is_err()
                 {
                     txn.abort().unwrap();
                     continue;
@@ -84,8 +92,10 @@ fn concurrent_transfers_conserve_money() {
                     .unwrap()
                     .map(|r| i64::from_le_bytes(r.try_into().unwrap()))
                     .unwrap();
-                s.put(token, fk.as_bytes(), &(fb - 7).to_le_bytes()).unwrap();
-                s.put(token, tk.as_bytes(), &(tb + 7).to_le_bytes()).unwrap();
+                s.put(token, fk.as_bytes(), &(fb - 7).to_le_bytes())
+                    .unwrap();
+                s.put(token, tk.as_bytes(), &(tb + 7).to_le_bytes())
+                    .unwrap();
                 txn.commit().unwrap();
                 done += 1;
             }

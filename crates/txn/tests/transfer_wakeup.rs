@@ -1,0 +1,85 @@
+//! Regression tests pinning `LockManager::transfer_locks` against lost
+//! wakeups: a waiter blocked on a key held by `from` must survive the
+//! transfer (re-deriving its waits-for edges against `to`) and acquire the
+//! lock once `to` releases — and deadlock detection must keep working
+//! against the inheriting transaction.
+
+use rrq_txn::{LockKey, LockManager, LockMode, TxnError};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const FROM: u64 = 1;
+const TO: u64 = 2;
+const WAITER: u64 = 3;
+
+#[test]
+fn blocked_waiter_survives_transfer_and_acquires_after_release() {
+    let lm = Arc::new(LockManager::new());
+    let key = LockKey::new(9, "inherited");
+    lm.lock(FROM, &key, LockMode::Exclusive, Duration::from_secs(1))
+        .unwrap();
+
+    let waiter = {
+        let lm = Arc::clone(&lm);
+        let key = key.clone();
+        thread::spawn(move || lm.lock(WAITER, &key, LockMode::Exclusive, Duration::from_secs(10)))
+    };
+    // Let the waiter actually block (its waits-for edge targets FROM).
+    thread::sleep(Duration::from_millis(100));
+    assert!(lm.holds(FROM, &key, LockMode::Exclusive));
+
+    // §6 inheritance: the lock moves FROM -> TO without ever being free.
+    lm.transfer_locks(FROM, TO);
+    assert!(lm.holds(TO, &key, LockMode::Exclusive));
+    assert!(!lm.holds(WAITER, &key, LockMode::Shared), "still locked");
+
+    // The waiter must not have been lost: once TO releases, it gets the
+    // lock well within its timeout.
+    lm.unlock_all(TO);
+    waiter
+        .join()
+        .unwrap()
+        .expect("waiter acquires after the inheritor releases");
+    assert!(lm.holds(WAITER, &key, LockMode::Exclusive));
+    lm.unlock_all(WAITER);
+}
+
+#[test]
+fn deadlock_detection_sees_the_inheriting_transaction() {
+    let lm = Arc::new(LockManager::new());
+    let k1 = LockKey::new(9, "k1");
+    let k2 = LockKey::new(9, "k2");
+    lm.lock(FROM, &k1, LockMode::Exclusive, Duration::from_secs(1))
+        .unwrap();
+    lm.lock(WAITER, &k2, LockMode::Exclusive, Duration::from_secs(1))
+        .unwrap();
+
+    // WAITER blocks on k1 (held by FROM), holding k2.
+    let waiter = {
+        let lm = Arc::clone(&lm);
+        let k1 = k1.clone();
+        thread::spawn(move || lm.lock(WAITER, &k1, LockMode::Exclusive, Duration::from_secs(10)))
+    };
+    thread::sleep(Duration::from_millis(50));
+
+    // Transfer wakes the waiter, which re-records its edge against TO.
+    lm.transfer_locks(FROM, TO);
+    thread::sleep(Duration::from_millis(100));
+
+    // TO requesting k2 closes the cycle TO -> WAITER -> TO: the request
+    // must die as a deadlock victim, not hang until timeout.
+    let err = lm
+        .lock(TO, &k2, LockMode::Exclusive, Duration::from_secs(5))
+        .unwrap_err();
+    assert!(
+        matches!(err, TxnError::Deadlock { victim } if victim == TO),
+        "expected deadlock victim {TO}, got {err:?}"
+    );
+
+    // Victim aborts: its (inherited) locks release and the waiter finishes.
+    lm.unlock_all(TO);
+    waiter.join().unwrap().expect("waiter acquires k1");
+    assert_eq!(lm.held_count(TO), 0);
+    lm.unlock_all(WAITER);
+}

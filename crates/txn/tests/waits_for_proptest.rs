@@ -1,0 +1,58 @@
+//! Property: for ANY interleaving of waits-for edge recordings, aborting a
+//! deadlock victim the way `LockManager` does (clear its waiter edges, clear
+//! every edge targeting it, release its holdings) leaves no cycle through
+//! the victim and leaves the victim holding nothing.
+
+use proptest::prelude::*;
+use rrq_txn::deadlock::WaitsForGraph;
+use std::collections::{HashMap, HashSet};
+
+const TXNS: u64 = 6;
+
+/// Shadow of `LockManager`'s `held` map: holder -> granted lock ids. An
+/// edge `(w, h, lock)` models "w waits for lock, h holds lock".
+fn abort(graph: &mut WaitsForGraph, holds: &mut HashMap<u64, HashSet<u32>>, victim: u64) {
+    // What the Deadlock error path does...
+    graph.clear_waiter(victim);
+    // ...and what the subsequent unlock_all does.
+    graph.clear_target(victim);
+    holds.remove(&victim);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn victim_abort_breaks_its_cycles_and_frees_its_locks(
+        ops in proptest::collection::vec((0u64..TXNS, 0u64..TXNS, 0u32..8), 1..40),
+        victim in 0u64..TXNS,
+    ) {
+        let mut graph = WaitsForGraph::new();
+        let mut holds: HashMap<u64, HashSet<u32>> = HashMap::new();
+        for (waiter, holder, lock) in ops {
+            if waiter == holder {
+                continue; // a txn never waits on itself
+            }
+            holds.entry(holder).or_default().insert(lock);
+            graph.add_edge(waiter, holder);
+        }
+
+        abort(&mut graph, &mut holds, victim);
+
+        // The victim participates in no cycle, in either role.
+        prop_assert!(!graph.has_cycle_through(victim));
+        // The victim holds nothing.
+        prop_assert!(!holds.contains_key(&victim));
+        // Both edge directions touching the victim were cleared, so one
+        // fresh outbound edge cannot close a cycle: any such cycle would
+        // need a stale inbound edge that survived the abort.
+        graph.add_edge(victim, (victim + 1) % TXNS);
+        let recycled = graph.has_cycle_through(victim);
+        graph.clear_waiter(victim);
+        prop_assert!(
+            !recycled,
+            "a cycle through the victim right after one fresh edge means \
+             stale inbound edges survived the abort"
+        );
+    }
+}

@@ -152,7 +152,10 @@ mod tests {
                 low += 1;
             }
         }
-        assert!(low > 5_000, "90% skew should hit the top decile often: {low}");
+        assert!(
+            low > 5_000,
+            "90% skew should hit the top decile often: {low}"
+        );
         // theta=0 is roughly uniform.
         let mut u = ZipfSelector::new(100, 0.0, 3);
         let mut low_u = 0;

@@ -13,7 +13,7 @@
 use rrq_core::error::{CoreError, CoreResult};
 use rrq_core::pipeline::{Pipeline, Serializability, StageFn, StageResult};
 use rrq_core::request::Request;
-use rrq_core::server::{Handler, HandlerError, HandlerOutcome, Server, ServerCtx, ServerConfig};
+use rrq_core::server::{Handler, HandlerError, HandlerOutcome, Server, ServerConfig, ServerCtx};
 use rrq_qm::repository::Repository;
 use rrq_storage::codec::{put, Reader};
 use rrq_txn::LockKey;
@@ -98,12 +98,20 @@ pub fn clearing_count(repo: &Repository) -> CoreResult<usize> {
     Ok(repo.store().scan_prefix(None, b"bank/clearing/")?.len())
 }
 
+/// Race-detector cell name of one account balance. Every mutation goes
+/// through [`adjust`]'s exclusive lock; a write reported on this cell
+/// without that lock is a bug (see the rrq-check negative test).
+pub fn account_cell(i: u32) -> String {
+    format!("bank/acct/{i:08}")
+}
+
 fn adjust(ctx: &ServerCtx<'_>, account: u32, delta: i64) -> Result<(), HandlerError> {
     let key = account_key(account);
     ctx.txn
         .lock_exclusive(&LockKey::new(BANK_NS, key.clone()))
         .map_err(|e| HandlerError::Abort(e.to_string()))?;
     let txn = ctx.txn.id().raw();
+    rrq_check::race::on_read(&account_cell(account));
     let bal = ctx
         .repo
         .store()
@@ -111,6 +119,7 @@ fn adjust(ctx: &ServerCtx<'_>, account: u32, delta: i64) -> Result<(), HandlerEr
         .map_err(|e| HandlerError::Abort(e.to_string()))?
         .map(|raw| i64::from_le_bytes(raw.try_into().unwrap_or([0; 8])))
         .unwrap_or(0);
+    rrq_check::race::on_write(&account_cell(account));
     ctx.repo
         .store()
         .put(txn, &key, &(bal + delta).to_le_bytes())
@@ -146,8 +155,7 @@ pub fn single_txn_handler() -> Handler {
 /// replies.
 pub fn transfer_pipeline(queues: [&str; 3], mode: Serializability) -> Pipeline {
     let stage_fn: StageFn = Arc::new(move |ctx, req, i| {
-        let t =
-            Transfer::decode(&req.body).map_err(|e| HandlerError::Reject(e.to_string()))?;
+        let t = Transfer::decode(&req.body).map_err(|e| HandlerError::Reject(e.to_string()))?;
         match i {
             0 => {
                 adjust(ctx, t.from, -t.amount)?;
@@ -182,7 +190,10 @@ pub fn flaky_transfer_handler(abort_every: u64) -> Handler {
             let attempts = ctx
                 .repo
                 .store()
-                .get(None, &format!("bank/flaky/{}", req.rid.to_attr()).into_bytes())
+                .get(
+                    None,
+                    &format!("bank/flaky/{}", req.rid.to_attr()).into_bytes(),
+                )
                 .ok()
                 .flatten()
                 .map(|v| v.first().copied().unwrap_or(0))
@@ -206,16 +217,17 @@ pub fn flaky_transfer_handler(abort_every: u64) -> Handler {
 
 /// Compensation server for cancelled transfers (§7 sagas): handles
 /// `undo-debit` / `undo-credit` ops by applying the inverse adjustment.
-pub fn compensation_server(
-    repo: &Arc<Repository>,
-    queue: &str,
-) -> CoreResult<Arc<Server>> {
+pub fn compensation_server(repo: &Arc<Repository>, queue: &str) -> CoreResult<Arc<Server>> {
     let handler: Handler = Arc::new(|ctx, req| {
         let t = Transfer::decode(&req.body).map_err(|e| HandlerError::Reject(e.to_string()))?;
         match req.op.as_str() {
             "undo-debit" => adjust(ctx, t.from, t.amount)?,
             "undo-credit" => adjust(ctx, t.to, -t.amount)?,
-            other => return Err(HandlerError::Reject(format!("unknown compensation {other}"))),
+            other => {
+                return Err(HandlerError::Reject(format!(
+                    "unknown compensation {other}"
+                )))
+            }
         }
         Ok(HandlerOutcome::Reply(b"compensated".to_vec()))
     });
@@ -316,8 +328,13 @@ mod tests {
             amount: 300,
         };
         let req = Request::new(Rid::new("c", 1), "reply.c", "transfer", t.encode());
-        api.enqueue("xfer0", "c", &req.encode_to_vec(), EnqueueOptions::default())
-            .unwrap();
+        api.enqueue(
+            "xfer0",
+            "c",
+            &req.encode_to_vec(),
+            EnqueueOptions::default(),
+        )
+        .unwrap();
         let elem = api
             .dequeue(
                 "reply.c",

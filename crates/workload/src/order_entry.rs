@@ -92,10 +92,7 @@ pub fn order_handler() -> Handler {
             .get(Some(txn), &key)
             .map_err(|e| HandlerError::Abort(e.to_string()))?
         else {
-            return Err(HandlerError::Reject(format!(
-                "unknown item {}",
-                order.item
-            )));
+            return Err(HandlerError::Reject(format!("unknown item {}", order.item)));
         };
         let have = u32::from_le_bytes(raw.try_into().unwrap_or([0; 4]));
         if have < order.qty {
@@ -155,8 +152,13 @@ mod tests {
                 }
                 .encode(),
             );
-            api.enqueue("orders", "c", &req.encode_to_vec(), EnqueueOptions::default())
-                .unwrap();
+            api.enqueue(
+                "orders",
+                "c",
+                &req.encode_to_vec(),
+                EnqueueOptions::default(),
+            )
+            .unwrap();
         }
         assert_eq!(api.depth("orders").unwrap(), 10);
 
@@ -216,8 +218,13 @@ mod tests {
             "order",
             Order { item: 77, qty: 1 }.encode(),
         );
-        api.enqueue("orders", "c", &req.encode_to_vec(), EnqueueOptions::default())
-            .unwrap();
+        api.enqueue(
+            "orders",
+            "c",
+            &req.encode_to_vec(),
+            EnqueueOptions::default(),
+        )
+        .unwrap();
         let elem = api
             .dequeue(
                 "reply.c",
@@ -263,8 +270,13 @@ mod tests {
             }
             .encode(),
         );
-        api.enqueue("orders", "c", &req.encode_to_vec(), EnqueueOptions::default())
-            .unwrap();
+        api.enqueue(
+            "orders",
+            "c",
+            &req.encode_to_vec(),
+            EnqueueOptions::default(),
+        )
+        .unwrap();
 
         // Wait until the poison order lands in the error queue.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);

@@ -28,7 +28,8 @@ fn main() {
     let mut meta = QueueMeta::with_defaults("orders");
     meta.alert_threshold = Some(25); // §9 alert threshold
     repo.qm().create_queue(meta).expect("create orders queue");
-    repo.create_queue_defaults("reply.shop").expect("reply queue");
+    repo.create_queue_defaults("reply.shop")
+        .expect("reply queue");
     order_entry::seed_inventory(&repo, ITEMS, 1_000).expect("seed inventory");
 
     // Phase 1: capture a batch with NO servers running at all.
@@ -40,14 +41,30 @@ fn main() {
             item: (i % ITEMS as u64) as u32,
             qty: 1 + (i % 3) as u32,
         };
-        let req = Request::new(Rid::new("shop", i + 1), "reply.shop", "order", order.encode());
-        api.enqueue("orders", "shop", &req.encode_to_vec(), EnqueueOptions::default())
-            .unwrap();
+        let req = Request::new(
+            Rid::new("shop", i + 1),
+            "reply.shop",
+            "order",
+            order.encode(),
+        );
+        api.enqueue(
+            "orders",
+            "shop",
+            &req.encode_to_vec(),
+            EnqueueOptions::default(),
+        )
+        .unwrap();
     }
-    println!("captured {} orders with no server running", api.depth("orders").unwrap());
+    println!(
+        "captured {} orders with no server running",
+        api.depth("orders").unwrap()
+    );
     let alerts = repo.qm().take_alerts();
     println!("alerts raised while batching: {alerts:?}");
-    assert!(alerts.contains(&"orders".to_string()), "threshold alert expected");
+    assert!(
+        alerts.contains(&"orders".to_string()),
+        "threshold alert expected"
+    );
 
     // Phase 2: bring up a pool of 4 servers; they share the drain.
     let (servers, handles, stop) =

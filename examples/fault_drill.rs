@@ -37,7 +37,10 @@ fn main() {
 
     // Crash after EVERY send, receive, and process in turn, plus a random mix.
     let schedule = CrashSchedule::random(N, 0.6, 2026);
-    println!("injecting {} client crashes across {N} requests", schedule.len());
+    println!(
+        "injecting {} client crashes across {N} requests",
+        schedule.len()
+    );
 
     let make_clerk = || {
         let api = Arc::new(LocalQm::new(Arc::clone(&repo)));
@@ -60,15 +63,27 @@ fn main() {
     println!("client incarnations         : {}", report.incarnations);
     println!("replies completed           : {}", report.completed);
     println!("resync: received outstanding: {}", report.resync_received);
-    println!("resync: reprocessed (rerecv): {}", report.resync_reprocessed);
-    println!("resync: already processed   : {}", report.resync_already_processed);
+    println!(
+        "resync: reprocessed (rerecv): {}",
+        report.resync_reprocessed
+    );
+    println!(
+        "resync: already processed   : {}",
+        report.resync_already_processed
+    );
     println!("tickets printed             : {}", printer.printed().len());
 
     // The oracles.
     let expected: Vec<Rid> = (1..=N).map(|s| Rid::new("till", s)).collect();
     let violations = EffectLedger::violations(&repo, &expected).unwrap();
-    assert!(violations.is_empty(), "exactly-once violated: {violations:?}");
-    assert!(!printer.has_duplicate_prints(), "a ticket was printed twice!");
+    assert!(
+        violations.is_empty(),
+        "exactly-once violated: {violations:?}"
+    );
+    assert!(
+        !printer.has_duplicate_prints(),
+        "a ticket was printed twice!"
+    );
     assert_eq!(report.completed, N);
 
     // Show how a crash AFTER processing is distinguished from one BEFORE:

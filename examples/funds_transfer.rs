@@ -29,8 +29,11 @@ const INITIAL: i64 = 100_000;
 
 fn main() {
     let factory: ServerFactory = Arc::new(|repo| {
-        bank::transfer_pipeline(["xfer.debit", "xfer.credit", "xfer.clear"], Serializability::None)
-            .build_servers(repo)
+        bank::transfer_pipeline(
+            ["xfer.debit", "xfer.credit", "xfer.clear"],
+            Serializability::None,
+        )
+        .build_servers(repo)
     });
     let mut node = ServerNodeSim::with_factory(
         "bank",
@@ -58,7 +61,12 @@ fn main() {
             to: ((i + 3) % ACCOUNTS as u64) as u32,
             amount: 250,
         };
-        let req = Request::new(Rid::new("teller", i + 1), "reply.teller", "transfer", t.encode());
+        let req = Request::new(
+            Rid::new("teller", i + 1),
+            "reply.teller",
+            "transfer",
+            t.encode(),
+        );
         api.enqueue(
             "xfer.debit",
             "teller",
@@ -85,7 +93,10 @@ fn main() {
     let mut received = 0u64;
     let deadline = Instant::now() + Duration::from_secs(60);
     while received < TRANSFERS {
-        assert!(Instant::now() < deadline, "stalled at {received}/{TRANSFERS}");
+        assert!(
+            Instant::now() < deadline,
+            "stalled at {received}/{TRANSFERS}"
+        );
         if api
             .dequeue(
                 "reply.teller",
@@ -105,7 +116,10 @@ fn main() {
     let total = bank::total_money(&repo, ACCOUNTS).unwrap();
     let cleared = bank::clearing_count(&repo).unwrap();
     println!("replies received : {received}");
-    println!("total money      : {total} (expected {})", INITIAL * ACCOUNTS as i64);
+    println!(
+        "total money      : {total} (expected {})",
+        INITIAL * ACCOUNTS as i64
+    );
     println!("clearing entries : {cleared} (expected {TRANSFERS})");
     assert_eq!(total, INITIAL * ACCOUNTS as i64, "conservation violated");
     assert_eq!(cleared as u64, TRANSFERS, "exactly-once clearing violated");

@@ -11,7 +11,8 @@ use std::time::Duration;
 pub fn repo_with_queues(name: &str, client_id: &str) -> Arc<Repository> {
     let repo = Arc::new(Repository::create(name).unwrap());
     repo.create_queue_defaults("req").unwrap();
-    repo.create_queue_defaults(&format!("reply.{client_id}")).unwrap();
+    repo.create_queue_defaults(&format!("reply.{client_id}"))
+        .unwrap();
     repo
 }
 

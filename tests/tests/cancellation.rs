@@ -49,10 +49,11 @@ fn cancel_while_executing_aborts_server_transaction() {
         // Signal we started, then dawdle.
         gate2.store(true, Ordering::Relaxed);
         std::thread::sleep(Duration::from_millis(300));
-        Ok(rrq_core::server::HandlerOutcome::Reply(b"too late?".to_vec()))
+        Ok(rrq_core::server::HandlerOutcome::Reply(
+            b"too late?".to_vec(),
+        ))
     });
-    let (_servers, handles, stop) =
-        rrq_core::server::spawn_pool(&repo, "req", 1, handler).unwrap();
+    let (_servers, handles, stop) = rrq_core::server::spawn_pool(&repo, "req", 1, handler).unwrap();
 
     let clerk = local_clerk(&repo, "c1");
     clerk.connect().unwrap();
@@ -163,8 +164,13 @@ fn late_cancel_compensates_committed_stages() {
         amount: 400,
     };
     let req = Request::new(rid.clone(), "reply.c1", "transfer", t.encode());
-    api.enqueue("xfer0", "c1", &req.encode_to_vec(), EnqueueOptions::default())
-        .unwrap();
+    api.enqueue(
+        "xfer0",
+        "c1",
+        &req.encode_to_vec(),
+        EnqueueOptions::default(),
+    )
+    .unwrap();
 
     // Wait for stage 0 to commit (debit visible, request parked in xfer1).
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
@@ -186,7 +192,10 @@ fn late_cancel_compensates_committed_stages() {
     let ch = comp.spawn(Arc::clone(&stop));
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while bank::balance(&repo, 0).unwrap() != 1_000 {
-        assert!(std::time::Instant::now() < deadline, "compensation never ran");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "compensation never ran"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     assert_eq!(bank::total_money(&repo, 2).unwrap(), 2_000, "restored");

@@ -26,12 +26,7 @@ fn poisoned_request_gets_failed_reply_via_error_queue() {
         attempts2.fetch_add(1, Ordering::Relaxed);
         Err(HandlerError::Abort("always fails".into()))
     });
-    let server = Server::new(
-        Arc::clone(&repo),
-        ServerConfig::new("s", "req"),
-        handler,
-    )
-    .unwrap();
+    let server = Server::new(Arc::clone(&repo), ServerConfig::new("s", "req"), handler).unwrap();
     let reaper = Server::failed_reply_reaper(Arc::clone(&repo), "reaper", "req.errors").unwrap();
     let stop = Arc::new(AtomicBool::new(false));
     let h1 = server.spawn(Arc::clone(&stop));
@@ -46,7 +41,10 @@ fn poisoned_request_gets_failed_reply_via_error_queue() {
     assert_eq!(reply.rid, Rid::new("c1", 1), "request-reply matching holds");
     assert_eq!(reply.status, ReplyStatus::Failed);
     let msg = String::from_utf8_lossy(&reply.body).to_string();
-    assert!(msg.contains("gave up") || msg.contains("exhausted"), "{msg}");
+    assert!(
+        msg.contains("gave up") || msg.contains("exhausted"),
+        "{msg}"
+    );
 
     // Exactly retry_limit attempts, then it stopped — no cyclic restart.
     assert_eq!(attempts.load(Ordering::Relaxed), 3);

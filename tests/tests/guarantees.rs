@@ -64,11 +64,17 @@ fn no_crashes_baseline() {
 
 #[test]
 fn crash_after_every_send() {
-    let (report, violations, dups) =
-        run_scenario("g-send", CrashSchedule::every(N, CrashPoint::AfterSend), true);
+    let (report, violations, dups) = run_scenario(
+        "g-send",
+        CrashSchedule::every(N, CrashPoint::AfterSend),
+        true,
+    );
     assert_eq!(report.completed, N);
     assert_eq!(report.resync_received, N, "every reply picked up at resync");
-    assert!(violations.is_empty(), "exactly-once violated: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "exactly-once violated: {violations:?}"
+    );
     assert!(!dups, "testable device must prevent duplicate prints");
 }
 
@@ -103,7 +109,10 @@ fn crash_after_every_process_detects_already_processed() {
         "testable device proves the reply was processed"
     );
     assert!(violations.is_empty(), "{violations:?}");
-    assert!(!dups, "exactly-once reply processing with a testable device");
+    assert!(
+        !dups,
+        "exactly-once reply processing with a testable device"
+    );
 }
 
 #[test]
@@ -124,11 +133,7 @@ fn random_crash_schedule_preserves_all_guarantees() {
 fn display_without_ckpt_still_at_least_once() {
     // With an idempotent display, at-least-once is the guarantee; the
     // display's duplicate detection absorbs repeats.
-    let (report, violations, _) = run_scenario(
-        "g-disp",
-        CrashSchedule::random(N, 0.4, 99),
-        false,
-    );
+    let (report, violations, _) = run_scenario("g-disp", CrashSchedule::random(N, 0.4, 99), false);
     assert_eq!(report.completed, N);
     assert!(violations.is_empty(), "{violations:?}");
 }

@@ -4,7 +4,7 @@
 use rrq_core::api::LocalQm;
 use rrq_core::conversation::{spawn_conversation_endpoint, Conversation, IoLog, RpcConversation};
 use rrq_core::interactive::InteractiveClient;
-use rrq_core::request::{Request, ReplyStatus};
+use rrq_core::request::{ReplyStatus, Request};
 use rrq_core::rid::Rid;
 use rrq_core::server::{Handler, HandlerError, HandlerOutcome, Server, ServerConfig};
 use rrq_net::rpc::RpcClient;
@@ -64,12 +64,19 @@ fn pseudo_conversational_three_rounds() {
     let client = InteractiveClient::new(api, "c", "reply.c");
     let mut answers = vec![b"tuesday".to_vec(), b"economy".to_vec()].into_iter();
     let outcome = client
-        .run("conv0", Rid::new("c", 1), "book", b"trip".to_vec(), |_prompt| {
-            answers.next().expect("script exhausted")
-        })
+        .run(
+            "conv0",
+            Rid::new("c", 1),
+            "book",
+            b"trip".to_vec(),
+            |_prompt| answers.next().expect("script exhausted"),
+        )
         .unwrap();
     assert_eq!(outcome.rounds, 2);
-    assert_eq!(outcome.prompts, vec![b"Which date?".to_vec(), b"Which class?".to_vec()]);
+    assert_eq!(
+        outcome.prompts,
+        vec![b"Which date?".to_vec(), b"Which class?".to_vec()]
+    );
     assert_eq!(outcome.reply.status, ReplyStatus::Ok);
     assert_eq!(
         outcome.reply.body,
@@ -96,7 +103,7 @@ fn single_txn_conversation_replays_logged_io_after_abort() {
     let log = Arc::new(IoLog::new());
     let asked = Arc::new(AtomicU32::new(0));
     let asked2 = Arc::clone(&asked);
-    let user: Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync> = Arc::new(move |prompt| {
+    let user: rrq_core::conversation::UserFn = Arc::new(move |prompt| {
         asked2.fetch_add(1, Ordering::Relaxed);
         let mut v = b"user:".to_vec();
         v.extend_from_slice(prompt);
@@ -136,9 +143,7 @@ fn single_txn_conversation_replays_logged_io_after_abort() {
     // Drive one request through.
     let clerk = rrq_tests::local_clerk(&repo, "c");
     clerk.connect().unwrap();
-    clerk
-        .send("converse", vec![], Rid::new("c", 1))
-        .unwrap();
+    clerk.send("converse", vec![], Rid::new("c", 1)).unwrap();
     let reply = clerk.receive(b"").unwrap();
     assert_eq!(reply.body, b"user:first?+user:second?".to_vec());
 
@@ -148,7 +153,11 @@ fn single_txn_conversation_replays_logged_io_after_abort() {
     assert_eq!(stats.fresh, 2);
     assert_eq!(stats.replayed, 2);
     assert_eq!(stats.divergences, 0);
-    assert_eq!(attempts.load(Ordering::Relaxed), 2, "one abort, one success");
+    assert_eq!(
+        attempts.load(Ordering::Relaxed),
+        2,
+        "one abort, one success"
+    );
 
     stop.store(true, Ordering::Relaxed);
     h.join().unwrap();
@@ -166,7 +175,7 @@ fn divergent_replay_discards_stale_input() {
     let log = Arc::new(IoLog::new());
     let asked = Arc::new(AtomicU32::new(0));
     let asked2 = Arc::clone(&asked);
-    let user: Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync> = Arc::new(move |prompt| {
+    let user: rrq_core::conversation::UserFn = Arc::new(move |prompt| {
         asked2.fetch_add(1, Ordering::Relaxed);
         prompt.to_vec()
     });

@@ -21,10 +21,7 @@ fn crash_point_strategy() -> impl Strategy<Value = Option<CrashPoint>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12, // each case spins up real threads; keep it tight
-        .. ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(12))] // each case spins up real threads; keep it tight
 
     #[test]
     fn any_crash_schedule_preserves_guarantees(

@@ -91,7 +91,7 @@ fn lost_one_way_send_is_detected_and_resent() {
         clerk
             .send("echo", b"lost".to_vec(), rrq_core::rid::Rid::new("rc", 2))
             .unwrap(); // returns Ok: one-way, no acknowledgement
-        // The Receive would time out here; the client process dies instead.
+                       // The Receive would time out here; the client process dies instead.
     }
     bus.faults().set_default_drop(0.0);
 
@@ -128,7 +128,11 @@ fn acked_send_then_crash_resyncs_without_resend() {
         let clerk = make_clerk();
         clerk.connect().unwrap();
         clerk
-            .send("echo", b"survives".to_vec(), rrq_core::rid::Rid::new("rc", 1))
+            .send(
+                "echo",
+                b"survives".to_vec(),
+                rrq_core::rid::Rid::new("rc", 1),
+            )
             .unwrap();
         // Client dies before Receive.
     }
@@ -142,7 +146,11 @@ fn acked_send_then_crash_resyncs_without_resend() {
         }
         other => panic!("expected ReceivedOutstanding, got {other:?}"),
     }
-    assert_eq!(runtime.next_serial(), 2, "serial advanced past recovered rid");
+    assert_eq!(
+        runtime.next_serial(),
+        2,
+        "serial advanced past recovered rid"
+    );
 
     stop.store(true, Ordering::Relaxed);
     for h in handles {
@@ -182,7 +190,9 @@ fn qm_endpoint_outage_then_recovery() {
         assert!(matches!(
             r,
             Err(rrq_core::error::CoreError::Net(rrq_net::NetError::Timeout))
-                | Err(rrq_core::error::CoreError::Net(rrq_net::NetError::UnknownEndpoint(_)))
+                | Err(rrq_core::error::CoreError::Net(
+                    rrq_net::NetError::UnknownEndpoint(_)
+                ))
         ));
     }
 
@@ -216,9 +226,7 @@ fn one_way_send_saves_messages() {
     let acked = RemoteQm::new(&bus, "acked-ep", "qm");
     acked.register("req", "a", false).unwrap();
     for _ in 0..5 {
-        acked
-            .enqueue("req", "a", b"x", Default::default())
-            .unwrap();
+        acked.enqueue("req", "a", b"x", Default::default()).unwrap();
     }
     let (calls, one_ways) = acked.message_counts();
     assert_eq!((calls, one_ways), (6, 0)); // register + 5 acked enqueues

@@ -61,22 +61,17 @@ fn exactly_once_across_repeated_node_crashes() {
         node.start().unwrap();
         let api = LocalQm::new(node.repo());
         // Drain all replies currently available (more may come later).
-        loop {
-            match api.dequeue(
-                "reply.c",
-                "c",
-                DequeueOptions {
-                    block: Some(Duration::from_millis(400)),
-                    ..Default::default()
-                },
-            ) {
-                Ok(elem) => {
-                    let reply = Reply::decode_all(&elem.payload).unwrap();
-                    assert!(expected.contains(&reply.rid), "unknown reply {}", reply.rid);
-                    received += 1;
-                }
-                Err(_) => break,
-            }
+        while let Ok(elem) = api.dequeue(
+            "reply.c",
+            "c",
+            DequeueOptions {
+                block: Some(Duration::from_millis(400)),
+                ..Default::default()
+            },
+        ) {
+            let reply = Reply::decode_all(&elem.payload).unwrap();
+            assert!(expected.contains(&reply.rid), "unknown reply {}", reply.rid);
+            received += 1;
             if received == N {
                 break;
             }
@@ -98,8 +93,7 @@ fn exactly_once_across_repeated_node_crashes() {
 #[test]
 fn pipeline_resumes_after_crash_and_conserves_money() {
     let factory: ServerFactory = Arc::new(|repo| {
-        let pipeline =
-            bank::transfer_pipeline(["xfer0", "xfer1", "xfer2"], Serializability::None);
+        let pipeline = bank::transfer_pipeline(["xfer0", "xfer1", "xfer2"], Serializability::None);
         pipeline.build_servers(repo)
     });
     let mut node = ServerNodeSim::with_factory(
@@ -125,8 +119,13 @@ fn pipeline_resumes_after_crash_and_conserves_money() {
             amount: 100,
         };
         let req = Request::new(Rid::new("c", i + 1), "reply.c", "transfer", t.encode());
-        api.enqueue("xfer0", "c", &req.encode_to_vec(), EnqueueOptions::default())
-            .unwrap();
+        api.enqueue(
+            "xfer0",
+            "c",
+            &req.encode_to_vec(),
+            EnqueueOptions::default(),
+        )
+        .unwrap();
     }
 
     // Crash the node a few times while the pipeline grinds through.

@@ -1,0 +1,245 @@
+//! Minimal offline shim for the `criterion` API surface this workspace's
+//! benches use. Reports a wall-clock mean per benchmark — no statistics,
+//! no plots — so `cargo bench --features bench-harness` stays meaningful
+//! in an offline container.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each benchmark's measurement loop runs.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+/// Identifier for one parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a benchmark by its parameter value alone.
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Identify a benchmark by function name and parameter.
+    pub fn new(name: impl fmt::Display, p: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` sizes its setup batches (ignored by this shim —
+/// setup always runs once per iteration, i.e. `PerIteration` semantics).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn run(mut body: impl FnMut(&mut Bencher)) -> (Duration, u64) {
+        // Warm-up pass, discarded.
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        let start = Instant::now();
+        while start.elapsed() < WARMUP_BUDGET {
+            body(&mut b);
+        }
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            body(&mut b);
+        }
+        (b.elapsed, b.iters)
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time excluded.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+fn report(group: &str, name: &str, throughput: Option<Throughput>, elapsed: Duration, iters: u64) {
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if iters == 0 {
+        println!("{label:<48} (no iterations)");
+        return;
+    }
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => {
+            let mbps = b as f64 * iters as f64 / elapsed.as_secs_f64() / (1024.0 * 1024.0);
+            format!("  {mbps:10.1} MiB/s")
+        }
+        Throughput::Elements(e) => {
+            let eps = e as f64 * iters as f64 / elapsed.as_secs_f64();
+            format!("  {eps:10.0} elem/s")
+        }
+    });
+    println!(
+        "{label:<48} {:>12.0} ns/iter ({iters} iters){}",
+        per_iter,
+        rate.unwrap_or_default()
+    );
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, name: impl fmt::Display, body: impl FnMut(&mut Bencher)) {
+        let (elapsed, iters) = Bencher::run(body);
+        report("", &name.to_string(), None, elapsed, iters);
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Hint for the sample count (ignored by this shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let (elapsed, iters) = Bencher::run(body);
+        report(&self.name, &name.to_string(), self.throughput, elapsed, iters);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let (elapsed, iters) = Bencher::run(|b| body(b, input));
+        report(&self.name, &id.to_string(), self.throughput, elapsed, iters);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let (elapsed, iters) = Bencher::run(|b| b.iter(|| black_box(2u64 + 2)));
+        assert!(iters > 0);
+        assert!(elapsed <= MEASURE_BUDGET * 2);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1)).sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

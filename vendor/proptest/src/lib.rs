@@ -1,0 +1,484 @@
+//! Minimal offline shim for the `proptest` API surface this workspace uses.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking: a failing case panics with the generated inputs so the
+//!   values can be pasted into a focused unit test;
+//! - deterministic: case `i` of every test draws from a fixed seed mixed
+//!   with `i`, so failures reproduce across runs.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic generator handed to strategies (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Fixed-seed generator for one test case.
+    pub fn for_case(case: u64) -> Self {
+        TestRng {
+            state: 0x5252_515F_5345_4544 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The inputs were rejected (not counted as failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed property with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected input with a message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration; only `cases` matters in this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Default config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for producing values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`] (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice among same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Union<V> {
+    /// Build from `(weight, strategy)` arms; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        let mut pick = rng.below(total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Types with a canonical "whole domain" strategy, for [`any`].
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// Strategy over a type's whole domain.
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                assert!(span > 0, "empty range strategy");
+                (self.start as u64 + rng.below(span)) as $t
+            }
+        }
+    )+};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy: each element drawn from `element`, length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a proptest-style test file expects in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Define property tests. Each case draws fresh inputs from the argument
+/// strategies; a returned `Err` or failed `prop_assert!` panics with the
+/// case number and the generated inputs (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::TestRng::for_case(case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let mut inputs = String::new();
+                    $(inputs.push_str(&format!("{} = {:?}; ", stringify!($arg), &$arg));)+
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) = outcome {
+                        panic!(
+                            "proptest case {case} of {}: {msg}\n  inputs: {inputs}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Weighted (`w => strat`) or unweighted choice among strategies with the
+/// same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Cmd {
+        Push(u8),
+        Pop,
+    }
+
+    fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+        prop_oneof![
+            3 => (0u8..10).prop_map(Cmd::Push),
+            1 => Just(Cmd::Pop),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in bounds and tuples compose.
+        #[test]
+        fn ranges_and_tuples(
+            pair in (0u8..4, 1usize..9),
+            frac in 0.0f64..1.0,
+            bytes in crate::collection::vec(any::<u8>(), 0..16),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((1..9).contains(&pair.1), "len {} out of range", pair.1);
+            prop_assert!((0.0..1.0).contains(&frac));
+            prop_assert!(bytes.len() < 16);
+        }
+
+        /// A model interpreter over generated commands.
+        #[test]
+        fn stack_model(cmds in crate::collection::vec(cmd_strategy(), 1..40)) {
+            let mut stack = Vec::new();
+            let mut max_seen = 0usize;
+            for c in &cmds {
+                match c {
+                    Cmd::Push(v) => stack.push(*v),
+                    Cmd::Pop => { stack.pop(); }
+                }
+                max_seen = max_seen.max(stack.len());
+            }
+            prop_assert!(max_seen <= cmds.len());
+            prop_assert_eq!(stack.len().min(1), if stack.is_empty() { 0 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = crate::TestRng::for_case(3);
+        let mut b = crate::TestRng::for_case(3);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0u8..4) {
+                prop_assert!(x > 200);
+            }
+        }
+        inner();
+    }
+}
