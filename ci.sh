@@ -19,4 +19,10 @@ cargo build --release
 echo "== cargo test"
 cargo test -q --release
 
+echo "== explorer smoke sweep (200 fixed-seed fault scripts)"
+# Deterministic: any failure prints the seed and a replayable script path
+# (replay with: cargo run --release -p rrq-bench --bin explore -- --replay <path>).
+cargo run --release -p rrq-bench --bin explore -- \
+  --scripts 200 --seed 1 --budget-secs 240 --out target/explorer-failures
+
 echo "CI OK"

@@ -60,6 +60,15 @@ pub enum ClientEvent {
     },
     /// The client deregistered, destroying its resynchronization state.
     Disconnect,
+    /// An operation failed client-side (network error): whether it took
+    /// effect at the QM is unknown — an acked `Send` or a `Receive` that
+    /// timed out on the wire may still have committed server-side and
+    /// advanced the stable tags. The client's state does not change, but the
+    /// checker can no longer predict the next resync triple.
+    OpFailed {
+        /// Which operation failed (e.g. "send", "receive").
+        op: String,
+    },
 }
 
 impl ClientEvent {
@@ -71,6 +80,7 @@ impl ClientEvent {
             ClientEvent::Receive { .. } => ClientEventKind::Receive,
             ClientEvent::Rereceive { .. } => ClientEventKind::Rereceive,
             ClientEvent::Disconnect => ClientEventKind::Disconnect,
+            ClientEvent::OpFailed { .. } => ClientEventKind::OpFailed,
         }
     }
 }
@@ -88,6 +98,8 @@ pub enum ClientEventKind {
     Rereceive,
     /// See [`ClientEvent::Disconnect`].
     Disconnect,
+    /// See [`ClientEvent::OpFailed`].
+    OpFailed,
 }
 
 /// An observable server-loop transition.
@@ -179,15 +191,20 @@ pub enum ServerState {
 }
 
 /// Fig 1 transition relation. A target of `None` means the next state is
-/// computed from the event payload (only `Connect`, whose resync triple
-/// decides between `Fresh`, `Outstanding`, and `Delivered` — Fig 2 lines
-/// 2–11).
+/// computed from the event payload: `Connect`, whose resync triple decides
+/// between `Fresh`, `Outstanding`, and `Delivered` (Fig 2 lines 2–11), and
+/// `OpFailed`, which leaves the state unchanged.
 pub const CLIENT_TABLE: &[(ClientState, ClientEventKind, Option<ClientState>)] = &[
     // Connect is the recovery entry point: legal from every state.
     (ClientState::Disconnected, ClientEventKind::Connect, None),
     (ClientState::Fresh, ClientEventKind::Connect, None),
     (ClientState::Outstanding, ClientEventKind::Connect, None),
     (ClientState::Delivered, ClientEventKind::Connect, None),
+    // A network-failed operation can happen anywhere and moves nothing.
+    (ClientState::Disconnected, ClientEventKind::OpFailed, None),
+    (ClientState::Fresh, ClientEventKind::OpFailed, None),
+    (ClientState::Outstanding, ClientEventKind::OpFailed, None),
+    (ClientState::Delivered, ClientEventKind::OpFailed, None),
     // One request at a time: Send only with no reply pending.
     (
         ClientState::Fresh,
@@ -444,6 +461,15 @@ impl Conformance {
         lock_poison_ok(&self.inner).violations.clone()
     }
 
+    /// Forget every tracked machine, violation, and counter while staying
+    /// installed. Sweeps that run many independent scenarios reuse one
+    /// observer session (installation takes a process-wide lock) and call
+    /// this between runs so state from one scenario cannot leak into the
+    /// verdict of the next.
+    pub fn reset(&self) {
+        *lock_poison_ok(&self.inner) = ConfState::default();
+    }
+
     /// `(client_events, server_events)` observed — lets tests assert the
     /// run was not vacuously clean.
     pub fn events_seen(&self) -> (u64, u64) {
@@ -570,6 +596,11 @@ impl ProtocolObserver for Conformance {
                 m.delivered = None;
                 m.last_acked_send = None;
                 m.last_receive = None;
+            }
+            ClientEvent::OpFailed { .. } => {
+                // The operation may or may not have committed at the QM;
+                // the next Connect's triple is unpredictable from here.
+                m.tags_known = false;
             }
         }
 
@@ -850,6 +881,99 @@ mod tests {
         let text = v[0].to_string();
         assert!(text.contains("Commit"), "{text}");
         assert!(text.contains("trace"), "{text}");
+    }
+
+    #[test]
+    fn op_failed_is_legal_everywhere_and_voids_tag_prediction() {
+        // An acked Send times out on the wire but committed server-side:
+        // the next incarnation's resync triple names a send the checker
+        // never saw acknowledged. OpFailed must make that legal.
+        let v = client_seq(&[
+            ClientEvent::Connect {
+                s_rid: None,
+                r_rid: None,
+            },
+            ClientEvent::OpFailed { op: "send".into() },
+            ClientEvent::Connect {
+                s_rid: Some("c1:1".into()),
+                r_rid: None,
+            },
+            ClientEvent::Receive { rid: "c1:1".into() },
+            // A Receive whose ack was lost: the tag advanced unseen again.
+            ClientEvent::OpFailed {
+                op: "receive".into(),
+            },
+            ClientEvent::Connect {
+                s_rid: Some("c1:1".into()),
+                r_rid: Some("c1:1".into()),
+            },
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn op_failed_does_not_change_state() {
+        // Without an intervening Connect, the machine stays where it was:
+        // a Receive is still legal after a failed receive attempt.
+        let v = client_seq(&[
+            ClientEvent::Connect {
+                s_rid: None,
+                r_rid: None,
+            },
+            ClientEvent::Send {
+                rid: "c1:1".into(),
+                acked: true,
+            },
+            ClientEvent::OpFailed {
+                op: "receive".into(),
+            },
+            ClientEvent::Receive { rid: "c1:1".into() },
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lying_resync_still_flagged_without_op_failure() {
+        // OpFailed must not grant blanket amnesty: a clean run whose resync
+        // triple lies is still a violation (this is the existing
+        // `lying_resync_triple_is_flagged` with an OpFailed on an
+        // *unrelated earlier* connection cycle).
+        let v = client_seq(&[
+            ClientEvent::OpFailed {
+                op: "connect".into(),
+            },
+            ClientEvent::Connect {
+                s_rid: None,
+                r_rid: None,
+            },
+            ClientEvent::Send {
+                rid: "c1:1".into(),
+                acked: true,
+            },
+            ClientEvent::Connect {
+                s_rid: Some("c1:9".into()),
+                r_rid: None,
+            },
+        ]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("s_rid"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn reset_forgets_machines_and_violations() {
+        let c = Conformance::default();
+        c.on_server("s1", ServerEvent::Commit); // illegal: Waiting + Commit
+        c.on_server("s1", ServerEvent::Dequeue { rid: "c1:1".into() });
+        assert_eq!(c.violations().len(), 1);
+        c.reset();
+        assert!(c.violations().is_empty());
+        assert_eq!(c.events_seen(), (0, 0));
+        // s1 is back in Waiting: a fresh Dequeue→Reply→Commit cycle is clean.
+        c.on_server("s1", ServerEvent::Dequeue { rid: "c1:2".into() });
+        c.on_server("s1", ServerEvent::Reply { rid: "c1:2".into() });
+        c.on_server("s1", ServerEvent::Commit);
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        assert_eq!(c.events_seen(), (0, 3));
     }
 
     #[test]

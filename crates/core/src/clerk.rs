@@ -108,15 +108,32 @@ impl Clerk {
         &self.cfg
     }
 
+    /// Report a network-failed operation to the protocol observer. Whether
+    /// the operation committed at the QM is unknown to this client, so the
+    /// checker must stop predicting the stable tags until the next resync.
+    fn note_net_failure<T>(&self, op: &str, r: CoreResult<T>) -> CoreResult<T> {
+        if let Err(CoreError::Net(_)) = &r {
+            rrq_check::protocol::emit_client(
+                &self.cfg.client_id,
+                rrq_check::protocol::ClientEvent::OpFailed { op: op.into() },
+            );
+        }
+        r
+    }
+
     /// `Connect(client-id)`: register with both queues and reconstruct the
     /// resynchronization triple from the stable registration tags.
     pub fn connect(&self) -> CoreResult<ConnectInfo> {
-        let req_reg = self
-            .api
-            .register(&self.cfg.request_queue, &self.cfg.client_id, true)?;
-        let reply_reg = self
-            .api
-            .register(&self.cfg.reply_queue, &self.cfg.client_id, true)?;
+        let req_reg = self.note_net_failure(
+            "connect",
+            self.api
+                .register(&self.cfg.request_queue, &self.cfg.client_id, true),
+        )?;
+        let reply_reg = self.note_net_failure(
+            "connect",
+            self.api
+                .register(&self.cfg.reply_queue, &self.cfg.client_id, true),
+        )?;
 
         let mut info = ConnectInfo {
             s_rid: None,
@@ -158,10 +175,16 @@ impl Clerk {
     /// statement that it has no outstanding work (§3).
     pub fn disconnect(&self) -> CoreResult<()> {
         self.ensure_connected()?;
-        self.api
-            .deregister(&self.cfg.request_queue, &self.cfg.client_id)?;
-        self.api
-            .deregister(&self.cfg.reply_queue, &self.cfg.client_id)?;
+        self.note_net_failure(
+            "disconnect",
+            self.api
+                .deregister(&self.cfg.request_queue, &self.cfg.client_id),
+        )?;
+        self.note_net_failure(
+            "disconnect",
+            self.api
+                .deregister(&self.cfg.reply_queue, &self.cfg.client_id),
+        )?;
         *self.state.lock() = ClerkState::default();
         rrq_check::protocol::emit_client(
             &self.cfg.client_id,
@@ -195,20 +218,22 @@ impl Clerk {
         let mut st = self.state.lock();
         match self.cfg.send_mode {
             SendMode::Acked => {
-                let eid = self.api.enqueue(
-                    &self.cfg.request_queue,
-                    &self.cfg.client_id,
-                    &payload,
-                    opts,
+                let eid = self.note_net_failure(
+                    "send",
+                    self.api
+                        .enqueue(&self.cfg.request_queue, &self.cfg.client_id, &payload, opts),
                 )?;
                 st.last_request_eid = Some(eid);
             }
             SendMode::OneWay => {
-                self.api.enqueue_unacked(
-                    &self.cfg.request_queue,
-                    &self.cfg.client_id,
-                    &payload,
-                    opts,
+                self.note_net_failure(
+                    "send",
+                    self.api.enqueue_unacked(
+                        &self.cfg.request_queue,
+                        &self.cfg.client_id,
+                        &payload,
+                        opts,
+                    ),
                 )?;
                 st.last_request_eid = None; // unknown until resync
             }
@@ -234,14 +259,17 @@ impl Clerk {
             .last_send_rid
             .clone()
             .ok_or_else(|| CoreError::Protocol("receive before any send".into()))?;
-        let elem = self.api.dequeue(
-            &self.cfg.reply_queue,
-            &self.cfg.client_id,
-            DequeueOptions {
-                tag: Some(encode_receive_tag(&rid, ckpt)),
-                block: Some(self.cfg.receive_block),
-                ..Default::default()
-            },
+        let elem = self.note_net_failure(
+            "receive",
+            self.api.dequeue(
+                &self.cfg.reply_queue,
+                &self.cfg.client_id,
+                DequeueOptions {
+                    tag: Some(encode_receive_tag(&rid, ckpt)),
+                    block: Some(self.cfg.receive_block),
+                    ..Default::default()
+                },
+            ),
         )?;
         let reply =
             Reply::decode_all(&elem.payload).map_err(|e| CoreError::Malformed(e.to_string()))?;
@@ -260,7 +288,7 @@ impl Clerk {
     pub fn rereceive(&self) -> CoreResult<Reply> {
         self.ensure_connected()?;
         let eid = self.state.lock().last_reply_eid.ok_or(CoreError::NoReply)?;
-        let elem = self.api.read(eid)?;
+        let elem = self.note_net_failure("rereceive", self.api.read(eid))?;
         let reply =
             Reply::decode_all(&elem.payload).map_err(|e| CoreError::Malformed(e.to_string()))?;
         rrq_check::protocol::emit_client(

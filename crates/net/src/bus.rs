@@ -2,7 +2,7 @@
 //! every delivery routed through the [`crate::faults::FaultPlan`].
 
 use crate::error::{NetError, NetResult};
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, Verdict};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -78,10 +78,20 @@ impl NetworkBus {
     /// Send an envelope, subject to the fault plan. Lost messages and
     /// messages to unknown endpoints vanish silently from the sender's point
     /// of view — like UDP — except that an unknown *destination* is reported
-    /// so tests can distinguish misconfiguration from injected loss.
+    /// so tests can distinguish misconfiguration from injected loss, and
+    /// partition drops are reported when the plan is in fail-fast mode (the
+    /// explorer's way of skipping real timeout waits).
     pub fn send(&self, env: Envelope) -> NetResult<()> {
-        let Some(delay) = self.inner.faults.judge(&env.from, &env.to) else {
-            return Ok(()); // dropped by the fault plan: sender can't tell
+        let delay = match self.inner.faults.judge_verdict(&env.from, &env.to) {
+            Verdict::Deliver(d) => d,
+            Verdict::DroppedByPartition => {
+                return if self.inner.faults.fail_fast() {
+                    Err(NetError::Partitioned)
+                } else {
+                    Ok(()) // dropped: sender can't tell
+                };
+            }
+            Verdict::DroppedByChance => return Ok(()), // dropped: sender can't tell
         };
         let tx = {
             let g = self.inner.endpoints.lock();
@@ -212,6 +222,21 @@ mod tests {
         assert_eq!(b2.recv(Duration::from_secs(1)).unwrap().payload, b"for-new");
         // The old incarnation still has its message, but the process is gone.
         assert_eq!(b1.try_recv().unwrap().payload, b"for-old");
+    }
+
+    #[test]
+    fn fail_fast_partition_is_reported_to_sender() {
+        let bus = NetworkBus::new(1);
+        let a = bus.endpoint("a");
+        let _b = bus.endpoint("b");
+        bus.faults().set_fail_fast(true);
+        bus.faults().partition("a", "b");
+        assert!(matches!(
+            a.send_to("b", 0, false, vec![]),
+            Err(NetError::Partitioned)
+        ));
+        bus.faults().heal("a", "b");
+        a.send_to("b", 0, false, b"ok".to_vec()).unwrap();
     }
 
     #[test]

@@ -14,6 +14,11 @@ pub enum NetError {
     /// slow server — indistinguishable to the caller, exactly as in a real
     /// network).
     Timeout,
+    /// The link is partitioned and the fault plan is in fail-fast mode, so
+    /// the send is refused immediately instead of silently dropped. Used by
+    /// the deterministic explorer, where waiting out a real timeout per
+    /// partitioned send would make sweeps wall-clock-bound.
+    Partitioned,
     /// The local endpoint was shut down.
     Closed,
     /// The remote handler returned an application-level error payload.
@@ -25,6 +30,7 @@ impl fmt::Display for NetError {
         match self {
             NetError::UnknownEndpoint(e) => write!(f, "unknown endpoint: {e}"),
             NetError::Timeout => write!(f, "rpc timed out"),
+            NetError::Partitioned => write!(f, "link partitioned (fail-fast)"),
             NetError::Closed => write!(f, "endpoint closed"),
             NetError::Remote(m) => write!(f, "remote error: {m}"),
         }
@@ -43,5 +49,6 @@ mod tests {
         assert!(NetError::UnknownEndpoint("x".into())
             .to_string()
             .contains('x'));
+        assert!(NetError::Partitioned.to_string().contains("partitioned"));
     }
 }

@@ -6,11 +6,40 @@ use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
+/// The fate of a single message, as decided by [`FaultPlan::judge_verdict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver after this delay (`Duration::ZERO` = immediately).
+    Deliver(Duration),
+    /// Dropped because the directional link is partitioned.
+    DroppedByPartition,
+    /// Dropped by the seeded loss probability.
+    DroppedByChance,
+}
+
+impl Verdict {
+    /// Stable single-byte tag folded into the decision digest.
+    fn tag(self) -> u8 {
+        match self {
+            Verdict::Deliver(_) => b'D',
+            Verdict::DroppedByPartition => b'P',
+            Verdict::DroppedByChance => b'C',
+        }
+    }
+}
+
 /// The injectable fault state of the network, shared by all endpoints.
 ///
 /// Links are directional: partitioning `a → b` stops messages from `a` to
 /// `b` but not replies from `b` to `a` (use [`FaultPlan::partition_pair`]
 /// for symmetric cuts).
+///
+/// Every judgement is folded into a running audit (count + FNV-1a digest of
+/// `from`, `to`, and the verdict tag), so two plans given the same seed and
+/// the same message sequence can be compared decision-for-decision without
+/// recording the sequence itself. Judging depends only on the seed and the
+/// calls made — never on wall-clock time or map iteration order (partitions
+/// and probabilities are looked up by exact link key).
 pub struct FaultPlan {
     inner: Mutex<Inner>,
 }
@@ -20,8 +49,24 @@ struct Inner {
     drop_prob: HashMap<(String, String), f64>,
     delay: HashMap<(String, String), Duration>,
     default_drop: f64,
+    /// Partition drops surface as [`crate::NetError::Partitioned`] at the
+    /// sender instead of silent loss. Chance drops stay silent.
+    fail_fast: bool,
     rng: StdRng,
     dropped: u64,
+    decisions: u64,
+    digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
 }
 
 impl FaultPlan {
@@ -33,8 +78,11 @@ impl FaultPlan {
                 drop_prob: HashMap::new(),
                 delay: HashMap::new(),
                 default_drop: 0.0,
+                fail_fast: false,
                 rng: StdRng::seed_from_u64(seed),
                 dropped: 0,
+                decisions: 0,
+                digest: FNV_OFFSET,
             }),
         }
     }
@@ -98,21 +146,64 @@ impl FaultPlan {
         self.inner.lock().dropped
     }
 
+    /// Make partition drops fail fast at the sender: the bus returns
+    /// `NetError::Partitioned` instead of silently losing the message.
+    /// Chance drops stay silent either way.
+    pub fn set_fail_fast(&self, on: bool) {
+        self.inner.lock().fail_fast = on;
+    }
+
+    /// Whether partition drops surface as errors at the sender.
+    pub fn fail_fast(&self) -> bool {
+        self.inner.lock().fail_fast
+    }
+
+    /// Number of judgements made so far.
+    pub fn decisions_count(&self) -> u64 {
+        self.inner.lock().decisions
+    }
+
+    /// Running FNV-1a digest over `(from, to, verdict)` of every judgement.
+    /// Equal seeds + equal message sequences ⇒ equal digests.
+    pub fn decisions_digest(&self) -> u64 {
+        self.inner.lock().digest
+    }
+
+    /// Decide the fate of one message.
+    pub fn judge_verdict(&self, from: &str, to: &str) -> Verdict {
+        let mut g = self.inner.lock();
+        let link = (from.to_string(), to.to_string());
+        let verdict = if g.partitions.contains(&link) {
+            Verdict::DroppedByPartition
+        } else {
+            let p = g.drop_prob.get(&link).copied().unwrap_or(g.default_drop);
+            // The RNG is consumed only when a probability is in play, so
+            // adding an unrelated partitioned link never shifts the seeded
+            // decision stream of other links.
+            if p > 0.0 && g.rng.gen::<f64>() < p {
+                Verdict::DroppedByChance
+            } else {
+                Verdict::Deliver(g.delay.get(&link).copied().unwrap_or(Duration::ZERO))
+            }
+        };
+        if !matches!(verdict, Verdict::Deliver(_)) {
+            g.dropped += 1;
+        }
+        g.decisions += 1;
+        let mut h = fnv1a(g.digest, from.as_bytes());
+        h = fnv1a(h, &[0]);
+        h = fnv1a(h, to.as_bytes());
+        g.digest = fnv1a(h, &[verdict.tag()]);
+        verdict
+    }
+
     /// Decide the fate of one message: `None` = dropped, `Some(delay)` =
     /// deliver after `delay`.
     pub fn judge(&self, from: &str, to: &str) -> Option<Duration> {
-        let mut g = self.inner.lock();
-        let link = (from.to_string(), to.to_string());
-        if g.partitions.contains(&link) {
-            g.dropped += 1;
-            return None;
+        match self.judge_verdict(from, to) {
+            Verdict::Deliver(d) => Some(d),
+            Verdict::DroppedByPartition | Verdict::DroppedByChance => None,
         }
-        let p = g.drop_prob.get(&link).copied().unwrap_or(g.default_drop);
-        if p > 0.0 && g.rng.gen::<f64>() < p {
-            g.dropped += 1;
-            return None;
-        }
-        Some(g.delay.get(&link).copied().unwrap_or(Duration::ZERO))
     }
 }
 
@@ -175,5 +266,100 @@ mod tests {
         assert_eq!(f.judge("a", "b"), None);
         f.set_drop("a", "b", 0.0);
         assert!(f.judge("a", "b").is_some());
+    }
+
+    /// Build a plan with several links configured and run a fixed message
+    /// sequence through it, returning every verdict plus the audit state.
+    fn run_sequence(seed: u64) -> (Vec<Verdict>, u64, u64) {
+        let f = FaultPlan::new(seed);
+        f.set_drop("a", "b", 0.4);
+        f.set_drop("b", "a", 0.2);
+        f.set_default_drop(0.1);
+        f.set_delay("c", "a", Duration::from_millis(3));
+        f.partition("a", "c");
+        let links = [("a", "b"), ("b", "a"), ("a", "c"), ("c", "a"), ("b", "c")];
+        let verdicts: Vec<Verdict> = (0..200)
+            .map(|i| {
+                let (from, to) = links[i % links.len()];
+                f.judge_verdict(from, to)
+            })
+            .collect();
+        (verdicts, f.decisions_count(), f.decisions_digest())
+    }
+
+    #[test]
+    fn same_seed_same_sequence_identical_decisions() {
+        let (v1, n1, d1) = run_sequence(0xfeed);
+        let (v2, n2, d2) = run_sequence(0xfeed);
+        assert_eq!(v1, v2, "verdict streams diverged for equal seeds");
+        assert_eq!(n1, n2);
+        assert_eq!(d1, d2, "audit digests diverged for equal seeds");
+        assert_eq!(n1, 200);
+    }
+
+    #[test]
+    fn different_seed_diverges() {
+        let (_, _, d1) = run_sequence(1);
+        let (_, _, d2) = run_sequence(2);
+        // Partition/delay verdicts are seed-independent, but with 0.1–0.4
+        // drop probabilities on the other links the 200-step streams are
+        // astronomically unlikely to coincide.
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn digest_covers_link_names_not_just_verdicts() {
+        let f1 = FaultPlan::new(7);
+        let f2 = FaultPlan::new(7);
+        f1.judge_verdict("a", "b");
+        f2.judge_verdict("x", "y");
+        assert_eq!(f1.decisions_count(), f2.decisions_count());
+        assert_ne!(f1.decisions_digest(), f2.decisions_digest());
+    }
+
+    #[test]
+    fn partition_checks_consume_no_randomness() {
+        // A partitioned link must not advance the RNG: the decision stream
+        // on *other* links stays identical whether or not partitioned sends
+        // are interleaved.
+        let plain = FaultPlan::new(11);
+        plain.set_drop("a", "b", 0.5);
+        let noisy = FaultPlan::new(11);
+        noisy.set_drop("a", "b", 0.5);
+        noisy.partition("a", "c");
+        let mut verdicts_plain = Vec::new();
+        let mut verdicts_noisy = Vec::new();
+        for _ in 0..100 {
+            verdicts_plain.push(plain.judge_verdict("a", "b"));
+            assert_eq!(noisy.judge_verdict("a", "c"), Verdict::DroppedByPartition);
+            verdicts_noisy.push(noisy.judge_verdict("a", "b"));
+        }
+        assert_eq!(verdicts_plain, verdicts_noisy);
+    }
+
+    #[test]
+    fn fail_fast_flag_round_trips() {
+        let f = FaultPlan::new(1);
+        assert!(!f.fail_fast());
+        f.set_fail_fast(true);
+        assert!(f.fail_fast());
+    }
+
+    #[test]
+    fn verdict_classifies_drop_reason() {
+        let f = FaultPlan::new(5);
+        f.partition("a", "b");
+        assert_eq!(f.judge_verdict("a", "b"), Verdict::DroppedByPartition);
+        f.heal("a", "b");
+        f.set_drop("a", "b", 1.0);
+        assert_eq!(f.judge_verdict("a", "b"), Verdict::DroppedByChance);
+        f.set_drop("a", "b", 0.0);
+        f.set_delay("a", "b", Duration::from_millis(9));
+        assert_eq!(
+            f.judge_verdict("a", "b"),
+            Verdict::Deliver(Duration::from_millis(9))
+        );
+        assert_eq!(f.dropped_count(), 2);
+        assert_eq!(f.decisions_count(), 3);
     }
 }

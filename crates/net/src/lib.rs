@@ -22,5 +22,5 @@ pub mod rpc;
 
 pub use bus::{Endpoint, Envelope, NetworkBus};
 pub use error::{NetError, NetResult};
-pub use faults::FaultPlan;
+pub use faults::{FaultPlan, Verdict};
 pub use rpc::{RpcClient, RpcServer};

@@ -101,8 +101,18 @@ impl RpcServer {
             Ok(env) => {
                 let response = handler(&env);
                 if env.correlation != 0 {
-                    self.endpoint
-                        .send_to(&env.from, env.correlation, true, response)?;
+                    match self
+                        .endpoint
+                        .send_to(&env.from, env.correlation, true, response)
+                    {
+                        // A reply that can't reach the caller (fail-fast
+                        // partition, or the caller's endpoint restarted away)
+                        // is a lost message, not a server fault — the caller
+                        // times out and resynchronizes, the server keeps
+                        // serving.
+                        Err(NetError::Partitioned | NetError::UnknownEndpoint(_)) => {}
+                        other => other?,
+                    }
                 }
                 Ok(true)
             }
@@ -235,6 +245,28 @@ mod tests {
             .call("server", b"second".to_vec(), Duration::from_secs(2))
             .unwrap();
         assert_eq!(r, b"second");
+    }
+
+    #[test]
+    fn server_survives_unreachable_reply_path() {
+        let bus = NetworkBus::new(1);
+        bus.faults().set_fail_fast(true);
+        let _guard = spawn_server(&bus, "server", |_| b"ok".to_vec());
+        let client = RpcClient::new(&bus, "client");
+        // Requests get through; replies are refused fail-fast. The server
+        // loop must shrug that off rather than die.
+        bus.faults().partition("server", "client");
+        assert_eq!(
+            client.call("server", vec![], Duration::from_millis(60)),
+            Err(NetError::Timeout)
+        );
+        bus.faults().heal("server", "client");
+        assert_eq!(
+            client
+                .call("server", vec![], Duration::from_secs(2))
+                .unwrap(),
+            b"ok"
+        );
     }
 
     #[test]

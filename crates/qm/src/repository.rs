@@ -11,7 +11,7 @@
 use crate::error::{QmError, QmResult};
 use crate::meta::QueueMeta;
 use crate::ops::QueueManager;
-use rrq_storage::disk::{CrashStyle, SimDisk};
+use rrq_storage::disk::{CrashStyle, SimDisk, TornWriteMode};
 use rrq_storage::kv::{KvOptions, KvStore};
 use rrq_storage::recovery::RecoveryReport;
 use rrq_txn::{CoordinatorLog, KvResource, LockManager, ResourceManager, Txn, TxnManager};
@@ -37,7 +37,19 @@ impl RepoDisks {
 
     /// Crash all devices (unsynced bytes lost).
     pub fn crash(&self) {
-        self.wal.crash(CrashStyle::DropVolatile);
+        self.crash_with(None);
+    }
+
+    /// Crash all devices; with `Some(mode)` the WAL additionally keeps a
+    /// torn (corrupt) tail of its unsynced bytes, so recovery must reject
+    /// the partial frames. The checkpoint and coordinator devices only ever
+    /// take whole-contents swaps, so a torn tail there models nothing the
+    /// protocol can see — they always drop volatile cleanly.
+    pub fn crash_with(&self, torn: Option<TornWriteMode>) {
+        match torn {
+            Some(mode) => self.wal.crash_torn(mode),
+            None => self.wal.crash(CrashStyle::DropVolatile),
+        }
         self.ckpt.crash(CrashStyle::DropVolatile);
         self.coord.crash(CrashStyle::DropVolatile);
     }

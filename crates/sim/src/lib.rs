@@ -19,12 +19,25 @@
 //!   exactly 1), and a [`oracle::ReplyMatcher`] for request/reply matching
 //!   and at-least-once reply processing.
 //! * [`schedule`] — deterministic crash schedules from a seed.
+//! * [`script`] / [`explorer`] / [`shrink`] — the deterministic
+//!   fault-schedule explorer: seeded [`script::FaultScript`]s composing
+//!   client crashes, server crashes with torn writes, partitions, and
+//!   delays; [`explorer::run_sweep`] runs the bank workload under each
+//!   script and checks the full oracle battery, with a reproducible trace
+//!   digest per script; [`shrink::shrink`] minimizes failing scripts into
+//!   replayable regression files.
 
 pub mod driver;
+pub mod explorer;
 pub mod node;
 pub mod oracle;
 pub mod schedule;
+pub mod script;
+pub mod shrink;
 
 pub use driver::{ClientCrashDriver, CrashPoint, DriverReport};
+pub use explorer::{run_script, run_sweep, ExplorerConfig, InjectedBug, RunOutcome, SweepReport};
 pub use node::ServerNodeSim;
 pub use oracle::{EffectLedger, ReplyMatcher};
+pub use script::{FaultEvent, FaultScript, PartitionDirection};
+pub use shrink::{shrink, ShrinkReport};

@@ -9,6 +9,7 @@
 use rrq_core::error::CoreResult;
 use rrq_core::server::{Handler, Server, ServerConfig};
 use rrq_qm::repository::{RepoDisks, Repository};
+use rrq_storage::disk::TornWriteMode;
 use rrq_storage::recovery::RecoveryReport;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -103,12 +104,18 @@ impl ServerNodeSim {
 
     /// Crash the node: threads die, unsynced bytes vanish.
     pub fn crash(&mut self) {
+        self.crash_with(None);
+    }
+
+    /// Crash the node; with `Some(mode)` the WAL keeps a torn tail that
+    /// recovery must reject (see `RepoDisks::crash_with`).
+    pub fn crash_with(&mut self, torn: Option<TornWriteMode>) {
         self.stop.store(true, Ordering::Relaxed);
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
         self.repo = None;
-        self.disks.crash();
+        self.disks.crash_with(torn);
         self.crashes += 1;
     }
 

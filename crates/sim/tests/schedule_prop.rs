@@ -1,0 +1,85 @@
+//! Properties of [`CrashSchedule`]: constructors honour their bounds, and
+//! random schedules are a pure function of the seed.
+
+use proptest::prelude::*;
+use rrq_sim::driver::CrashPoint;
+use rrq_sim::schedule::CrashSchedule;
+
+const POINTS: [CrashPoint; 3] = [
+    CrashPoint::AfterSend,
+    CrashPoint::AfterReceive,
+    CrashPoint::AfterProcess,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_is_seed_stable_and_in_bounds(
+        n in 0u64..200,
+        p in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = CrashSchedule::random(n, p, seed);
+        let b = CrashSchedule::random(n, p, seed);
+        // Pure in the seed: identical decision at every serial, including
+        // outside the generated range.
+        for s in 0..=n + 2 {
+            prop_assert_eq!(a.get(s), b.get(s));
+        }
+        // Crashes land only on workload serials.
+        prop_assert!(a.len() as u64 <= n);
+        prop_assert_eq!(a.get(0), None);
+        prop_assert_eq!(a.get(n + 1), None);
+        // len agrees with a serial-by-serial count, and is_empty with both.
+        let counted = (1..=n).filter(|s| a.get(*s).is_some()).count();
+        prop_assert_eq!(counted, a.len());
+        prop_assert_eq!(a.is_empty(), counted == 0);
+    }
+
+    #[test]
+    fn random_probability_extremes_are_exact(n in 1u64..200, seed in 0u64..1_000_000) {
+        prop_assert!(CrashSchedule::random(n, 0.0, seed).is_empty());
+        prop_assert_eq!(CrashSchedule::random(n, 1.0, seed).len() as u64, n);
+    }
+
+    #[test]
+    fn single_hits_exactly_its_serial(serial in 1u64..500, pi in 0usize..3) {
+        let point = POINTS[pi];
+        let s = CrashSchedule::single(serial, point);
+        prop_assert_eq!(s.get(serial), Some(point));
+        prop_assert_eq!(s.len(), 1);
+        for other in (serial.saturating_sub(3)..serial + 3).filter(|o| *o != serial) {
+            prop_assert_eq!(s.get(other), None);
+        }
+    }
+
+    #[test]
+    fn every_covers_each_serial_with_the_same_point(n in 0u64..300, pi in 0usize..3) {
+        let point = POINTS[pi];
+        let s = CrashSchedule::every(n, point);
+        prop_assert_eq!(s.len() as u64, n);
+        for serial in 1..=n {
+            prop_assert_eq!(s.get(serial), Some(point));
+        }
+        prop_assert_eq!(s.get(0), None);
+        prop_assert_eq!(s.get(n + 1), None);
+    }
+
+    #[test]
+    fn different_seeds_eventually_differ(n in 50u64..100) {
+        // With p = 0.5 over ≥ 50 serials, two seeds agreeing everywhere
+        // would mean the seed is ignored.
+        let a = CrashSchedule::random(n, 0.5, 1);
+        let b = CrashSchedule::random(n, 0.5, 2);
+        prop_assert!((1..=n).any(|s| a.get(s) != b.get(s)));
+    }
+}
+
+#[test]
+fn none_is_empty() {
+    let s = CrashSchedule::none();
+    assert!(s.is_empty());
+    assert_eq!(s.len(), 0);
+    assert_eq!(s.get(1), None);
+}

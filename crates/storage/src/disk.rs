@@ -139,6 +139,61 @@ pub enum CrashStyle {
     },
 }
 
+/// Named torn-write shapes for crash injection.
+///
+/// [`CrashStyle::Torn`] wants an absolute byte count, which only makes sense
+/// when the caller knows the device's exact volatile length. A
+/// `TornWriteMode` instead names *how* the unsynced tail is torn and lets
+/// [`SimDisk::crash_torn`] compute the count from whatever happens to be
+/// unsynced at crash time — which is what a fault script needs. Each variant
+/// must be caught by the WAL's frame validation (magic / length / CRC) on
+/// recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TornWriteMode {
+    /// Roughly half of the unsynced bytes reach the platter: a frame
+    /// truncated mid-body, caught by the length check (or the CRC when the
+    /// cut lands inside the final frame's body).
+    Midway,
+    /// Every unsynced byte lands but the last one is corrupted: frame
+    /// length intact, so only the CRC can reject it.
+    FullLengthCorrupt,
+    /// Only a few leading bytes land: a frame header without a body,
+    /// caught by the truncated-tail check.
+    HeaderOnly,
+}
+
+impl TornWriteMode {
+    /// All variants, for sweep generators and per-variant tests.
+    pub const ALL: [TornWriteMode; 3] = [
+        TornWriteMode::Midway,
+        TornWriteMode::FullLengthCorrupt,
+        TornWriteMode::HeaderOnly,
+    ];
+
+    /// How many of `volatile` unsynced bytes survive under this mode.
+    pub fn keep_of(self, volatile: usize) -> usize {
+        match self {
+            TornWriteMode::Midway => volatile.div_ceil(2),
+            TornWriteMode::FullLengthCorrupt => volatile,
+            TornWriteMode::HeaderOnly => volatile.min(6),
+        }
+    }
+
+    /// Stable name used by the fault-script codec.
+    pub fn name(self) -> &'static str {
+        match self {
+            TornWriteMode::Midway => "torn-midway",
+            TornWriteMode::FullLengthCorrupt => "torn-full",
+            TornWriteMode::HeaderOnly => "torn-header",
+        }
+    }
+
+    /// Inverse of [`TornWriteMode::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
 #[derive(Debug, Default)]
 struct SimInner {
     durable: Vec<u8>,
@@ -184,6 +239,23 @@ impl SimDisk {
         if style == CrashStyle::DropVolatile {
             // nothing else to do
         }
+    }
+
+    /// Crash with a torn tail shaped by `mode`: the surviving byte count is
+    /// computed from the volatile length under the device lock, so the tear
+    /// always lands inside the unsynced region. With nothing unsynced this
+    /// degrades to a clean [`CrashStyle::DropVolatile`]-equivalent crash —
+    /// durable bytes are never corrupted (they already hit the platter).
+    pub fn crash_torn(&self, mode: TornWriteMode) {
+        let mut g = self.inner.lock();
+        g.stats.crashes += 1;
+        let keep = mode.keep_of(g.volatile.len());
+        g.volatile.truncate(keep);
+        if keep > 0 {
+            g.volatile[keep - 1] ^= 0x80;
+        }
+        let torn: Vec<u8> = std::mem::take(&mut g.volatile);
+        g.durable.extend_from_slice(&torn);
     }
 
     /// Mark the device as failed: every subsequent operation returns
@@ -337,6 +409,45 @@ mod tests {
         // first two torn bytes intact, last one flipped
         assert_eq!(&tail[..2], b"pa");
         assert_eq!(tail[2], b'r' ^ 0x80);
+    }
+
+    #[test]
+    fn torn_mode_keep_counts() {
+        assert_eq!(TornWriteMode::Midway.keep_of(10), 5);
+        assert_eq!(TornWriteMode::Midway.keep_of(7), 4);
+        assert_eq!(TornWriteMode::Midway.keep_of(1), 1);
+        assert_eq!(TornWriteMode::FullLengthCorrupt.keep_of(9), 9);
+        assert_eq!(TornWriteMode::HeaderOnly.keep_of(100), 6);
+        assert_eq!(TornWriteMode::HeaderOnly.keep_of(3), 3);
+        for m in TornWriteMode::ALL {
+            assert_eq!(m.keep_of(0), 0);
+            assert_eq!(TornWriteMode::from_name(m.name()), Some(m));
+        }
+        assert_eq!(TornWriteMode::from_name("torn-sideways"), None);
+    }
+
+    #[test]
+    fn crash_torn_tears_only_the_volatile_tail() {
+        let d = SimDisk::new();
+        d.append(b"durable!").unwrap();
+        d.sync().unwrap();
+        d.append(b"0123456789").unwrap();
+        d.crash_torn(TornWriteMode::Midway);
+        // Half the volatile bytes survive, last one flipped; durable intact.
+        assert_eq!(d.read(0, 8).unwrap(), b"durable!");
+        assert_eq!(d.len(), 13);
+        assert_eq!(d.read(8, 5).unwrap(), [b'0', b'1', b'2', b'3', b'4' ^ 0x80]);
+        assert_eq!(d.volatile_len(), 0, "torn prefix became durable");
+    }
+
+    #[test]
+    fn crash_torn_with_empty_volatile_is_clean() {
+        let d = SimDisk::new();
+        d.append(b"safe").unwrap();
+        d.sync().unwrap();
+        d.crash_torn(TornWriteMode::FullLengthCorrupt);
+        assert_eq!(d.read(0, 4).unwrap(), b"safe");
+        assert_eq!(d.stats().crashes, 1);
     }
 
     #[test]

@@ -162,6 +162,14 @@ impl KvStore {
         let wal = Wal::new(wal_disk);
         let outcome = replay(&wal)?;
 
+        // Discard a torn tail (a crash mid-append left corrupt bytes on the
+        // platter). Future appends must start at the valid prefix, or the
+        // next recovery's scan would stop at the old tear and lose them.
+        if outcome.valid_end < wal.len() {
+            let valid = wal.disk().read(0, outcome.valid_end as usize)?;
+            wal.disk().reset(valid)?;
+        }
+
         let mut mem = mem;
         for op in &outcome.redo {
             apply(&mut mem, op);

@@ -25,6 +25,11 @@ pub struct ReplayOutcome {
     /// Prepared transactions with no durable outcome, with their buffered
     /// writes, keyed by transaction token.
     pub in_doubt: HashMap<u64, Vec<WriteOp>>,
+    /// Byte offset where the valid log prefix ends. Anything between here
+    /// and the device length is a torn tail that must be discarded before
+    /// new records are appended — otherwise the next recovery scan stops at
+    /// the old tear and never sees them.
+    pub valid_end: u64,
 }
 
 /// Summary returned to callers of [`crate::kv::KvStore::open`].
@@ -42,10 +47,13 @@ pub struct RecoveryReport {
 
 /// Scan the log and classify every transaction's fate.
 pub fn replay(wal: &Wal) -> StorageResult<ReplayOutcome> {
-    let (records, _valid_end) = wal.scan(0)?;
+    let (records, valid_end) = wal.scan(0)?;
     let mut pending: HashMap<u64, Vec<WriteOp>> = HashMap::new();
     let mut prepared: HashMap<u64, bool> = HashMap::new();
-    let mut out = ReplayOutcome::default();
+    let mut out = ReplayOutcome {
+        valid_end,
+        ..ReplayOutcome::default()
+    };
 
     for rec in records {
         match rec.kind {
