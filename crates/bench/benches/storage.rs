@@ -13,7 +13,10 @@ fn open(sync_on_commit: bool) -> (Arc<KvStore>, SimDisk, SimDisk) {
     let (store, _) = KvStore::open(
         Arc::new(wal.clone()),
         Arc::new(ckpt.clone()),
-        KvOptions { sync_on_commit },
+        KvOptions {
+            sync_on_commit,
+            ..KvOptions::default()
+        },
     )
     .unwrap();
     (store, wal, ckpt)

@@ -31,7 +31,7 @@ use rrq_sim::node::ServerNodeSim;
 use rrq_sim::oracle::EffectLedger;
 use rrq_sim::schedule::CrashSchedule;
 use rrq_storage::codec::Encode;
-use rrq_storage::disk::SimDisk;
+use rrq_storage::disk::{Disk, LatencyDisk, SimDisk};
 use rrq_storage::kv::{KvOptions, KvStore};
 use rrq_txn::LockKey;
 use rrq_workload::arrivals::{bursty_arrivals, ZipfSelector};
@@ -100,6 +100,9 @@ fn main() {
     }
     if run("e14") {
         e14_testable_device(&scale);
+    }
+    if run("e16") {
+        e16_group_commit_and_index(&scale);
     }
 }
 
@@ -1066,6 +1069,7 @@ fn e13_storage(scale: &Scale) {
             Arc::new(ckpt.clone()),
             KvOptions {
                 sync_on_commit: sync,
+                ..KvOptions::default()
             },
         )
         .unwrap();
@@ -1177,4 +1181,178 @@ fn e14_testable_device(scale: &Scale) {
 #[allow(non_snake_case)]
 fn HandlerOutcomeReply(req: &Request) -> HandlerOutcome {
     HandlerOutcome::Reply(format!("done {}", req.rid).into_bytes())
+}
+
+// ======================================================================
+// E16 — group commit and the indexed dequeue hot path (§10)
+// ======================================================================
+fn e16_group_commit_and_index(scale: &Scale) {
+    println!("## E16 — group-commit WAL and the indexed dequeue hot path (§10)\n");
+    let mut json = String::from("{\n  \"experiment\": \"E16\",\n");
+
+    // ------------------------------------------------------------------
+    // Part A: commit throughput, committers × sync strategy, over a disk
+    // whose sync costs ~300µs (a fast NVMe flush; the SimDisk alone syncs
+    // in nanoseconds, which would hide the effect group commit exists for).
+    // ------------------------------------------------------------------
+    let sync_cost = Duration::from_micros(300);
+    let per_thread = 50 * scale.n;
+    println!("Disk sync cost 300µs, {per_thread} commits/thread.\n");
+    println!("| committers | per-txn sync | group w=0 | group w=200µs | group w=1ms | best speedup | batching (req/grp, w=1ms) |");
+    println!("|-----------:|-------------:|----------:|--------------:|------------:|-------------:|--------------------------:|");
+    json.push_str("  \"group_commit\": [\n");
+    let modes: [(&str, &str, bool, Duration); 4] = [
+        ("per-txn sync", "per_txn", false, Duration::ZERO),
+        ("group w=0", "group_w0", true, Duration::ZERO),
+        (
+            "group w=200µs",
+            "group_w200us",
+            true,
+            Duration::from_micros(200),
+        ),
+        ("group w=1ms", "group_w1ms", true, Duration::from_millis(1)),
+    ];
+    let mut first = true;
+    for committers in [1u64, 2, 4, 8, 16, 32] {
+        let mut rates = Vec::new();
+        let mut batching = String::new();
+        for (_, key, grouped, window) in modes {
+            let wal: Arc<dyn Disk> =
+                Arc::new(LatencyDisk::new(Arc::new(SimDisk::new()), sync_cost));
+            let ckpt: Arc<dyn Disk> = Arc::new(SimDisk::new());
+            let (store, _) = KvStore::open(
+                wal,
+                ckpt,
+                KvOptions {
+                    sync_on_commit: true,
+                    group_commit: grouped,
+                    group_commit_window: window,
+                },
+            )
+            .unwrap();
+            let t0 = Instant::now();
+            let handles: Vec<_> = (0..committers)
+                .map(|c| {
+                    let store = Arc::clone(&store);
+                    rrq_core::threads::spawn_named(format!("e16-committer-{c}"), move || {
+                        for i in 0..per_thread {
+                            let txn = c * 1_000_000 + i + 1;
+                            store.begin(txn).unwrap();
+                            store
+                                .put(
+                                    txn,
+                                    format!("k/{c}/{i}").as_bytes(),
+                                    b"commit-record-payload",
+                                )
+                                .unwrap();
+                            store.commit(txn).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            let commits = (committers * per_thread) as f64;
+            let rate = commits / secs;
+            rates.push(rate);
+            let gs = store.group_commit_stats();
+            if key == "group_w1ms" && gs.groups > 0 {
+                batching = format!("{:.1}", gs.requests as f64 / gs.groups as f64);
+            }
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            json.push_str(&format!(
+                "    {{\"committers\": {committers}, \"mode\": \"{key}\", \"commits_per_sec\": {rate:.1}, \"sync_requests\": {}, \"groups\": {}}}",
+                gs.requests, gs.groups
+            ));
+        }
+        let best = rates[1..].iter().cloned().fold(f64::MIN, f64::max);
+        println!(
+            "| {committers:>10} | {} | {} | {} | {} | {:>11.1}x | {batching:>26} |",
+            fmt_rate(rates[0]),
+            fmt_rate(rates[1]),
+            fmt_rate(rates[2]),
+            fmt_rate(rates[3]),
+            best / rates[0]
+        );
+    }
+    json.push_str("\n  ],\n");
+    println!();
+
+    // ------------------------------------------------------------------
+    // Part B: dequeue and depth latency vs. queue depth, ready index vs.
+    // storage scan. Dequeue takes the head either way (both page-bounded);
+    // depth() is where the scan pays O(depth) and the index answers O(1).
+    // ------------------------------------------------------------------
+    println!("| depth | dequeue idx µs | dequeue scan µs | depth idx µs | depth scan µs |");
+    println!("|------:|---------------:|----------------:|-------------:|--------------:|");
+    json.push_str("  \"dequeue\": [\n");
+    let mut first = true;
+    for depth in [100u64, 1_000, 10_000] {
+        let probes = depth.min(200);
+        let repo = mk_repo(&format!("e16-d{depth}"), &["q"]);
+        let (h, _) = repo.qm().register("q", "bench", false).unwrap();
+        for i in 0..depth {
+            repo.autocommit(|t| {
+                repo.qm().enqueue(
+                    t.id().raw(),
+                    &h,
+                    format!("element-{i}-with-a-payload-of-plausible-size").as_bytes(),
+                    EnqueueOptions::default(),
+                )
+            })
+            .unwrap();
+        }
+        let mut cells = Vec::new();
+        for indexed in [true, false] {
+            repo.qm().set_indexed_dequeue(indexed);
+            let t0 = Instant::now();
+            let mut taken = Vec::new();
+            for _ in 0..probes {
+                let e = repo
+                    .autocommit(|t| {
+                        repo.qm()
+                            .dequeue(t.id().raw(), &h, DequeueOptions::default())
+                    })
+                    .unwrap();
+                taken.push(e);
+            }
+            let deq_us = t0.elapsed().as_micros() as f64 / probes as f64;
+            let t0 = Instant::now();
+            for _ in 0..probes {
+                let _ = repo.qm().depth("q").unwrap();
+            }
+            let depth_us = t0.elapsed().as_micros() as f64 / probes as f64;
+            cells.push((deq_us, depth_us));
+            // Restore the queue for the other configuration.
+            for e in taken {
+                repo.autocommit(|t| {
+                    repo.qm()
+                        .enqueue(t.id().raw(), &h, &e.payload, EnqueueOptions::default())
+                })
+                .unwrap();
+            }
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            json.push_str(&format!(
+                "    {{\"depth\": {depth}, \"path\": \"{}\", \"dequeue_us\": {deq_us:.2}, \"depth_us\": {depth_us:.2}}}",
+                if indexed { "indexed" } else { "scan" }
+            ));
+        }
+        println!(
+            "| {depth:>5} | {:>14.2} | {:>15.2} | {:>12.2} | {:>13.2} |",
+            cells[0].0, cells[1].0, cells[0].1, cells[1].1
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+    println!();
+
+    std::fs::write("BENCH_PR3.json", &json).unwrap();
+    println!("Series written to BENCH_PR3.json.\n");
 }

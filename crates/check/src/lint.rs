@@ -16,7 +16,12 @@
 //! * **commit-sync** — a WAL append of a commit-point record
 //!   (`RecordKind::Commit` or a 2PC `DECISION_KIND`) must have a `sync(`
 //!   call within the next few lines; durability of the commit point is
-//!   the paper's whole game.
+//!   the paper's whole game. A `sync_through(` call (the group-commit
+//!   coordinator's entry point) also satisfies the rule — but only after
+//!   the lint has *followed the sync*: some scanned file must define
+//!   `fn sync_through` whose nearby body issues a real `.sync(`.
+//!   Indirection through a coordinator that never forces the device would
+//!   be flagged, not allowlisted.
 //!
 //! Each lint has an allowlist file at `crates/check/lints/<lint>.allow`
 //! (one `path-suffix [:: line-fragment]` per line, `#` comments) for the
@@ -30,6 +35,10 @@ use std::path::{Path, PathBuf};
 /// Lines of lookahead for the commit-sync adjacency rule.
 const SYNC_WINDOW: usize = 4;
 
+/// Lines of lookahead from a `fn sync_through` definition to the `.sync(`
+/// it must ultimately issue (the coordinator's body, dally included).
+const COORDINATOR_WINDOW: usize = 40;
+
 // Built with concat! so this file does not match its own patterns.
 const PAT_UNWRAP: &str = concat!(".unwr", "ap()");
 const PAT_EXPECT: &str = concat!(".exp", "ect(");
@@ -38,6 +47,10 @@ const PAT_INSTANT: &str = concat!("Instant::", "now");
 const PAT_SYSTIME: &str = concat!("SystemTime::", "now");
 const PAT_COMMIT: &str = concat!("RecordKind::", "Commit");
 const PAT_DECISION: &str = concat!("DECISION_", "KIND");
+const PAT_SYNC: &str = concat!("sy", "nc(");
+const PAT_SYNC_THROUGH: &str = concat!("sync_th", "rough(");
+const PAT_FN_SYNC_THROUGH: &str = concat!("fn sync_th", "rough");
+const PAT_DOT_SYNC: &str = concat!(".sy", "nc(");
 
 /// Every lint name, in reporting order.
 pub const LINTS: &[&str] = &[
@@ -95,11 +108,21 @@ pub fn run(root: &Path) -> io::Result<Outcome> {
     files.sort();
 
     let mut out = Outcome::default();
-    let mut raw = Vec::new();
+    let mut texts = Vec::with_capacity(files.len());
     for file in &files {
         let text = fs::read_to_string(file)?;
         let rel = relative_slash(root, file);
-        lint_file(&rel, &text, &mut raw);
+        texts.push((rel, text));
+    }
+    // "Follow the sync": a commit append may satisfy the adjacency rule via
+    // the group-commit coordinator only if some scanned file really defines
+    // a `fn sync_through` that reaches a device `.sync(` nearby.
+    let coordinator_ok = texts
+        .iter()
+        .any(|(_, text)| defines_syncing_coordinator(text));
+    let mut raw = Vec::new();
+    for (rel, text) in &texts {
+        lint_file(rel, text, coordinator_ok, &mut raw);
         out.files_scanned += 1;
     }
 
@@ -181,7 +204,19 @@ fn test_flags(lines: &[&str]) -> Vec<bool> {
     flags
 }
 
-fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
+/// Does `text` define a `fn sync_through` whose body (within
+/// [`COORDINATOR_WINDOW`] lines) issues a real `.sync(`?
+fn defines_syncing_coordinator(text: &str) -> bool {
+    let lines: Vec<&str> = text.lines().collect();
+    lines.iter().enumerate().any(|(i, line)| {
+        line.contains(PAT_FN_SYNC_THROUGH)
+            && (i + 1..=i + COORDINATOR_WINDOW)
+                .filter(|&j| j < lines.len())
+                .any(|j| lines[j].contains(PAT_DOT_SYNC))
+    })
+}
+
+fn lint_file(rel: &str, text: &str, coordinator_ok: bool, out: &mut Vec<Finding>) {
     let lines: Vec<&str> = text.lines().collect();
     let in_test = test_flags(&lines);
     let scannable = |i: usize| -> bool { !in_test[i] && !lines[i].trim_start().starts_with("//") };
@@ -216,7 +251,10 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
         if line.contains(".append(") && (line.contains(PAT_COMMIT) || line.contains(PAT_DECISION)) {
             let synced = (i + 1..=i + SYNC_WINDOW)
                 .filter(|&j| j < lines.len())
-                .any(|j| lines[j].contains("sync("));
+                .any(|j| {
+                    lines[j].contains(PAT_SYNC)
+                        || (coordinator_ok && lines[j].contains(PAT_SYNC_THROUGH))
+                });
             if !synced {
                 push(out, "commit-sync", i);
             }
@@ -352,6 +390,43 @@ mod tests {
         assert_eq!(out.findings.len(), 1);
         assert_eq!(out.findings[0].lint, "commit-sync");
         assert!(out.findings[0].file.ends_with("a.rs"));
+    }
+
+    #[test]
+    fn commit_append_via_coordinator_is_clean_when_it_really_syncs() {
+        let root = TempRoot::new();
+        let caller = format!(
+            "fn commit() {{\n    wal.append(t, {}, &[])?;\n    self.{}target)?;\n}}\n",
+            PAT_COMMIT, PAT_SYNC_THROUGH
+        );
+        let coordinator = format!(
+            "pub {}(&self, target: u64) {{\n    let res = wal{});\n}}\n",
+            PAT_FN_SYNC_THROUGH, PAT_DOT_SYNC
+        );
+        root.write("crates/storage/src/kv.rs", &caller);
+        root.write("crates/storage/src/group_commit.rs", &coordinator);
+        let out = run(&root.0).unwrap();
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn coordinator_that_never_syncs_does_not_satisfy_the_rule() {
+        let root = TempRoot::new();
+        let caller = format!(
+            "fn commit() {{\n    wal.append(t, {}, &[])?;\n    self.{}target)?;\n}}\n",
+            PAT_COMMIT, PAT_SYNC_THROUGH
+        );
+        // A coordinator definition exists but its body never forces the
+        // device: following the sync leads nowhere, so the append is flagged.
+        let bogus = format!(
+            "pub {}(&self, _t: u64) {{\n    // dropped\n}}\n",
+            PAT_FN_SYNC_THROUGH
+        );
+        root.write("crates/storage/src/kv.rs", &caller);
+        root.write("crates/storage/src/group_commit.rs", &bogus);
+        let out = run(&root.0).unwrap();
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "commit-sync");
     }
 
     #[test]

@@ -51,6 +51,23 @@ pub fn element_key(queue: &str, priority: Priority, seq: u64) -> Vec<u8> {
     k
 }
 
+/// Recover the queue name from a live-element key (`e/<queue>/<ord>`).
+///
+/// The 9-byte ordering suffix has fixed length, so the queue name is
+/// everything between the `e/` prefix and the final `/<ord>` — robust even
+/// if a queue name itself contains `/`.
+pub fn parse_element_key(key: &[u8]) -> Option<&str> {
+    let ord_len = 9 + 1; // '/' separator + ord_suffix
+    if key.len() < 2 + 1 + ord_len || !key.starts_with(b"e/") {
+        return None;
+    }
+    let sep = key.len() - ord_len;
+    if key[sep] != b'/' {
+        return None;
+    }
+    std::str::from_utf8(&key[2..sep]).ok()
+}
+
 /// Key of the live-element index entry for `eid`.
 pub fn index_key(eid: Eid) -> Vec<u8> {
     let mut k = Vec::with_capacity(10);
@@ -146,6 +163,17 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parse_element_key_round_trips() {
+        let k = element_key("req", 3, 42);
+        assert_eq!(parse_element_key(&k), Some("req"));
+        // Queue names containing '/' still parse: the suffix is fixed-width.
+        let k2 = element_key("a/b", 0, 7);
+        assert_eq!(parse_element_key(&k2), Some("a/b"));
+        assert_eq!(parse_element_key(b"m/req"), None);
+        assert_eq!(parse_element_key(b"e/short"), None);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod keys;
 pub mod meta;
 pub mod notify;
 pub mod ops;
+pub mod qindex;
 pub mod registration;
 pub mod repository;
 pub mod retrieval;

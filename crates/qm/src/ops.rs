@@ -33,6 +33,7 @@ use crate::error::{QmError, QmResult};
 use crate::keys;
 use crate::meta::{OrderingMode, QueueMeta};
 use crate::notify::QueueNotifier;
+use crate::qindex::QueueIndex;
 use crate::registration::{LastOp, Registration};
 use crate::retrieval::Predicate;
 use crate::trigger::Trigger;
@@ -42,10 +43,16 @@ use rrq_storage::kv::KvStore;
 use rrq_txn::{
     LockKey, LockManager, LockMode, ResourceManager, TxnError, TxnId, TxnIdGen, TxnResult,
 };
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// `queue → ordered (element key, eid)` — the shape in which both the ready
+/// index ([`QueueManager::index_snapshot`]) and a ground-truth storage scan
+/// ([`QueueManager::index_from_scan`]) report the committed element keyspace,
+/// so equivalence checks can compare them directly.
+pub type IndexSnapshot = BTreeMap<String, Vec<(Vec<u8>, Eid)>>;
 
 /// Identifies a registered (queue, registrant) binding — the `handle`
 /// returned by `Register` in Fig 3.
@@ -116,9 +123,32 @@ struct DequeuedRef {
     error_queue: Option<String>,
 }
 
+/// Outcome of trying to take one dequeue candidate under its element lock.
+enum Grab {
+    /// Locked, validated, and removed — the dequeue succeeded.
+    Taken(Element),
+    /// The element vanished between selection and locking.
+    Gone,
+    /// A kill tombstone is racing; leave the element for its cancel.
+    Tombstoned,
+    /// The element lock is held by a concurrent dequeuer.
+    Busy,
+}
+
+/// An enqueue performed by a still-open transaction — enough to make the
+/// element visible to the ready index when the transaction commits, and to
+/// the transaction's *own* dequeues before then.
+#[derive(Debug, Clone)]
+struct EnqueuedRef {
+    queue: String,
+    elem_key: Vec<u8>,
+    eid: Eid,
+}
+
 #[derive(Debug, Default)]
 struct PendingTxn {
     dequeued: Vec<DequeuedRef>,
+    enqueued: Vec<EnqueuedRef>,
     enqueued_queues: HashSet<String>,
     /// Set by KillElement when this transaction holds a cancelled element:
     /// the transaction must abort (§7).
@@ -133,6 +163,13 @@ pub struct QueueManager {
     locks: Arc<LockManager>,
     notifier: QueueNotifier,
     pending: Mutex<HashMap<u64, PendingTxn>>,
+    /// Committed ready-lists per queue — the dequeue/depth hot path. Kept in
+    /// lock-step with the stores at commit/abort/kill/destroy boundaries and
+    /// rebuilt from a storage scan on restart.
+    qindex: QueueIndex,
+    /// When false, dequeue and depth fall back to paging the element
+    /// keyspace (the pre-index path, kept for benchmarks and verification).
+    use_index: AtomicBool,
     /// Ids for internal system transactions (registration writes, abort-count
     /// maintenance). High floor keeps them disjoint from user transactions.
     sys_ids: TxnIdGen,
@@ -170,6 +207,21 @@ impl QueueManager {
         durable.put(t, &keys::epoch_key(), &epoch.encode_to_vec())?;
         durable.commit(t)?;
 
+        // Rebuild the ready index from the committed element keyspace. The
+        // caller resolves in-doubt transactions before constructing the
+        // manager, so `scan_prefix(None, ..)` is exactly the post-recovery
+        // committed truth. (The volatile store is empty after a restart.)
+        let qindex = QueueIndex::new();
+        for store in [&durable, &volatile] {
+            for (k, raw) in store.scan_prefix(None, b"e/")? {
+                let Some(queue) = keys::parse_element_key(&k) else {
+                    continue;
+                };
+                let elem = Element::decode_all(&raw).map_err(QmError::Storage)?;
+                qindex.insert(queue, k.clone(), elem.eid);
+            }
+        }
+
         Ok(Arc::new(QueueManager {
             name: name.into(),
             durable,
@@ -177,6 +229,8 @@ impl QueueManager {
             locks,
             notifier: QueueNotifier::new(),
             pending: Mutex::new(HashMap::new()),
+            qindex,
+            use_index: AtomicBool::new(true),
             sys_ids,
             epoch,
             counter: AtomicU64::new(0),
@@ -298,7 +352,7 @@ impl QueueManager {
     pub fn destroy_queue(&self, queue: &str) -> QmResult<()> {
         let meta = self.queue_meta(queue)?;
         let store = Arc::clone(self.store_for(&meta));
-        self.system_txn(|t| {
+        let r = self.system_txn(|t| {
             // Volatile elements live in the other store; handle both.
             if !meta.durable {
                 store.begin(t).ok(); // may double-begin if same store
@@ -324,7 +378,11 @@ impl QueueManager {
             }
             self.durable.delete(t, &keys::meta_key(queue))?;
             Ok(())
-        })
+        });
+        if r.is_ok() {
+            self.qindex.clear_queue(queue);
+        }
+        r
     }
 
     /// List all queue names in the repository.
@@ -475,12 +533,16 @@ impl QueueManager {
                 payload,
             )?;
         }
-        self.pending
-            .lock()
-            .entry(txn)
-            .or_default()
-            .enqueued_queues
-            .insert(meta.name.clone());
+        {
+            let mut g = self.pending.lock();
+            let p = g.entry(txn).or_default();
+            p.enqueued.push(EnqueuedRef {
+                queue: meta.name.clone(),
+                elem_key: ekey.clone(),
+                eid,
+            });
+            p.enqueued_queues.insert(meta.name.clone());
+        }
         rrq_check::race::queue_enqueued(&meta.name);
         self.stats.lock().enqueues += 1;
         Ok(eid)
@@ -521,8 +583,200 @@ impl QueueManager {
         }
     }
 
-    /// One scan pass. `Ok(None)` means no candidate is currently available.
+    /// One candidate-selection pass. `Ok(None)` means no candidate is
+    /// currently available.
     fn try_dequeue_once(
+        &self,
+        txn: u64,
+        handle: &QueueHandle,
+        meta: &QueueMeta,
+        opts: &DequeueOptions,
+        deadline: Option<Instant>,
+    ) -> QmResult<Option<Element>> {
+        if self.use_index.load(Ordering::Relaxed) {
+            self.try_dequeue_once_indexed(txn, handle, meta, opts, deadline)
+        } else {
+            self.try_dequeue_once_scan(txn, handle, meta, opts, deadline)
+        }
+    }
+
+    /// Lock, re-validate, and take one candidate element. Shared tail of the
+    /// indexed and scan dequeue paths; candidate selection differs, what
+    /// happens once a candidate is chosen must not.
+    #[allow(clippy::too_many_arguments)]
+    fn grab_element(
+        &self,
+        txn: u64,
+        handle: &QueueHandle,
+        meta: &QueueMeta,
+        opts: &DequeueOptions,
+        deadline: Option<Instant>,
+        ns: u32,
+        store: &Arc<KvStore>,
+        ekey: &[u8],
+    ) -> QmResult<Grab> {
+        let lk = LockKey::new(ns, ekey.to_vec());
+        let acquired = match meta.mode {
+            OrderingMode::SkipLocked => self.locks.try_lock(txn, &lk, LockMode::Exclusive),
+            OrderingMode::StrictFifo => {
+                // Block behind the head element's lock.
+                let wait = deadline
+                    .map(|dl| dl.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_secs(5));
+                self.locks.lock(txn, &lk, LockMode::Exclusive, wait)
+            }
+        };
+        match acquired {
+            Ok(()) => {}
+            Err(TxnError::LockTimeout) => {
+                self.stats.lock().lock_skips += 1;
+                return Ok(Grab::Busy);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        // Re-check under the lock: the element may have been taken
+        // (committed) between candidate selection and lock acquisition.
+        let Some(raw2) = store.get(Some(txn), ekey)? else {
+            return Ok(Grab::Gone);
+        };
+        let elem = Element::decode_all(&raw2).map_err(QmError::Storage)?;
+        // A kill tombstone means a cancel is racing; skip.
+        if self.durable.get(None, &keys::kill_key(elem.eid))?.is_some() {
+            return Ok(Grab::Tombstoned);
+        }
+        // Join the queue's happens-before edge, then touch the tracked
+        // element cell (we hold its element lock, so this is also
+        // lock-ordered).
+        rrq_check::race::queue_dequeued(&meta.name);
+        rrq_check::race::on_write(&format!("qm/elem/{}", elem.eid));
+        store.delete(txn, ekey)?;
+        store.delete(txn, &keys::index_key(elem.eid))?;
+        // Retain the element contents for Read/Rereceive.
+        store.put(txn, &keys::retained_key(elem.eid), &raw2)?;
+        if opts.tag.is_some() {
+            self.record_op(
+                txn,
+                handle,
+                LastOp::Dequeue,
+                opts.tag.as_deref(),
+                elem.eid,
+                &elem.payload,
+            )?;
+        }
+        self.pending
+            .lock()
+            .entry(txn)
+            .or_default()
+            .dequeued
+            .push(DequeuedRef {
+                queue: meta.name.clone(),
+                elem_key: ekey.to_vec(),
+                eid: elem.eid,
+                error_queue: opts.error_queue.clone(),
+            });
+        self.stats.lock().dequeues += 1;
+        Ok(Grab::Taken(elem))
+    }
+
+    /// Candidate selection from the in-memory ready index: the committed
+    /// ready-list merged with this transaction's own uncommitted enqueues,
+    /// minus its own uncommitted dequeues — the same visibility the storage
+    /// scan derives from the transaction overlay, without paging the
+    /// keyspace.
+    fn try_dequeue_once_indexed(
+        &self,
+        txn: u64,
+        handle: &QueueHandle,
+        meta: &QueueMeta,
+        opts: &DequeueOptions,
+        deadline: Option<Instant>,
+    ) -> QmResult<Option<Element>> {
+        let store = self.store_for(meta);
+        let ns = self.ns_of(&meta.name);
+        // This transaction's own uncommitted overlay for the queue.
+        let (own_enq, own_deq) = {
+            let g = self.pending.lock();
+            match g.get(&txn) {
+                None => (Vec::new(), HashSet::new()),
+                Some(p) => {
+                    let mut enq: Vec<(Vec<u8>, Eid)> = p
+                        .enqueued
+                        .iter()
+                        .filter(|e| e.queue == meta.name)
+                        .map(|e| (e.elem_key.clone(), e.eid))
+                        .collect();
+                    enq.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                    let deq: HashSet<Vec<u8>> =
+                        p.dequeued.iter().map(|d| d.elem_key.clone()).collect();
+                    (enq, deq)
+                }
+            }
+        };
+        'rescan: loop {
+            let mut after: Option<Vec<u8>> = None;
+            loop {
+                let ix = self
+                    .qindex
+                    .candidates_after(&meta.name, after.as_deref(), SCAN_PAGE);
+                let exhausted = ix.len() < SCAN_PAGE;
+                let hi = ix.last().map(|(k, _)| k.clone());
+                // Merge own enqueues falling inside this window so ordering
+                // across committed and own-pending elements is preserved.
+                let mut cands = ix;
+                for (k, eid) in &own_enq {
+                    let past_cursor = after.as_deref().is_none_or(|a| k.as_slice() > a);
+                    let in_window = exhausted || hi.as_deref().is_some_and(|h| k.as_slice() <= h);
+                    if past_cursor && in_window {
+                        cands.push((k.clone(), *eid));
+                    }
+                }
+                cands.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                cands.dedup_by(|a, b| a.0 == b.0);
+                for (ekey, _) in &cands {
+                    if own_deq.contains(ekey) {
+                        continue;
+                    }
+                    if let Some(p) = &opts.predicate {
+                        // Pre-filter without the lock, as the scan path does
+                        // from its page contents.
+                        let Some(raw) = store.get(Some(txn), ekey)? else {
+                            continue;
+                        };
+                        let elem = Element::decode_all(&raw).map_err(QmError::Storage)?;
+                        if !p.matches(&elem) {
+                            continue;
+                        }
+                    }
+                    match self.grab_element(txn, handle, meta, opts, deadline, ns, store, ekey)? {
+                        Grab::Taken(e) => return Ok(Some(e)),
+                        Grab::Gone => {
+                            if meta.mode == OrderingMode::StrictFifo {
+                                // Head is truly gone; restart the pass.
+                                continue 'rescan;
+                            }
+                            continue;
+                        }
+                        Grab::Tombstoned => continue,
+                        Grab::Busy => match meta.mode {
+                            OrderingMode::SkipLocked => continue,
+                            OrderingMode::StrictFifo => return Ok(None),
+                        },
+                    }
+                }
+                if exhausted {
+                    return Ok(None);
+                }
+                // Own enqueues at or below `hi` were already considered, so
+                // the cursor advances on the index's own pagination.
+                after = hi;
+            }
+        }
+    }
+
+    /// Candidate selection by paging the element keyspace — the pre-index
+    /// path, kept for benchmarking and as the verification baseline for the
+    /// index (`index_divergence`).
+    fn try_dequeue_once_scan(
         &self,
         txn: u64,
         handle: &QueueHandle,
@@ -545,73 +799,20 @@ impl QueueManager {
                             continue;
                         }
                     }
-                    let lk = LockKey::new(ns, ekey.clone());
-                    let acquired = match meta.mode {
-                        OrderingMode::SkipLocked => {
-                            self.locks.try_lock(txn, &lk, LockMode::Exclusive)
-                        }
-                        OrderingMode::StrictFifo => {
-                            // Block behind the head element's lock.
-                            let wait = deadline
-                                .map(|dl| dl.saturating_duration_since(Instant::now()))
-                                .unwrap_or(Duration::from_secs(5));
-                            self.locks.lock(txn, &lk, LockMode::Exclusive, wait)
-                        }
-                    };
-                    match acquired {
-                        Ok(()) => {
-                            // Re-check under the lock: the element may have
-                            // been taken (committed) between scan and lock.
-                            let Some(raw2) = store.get(Some(txn), ekey)? else {
-                                if meta.mode == OrderingMode::StrictFifo {
-                                    // Head is truly gone; restart the scan.
-                                    continue 'rescan;
-                                }
-                                continue;
-                            };
-                            let elem = Element::decode_all(&raw2).map_err(QmError::Storage)?;
-                            // A kill tombstone means a cancel is racing; skip.
-                            if self.durable.get(None, &keys::kill_key(elem.eid))?.is_some() {
-                                continue;
+                    match self.grab_element(txn, handle, meta, opts, deadline, ns, store, ekey)? {
+                        Grab::Taken(e) => return Ok(Some(e)),
+                        Grab::Gone => {
+                            if meta.mode == OrderingMode::StrictFifo {
+                                // Head is truly gone; restart the scan.
+                                continue 'rescan;
                             }
-                            // Join the queue's happens-before edge, then
-                            // touch the tracked element cell (we hold its
-                            // element lock, so this is also lock-ordered).
-                            rrq_check::race::queue_dequeued(&meta.name);
-                            rrq_check::race::on_write(&format!("qm/elem/{}", elem.eid));
-                            store.delete(txn, ekey)?;
-                            store.delete(txn, &keys::index_key(elem.eid))?;
-                            // Retain the element contents for Read/Rereceive.
-                            store.put(txn, &keys::retained_key(elem.eid), &raw2)?;
-                            if opts.tag.is_some() {
-                                self.record_op(
-                                    txn,
-                                    handle,
-                                    LastOp::Dequeue,
-                                    opts.tag.as_deref(),
-                                    elem.eid,
-                                    &elem.payload,
-                                )?;
-                            }
-                            self.pending.lock().entry(txn).or_default().dequeued.push(
-                                DequeuedRef {
-                                    queue: meta.name.clone(),
-                                    elem_key: ekey.clone(),
-                                    eid: elem.eid,
-                                    error_queue: opts.error_queue.clone(),
-                                },
-                            );
-                            self.stats.lock().dequeues += 1;
-                            return Ok(Some(elem));
+                            continue;
                         }
-                        Err(TxnError::LockTimeout) => {
-                            self.stats.lock().lock_skips += 1;
-                            match meta.mode {
-                                OrderingMode::SkipLocked => continue,
-                                OrderingMode::StrictFifo => return Ok(None),
-                            }
-                        }
-                        Err(e) => return Err(e.into()),
+                        Grab::Tombstoned => continue,
+                        Grab::Busy => match meta.mode {
+                            OrderingMode::SkipLocked => continue,
+                            OrderingMode::StrictFifo => return Ok(None),
+                        },
                     }
                 }
                 match cursor {
@@ -772,6 +973,7 @@ impl QueueManager {
                     self.locks.unlock_all(sys);
                     let killed = r?;
                     if killed {
+                        self.qindex.remove(&queue, &ekey);
                         self.stats.lock().kills += 1;
                     }
                     return Ok(killed);
@@ -797,8 +999,19 @@ impl QueueManager {
         Ok(false)
     }
 
-    /// Number of live (committed) elements in `queue`.
+    /// Number of live (committed) elements in `queue` — answered from the
+    /// ready index, no storage scan.
     pub fn depth(&self, queue: &str) -> QmResult<usize> {
+        self.queue_meta(queue)?; // unknown queues still error
+        if self.use_index.load(Ordering::Relaxed) {
+            return Ok(self.qindex.depth(queue));
+        }
+        self.depth_scan(queue)
+    }
+
+    /// Depth by paging the element keyspace — the pre-index path, kept for
+    /// benchmarking and as the index's verification baseline.
+    pub fn depth_scan(&self, queue: &str) -> QmResult<usize> {
         let meta = self.queue_meta(queue)?;
         let store = self.store_for(&meta);
         let prefix = keys::element_prefix(queue);
@@ -812,6 +1025,93 @@ impl QueueManager {
                 None => return Ok(n),
             }
         }
+    }
+
+    /// Switch dequeue candidate selection and `depth` between the ready
+    /// index (the default) and the raw storage scan. Benchmarks A/B the two;
+    /// semantics are identical.
+    pub fn set_indexed_dequeue(&self, on: bool) {
+        self.use_index.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the indexed hot path is active.
+    pub fn indexed_dequeue(&self) -> bool {
+        self.use_index.load(Ordering::Relaxed)
+    }
+
+    /// The ready index's current contents: `queue → ordered (key, eid)`.
+    pub fn index_snapshot(&self) -> IndexSnapshot {
+        self.qindex.snapshot()
+    }
+
+    /// The same structure derived from a fresh scan of the committed element
+    /// keyspace in both stores — the ground truth the index must match at
+    /// any quiescent point (and, critically, right after recovery).
+    pub fn index_from_scan(&self) -> QmResult<IndexSnapshot> {
+        let mut out = IndexSnapshot::new();
+        for store in [&self.durable, &self.volatile] {
+            for (k, raw) in store.scan_prefix(None, b"e/")? {
+                let Some(queue) = keys::parse_element_key(&k) else {
+                    continue;
+                };
+                let elem = Element::decode_all(&raw).map_err(QmError::Storage)?;
+                out.entry(queue.to_string())
+                    .or_default()
+                    .push((k, elem.eid));
+            }
+        }
+        for v in out.values_mut() {
+            v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        }
+        Ok(out)
+    }
+
+    /// Verification hook: is the element lock for `(queue, ekey)` free?
+    /// Probes with a throwaway system id and releases immediately. Dequeue
+    /// locks are volatile, so after a restart this must hold for every
+    /// indexed element.
+    pub fn element_lock_free(&self, queue: &str, ekey: &[u8]) -> bool {
+        let ns = self.ns_of(queue);
+        let lk = LockKey::new(ns, ekey.to_vec());
+        let probe = self.sys_ids.next().raw();
+        let free = self.locks.try_lock(probe, &lk, LockMode::Exclusive).is_ok();
+        self.locks.unlock_all(probe);
+        free
+    }
+
+    /// `None` when the ready index and a fresh storage scan agree exactly
+    /// (same queues, same keys in the same order, same eids); otherwise a
+    /// description of the first divergence.
+    pub fn index_divergence(&self) -> QmResult<Option<String>> {
+        let ix = self.index_snapshot();
+        let scan = self.index_from_scan()?;
+        if ix == scan {
+            return Ok(None);
+        }
+        for (q, want) in &scan {
+            match ix.get(q) {
+                None => {
+                    return Ok(Some(format!(
+                        "queue {q:?}: {} elements in storage, none in index",
+                        want.len()
+                    )))
+                }
+                Some(have) if have != want => {
+                    return Ok(Some(format!(
+                        "queue {q:?}: index has {} elements, storage has {}",
+                        have.len(),
+                        want.len()
+                    )))
+                }
+                _ => {}
+            }
+        }
+        for q in ix.keys() {
+            if !scan.contains_key(q) {
+                return Ok(Some(format!("queue {q:?}: in index but not in storage")));
+            }
+        }
+        Ok(Some("index != storage".into()))
     }
 
     /// Read-only content query over a queue's live elements.
@@ -913,6 +1213,19 @@ impl QueueManager {
     /// its abort count, honour kill tombstones, and move it to the error
     /// queue when the retry limit is reached (§4.2).
     fn handle_aborted_dequeue(&self, d: &DequeuedRef, abort_code: u32) -> QmResult<()> {
+        /// Where the element ended up, for ready-index maintenance and
+        /// signalling — decided inside the system transaction, applied to
+        /// the index only after it commits.
+        enum AbortOutcome {
+            /// Gone (concurrent destroy) or deleted honouring a kill.
+            Dropped,
+            /// Moved to the error queue under a fresh ordering key.
+            Moved { queue: String, ekey: Vec<u8> },
+            /// Returned to its queue under a fresh ordering key (rotate).
+            Requeued { ekey: Vec<u8> },
+            /// Returned to its queue under its original key.
+            Returned,
+        }
         self.stats.lock().aborted_dequeues += 1;
         let meta = self.queue_meta(&d.queue)?;
         let store = Arc::clone(self.store_for(&meta));
@@ -921,15 +1234,15 @@ impl QueueManager {
 
         let sys = self.sys_ids.next().raw();
         store.begin(sys)?;
-        let result = (|| -> QmResult<bool> {
+        let result = (|| -> QmResult<AbortOutcome> {
             let Some(raw) = store.get(Some(sys), &d.elem_key)? else {
-                return Ok(false); // vanished (e.g. concurrent destroy)
+                return Ok(AbortOutcome::Dropped); // vanished (e.g. destroy)
             };
             let mut elem = Element::decode_all(&raw).map_err(QmError::Storage)?;
             if killed {
                 store.delete(sys, &d.elem_key)?;
                 store.delete(sys, &keys::index_key(d.eid))?;
-                return Ok(false);
+                return Ok(AbortOutcome::Dropped);
             }
             elem.abort_count += 1;
             elem.abort_code = abort_code;
@@ -947,9 +1260,7 @@ impl QueueManager {
                 elem.seq = seq;
                 store.put(sys, &ekey, &elem.encode_to_vec())?;
                 store.put(sys, &keys::index_key(d.eid), &encode_index(&errq, &ekey))?;
-                self.stats.lock().error_moves += 1;
-                self.notifier.signal(&errq);
-                Ok(false)
+                Ok(AbortOutcome::Moved { queue: errq, ekey })
             } else if meta.requeue_at_back_on_abort {
                 // Rotate to the back of the queue: same element identity,
                 // fresh ordering slot. Prevents head-of-line livelock when
@@ -965,14 +1276,14 @@ impl QueueManager {
                     &keys::index_key(d.eid),
                     &encode_index(&meta.name, &ekey),
                 )?;
-                Ok(true)
+                Ok(AbortOutcome::Requeued { ekey })
             } else {
                 store.put(sys, &d.elem_key, &elem.encode_to_vec())?;
-                Ok(true)
+                Ok(AbortOutcome::Returned)
             }
         })();
         match result {
-            Ok(returned) => {
+            Ok(outcome) => {
                 store.commit(sys)?;
                 if killed {
                     // Clear the tombstone now the element is gone.
@@ -981,8 +1292,28 @@ impl QueueManager {
                         Ok(())
                     })?;
                 }
-                if returned {
-                    self.notifier.signal(&d.queue);
+                // The dequeue never committed, so the old key is still in
+                // the ready index; fix it up to match the outcome, then
+                // signal so woken dequeuers see the fresh entry.
+                match outcome {
+                    AbortOutcome::Dropped => {
+                        self.qindex.remove(&d.queue, &d.elem_key);
+                    }
+                    AbortOutcome::Moved { queue, ekey } => {
+                        self.qindex.remove(&d.queue, &d.elem_key);
+                        self.qindex.insert(&queue, ekey, d.eid);
+                        self.stats.lock().error_moves += 1;
+                        self.notifier.signal(&queue);
+                    }
+                    AbortOutcome::Requeued { ekey } => {
+                        self.qindex.remove(&d.queue, &d.elem_key);
+                        self.qindex.insert(&d.queue, ekey, d.eid);
+                        self.notifier.signal(&d.queue);
+                    }
+                    AbortOutcome::Returned => {
+                        self.qindex.insert(&d.queue, d.elem_key.clone(), d.eid);
+                        self.notifier.signal(&d.queue);
+                    }
                 }
                 Ok(())
             }
@@ -1066,6 +1397,16 @@ impl ResourceManager for QueueManager {
         self.durable.commit(txn.raw())?;
         self.volatile.commit(txn.raw())?;
         let pend = self.pending.lock().remove(&txn.raw()).unwrap_or_default();
+        // Mirror the committed effects into the ready index *before* waking
+        // anyone: a dequeuer signalled below must find the new entries.
+        // Insert-then-remove keeps an enqueue-then-dequeue of the same
+        // element within one transaction a net no-op.
+        for e in &pend.enqueued {
+            self.qindex.insert(&e.queue, e.elem_key.clone(), e.eid);
+        }
+        for dq in &pend.dequeued {
+            self.qindex.remove(&dq.queue, &dq.elem_key);
+        }
         for q in &pend.enqueued_queues {
             self.notifier.signal(q);
             // Alert thresholds (§9).

@@ -1,0 +1,171 @@
+//! In-memory index of each queue's committed, live elements.
+//!
+//! The paper's §10 "main memory database" observation cuts both ways: the
+//! durable truth lives in the log + checkpoint, but the *working set* — which
+//! elements are ready to dequeue, and in what order — is small and hot, so a
+//! dequeue should not have to page the element keyspace to find its
+//! candidate. [`QueueIndex`] keeps, per queue, an ordered map from element
+//! key to eid. Because element keys embed `(0xFF - priority) ‖ seq`
+//! ([`crate::keys::ord_suffix`]), iterating the map yields exactly the
+//! dequeue order: highest priority first, FIFO within a priority.
+//!
+//! The index mirrors the **committed** state only. It is updated at the
+//! queue manager's commit/abort boundaries (after the backing stores have
+//! committed), never from inside an open transaction, so a reader can trust
+//! that every entry refers to an element that was visible to
+//! `scan_prefix(None, ..)` a moment ago. The element may still disappear
+//! between candidate selection and lock acquisition — dequeue re-reads under
+//! the element lock, exactly as the scan path always has.
+//!
+//! On restart the index is rebuilt from a single scan of the stores
+//! (volatile queues come back empty, so in practice this is the durable
+//! store's `e/` prefix). `QueueManager::index_divergence` re-derives the
+//! same structure from a fresh scan at any time and compares — the
+//! crash-equivalence property test in `crates/sim` leans on it.
+
+use crate::element::Eid;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+
+/// Ordered ready-lists for every queue, keyed by element key.
+#[derive(Default)]
+pub struct QueueIndex {
+    inner: Mutex<HashMap<String, BTreeMap<Vec<u8>, Eid>>>,
+}
+
+impl QueueIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a committed element.
+    pub fn insert(&self, queue: &str, elem_key: Vec<u8>, eid: Eid) {
+        self.inner
+            .lock()
+            .entry(queue.to_string())
+            .or_default()
+            .insert(elem_key, eid);
+    }
+
+    /// Drop a committed element; `true` if it was present.
+    pub fn remove(&self, queue: &str, elem_key: &[u8]) -> bool {
+        let mut g = self.inner.lock();
+        let Some(m) = g.get_mut(queue) else {
+            return false;
+        };
+        let hit = m.remove(elem_key).is_some();
+        if m.is_empty() {
+            g.remove(queue);
+        }
+        hit
+    }
+
+    /// Number of live elements in `queue` — O(1) in the queue count, no
+    /// storage scan.
+    pub fn depth(&self, queue: &str) -> usize {
+        self.inner.lock().get(queue).map_or(0, BTreeMap::len)
+    }
+
+    /// Forget a destroyed queue wholesale.
+    pub fn clear_queue(&self, queue: &str) {
+        self.inner.lock().remove(queue);
+    }
+
+    /// Up to `limit` candidates in dequeue order, strictly after `after`
+    /// (exclusive cursor, like the storage page scan).
+    pub fn candidates_after(
+        &self,
+        queue: &str,
+        after: Option<&[u8]>,
+        limit: usize,
+    ) -> Vec<(Vec<u8>, Eid)> {
+        use std::ops::Bound;
+        let g = self.inner.lock();
+        let Some(m) = g.get(queue) else {
+            return Vec::new();
+        };
+        let lower = match after {
+            Some(a) => Bound::Excluded(a),
+            None => Bound::Unbounded,
+        };
+        m.range::<[u8], _>((lower, Bound::Unbounded))
+            .take(limit)
+            .map(|(k, &eid)| (k.clone(), eid))
+            .collect()
+    }
+
+    /// Full ordered dump, sorted by queue name — the comparison shape used
+    /// by the equivalence check.
+    pub fn snapshot(&self) -> BTreeMap<String, Vec<(Vec<u8>, Eid)>> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(q, m)| (q.clone(), m.iter().map(|(k, &e)| (k.clone(), e)).collect()))
+            .collect()
+    }
+
+    /// Total live elements across all queues.
+    pub fn total(&self) -> usize {
+        self.inner.lock().values().map(BTreeMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys;
+
+    #[test]
+    fn candidates_come_back_in_dequeue_order() {
+        let ix = QueueIndex::new();
+        // Insert out of order: low priority first, then high.
+        let lo = keys::element_key("q", 1, 10);
+        let hi = keys::element_key("q", 9, 11);
+        let lo2 = keys::element_key("q", 1, 12);
+        ix.insert("q", lo.clone(), Eid(10));
+        ix.insert("q", hi.clone(), Eid(11));
+        ix.insert("q", lo2.clone(), Eid(12));
+        let c = ix.candidates_after("q", None, 10);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0].1, Eid(11), "high priority first");
+        assert_eq!(c[1].1, Eid(10), "then FIFO within priority");
+        assert_eq!(c[2].1, Eid(12));
+    }
+
+    #[test]
+    fn cursor_is_exclusive() {
+        let ix = QueueIndex::new();
+        let a = keys::element_key("q", 0, 1);
+        let b = keys::element_key("q", 0, 2);
+        ix.insert("q", a.clone(), Eid(1));
+        ix.insert("q", b.clone(), Eid(2));
+        let c = ix.candidates_after("q", Some(&a), 10);
+        assert_eq!(c, vec![(b, Eid(2))]);
+    }
+
+    #[test]
+    fn depth_and_remove_track_contents() {
+        let ix = QueueIndex::new();
+        let k = keys::element_key("q", 0, 1);
+        assert_eq!(ix.depth("q"), 0);
+        ix.insert("q", k.clone(), Eid(1));
+        assert_eq!(ix.depth("q"), 1);
+        assert!(ix.remove("q", &k));
+        assert!(!ix.remove("q", &k), "second remove is a miss");
+        assert_eq!(ix.depth("q"), 0);
+        assert!(ix.snapshot().is_empty(), "empty queues drop out");
+    }
+
+    #[test]
+    fn clear_queue_forgets_everything() {
+        let ix = QueueIndex::new();
+        ix.insert("q", keys::element_key("q", 0, 1), Eid(1));
+        ix.insert("q", keys::element_key("q", 0, 2), Eid(2));
+        ix.insert("p", keys::element_key("p", 0, 3), Eid(3));
+        ix.clear_queue("q");
+        assert_eq!(ix.depth("q"), 0);
+        assert_eq!(ix.total(), 1);
+    }
+}

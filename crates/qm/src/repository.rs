@@ -80,6 +80,7 @@ impl Repository {
             Arc::new(SimDisk::new()),
             KvOptions {
                 sync_on_commit: false,
+                ..KvOptions::default()
             },
         )?;
 

@@ -348,6 +348,64 @@ impl Disk for SimDisk {
     }
 }
 
+/// A device wrapper that charges a fixed latency per [`Disk::sync`].
+///
+/// [`SimDisk`]'s sync is a memcpy, so per-commit and group-commit forcing
+/// cost the same and a benchmark cannot see batching win. Real log devices
+/// pay a rotation / flush delay per force — this wrapper models that cost so
+/// experiments (E16) measure the sync *count* the way hardware would.
+///
+/// Forces are serialized: a log device has one flush channel, so two threads
+/// syncing "at the same time" still pay two delays back to back. Without
+/// that, per-commit syncing would scale linearly with committer threads and
+/// no benchmark could see why group commit exists.
+pub struct LatencyDisk {
+    inner: Arc<dyn Disk>,
+    sync_latency: std::time::Duration,
+    flush_channel: Mutex<()>,
+}
+
+impl LatencyDisk {
+    /// Wrap `inner`, sleeping `sync_latency` on every sync.
+    pub fn new(inner: Arc<dyn Disk>, sync_latency: std::time::Duration) -> Self {
+        LatencyDisk {
+            inner,
+            sync_latency,
+            flush_channel: Mutex::new(()),
+        }
+    }
+}
+
+impl Disk for LatencyDisk {
+    fn append(&self, data: &[u8]) -> StorageResult<u64> {
+        self.inner.append(data)
+    }
+
+    fn read(&self, offset: u64, len: usize) -> StorageResult<Vec<u8>> {
+        self.inner.read(offset, len)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        let _flush = self.flush_channel.lock();
+        if !self.sync_latency.is_zero() {
+            std::thread::sleep(self.sync_latency);
+        }
+        self.inner.sync()
+    }
+
+    fn reset(&self, contents: Vec<u8>) -> StorageResult<()> {
+        self.inner.reset(contents)
+    }
+
+    fn stats(&self) -> DiskStats {
+        self.inner.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +550,21 @@ mod tests {
         assert_eq!(s.syncs, 1);
         assert_eq!(s.reads, 1);
         assert_eq!(s.crashes, 1);
+    }
+
+    #[test]
+    fn latency_disk_delegates_and_counts() {
+        let sim = SimDisk::new();
+        let d = LatencyDisk::new(Arc::new(sim.clone()), std::time::Duration::from_millis(1));
+        d.append(b"abc").unwrap();
+        let t0 = std::time::Instant::now();
+        d.sync().unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(1));
+        assert_eq!(sim.durable_len(), 3);
+        assert_eq!(d.stats().syncs, 1);
+        assert_eq!(d.read(0, 3).unwrap(), b"abc");
+        d.reset(Vec::new()).unwrap();
+        assert!(d.is_empty());
     }
 
     #[test]

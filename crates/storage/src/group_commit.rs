@@ -1,0 +1,214 @@
+//! The group-commit coordinator.
+//!
+//! Classic group commit (DeWitt et al., cited in the paper's §10 discussion
+//! of logging for main-memory queue stores): when N transactions reach their
+//! commit point at about the same time, one log force can make all of their
+//! commit records durable at once, so the disk pays one sync per *group*
+//! instead of one per transaction.
+//!
+//! The coordinator tracks a durable watermark — the log length known to have
+//! reached stable storage. A committer that has appended its commit record at
+//! offset `target` calls [`GroupCommit::sync_through`]; if the watermark
+//! already covers `target` the force it needed happened on someone else's
+//! sync and it returns immediately. Otherwise the first arrival becomes the
+//! *leader*: it optionally dallies for the configured window (letting more
+//! committers append their records), issues one [`Wal::sync`], and advances
+//! the watermark past every record appended before the sync. Followers park
+//! on a condition variable and wake when the watermark passes their target.
+//!
+//! The write-ahead rule is untouched: `sync_through` returns only once the
+//! caller's commit record is durable, and the store applies writes to the
+//! shared tree strictly after that return. A crash between the group's sync
+//! and a follower's wakeup loses nothing — the follower's record was covered
+//! by the leader's sync, so recovery replays it (see
+//! `crates/storage/tests/group_commit.rs`).
+
+use crate::error::StorageResult;
+use crate::wal::Wal;
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Counters exposed for benchmarks: `requests / groups` is the achieved
+/// batching factor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Number of `sync_through` calls that needed durability work.
+    pub requests: u64,
+    /// Number of device syncs actually issued (groups formed).
+    pub groups: u64,
+}
+
+#[derive(Debug, Default)]
+struct GcState {
+    /// Log length known durable. Reset by [`GroupCommit::on_truncate`].
+    durable: u64,
+    /// A leader is currently dallying or syncing.
+    leader_active: bool,
+    stats: GroupCommitStats,
+}
+
+/// Batches concurrent log forces into one device sync per group.
+pub struct GroupCommit {
+    /// How long a leader dallies before syncing, letting followers join.
+    /// Zero means purely opportunistic batching: whoever arrives while the
+    /// leader is inside `sync` rides the next group.
+    window: Duration,
+    state: Mutex<GcState>,
+    cv: Condvar,
+}
+
+impl GroupCommit {
+    /// New coordinator with the given dally window.
+    pub fn new(window: Duration) -> Self {
+        GroupCommit {
+            window,
+            state: Mutex::new(GcState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until log bytes `[0, target)` are durable, forcing the device at
+    /// most once per group of concurrent callers.
+    ///
+    /// On a sync error the leader surfaces the error to itself and wakes the
+    /// followers; each follower re-enters the loop, and the first becomes the
+    /// next leader and observes the device error first-hand. No caller is
+    /// ever told its record is durable when the sync failed.
+    pub fn sync_through(&self, wal: &Wal, target: u64) -> StorageResult<()> {
+        let mut g = self.state.lock();
+        if g.durable >= target {
+            return Ok(());
+        }
+        g.stats.requests += 1;
+        loop {
+            if g.durable >= target {
+                return Ok(());
+            }
+            if !g.leader_active {
+                g.leader_active = true;
+                drop(g);
+                if !self.window.is_zero() {
+                    std::thread::sleep(self.window);
+                }
+                // Everything appended before this point is covered by the
+                // sync below: the device moves its whole volatile tail to
+                // stable storage in one force.
+                let covered = wal.len();
+                let res = wal.sync();
+                g = self.state.lock();
+                g.leader_active = false;
+                match res {
+                    Ok(()) => {
+                        g.durable = g.durable.max(covered);
+                        g.stats.groups += 1;
+                        self.cv.notify_all();
+                    }
+                    Err(e) => {
+                        // Wake followers so one of them retries as leader.
+                        self.cv.notify_all();
+                        return Err(e);
+                    }
+                }
+            } else {
+                self.cv.wait(&mut g);
+            }
+        }
+    }
+
+    /// The log was truncated (checkpoint): durable offsets restart at zero.
+    pub fn on_truncate(&self) {
+        self.state.lock().durable = 0;
+    }
+
+    /// Snapshot of the batching counters.
+    pub fn stats(&self) -> GroupCommitStats {
+        self.state.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{Disk, SimDisk};
+    use crate::wal::RecordKind;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_caller_syncs_once() {
+        let disk = SimDisk::new();
+        let wal = Wal::new(Arc::new(disk.clone()));
+        let gc = GroupCommit::new(Duration::ZERO);
+        wal.append(1, RecordKind::Commit, &[]).unwrap();
+        gc.sync_through(&wal, wal.len()).unwrap();
+        assert_eq!(disk.stats().syncs, 1);
+        assert_eq!(disk.volatile_len(), 0);
+        let s = gc.stats();
+        assert_eq!((s.requests, s.groups), (1, 1));
+    }
+
+    #[test]
+    fn covered_target_returns_without_new_sync() {
+        let disk = SimDisk::new();
+        let wal = Wal::new(Arc::new(disk.clone()));
+        let gc = GroupCommit::new(Duration::ZERO);
+        wal.append(1, RecordKind::Commit, &[]).unwrap();
+        let t = wal.len();
+        gc.sync_through(&wal, t).unwrap();
+        gc.sync_through(&wal, t).unwrap();
+        assert_eq!(disk.stats().syncs, 1, "second call was already durable");
+    }
+
+    #[test]
+    fn dally_window_batches_concurrent_committers() {
+        let disk = SimDisk::new();
+        let wal = Arc::new(Wal::new(Arc::new(disk.clone())));
+        let gc = Arc::new(GroupCommit::new(Duration::from_millis(30)));
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let (wal, gc) = (Arc::clone(&wal), Arc::clone(&gc));
+                let disk = disk.clone();
+                std::thread::spawn(move || {
+                    wal.append(i, RecordKind::Commit, &[]).unwrap();
+                    let target = wal.len();
+                    gc.sync_through(&wal, target).unwrap();
+                    assert!(disk.durable_len() >= target, "durable on return");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = gc.stats();
+        assert!(
+            s.groups < s.requests,
+            "8 committers within a 30ms window must share groups: {s:?}"
+        );
+    }
+
+    #[test]
+    fn truncate_resets_watermark() {
+        let disk = SimDisk::new();
+        let wal = Wal::new(Arc::new(disk.clone()));
+        let gc = GroupCommit::new(Duration::ZERO);
+        wal.append(1, RecordKind::Commit, &[]).unwrap();
+        gc.sync_through(&wal, wal.len()).unwrap();
+        wal.reset().unwrap();
+        gc.on_truncate();
+        wal.append(2, RecordKind::Commit, &[]).unwrap();
+        gc.sync_through(&wal, wal.len()).unwrap();
+        assert_eq!(disk.volatile_len(), 0, "post-truncate record forced");
+    }
+
+    #[test]
+    fn sync_error_is_surfaced_not_swallowed() {
+        let disk = SimDisk::new();
+        let wal = Wal::new(Arc::new(disk.clone()));
+        let gc = GroupCommit::new(Duration::ZERO);
+        wal.append(1, RecordKind::Commit, &[]).unwrap();
+        let target = wal.len();
+        disk.fail();
+        assert!(gc.sync_through(&wal, target).is_err());
+        disk.repair();
+        gc.sync_through(&wal, target).unwrap();
+    }
+}

@@ -24,16 +24,39 @@
 //!
 //! Concurrency control (locking) is the responsibility of the transaction
 //! layer above; this store guarantees atomicity and durability only.
+//!
+//! ## Internal locking
+//!
+//! The store is reader-parallel: committed state lives in `mem` behind an
+//! `RwLock`, so `get`/`scan_prefix*` take a read lock and run concurrently
+//! with each other and with the logging half of a commit. Private overlays
+//! live in `txns` behind their own mutex; the WAL append latch (`log`)
+//! serializes record appends and allocates the *apply sequence*, so the
+//! order writes reach the shared tree always equals commit-record order in
+//! the log (recovery replays in commit order — the live tree must agree).
+//! Commit forcing goes through the [`GroupCommit`] coordinator, which
+//! batches concurrent syncs into one device force per group.
+//!
+//! Lock order: a thread holds at most one of {`txns`, `mem`, `log`} at a
+//! time, except the apply step (`apply` → `mem.write`) and checkpointing,
+//! which holds the exclusive `ckpt_gate` and may take `mem.read` then `log`.
+//! Commit-point record writers (commit / prepare / logged abort) hold
+//! `ckpt_gate.read` so a checkpoint can never truncate the log while a
+//! commit record is in flight between append and sync.
 
 use crate::checkpoint::{load_checkpoint, write_checkpoint};
 use crate::codec::{put, Reader};
 use crate::disk::Disk;
 use crate::error::{StorageError, StorageResult};
+use crate::group_commit::{GroupCommit, GroupCommitStats};
 use crate::recovery::{replay, RecoveryReport};
 use crate::wal::{RecordKind, Wal};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A single redo operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,24 +134,45 @@ pub struct KvOptions {
     /// models the paper's *volatile queues* (§10): cheap, but contents are
     /// lost on a crash.
     pub sync_on_commit: bool,
+    /// Route commit-point forces through the group-commit coordinator so
+    /// concurrent committers share one device sync. Off = the per-commit
+    /// sync baseline (one force per transaction).
+    pub group_commit: bool,
+    /// How long a group leader dallies before syncing, letting more
+    /// committers join the group. Zero = opportunistic batching only.
+    pub group_commit_window: Duration,
 }
 
 impl Default for KvOptions {
     fn default() -> Self {
         KvOptions {
             sync_on_commit: true,
+            group_commit: true,
+            group_commit_window: Duration::ZERO,
         }
     }
 }
 
-struct Inner {
-    mem: BTreeMap<Vec<u8>, Vec<u8>>,
-    txns: HashMap<u64, TxnState>,
-    wal: Wal,
-    ckpt: Arc<dyn Disk>,
-    opts: KvOptions,
-    commits: u64,
-    aborts: u64,
+/// Serializes WAL appends and hands out apply sequence numbers at the
+/// commit point, so apply order == commit-record order.
+#[derive(Debug, Default)]
+struct LogState {
+    next_seq: u64,
+}
+
+impl LogState {
+    fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+}
+
+/// The retire line: commit `seq` may touch the shared tree only once every
+/// earlier seq has retired.
+#[derive(Debug, Default)]
+struct ApplyState {
+    applied: u64,
 }
 
 /// Handle to an open transaction, used purely as documentation — all methods
@@ -142,7 +186,25 @@ pub type ScanPage = (Vec<(Vec<u8>, Vec<u8>)>, Option<Vec<u8>>);
 
 /// The recoverable key-value store. Cheap to share via `Arc`.
 pub struct KvStore {
-    inner: Mutex<Inner>,
+    /// Committed state. Readers share; only the apply step writes.
+    mem: RwLock<BTreeMap<Vec<u8>, Vec<u8>>>,
+    /// Open transactions' private buffers.
+    txns: Mutex<HashMap<u64, TxnState>>,
+    /// WAL append latch + apply-sequence allocator.
+    log: Mutex<LogState>,
+    /// Retire line for in-order application of committed writes.
+    apply: Mutex<ApplyState>,
+    apply_cv: Condvar,
+    /// Commit-force batching.
+    group: GroupCommit,
+    /// Commit-point writers hold `read`; checkpoint holds `write` so the
+    /// log is never truncated under an in-flight commit record.
+    ckpt_gate: RwLock<()>,
+    wal: Wal,
+    ckpt: Arc<dyn Disk>,
+    opts: KvOptions,
+    commits: AtomicU64,
+    aborts: AtomicU64,
 }
 
 impl KvStore {
@@ -201,40 +263,43 @@ impl KvStore {
             in_doubt: outcome.in_doubt.keys().copied().collect(),
         };
         let store = Arc::new(KvStore {
-            inner: Mutex::new(Inner {
-                mem,
-                txns,
-                wal,
-                ckpt: ckpt_disk,
-                opts,
-                commits: 0,
-                aborts: 0,
-            }),
+            mem: RwLock::new(mem),
+            txns: Mutex::new(txns),
+            log: Mutex::new(LogState::default()),
+            apply: Mutex::new(ApplyState::default()),
+            apply_cv: Condvar::new(),
+            group: GroupCommit::new(opts.group_commit_window),
+            ckpt_gate: RwLock::new(()),
+            wal,
+            ckpt: ckpt_disk,
+            opts,
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
         });
         Ok((store, report))
     }
 
     /// Begin a transaction under the caller's token.
     pub fn begin(&self, txn: KvTxn) -> StorageResult<()> {
-        let mut g = self.inner.lock();
-        if g.txns.contains_key(&txn) {
+        let mut g = self.txns.lock();
+        if g.contains_key(&txn) {
             return Err(StorageError::InvalidState(format!(
                 "txn {txn} already open"
             )));
         }
-        g.txns.insert(txn, TxnState::default());
+        g.insert(txn, TxnState::default());
         Ok(())
     }
 
     /// True if `txn` is currently open (including recovered in-doubt ones).
     pub fn is_open(&self, txn: KvTxn) -> bool {
-        self.inner.lock().txns.contains_key(&txn)
+        self.txns.lock().contains_key(&txn)
     }
 
     /// Buffer a put in `txn`.
     pub fn put(&self, txn: KvTxn, key: &[u8], value: &[u8]) -> StorageResult<()> {
-        let mut g = self.inner.lock();
-        let st = g.txns.get_mut(&txn).ok_or(StorageError::UnknownTxn(txn))?;
+        let mut g = self.txns.lock();
+        let st = g.get_mut(&txn).ok_or(StorageError::UnknownTxn(txn))?;
         if st.prepared {
             return Err(StorageError::InvalidState(
                 "cannot write after prepare".into(),
@@ -250,8 +315,8 @@ impl KvStore {
 
     /// Buffer a delete in `txn`.
     pub fn delete(&self, txn: KvTxn, key: &[u8]) -> StorageResult<()> {
-        let mut g = self.inner.lock();
-        let st = g.txns.get_mut(&txn).ok_or(StorageError::UnknownTxn(txn))?;
+        let mut g = self.txns.lock();
+        let st = g.get_mut(&txn).ok_or(StorageError::UnknownTxn(txn))?;
         if st.prepared {
             return Err(StorageError::InvalidState(
                 "cannot write after prepare".into(),
@@ -265,14 +330,14 @@ impl KvStore {
     /// Read `key`. With `Some(txn)`, the transaction's own writes are
     /// visible; with `None`, only committed state is read.
     pub fn get(&self, txn: Option<KvTxn>, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
-        let g = self.inner.lock();
         if let Some(t) = txn {
-            let st = g.txns.get(&t).ok_or(StorageError::UnknownTxn(t))?;
+            let g = self.txns.lock();
+            let st = g.get(&t).ok_or(StorageError::UnknownTxn(t))?;
             if let Some(v) = st.overlay.get(key) {
                 return Ok(v.clone());
             }
         }
-        Ok(g.mem.get(key).cloned())
+        Ok(self.mem.read().get(key).cloned())
     }
 
     /// Scan all committed keys with `prefix`, merged with the transaction's
@@ -282,24 +347,38 @@ impl KvStore {
         txn: Option<KvTxn>,
         prefix: &[u8],
     ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
-        let g = self.inner.lock();
-        let mut out: BTreeMap<Vec<u8>, Vec<u8>> = g
-            .mem
-            .range(prefix.to_vec()..)
-            .take_while(|(k, _)| k.starts_with(prefix))
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
-        if let Some(t) = txn {
-            let st = g.txns.get(&t).ok_or(StorageError::UnknownTxn(t))?;
-            for (k, v) in &st.overlay {
-                if k.starts_with(prefix) {
-                    match v {
-                        Some(val) => {
-                            out.insert(k.clone(), val.clone());
-                        }
-                        None => {
-                            out.remove(k);
-                        }
+        // Overlay first (own-thread data, brief txns lock), tree second —
+        // never two internal locks at once.
+        type Overlay = Vec<(Vec<u8>, Option<Vec<u8>>)>;
+        let overlay: Option<Overlay> = match txn {
+            Some(t) => {
+                let g = self.txns.lock();
+                let st = g.get(&t).ok_or(StorageError::UnknownTxn(t))?;
+                Some(
+                    st.overlay
+                        .iter()
+                        .filter(|(k, _)| k.starts_with(prefix))
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                )
+            }
+            None => None,
+        };
+        let mut out: BTreeMap<Vec<u8>, Vec<u8>> = {
+            let mem = self.mem.read();
+            mem.range::<[u8], _>((Bound::Included(prefix), Bound::Unbounded))
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        };
+        if let Some(ov) = overlay {
+            for (k, v) in ov {
+                match v {
+                    Some(val) => {
+                        out.insert(k, val);
+                    }
+                    None => {
+                        out.remove(&k);
                     }
                 }
             }
@@ -323,11 +402,7 @@ impl KvStore {
         after: Option<&[u8]>,
         limit: usize,
     ) -> StorageResult<ScanPage> {
-        let g = self.inner.lock();
-        let overlay = match txn {
-            Some(t) => Some(&g.txns.get(&t).ok_or(StorageError::UnknownTxn(t))?.overlay),
-            None => None,
-        };
+        let limit = limit.max(1);
         let start: Vec<u8> = match after {
             // Strictly-greater start: append a zero byte to form the next key.
             Some(a) => {
@@ -338,94 +413,199 @@ impl KvStore {
             None => prefix.to_vec(),
         };
 
-        // Raw page from the tree.
-        let mut raw: Vec<(Vec<u8>, Vec<u8>)> = g
-            .mem
-            .range(start.clone()..)
-            .take_while(|(k, _)| k.starts_with(prefix))
-            .take(limit.max(1))
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
-        let raw_full = raw.len() == limit.max(1);
-        let cursor = if raw_full {
-            raw.last().map(|(k, _)| k.clone())
-        } else {
-            None
+        // Raw page from the tree, under the shared read lock only.
+        let (raw, cursor) = {
+            let mem = self.mem.read();
+            let raw: Vec<(Vec<u8>, Vec<u8>)> = mem
+                .range::<[u8], _>((Bound::Included(start.as_slice()), Bound::Unbounded))
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .take(limit)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            let cursor = if raw.len() == limit {
+                raw.last().map(|(k, _)| k.clone())
+            } else {
+                None
+            };
+            (raw, cursor)
         };
 
-        // Merge the transaction's overlay within (start ..= cursor-or-prefix-end).
-        if let Some(ov) = overlay {
-            let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> =
-                raw.drain(..).map(|(k, v)| (k, Some(v))).collect();
-            for (k, v) in ov.iter() {
-                if !k.starts_with(prefix) || k.as_slice() < start.as_slice() {
-                    continue;
-                }
-                // Beyond the raw page boundary, later pages will pick it up —
-                // unless the raw scan is exhausted, in which case include it.
-                if let Some(c) = &cursor {
-                    if k > c {
-                        continue;
+        let Some(t) = txn else {
+            return Ok((raw, cursor));
+        };
+
+        // Overlay entries inside this page's window: keys in
+        // (start ..= cursor], or to the end of the prefix on the last page.
+        // Beyond the raw page boundary, later pages will pick them up.
+        let mut ov: Vec<(Vec<u8>, Option<Vec<u8>>)> = {
+            let g = self.txns.lock();
+            let st = g.get(&t).ok_or(StorageError::UnknownTxn(t))?;
+            st.overlay
+                .iter()
+                .filter(|(k, _)| {
+                    k.starts_with(prefix)
+                        && k.as_slice() >= start.as_slice()
+                        && cursor.as_ref().is_none_or(|c| *k <= c)
+                })
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        };
+        if ov.is_empty() {
+            return Ok((raw, cursor));
+        }
+        ov.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+        // Two-pointer merge: both sides sorted, overlay wins on equal keys,
+        // overlay `None` hides the raw entry. No intermediate map.
+        const RAW: u8 = 0;
+        const OVERLAY: u8 = 1;
+        const BOTH: u8 = 2; // equal keys: overlay shadows the raw entry
+        let mut page = Vec::with_capacity(raw.len() + ov.len());
+        let mut ri = raw.into_iter().peekable();
+        let mut oi = ov.into_iter().peekable();
+        loop {
+            let pick = match (ri.peek(), oi.peek()) {
+                (None, None) => break,
+                (Some(_), None) => RAW,
+                (None, Some(_)) => OVERLAY,
+                (Some(r), Some(o)) => {
+                    if r.0 < o.0 {
+                        RAW
+                    } else if o.0 < r.0 {
+                        OVERLAY
+                    } else {
+                        BOTH
                     }
                 }
-                merged.insert(k.clone(), v.clone());
+            };
+            if pick == BOTH {
+                let _ = ri.next();
             }
-            let page: Vec<(Vec<u8>, Vec<u8>)> = merged
-                .into_iter()
-                .filter_map(|(k, v)| v.map(|v| (k, v)))
-                .collect();
-            return Ok((page, cursor));
+            if pick == RAW {
+                page.extend(ri.next());
+            } else if let Some((k, Some(v))) = oi.next() {
+                page.push((k, v));
+            }
         }
-
-        Ok((raw, cursor))
+        Ok((page, cursor))
     }
 
     /// Number of committed keys (diagnostics).
     pub fn committed_len(&self) -> usize {
-        self.inner.lock().mem.len()
+        self.mem.read().len()
     }
 
     /// Phase 1 of two-phase commit: force the transaction's redo records and
     /// a `Prepare` marker to the log. After this returns, the transaction
     /// will survive a crash as in-doubt.
     pub fn prepare(&self, txn: KvTxn) -> StorageResult<()> {
-        let mut g = self.inner.lock();
-        let st = g.txns.get(&txn).ok_or(StorageError::UnknownTxn(txn))?;
-        if st.prepared {
-            return Ok(()); // idempotent
+        let _gate = self.ckpt_gate.read();
+        let ops = {
+            let mut g = self.txns.lock();
+            let st = g.get_mut(&txn).ok_or(StorageError::UnknownTxn(txn))?;
+            if st.prepared {
+                return Ok(()); // idempotent
+            }
+            // Claim before logging so no write can slip in unlogged between
+            // the clone below and the durable prepare record.
+            st.prepared = true;
+            st.ops.clone()
+        };
+        let result = (|| {
+            let target;
+            {
+                let _log = self.log.lock();
+                log_ops(&self.wal, txn, &ops)?;
+                self.wal.append(txn, RecordKind::Prepare, &[])?;
+                target = self.wal.len();
+            }
+            // Prepare always forces, even for volatile stores: an in-doubt
+            // txn must survive as in-doubt.
+            self.force_through(target)
+        })();
+        let mut g = self.txns.lock();
+        if let Some(st) = g.get_mut(&txn) {
+            match result {
+                Ok(()) => st.logged = true,
+                Err(_) => st.prepared = false, // un-claim; caller may retry
+            }
         }
-        let ops = st.ops.clone();
-        log_ops(&g.wal, txn, &ops)?;
-        g.wal.append(txn, RecordKind::Prepare, &[])?;
-        g.wal.sync()?;
-        let st = g.txns.get_mut(&txn).expect("checked above");
-        st.logged = true;
-        st.prepared = true;
-        Ok(())
+        result
     }
 
     /// Commit `txn`: make its writes durable and visible.
     ///
     /// One-phase path (no prior [`KvStore::prepare`]): writes + `Commit`
-    /// record are logged and forced together — one sync per commit.
+    /// record are logged and forced together. The force goes through the
+    /// group-commit coordinator (when enabled), so concurrent committers
+    /// share one device sync; writes reach the shared tree only after the
+    /// force returns, in commit-record order (the apply sequence allocated
+    /// under the append latch).
     pub fn commit(&self, txn: KvTxn) -> StorageResult<()> {
-        let mut g = self.inner.lock();
-        let st = g.txns.get(&txn).ok_or(StorageError::UnknownTxn(txn))?;
-        let ops = st.ops.clone();
-        let logged = st.logged;
-        if !logged {
-            log_ops(&g.wal, txn, &ops)?;
+        let _gate = self.ckpt_gate.read();
+        let (ops, logged) = {
+            let g = self.txns.lock();
+            let st = g.get(&txn).ok_or(StorageError::UnknownTxn(txn))?;
+            (st.ops.clone(), st.logged)
+        };
+        let seq;
+        {
+            let mut log = self.log.lock();
+            if !logged {
+                log_ops(&self.wal, txn, &ops)?;
+            }
+            self.wal.append(txn, RecordKind::Commit, &[])?;
+            seq = log.alloc_seq();
         }
-        g.wal.append(txn, RecordKind::Commit, &[])?;
-        if g.opts.sync_on_commit {
-            g.wal.sync()?;
+        let target = self.wal.len();
+        if let Err(e) = self.sync_through(target) {
+            // Keep the retire line moving; nothing is applied, the txn stays
+            // open, and the caller sees the device error (same outcome as
+            // the old per-txn sync failing).
+            self.retire(seq, &[]);
+            return Err(e);
         }
-        for op in &ops {
-            apply(&mut g.mem, op);
-        }
-        g.txns.remove(&txn);
-        g.commits += 1;
+        self.retire(seq, &ops);
+        self.txns.lock().remove(&txn);
+        self.commits.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Force the log through `target` for a commit point, honoring the
+    /// store's durability options.
+    fn sync_through(&self, target: u64) -> StorageResult<()> {
+        if !self.opts.sync_on_commit {
+            return Ok(());
+        }
+        self.force_through(target)
+    }
+
+    /// Unconditional force (prepare, checkpoint): batched when group commit
+    /// is on, a direct device sync otherwise.
+    fn force_through(&self, target: u64) -> StorageResult<()> {
+        if self.opts.group_commit {
+            self.group.sync_through(&self.wal, target)
+        } else {
+            self.wal.sync()
+        }
+    }
+
+    /// Wait for our turn on the retire line, apply `ops` to the shared tree,
+    /// and pass the baton. Applying in sequence order keeps the live tree
+    /// identical to what recovery would rebuild (commit-record order).
+    fn retire(&self, seq: u64, ops: &[WriteOp]) {
+        let mut g = self.apply.lock();
+        while g.applied != seq {
+            self.apply_cv.wait(&mut g);
+        }
+        if !ops.is_empty() {
+            let mut mem = self.mem.write();
+            for op in ops {
+                apply(&mut mem, op);
+            }
+        }
+        g.applied += 1;
+        self.apply_cv.notify_all();
     }
 
     /// Abort `txn`: discard its buffered writes.
@@ -433,15 +613,20 @@ impl KvStore {
     /// If the transaction was prepared, an `Abort` record is logged so
     /// recovery stops considering it in-doubt.
     pub fn abort(&self, txn: KvTxn) -> StorageResult<()> {
-        let mut g = self.inner.lock();
-        let st = g.txns.remove(&txn).ok_or(StorageError::UnknownTxn(txn))?;
+        let _gate = self.ckpt_gate.read();
+        let st = self
+            .txns
+            .lock()
+            .remove(&txn)
+            .ok_or(StorageError::UnknownTxn(txn))?;
         if st.logged {
-            g.wal.append(txn, RecordKind::Abort, &[])?;
+            let _log = self.log.lock();
+            self.wal.append(txn, RecordKind::Abort, &[])?;
             // No sync needed: if the abort record is lost, recovery treats the
             // txn as in-doubt and the coordinator aborts it again (presumed
             // abort would also work).
         }
-        g.aborts += 1;
+        self.aborts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -450,29 +635,46 @@ impl KvStore {
     /// transactions are unaffected (their writes are not yet in `mem`), but
     /// prepared transactions block checkpointing — their redo records live
     /// only in the log.
+    ///
+    /// Holds the checkpoint gate exclusively, so no commit record can sit
+    /// appended-but-unforced (or forced-but-unapplied) while the log is
+    /// truncated underneath it.
     pub fn checkpoint(&self) -> StorageResult<()> {
-        let g = self.inner.lock();
-        if g.txns.values().any(|t| t.prepared) {
+        let _gate = self.ckpt_gate.write();
+        if self.txns.lock().values().any(|t| t.prepared) {
             return Err(StorageError::InvalidState(
                 "cannot checkpoint with prepared transactions pending".into(),
             ));
         }
-        write_checkpoint(g.ckpt.as_ref(), &g.mem)?;
-        g.wal.reset()?;
-        g.wal.append(0, RecordKind::Checkpoint, &[])?;
-        g.wal.sync()?;
+        {
+            let mem = self.mem.read();
+            write_checkpoint(self.ckpt.as_ref(), &mem)?;
+        }
+        let _log = self.log.lock();
+        self.wal.reset()?;
+        self.wal.append(0, RecordKind::Checkpoint, &[])?;
+        self.wal.sync()?;
+        // Log offsets restarted; the coordinator's watermark must too.
+        self.group.on_truncate();
         Ok(())
     }
 
     /// Current log length in bytes (drives checkpoint policy).
     pub fn wal_len(&self) -> u64 {
-        self.inner.lock().wal.len()
+        self.wal.len()
     }
 
     /// (commits, aborts) counters.
     pub fn txn_counts(&self) -> (u64, u64) {
-        let g = self.inner.lock();
-        (g.commits, g.aborts)
+        (
+            self.commits.load(Ordering::Relaxed),
+            self.aborts.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Group-commit batching counters (requests vs. device syncs).
+    pub fn group_commit_stats(&self) -> GroupCommitStats {
+        self.group.stats()
     }
 }
 
@@ -730,6 +932,7 @@ mod tests {
             Arc::new(ckpt.clone()),
             KvOptions {
                 sync_on_commit: false,
+                ..KvOptions::default()
             },
         )
         .unwrap();

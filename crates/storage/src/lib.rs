@@ -18,21 +18,27 @@
 //! * [`kv`] — a transactional main-memory B-tree keyed store that buffers
 //!   uncommitted writes per transaction, forces log records at commit, and
 //!   rebuilds itself from checkpoint + log on restart.
+//! * [`group_commit`] — the leader/follower coordinator that batches
+//!   concurrent commit-point log forces into one device sync per group.
 //! * [`checkpoint`] / [`recovery`] — snapshotting and the redo pass.
 //! * [`codec`] / [`checksum`] — the self-contained binary record format.
 //!
-//! Everything is deterministic: no wall-clock time, no background threads.
+//! Everything is deterministic by default: no background threads, and the
+//! only wall-clock timing is opt-in (a non-zero group-commit dally window,
+//! or the benchmark-only [`disk::LatencyDisk`] sync cost).
 
 pub mod checkpoint;
 pub mod checksum;
 pub mod codec;
 pub mod disk;
 pub mod error;
+pub mod group_commit;
 pub mod kv;
 pub mod recovery;
 pub mod wal;
 
-pub use disk::{Disk, MemDisk, SimDisk};
+pub use disk::{Disk, LatencyDisk, MemDisk, SimDisk};
 pub use error::{StorageError, StorageResult};
+pub use group_commit::{GroupCommit, GroupCommitStats};
 pub use kv::{KvStore, KvTxn, WriteOp};
 pub use wal::{LogRecord, RecordKind, Wal};

@@ -180,7 +180,13 @@ impl BenchmarkGroup<'_> {
         body: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let (elapsed, iters) = Bencher::run(body);
-        report(&self.name, &name.to_string(), self.throughput, elapsed, iters);
+        report(
+            &self.name,
+            &name.to_string(),
+            self.throughput,
+            elapsed,
+            iters,
+        );
         self
     }
 
