@@ -104,6 +104,9 @@ fn main() {
     if run("e16") {
         e16_group_commit_and_index(&scale);
     }
+    if run("e17") {
+        e17_observability(&scale);
+    }
 }
 
 fn mk_repo(name: &str, queues: &[&str]) -> Arc<Repository> {
@@ -1355,4 +1358,175 @@ fn e16_group_commit_and_index(scale: &Scale) {
 
     std::fs::write("BENCH_PR3.json", &json).unwrap();
     println!("Series written to BENCH_PR3.json.\n");
+}
+
+// ======================================================================
+// E17 — §10 again, but every number comes from production counters
+// ======================================================================
+fn e17_observability(scale: &Scale) {
+    println!("## E17 — counter-derived series from the rrq-obs layer\n");
+    println!("The same §10 stories as E16, but derived from the metrics the code");
+    println!("itself records (`crates/obs/METRICS.md`), not bench-local bookkeeping:");
+    println!("if the two disagree, the instrumentation is lying.\n");
+    let mut json = String::from("{\n  \"experiment\": \"E17\",\n");
+
+    // ------------------------------------------------------------------
+    // Part A: group-commit batching from the storage counters alone.
+    // Same workload as E16 part A (300µs sync, group window 1ms); the
+    // records/force ratio must grow with committers like E16's
+    // requests/group column (each commit writes begin/put/commit records,
+    // so the absolute ratio is ~3× the request batching).
+    // ------------------------------------------------------------------
+    let sync_cost = Duration::from_micros(300);
+    let per_thread = 25 * scale.n;
+    println!("| committers | commits/s | wal forces | records/force | batch p50 | batch p99 |");
+    println!("|-----------:|----------:|-----------:|--------------:|----------:|----------:|");
+    json.push_str("  \"group_commit\": [\n");
+    let mut first = true;
+    for committers in [1u64, 2, 4, 8, 16] {
+        let session = rrq_obs::Session::start();
+        let wal: Arc<dyn Disk> = Arc::new(LatencyDisk::new(Arc::new(SimDisk::new()), sync_cost));
+        let ckpt: Arc<dyn Disk> = Arc::new(SimDisk::new());
+        let (store, _) = KvStore::open(
+            wal,
+            ckpt,
+            KvOptions {
+                sync_on_commit: true,
+                group_commit: true,
+                group_commit_window: Duration::from_millis(1),
+            },
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..committers)
+            .map(|c| {
+                let store = Arc::clone(&store);
+                rrq_core::threads::spawn_named(format!("e17-committer-{c}"), move || {
+                    for i in 0..per_thread {
+                        let txn = c * 1_000_000 + i + 1;
+                        store.begin(txn).unwrap();
+                        store
+                            .put(
+                                txn,
+                                format!("k/{c}/{i}").as_bytes(),
+                                b"commit-record-payload",
+                            )
+                            .unwrap();
+                        store.commit(txn).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rate = (committers * per_thread) as f64 / t0.elapsed().as_secs_f64();
+        let snap = session.snapshot();
+        let forces = snap.counter("storage.wal.forces");
+        let synced = snap.counter("storage.wal.records_synced");
+        let per_force = synced as f64 / forces.max(1) as f64;
+        let (p50, p99) = snap
+            .histogram("storage.gc.batch_records")
+            .map(|h| (h.quantile(0.5), h.quantile(0.99)))
+            .unwrap_or((0, 0));
+        println!(
+            "| {committers:>10} | {} | {forces:>10} | {per_force:>13.1} | {p50:>9} | {p99:>9} |",
+            fmt_rate(rate)
+        );
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(
+            "    {{\"committers\": {committers}, \"forces\": {forces}, \"records_per_force\": {per_force:.2}, \"batch_p50\": {p50}, \"batch_p99\": {p99}}}"
+        ));
+    }
+    json.push_str("\n  ],\n");
+    println!();
+
+    // ------------------------------------------------------------------
+    // Part B: dequeue contention from the qm and txn counters. Skip-locked
+    // dequeuers record lock skips; strict-FIFO dequeuers block on the head
+    // element's lock, so the lock manager's wait histogram (logical ticks)
+    // tells the ordering story E9 told with throughput numbers.
+    // ------------------------------------------------------------------
+    let elements = (100 * scale.n) as usize;
+    println!("| dequeuers | skip rate | lock skips | index hits | fifo waited grants | wait p50 ticks | wait p99 ticks |");
+    println!("|----------:|----------:|-----------:|-----------:|-------------------:|---------------:|---------------:|");
+    json.push_str("  \"dequeue\": [\n");
+    let mut first = true;
+    for threads in [1usize, 2, 4, 8] {
+        let mut cells: Vec<rrq_obs::Snapshot> = Vec::new();
+        for mode in [OrderingMode::SkipLocked, OrderingMode::StrictFifo] {
+            let session = rrq_obs::Session::start();
+            let repo = Arc::new(Repository::create(format!("e17-{threads}-{mode:?}")).unwrap());
+            let mut meta = QueueMeta::with_defaults("q");
+            meta.mode = mode;
+            repo.qm().create_queue(meta).unwrap();
+            let (h, _) = repo.qm().register("q", "filler", false).unwrap();
+            for i in 0..elements {
+                repo.autocommit(|t| {
+                    repo.qm().enqueue(
+                        t.id().raw(),
+                        &h,
+                        &i.to_le_bytes(),
+                        EnqueueOptions::default(),
+                    )
+                })
+                .unwrap();
+            }
+            let handles: Vec<_> = (0..threads)
+                .map(|d| {
+                    let repo = Arc::clone(&repo);
+                    rrq_core::threads::spawn_named(format!("e17-d{d}"), move || {
+                        let (h, _) = repo.qm().register("q", &format!("d{d}"), false).unwrap();
+                        loop {
+                            let r = repo.autocommit(|t| {
+                                let e = repo.qm().dequeue(
+                                    t.id().raw(),
+                                    &h,
+                                    DequeueOptions::default(),
+                                )?;
+                                std::thread::sleep(Duration::from_micros(300));
+                                Ok(e)
+                            });
+                            if r.is_err() {
+                                return;
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for hd in handles {
+                hd.join().unwrap();
+            }
+            cells.push(session.snapshot());
+        }
+        let skip = &cells[0];
+        let fifo = &cells[1];
+        let ops = skip.counter("qm.dequeue.ops");
+        let skips = skip.counter("qm.dequeue.lock_skips");
+        let skip_rate = skips as f64 / ops.max(1) as f64;
+        let hits = skip.counter("qm.dequeue.index_hits");
+        let waited = fifo.counter("txn.lock.waited_grants");
+        let (p50, p99) = fifo
+            .histogram("txn.lock.wait_ticks")
+            .map(|h| (h.quantile(0.5), h.quantile(0.99)))
+            .unwrap_or((0, 0));
+        println!(
+            "| {threads:>9} | {skip_rate:>9.3} | {skips:>10} | {hits:>10} | {waited:>18} | {p50:>14} | {p99:>14} |"
+        );
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"skip_rate\": {skip_rate:.3}, \"lock_skips\": {skips}, \"fifo_waited_grants\": {waited}, \"wait_p50_ticks\": {p50}, \"wait_p99_ticks\": {p99}}}"
+        ));
+    }
+    json.push_str("\n  ]\n}\n");
+    println!();
+
+    std::fs::write("BENCH_PR4.json", &json).unwrap();
+    println!("Series written to BENCH_PR4.json.\n");
 }

@@ -11,9 +11,10 @@
 //! Runs seeded [`rrq_sim::script::FaultScript`]s through the explorer,
 //! prints progress and the sweep digest, re-verifies the first few seeds for
 //! digest stability, and exits non-zero if any oracle fired (printing the
-//! failing seed and the persisted script path). `--bug` injects the
-//! deliberate skip-rereceive client bug and *expects* failures — proving
-//! the oracle battery bites — then shrinks the first failure.
+//! failing seed and the persisted script path). `--bug [skip-rereceive]`
+//! injects the deliberate skip-rereceive client bug, `--bug double-count`
+//! the metrics double-count bug; both *expect* failures — proving the
+//! oracle battery bites — then shrink the first failure.
 
 use rrq_sim::explorer::{self, ExplorerConfig, InjectedBug};
 use rrq_sim::script::FaultScript;
@@ -28,7 +29,7 @@ struct Args {
     budget_secs: u64,
     out: PathBuf,
     replay: Option<PathBuf>,
-    bug: bool,
+    bug: Option<InjectedBug>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,9 +39,9 @@ fn parse_args() -> Result<Args, String> {
         budget_secs: 600,
         out: PathBuf::from("target/explorer-failures"),
         replay: None,
-        bug: false,
+        bug: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
@@ -51,7 +52,24 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = PathBuf::from(val("--out")?),
             "--replay" => args.replay = Some(PathBuf::from(val("--replay")?)),
-            "--bug" => args.bug = true,
+            "--bug" => {
+                // Optional bug name; a bare `--bug` keeps its original
+                // meaning (the skip-rereceive client bug).
+                args.bug = Some(match it.peek().map(String::as_str) {
+                    Some("skip-rereceive") => {
+                        it.next();
+                        InjectedBug::SkipRereceive
+                    }
+                    Some("double-count") => {
+                        it.next();
+                        InjectedBug::DoubleCountEnqueue
+                    }
+                    Some(other) if !other.starts_with("--") => {
+                        return Err(format!("unknown bug {other}"))
+                    }
+                    _ => InjectedBug::SkipRereceive,
+                });
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -67,7 +85,7 @@ fn main() -> ExitCode {
         }
     };
     let cfg = ExplorerConfig {
-        bug: args.bug.then_some(InjectedBug::SkipRereceive),
+        bug: args.bug,
         out_dir: Some(args.out.clone()),
         ..ExplorerConfig::default()
     };
@@ -180,7 +198,7 @@ fn main() -> ExitCode {
         failures.len()
     );
 
-    if args.bug {
+    if args.bug.is_some() {
         // The injected bug must be caught, and the first failure must shrink
         // to a tiny replayable script.
         if failures.is_empty() {

@@ -1,6 +1,6 @@
 //! Source-level workspace lints (plain line scanning, no parsing).
 //!
-//! Four rules over every `.rs` file under `crates/*/src`, skipping
+//! Five rules over every `.rs` file under `crates/*/src`, skipping
 //! `#[cfg(test)]` items and `//` comment lines:
 //!
 //! * **no-unwrap-in-recovery** — `unwrap()`/`expect(` are banned in the
@@ -11,8 +11,19 @@
 //!   `core/src/threads.rs`, so every worker thread goes through one place
 //!   that names it and can later carry instrumentation.
 //! * **no-wallclock-in-sim** — `Instant::now`/`SystemTime::now` are banned
-//!   under `crates/sim/src`: simulation code must take time from its
-//!   driver or deadlines passed in by the caller.
+//!   under `crates/sim/src` and `crates/obs/src`: simulation code must
+//!   take time from its driver or deadlines passed in by the caller, and
+//!   the metrics layer's clock is logical ticks by construction — a
+//!   wall-clock read in either would silently break replay determinism.
+//! * **metric-catalogue** — every metric name used at an `rrq_obs` call
+//!   site (`counter_add`/`counter_inc`/`gauge_add`/`gauge_set`/`observe`/
+//!   `span`) must be declared exactly once in the table in
+//!   `crates/obs/METRICS.md`, so a typo'd name fails CI instead of
+//!   silently splitting a series. Names are read as the first string
+//!   literal after the call's opening paren (same line, or the next for
+//!   wrapped calls); an identifier argument is resolved through a
+//!   same-file `const NAME: &str = "…";`. `crates/obs/src` itself is out
+//!   of scope — the crate defines the hooks, it doesn't own names.
 //! * **commit-sync** — a WAL append of a commit-point record
 //!   (`RecordKind::Commit` or a 2PC `DECISION_KIND`) must have a `sync(`
 //!   call within the next few lines; durability of the commit point is
@@ -52,12 +63,27 @@ const PAT_SYNC_THROUGH: &str = concat!("sync_th", "rough(");
 const PAT_FN_SYNC_THROUGH: &str = concat!("fn sync_th", "rough");
 const PAT_DOT_SYNC: &str = concat!(".sy", "nc(");
 
+/// The `rrq_obs` recording entry points whose first argument is a metric
+/// name. `obs::` matches both `rrq_obs::f(` and a `use rrq_obs as obs` alias.
+const OBS_CALL_PATS: &[&str] = &[
+    concat!("obs::", "counter_add("),
+    concat!("obs::", "counter_inc("),
+    concat!("obs::", "gauge_add("),
+    concat!("obs::", "gauge_set("),
+    concat!("obs::", "observe("),
+    concat!("obs::", "span("),
+];
+
+/// Path (relative to the workspace root) of the metric-name catalogue.
+const CATALOGUE_REL: &str = "crates/obs/METRICS.md";
+
 /// Every lint name, in reporting order.
 pub const LINTS: &[&str] = &[
     "no-unwrap-in-recovery",
     "no-raw-spawn",
     "no-wallclock-in-sim",
     "commit-sync",
+    "metric-catalogue",
 ];
 
 /// One lint hit.
@@ -125,6 +151,7 @@ pub fn run(root: &Path) -> io::Result<Outcome> {
         lint_file(rel, text, coordinator_ok, &mut raw);
         out.files_scanned += 1;
     }
+    lint_metric_catalogue(root, &texts, &mut raw);
 
     for finding in raw {
         let allow = load_allowlist(root, finding.lint);
@@ -232,7 +259,7 @@ fn lint_file(rel: &str, text: &str, coordinator_ok: bool, out: &mut Vec<Finding>
     let recovery_path =
         rel.ends_with("storage/src/recovery.rs") || rel.ends_with("storage/src/wal.rs");
     let spawn_exempt = rel.ends_with("core/src/threads.rs");
-    let sim_path = rel.contains("crates/sim/src");
+    let sim_path = rel.contains("crates/sim/src") || rel.contains("crates/obs/src");
 
     for i in 0..lines.len() {
         if !scannable(i) {
@@ -260,6 +287,123 @@ fn lint_file(rel: &str, text: &str, coordinator_ok: bool, out: &mut Vec<Finding>
             }
         }
     }
+}
+
+/// Cross-file pass for the `metric-catalogue` rule: collect every metric
+/// name used at an `rrq_obs` call site, parse the names declared in the
+/// catalogue table, and flag uses of undeclared names plus names declared
+/// more than once.
+fn lint_metric_catalogue(root: &Path, texts: &[(String, String)], out: &mut Vec<Finding>) {
+    let catalogue = fs::read_to_string(root.join(CATALOGUE_REL)).unwrap_or_default();
+    let mut declared: Vec<String> = Vec::new();
+    for (i, line) in catalogue.lines().enumerate() {
+        let Some(name) = catalogue_row_name(line) else {
+            continue;
+        };
+        if declared.iter().any(|d| d == &name) {
+            out.push(Finding {
+                lint: "metric-catalogue",
+                file: CATALOGUE_REL.to_string(),
+                line: i + 1,
+                excerpt: format!("`{name}` is declared more than once in the catalogue"),
+            });
+        } else {
+            declared.push(name);
+        }
+    }
+
+    for (rel, text) in texts {
+        // The obs crate defines the hooks; names in its docs and internals
+        // are illustrative, not series the catalogue owns.
+        if rel.contains("crates/obs/src") {
+            continue;
+        }
+        for (line, name, excerpt) in metric_uses(text) {
+            if !declared.iter().any(|d| d == &name) {
+                out.push(Finding {
+                    lint: "metric-catalogue",
+                    file: rel.clone(),
+                    line,
+                    excerpt: format!("`{name}` is not declared in {CATALOGUE_REL}: {excerpt}"),
+                });
+            }
+        }
+    }
+}
+
+/// The backticked metric name from the first cell of a markdown table row,
+/// if `line` is one (header and separator rows have no backticks).
+fn catalogue_row_name(line: &str) -> Option<String> {
+    let cell = line.trim_start().strip_prefix('|')?;
+    let cell = cell.split('|').next()?;
+    let rest = cell.split('`').nth(1)?;
+    if rest.is_empty() {
+        None
+    } else {
+        Some(rest.to_string())
+    }
+}
+
+/// Metric names used at `rrq_obs` call sites in `text`, as
+/// `(line, name, trimmed source line)` — one entry per use. The name is
+/// the first string literal after the call's opening paren, read from the
+/// same line or (for a wrapped call) the next; an identifier argument is
+/// resolved through a same-file `const NAME: &str = "…";`. Names built any
+/// other way are invisible to this lint — route them through a const.
+fn metric_uses(text: &str) -> Vec<(usize, String, String)> {
+    let lines: Vec<&str> = text.lines().collect();
+    let in_test = test_flags(&lines);
+    let mut out = Vec::new();
+    for i in 0..lines.len() {
+        if in_test[i] || lines[i].trim_start().starts_with("//") {
+            continue;
+        }
+        for pat in OBS_CALL_PATS {
+            let mut from = 0;
+            while let Some(pos) = lines[i][from..].find(pat) {
+                from += pos + pat.len();
+                let after = &lines[i][from..];
+                let (line_no, name) = if let Some(name) = leading_str_literal(after) {
+                    (i + 1, Some(name))
+                } else if after.trim().is_empty() {
+                    // Wrapped call: the name literal starts the next line.
+                    (i + 2, lines.get(i + 1).and_then(|l| leading_str_literal(l)))
+                } else {
+                    (i + 1, resolve_const(&lines, after))
+                };
+                if let Some(name) = name {
+                    out.push((line_no, name, lines[line_no - 1].trim().to_string()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The contents of a `"…"` literal at the start of `s` (leading whitespace
+/// allowed), if one is there.
+fn leading_str_literal(s: &str) -> Option<String> {
+    let rest = s.trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Resolve an identifier argument through a same-file
+/// `const NAME: &str = "…";` declaration.
+fn resolve_const(lines: &[&str], after: &str) -> Option<String> {
+    let ident: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() {
+        return None;
+    }
+    let needle = format!("const {ident}: &str = ");
+    lines.iter().find_map(|l| {
+        l.split(needle.as_str())
+            .nth(1)
+            .and_then(leading_str_literal)
+    })
 }
 
 /// Parse `crates/check/lints/<lint>.allow`: `suffix [:: fragment]` lines.
@@ -462,6 +606,98 @@ mod tests {
         let root = TempRoot::new();
         let src = format!("// illustrative: x{};\nfn ok() {{}}\n", PAT_UNWRAP);
         root.write("crates/storage/src/recovery.rs", &src);
+        let out = run(&root.0).unwrap();
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn wallclock_in_obs_flagged() {
+        let root = TempRoot::new();
+        let src = format!("fn f() {{ let _ = {}(); }}\n", PAT_INSTANT);
+        root.write("crates/obs/src/clock.rs", &src);
+        let out = run(&root.0).unwrap();
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "no-wallclock-in-sim");
+    }
+
+    fn catalogue(rows: &[&str]) -> String {
+        let mut md = String::from("| name | type |\n|---|---|\n");
+        for r in rows {
+            md.push_str(&format!("| `{r}` | counter |\n"));
+        }
+        md
+    }
+
+    #[test]
+    fn undeclared_metric_name_is_flagged() {
+        let root = TempRoot::new();
+        let src = format!("fn f() {{ rrq_{}\"qm.typo\"); }}\n", OBS_CALL_PATS[1]);
+        root.write("crates/qm/src/ops.rs", &src);
+        root.write("crates/obs/METRICS.md", &catalogue(&["qm.real"]));
+        let out = run(&root.0).unwrap();
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "metric-catalogue");
+        assert!(out.findings[0].excerpt.contains("qm.typo"));
+        assert!(out.findings[0].file.ends_with("qm/src/ops.rs"));
+    }
+
+    #[test]
+    fn declared_names_satisfy_the_catalogue_rule() {
+        let root = TempRoot::new();
+        // All three extraction paths: a same-line literal, a wrapped call
+        // with the literal on the next line, and a const-routed name.
+        let src = format!(
+            "const DEPTH: &str = \"qm.depth\";\nfn f() {{\n    rrq_{pinc}\"qm.ops\");\n    rrq_{pobs}\n        \"qm.ticks\", 3);\n    rrq_{pgauge}DEPTH, 1);\n}}\n",
+            pinc = OBS_CALL_PATS[1],
+            pobs = OBS_CALL_PATS[4],
+            pgauge = OBS_CALL_PATS[2],
+        );
+        root.write("crates/qm/src/ops.rs", &src);
+        root.write(
+            "crates/obs/METRICS.md",
+            &catalogue(&["qm.ops", "qm.ticks", "qm.depth"]),
+        );
+        let out = run(&root.0).unwrap();
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn wrapped_and_const_routed_names_are_still_checked() {
+        let root = TempRoot::new();
+        let src = format!(
+            "const DEPTH: &str = \"qm.depth\";\nfn f() {{\n    rrq_{pobs}\n        \"qm.ticks\", 3);\n    rrq_{pgauge}DEPTH, 1);\n}}\n",
+            pobs = OBS_CALL_PATS[4],
+            pgauge = OBS_CALL_PATS[2],
+        );
+        root.write("crates/qm/src/ops.rs", &src);
+        root.write("crates/obs/METRICS.md", &catalogue(&["qm.other"]));
+        let out = run(&root.0).unwrap();
+        assert_eq!(out.findings.len(), 2, "{:?}", out.findings);
+        assert!(out.findings.iter().all(|f| f.lint == "metric-catalogue"));
+        assert!(out.findings.iter().any(|f| f.excerpt.contains("qm.ticks")));
+        assert!(out.findings.iter().any(|f| f.excerpt.contains("qm.depth")));
+    }
+
+    #[test]
+    fn duplicate_catalogue_rows_are_flagged() {
+        let root = TempRoot::new();
+        root.write("crates/obs/METRICS.md", &catalogue(&["qm.ops", "qm.ops"]));
+        let out = run(&root.0).unwrap();
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "metric-catalogue");
+        assert!(out.findings[0].file.ends_with("METRICS.md"));
+        assert_eq!(out.findings[0].line, 4, "second row of the two");
+    }
+
+    #[test]
+    fn obs_crate_sources_are_out_of_catalogue_scope() {
+        let root = TempRoot::new();
+        let src = format!(
+            "fn f() {{ rrq_{}\"doc.example\", 1); }}\n",
+            OBS_CALL_PATS[0]
+        );
+        root.write("crates/obs/src/lib.rs", &src);
+        root.write("crates/obs/METRICS.md", &catalogue(&["qm.real"]));
         let out = run(&root.0).unwrap();
         assert!(out.findings.is_empty(), "{:?}", out.findings);
     }

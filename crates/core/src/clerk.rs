@@ -83,6 +83,20 @@ struct ClerkState {
     last_request_eid: Option<Eid>,
     /// Eid of the most recently received reply element (for Rereceive).
     last_reply_eid: Option<Eid>,
+    /// Logical tick of the last Fig 1 state transition (metrics only).
+    last_transition_tick: u64,
+}
+
+/// Record how long the clerk dwelt in its current Fig 1 state, in logical
+/// ticks, then restart the dwell clock. Called with the state lock held so
+/// the dwell series is per-transition exact.
+fn note_transition(st: &mut ClerkState) {
+    let now = rrq_obs::now();
+    rrq_obs::observe(
+        "core.clerk.state_dwell_ticks",
+        now.saturating_sub(st.last_transition_tick),
+    );
+    st.last_transition_tick = now;
 }
 
 /// The clerk. One per client process; thread-compatible but the Client Model
@@ -160,6 +174,13 @@ impl Clerk {
             }
         }
         st.connected = true;
+        rrq_obs::counter_inc("core.clerk.connects");
+        if info.s_rid.is_some() || info.r_rid.is_some() {
+            // The stable tags reconstructed a prior incarnation's state —
+            // this connect is a Fig 2 resynchronization.
+            rrq_obs::counter_inc("core.clerk.resyncs");
+        }
+        note_transition(&mut st);
         rrq_check::protocol::emit_client(
             &self.cfg.client_id,
             rrq_check::protocol::ClientEvent::Connect {
@@ -245,6 +266,8 @@ impl Clerk {
                 acked: self.cfg.send_mode == SendMode::Acked,
             },
         );
+        rrq_obs::counter_inc("core.clerk.sends");
+        note_transition(&mut st);
         st.last_send_rid = Some(rid);
         Ok(())
     }
@@ -273,7 +296,12 @@ impl Clerk {
         )?;
         let reply =
             Reply::decode_all(&elem.payload).map_err(|e| CoreError::Malformed(e.to_string()))?;
-        self.state.lock().last_reply_eid = Some(elem.eid);
+        {
+            let mut st = self.state.lock();
+            st.last_reply_eid = Some(elem.eid);
+            rrq_obs::counter_inc("core.clerk.receives");
+            note_transition(&mut st);
+        }
         rrq_check::protocol::emit_client(
             &self.cfg.client_id,
             rrq_check::protocol::ClientEvent::Receive {
@@ -291,6 +319,7 @@ impl Clerk {
         let elem = self.note_net_failure("rereceive", self.api.read(eid))?;
         let reply =
             Reply::decode_all(&elem.payload).map_err(|e| CoreError::Malformed(e.to_string()))?;
+        rrq_obs::counter_inc("core.clerk.rereceives");
         rrq_check::protocol::emit_client(
             &self.cfg.client_id,
             rrq_check::protocol::ClientEvent::Rereceive {

@@ -243,6 +243,7 @@ impl Server {
 
     /// One iteration of the Fig 5 loop.
     pub fn run_once(&self) -> CoreResult<Served> {
+        rrq_obs::counter_inc("core.server.loop_iterations");
         let mut txn = self.repo.begin()?;
         for rm in &self.app_rms {
             txn.enlist(Arc::clone(rm))?;
@@ -341,7 +342,11 @@ impl Server {
         match outcome {
             Ok(HandlerOutcome::Reply(body)) => {
                 self.enqueue_reply(&txn, request, Reply::ok(request.rid.clone(), body))?;
-                self.commit(txn)
+                let served = self.commit(txn);
+                if matches!(served, Ok(Served::Committed)) {
+                    rrq_obs::counter_inc("core.server.replies_committed");
+                }
+                served
             }
             Ok(HandlerOutcome::IntermediateReply {
                 body,
@@ -391,7 +396,11 @@ impl Server {
                     Reply::failed(request.rid.clone(), msg.into_bytes()),
                 )?;
                 self.stats.lock().rejected += 1;
-                self.commit(txn)
+                let served = self.commit(txn);
+                if matches!(served, Ok(Served::Committed)) {
+                    rrq_obs::counter_inc("core.server.replies_committed");
+                }
+                served
             }
             Err(HandlerError::Abort(_)) => {
                 txn.abort()?;
@@ -400,6 +409,7 @@ impl Server {
                     rrq_check::protocol::ServerEvent::Abort,
                 );
                 self.stats.lock().aborted += 1;
+                rrq_obs::counter_inc("core.server.handler_aborts");
                 Ok(Served::Aborted)
             }
         }

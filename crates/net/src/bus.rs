@@ -85,13 +85,17 @@ impl NetworkBus {
         let delay = match self.inner.faults.judge_verdict(&env.from, &env.to) {
             Verdict::Deliver(d) => d,
             Verdict::DroppedByPartition => {
+                rrq_obs::counter_inc("net.partition.drops");
                 return if self.inner.faults.fail_fast() {
                     Err(NetError::Partitioned)
                 } else {
                     Ok(()) // dropped: sender can't tell
                 };
             }
-            Verdict::DroppedByChance => return Ok(()), // dropped: sender can't tell
+            Verdict::DroppedByChance => {
+                rrq_obs::counter_inc("net.chance.drops");
+                return Ok(()); // dropped: sender can't tell
+            }
         };
         let tx = {
             let g = self.inner.endpoints.lock();

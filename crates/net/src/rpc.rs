@@ -51,12 +51,14 @@ impl RpcClient {
     /// discarded.
     pub fn call(&self, to: &str, payload: Vec<u8>, timeout: Duration) -> NetResult<Vec<u8>> {
         self.calls.fetch_add(1, Ordering::Relaxed);
+        rrq_obs::counter_inc("net.rpc.calls");
         let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
         self.endpoint.send_to(to, corr, false, payload)?;
         let deadline = Instant::now() + timeout;
         loop {
             let now = Instant::now();
             if now >= deadline {
+                rrq_obs::counter_inc("net.rpc.timeouts");
                 return Err(NetError::Timeout);
             }
             let env = self.endpoint.recv(deadline - now)?;

@@ -1,0 +1,751 @@
+//! rrq-obs: deterministic metrics and lightweight trace spans.
+//!
+//! The paper's performance arguments (§10: group-commit batching, skip-locked
+//! dequeue, main-memory queues) are about *rates* — commits per force, skips
+//! per dequeue, lock hold times. This crate gives every production crate a
+//! place to report those rates without taking a dependency on anything above
+//! the bottom of the workspace graph:
+//!
+//! * lock-free-ish **counters** and **gauges** (atomic cells behind a
+//!   read-mostly registry map);
+//! * fixed-bucket power-of-two **histograms** with an exact text codec;
+//! * **trace spans** that time themselves against the registry's logical
+//!   tick clock and feed a histogram plus a bounded span log.
+//!
+//! Time is the registry's own logical clock: every instrumented event
+//! advances it by one tick, so durations are "events elapsed", never
+//! wall-clock (the rrq-lint no-wallclock rule covers this crate). Under a
+//! fixed seed the counters are exactly reproducible, which is what lets
+//! `rrq_sim`'s explorer assert conservation laws over them after every
+//! fault script.
+//!
+//! Like the `rrq_check::race` hooks (S18), everything is off by default: a
+//! [`Session`] turns the registry on and serializes concurrent metric tests
+//! in one process, and every hook starts with one relaxed atomic load so
+//! dormant instrumentation is effectively free.
+//!
+//! Every metric name used by a production crate must be declared exactly
+//! once in `crates/obs/METRICS.md`; the `metric-catalogue` rrq-lint rule
+//! enforces this.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Number of histogram buckets: one for zero, one per power of two up to
+/// `2^30`, and a final catch-all.
+pub const BUCKETS: usize = 32;
+
+/// Bounded span log size; spans past the cap still feed their histogram.
+const SPAN_CAP: usize = 65_536;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SESSION: Mutex<()> = Mutex::new(());
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+// Deliberate-bug knob for the explorer's metrics-conservation oracle: when
+// armed, deltas to the named counter are applied twice. Test-only by
+// construction — it can only be set through an active `Session`.
+static BUG_ARMED: AtomicBool = AtomicBool::new(false);
+static DOUBLED: Mutex<Option<&'static str>> = Mutex::new(None);
+
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn read_ok<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_ok<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|p| p.into_inner())
+}
+
+struct Histo {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histo {
+    fn new() -> Histo {
+        Histo {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed); // wrapping by construction
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One completed trace span, in logical ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span (and histogram) name.
+    pub name: &'static str,
+    /// Logical tick at which the span was opened.
+    pub start: u64,
+    /// Logical tick at which the span was dropped.
+    pub end: u64,
+}
+
+struct Registry {
+    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<&'static str, Arc<AtomicI64>>>,
+    histograms: RwLock<HashMap<&'static str, Arc<Histo>>>,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+fn registry() -> &'static Registry {
+    static R: OnceLock<Registry> = OnceLock::new();
+    R.get_or_init(|| Registry {
+        counters: RwLock::new(HashMap::new()),
+        gauges: RwLock::new(HashMap::new()),
+        histograms: RwLock::new(HashMap::new()),
+        spans: Mutex::new(Vec::new()),
+    })
+}
+
+fn reset_registry() {
+    let r = registry();
+    write_ok(&r.counters).clear();
+    write_ok(&r.gauges).clear();
+    write_ok(&r.histograms).clear();
+    lock_ok(&r.spans).clear();
+    TICKS.store(0, Ordering::SeqCst);
+}
+
+/// Advance the logical clock by one event and return the new reading.
+fn tick() -> u64 {
+    TICKS.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Current logical-clock reading (does not advance the clock).
+pub fn now() -> u64 {
+    TICKS.load(Ordering::Relaxed)
+}
+
+/// Advance the logical clock by `n` ticks — for simulators that want dwell
+/// times to reflect simulated progress rather than raw event counts.
+pub fn advance(n: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    TICKS.fetch_add(n, Ordering::Relaxed);
+}
+
+fn counter_cell(name: &'static str) -> Arc<AtomicU64> {
+    let r = registry();
+    if let Some(c) = read_ok(&r.counters).get(name) {
+        return Arc::clone(c);
+    }
+    Arc::clone(
+        write_ok(&r.counters)
+            .entry(name)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+    )
+}
+
+fn gauge_cell(name: &'static str) -> Arc<AtomicI64> {
+    let r = registry();
+    if let Some(c) = read_ok(&r.gauges).get(name) {
+        return Arc::clone(c);
+    }
+    Arc::clone(
+        write_ok(&r.gauges)
+            .entry(name)
+            .or_insert_with(|| Arc::new(AtomicI64::new(0))),
+    )
+}
+
+fn hist_cell(name: &'static str) -> Arc<Histo> {
+    let r = registry();
+    if let Some(c) = read_ok(&r.histograms).get(name) {
+        return Arc::clone(c);
+    }
+    Arc::clone(
+        write_ok(&r.histograms)
+            .entry(name)
+            .or_insert_with(|| Arc::new(Histo::new())),
+    )
+}
+
+/// Add `delta` to the named counter. No-op without an active [`Session`].
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    tick();
+    let delta = if BUG_ARMED.load(Ordering::Relaxed) && lock_ok(&DOUBLED).as_deref() == Some(name) {
+        delta.wrapping_mul(2)
+    } else {
+        delta
+    };
+    counter_cell(name).fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Add one to the named counter. No-op without an active [`Session`].
+pub fn counter_inc(name: &'static str) {
+    counter_add(name, 1);
+}
+
+/// Add `delta` (possibly negative) to the named gauge. No-op without an
+/// active [`Session`].
+pub fn gauge_add(name: &'static str, delta: i64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    tick();
+    gauge_cell(name).fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Set the named gauge to `value`. No-op without an active [`Session`].
+pub fn gauge_set(name: &'static str, value: i64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    tick();
+    gauge_cell(name).store(value, Ordering::Relaxed);
+}
+
+/// Record `value` into the named histogram. No-op without an active
+/// [`Session`].
+pub fn observe(name: &'static str, value: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    tick();
+    hist_cell(name).observe(value);
+}
+
+/// Open a trace span; dropping it records its duration (in logical ticks)
+/// into the histogram of the same name and appends to the bounded span log.
+pub fn span(name: &'static str) -> Span {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return Span {
+            name,
+            start: 0,
+            live: false,
+        };
+    }
+    Span {
+        name,
+        start: tick(),
+        live: true,
+    }
+}
+
+/// An open trace span; see [`span`].
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    name: &'static str,
+    start: u64,
+    live: bool,
+}
+
+impl Span {
+    /// The tick at which this span was opened (0 when recorded while the
+    /// registry was disabled).
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.live || !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        let end = tick();
+        hist_cell(self.name).observe(end.saturating_sub(self.start));
+        let mut spans = lock_ok(&registry().spans);
+        if spans.len() < SPAN_CAP {
+            spans.push(SpanRecord {
+                name: self.name,
+                start: self.start,
+                end,
+            });
+        }
+    }
+}
+
+/// Index of the histogram bucket for `v`: bucket 0 holds zeros, bucket
+/// `i` (1..=30) holds `[2^(i-1), 2^i)`, bucket 31 holds everything above.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`, used as the quantile representative.
+pub fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ if i >= BUCKETS - 1 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A point-in-time copy of one histogram. `sum` is the wrapping sum of all
+/// observed values (observations are u64 and may overflow by design).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; see [`bucket_of`].
+    pub buckets: [u64; BUCKETS],
+    /// Wrapping sum of observed values.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Record one value (ground-truth bookkeeping for tests and reports).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.count += 1;
+    }
+
+    /// Bucketwise merge of `other` into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.count += other.count;
+    }
+
+    /// Upper bound of the bucket in which the `q`-quantile observation
+    /// falls (`0.0 ..= 1.0`); returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+
+    /// Mean of observed values (0 for an empty histogram). Meaningless if
+    /// `sum` has wrapped.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One snapshotted metric value.
+///
+/// The histogram variant dominates the enum's size, but a snapshot holds a
+/// few dozen values at most and they are iterated, not stored in bulk, so
+/// boxing would buy indirection for nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)]
+pub enum Value {
+    /// Monotone counter.
+    Counter(u64),
+    /// Signed gauge.
+    Gauge(i64),
+    /// Fixed-bucket histogram.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of the whole registry: `(name, value)` pairs sorted
+/// by name, so two renders of equal snapshots are byte-identical and
+/// snapshots are diffable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Sorted `(name, value)` entries.
+    pub entries: Vec<(String, Value)>,
+}
+
+/// Copy the current registry contents. Usable at any time; between
+/// sessions it reports whatever the last session left behind.
+pub fn snapshot() -> Snapshot {
+    let r = registry();
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    for (name, c) in read_ok(&r.counters).iter() {
+        entries.push((name.to_string(), Value::Counter(c.load(Ordering::SeqCst))));
+    }
+    for (name, g) in read_ok(&r.gauges).iter() {
+        entries.push((name.to_string(), Value::Gauge(g.load(Ordering::SeqCst))));
+    }
+    for (name, h) in read_ok(&r.histograms).iter() {
+        entries.push((name.to_string(), Value::Histogram(h.snapshot())));
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    Snapshot { entries }
+}
+
+impl Snapshot {
+    /// Value of the named counter, defaulting to 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(Value::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Value of the named gauge, defaulting to 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.get(name) {
+            Some(Value::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The named histogram, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(Value::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Render as the line-oriented text format parsed by [`Snapshot::parse`].
+    ///
+    /// ```text
+    /// counter storage.wal.appends 42
+    /// gauge qm.queue.depth 3
+    /// hist txn.lock.wait_ticks count=5 sum=37 1:1 3:3 6:1
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                Value::Counter(v) => {
+                    let _ = writeln!(out, "counter {name} {v}");
+                }
+                Value::Gauge(v) => {
+                    let _ = writeln!(out, "gauge {name} {v}");
+                }
+                Value::Histogram(h) => {
+                    let _ = write!(out, "hist {name} count={} sum={}", h.count, h.sum);
+                    for (i, b) in h.buckets.iter().enumerate() {
+                        if *b != 0 {
+                            let _ = write!(out, " {i}:{b}");
+                        }
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse the [`Snapshot::render`] format; exact inverse for any
+    /// rendered snapshot.
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+            let mut tok = line.split_whitespace();
+            let kind = tok.next().ok_or_else(|| err("empty"))?;
+            let name = tok.next().ok_or_else(|| err("missing name"))?.to_string();
+            match kind {
+                "counter" => {
+                    let v = tok
+                        .next()
+                        .and_then(|t| t.parse::<u64>().ok())
+                        .ok_or_else(|| err("bad counter value"))?;
+                    entries.push((name, Value::Counter(v)));
+                }
+                "gauge" => {
+                    let v = tok
+                        .next()
+                        .and_then(|t| t.parse::<i64>().ok())
+                        .ok_or_else(|| err("bad gauge value"))?;
+                    entries.push((name, Value::Gauge(v)));
+                }
+                "hist" => {
+                    let mut h = HistogramSnapshot::default();
+                    for t in tok {
+                        if let Some(v) = t.strip_prefix("count=") {
+                            h.count = v.parse().map_err(|_| err("bad count"))?;
+                        } else if let Some(v) = t.strip_prefix("sum=") {
+                            h.sum = v.parse().map_err(|_| err("bad sum"))?;
+                        } else {
+                            let (i, n) = t.split_once(':').ok_or_else(|| err("bad bucket"))?;
+                            let i: usize = i.parse().map_err(|_| err("bad bucket index"))?;
+                            if i >= BUCKETS {
+                                return Err(err("bucket index out of range"));
+                            }
+                            h.buckets[i] = n.parse().map_err(|_| err("bad bucket count"))?;
+                        }
+                    }
+                    entries.push((name, Value::Histogram(h)));
+                }
+                _ => return Err(err("unknown metric kind")),
+            }
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Snapshot { entries })
+    }
+
+    /// Difference since `earlier`: counters and histogram contents
+    /// subtract (wrapping), gauges keep their later reading. Metrics absent
+    /// from `earlier` pass through unchanged.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        for (name, value) in &self.entries {
+            let diffed = match (value, earlier.get(name)) {
+                (Value::Counter(now), Some(Value::Counter(then))) => {
+                    Value::Counter(now.wrapping_sub(*then))
+                }
+                (Value::Histogram(now), Some(Value::Histogram(then))) => {
+                    let mut h = now.clone();
+                    for (b, t) in h.buckets.iter_mut().zip(then.buckets.iter()) {
+                        *b = b.wrapping_sub(*t);
+                    }
+                    h.sum = h.sum.wrapping_sub(then.sum);
+                    h.count = h.count.wrapping_sub(then.count);
+                    Value::Histogram(h)
+                }
+                _ => value.clone(),
+            };
+            entries.push((name.clone(), diffed));
+        }
+        Snapshot { entries }
+    }
+}
+
+/// Enables the metric hooks for its lifetime, clearing all prior state;
+/// drop disables them. Sessions serialize on a process-wide mutex, exactly
+/// like `rrq_check::race::Session`, so concurrent `cargo test` threads
+/// never share a registry.
+pub struct Session {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Session {
+    /// Reset the registry and enable the hooks.
+    pub fn start() -> Session {
+        let guard = lock_ok(&SESSION);
+        reset_registry();
+        BUG_ARMED.store(false, Ordering::SeqCst);
+        *lock_ok(&DOUBLED) = None;
+        ENABLED.store(true, Ordering::SeqCst);
+        Session { _guard: guard }
+    }
+
+    /// Clear all metrics and the clock but keep the session active — used
+    /// by sweep drivers that check one script at a time.
+    pub fn reset(&self) {
+        reset_registry();
+    }
+
+    /// Copy the current registry contents.
+    pub fn snapshot(&self) -> Snapshot {
+        snapshot()
+    }
+
+    /// Drain the span log.
+    pub fn take_spans(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *lock_ok(&registry().spans))
+    }
+
+    /// Test knob: double every delta applied to the named counter (`None`
+    /// disarms). This models a double-count instrumentation bug so the
+    /// explorer can prove its metrics-conservation oracle bites.
+    pub fn double_count(&self, name: Option<&'static str>) {
+        *lock_ok(&DOUBLED) = name;
+        BUG_ARMED.store(name.is_some(), Ordering::SeqCst);
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        BUG_ARMED.store(false, Ordering::SeqCst);
+        *lock_ok(&DOUBLED) = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_are_inert_without_a_session() {
+        counter_add("t.inert", 5);
+        gauge_add("t.inert.g", 2);
+        observe("t.inert.h", 7);
+        let s = Session::start(); // resets registry
+        assert_eq!(s.snapshot().counter("t.inert"), 0);
+        assert_eq!(s.snapshot().gauge("t.inert.g"), 0);
+        assert!(s.snapshot().histogram("t.inert.h").is_none());
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_record() {
+        let s = Session::start();
+        counter_add("t.c", 2);
+        counter_inc("t.c");
+        gauge_add("t.g", 5);
+        gauge_add("t.g", -2);
+        observe("t.h", 0);
+        observe("t.h", 3);
+        observe("t.h", 1024);
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("t.c"), 3);
+        assert_eq!(snap.gauge("t.g"), 3);
+        let h = snap.histogram("t.h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1027);
+        assert_eq!(h.buckets[bucket_of(0)], 1);
+        assert_eq!(h.buckets[bucket_of(3)], 1);
+        assert_eq!(h.buckets[bucket_of(1024)], 1);
+    }
+
+    #[test]
+    fn bucket_layout_is_power_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for v in [0u64, 1, 7, 8, 1 << 29, (1 << 30) + 1, u64::MAX] {
+            let i = bucket_of(v);
+            assert!(v <= bucket_bound(i), "v={v} bucket={i}");
+            if i > 0 {
+                assert!(v > bucket_bound(i - 1), "v={v} bucket={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn spans_feed_histogram_and_log() {
+        let s = Session::start();
+        {
+            let _sp = span("t.span");
+            counter_inc("t.work"); // one tick inside the span
+        }
+        let snap = s.snapshot();
+        let h = snap.histogram("t.span").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 1, "span covered at least the inner event");
+        let spans = s.take_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "t.span");
+        assert!(spans[0].end > spans[0].start);
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let s = Session::start();
+        counter_add("t.rt.c", 42);
+        gauge_add("t.rt.g", -7);
+        for v in [0u64, 1, 2, 3, 9, 1 << 20, u64::MAX] {
+            observe("t.rt.h", v);
+        }
+        let snap = s.snapshot();
+        let text = snap.render();
+        let back = Snapshot::parse(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_histograms() {
+        let s = Session::start();
+        counter_add("t.d.c", 10);
+        observe("t.d.h", 4);
+        let before = s.snapshot();
+        counter_add("t.d.c", 5);
+        observe("t.d.h", 4);
+        gauge_set("t.d.g", 9);
+        let after = s.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counter("t.d.c"), 5);
+        assert_eq!(d.histogram("t.d.h").unwrap().count, 1);
+        assert_eq!(d.gauge("t.d.g"), 9);
+    }
+
+    #[test]
+    fn double_count_knob_doubles_one_counter_only() {
+        let s = Session::start();
+        s.double_count(Some("t.bug.target"));
+        counter_add("t.bug.target", 3);
+        counter_add("t.bug.other", 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("t.bug.target"), 6);
+        assert_eq!(snap.counter("t.bug.other"), 3);
+        s.double_count(None);
+        counter_add("t.bug.target", 1);
+        assert_eq!(s.snapshot().counter("t.bug.target"), 7);
+    }
+
+    #[test]
+    fn session_reset_clears_state_but_stays_enabled() {
+        let s = Session::start();
+        counter_inc("t.reset");
+        s.reset();
+        assert_eq!(s.snapshot().counter("t.reset"), 0);
+        counter_inc("t.reset");
+        assert_eq!(s.snapshot().counter("t.reset"), 1);
+    }
+
+    #[test]
+    fn quantiles_hit_bucket_bounds() {
+        let mut h = HistogramSnapshot::default();
+        for _ in 0..90 {
+            h.record(3); // bucket 2, bound 3
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10, bound 1023
+        }
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(0.9), 3);
+        assert_eq!(h.quantile(0.95), 1023);
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+}

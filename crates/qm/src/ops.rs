@@ -121,6 +121,9 @@ struct DequeuedRef {
     eid: Eid,
     /// Error-queue override from the Dequeue call.
     error_queue: Option<String>,
+    /// Logical tick at which the element lock was taken (metrics only: the
+    /// hold time ends when the owning transaction commits or aborts).
+    grabbed_at: u64,
 }
 
 /// Outcome of trying to take one dequeue candidate under its element lock.
@@ -219,6 +222,7 @@ impl QueueManager {
                 };
                 let elem = Element::decode_all(&raw).map_err(QmError::Storage)?;
                 qindex.insert(queue, k.clone(), elem.eid);
+                rrq_obs::counter_inc("qm.recovery.index_rebuild");
             }
         }
 
@@ -545,6 +549,7 @@ impl QueueManager {
         }
         rrq_check::race::queue_enqueued(&meta.name);
         self.stats.lock().enqueues += 1;
+        rrq_obs::counter_inc("qm.enqueue.ops");
         Ok(eid)
     }
 
@@ -594,8 +599,10 @@ impl QueueManager {
         deadline: Option<Instant>,
     ) -> QmResult<Option<Element>> {
         if self.use_index.load(Ordering::Relaxed) {
+            rrq_obs::counter_inc("qm.dequeue.index_hits");
             self.try_dequeue_once_indexed(txn, handle, meta, opts, deadline)
         } else {
+            rrq_obs::counter_inc("qm.dequeue.scan_fallbacks");
             self.try_dequeue_once_scan(txn, handle, meta, opts, deadline)
         }
     }
@@ -630,6 +637,7 @@ impl QueueManager {
             Ok(()) => {}
             Err(TxnError::LockTimeout) => {
                 self.stats.lock().lock_skips += 1;
+                rrq_obs::counter_inc("qm.dequeue.lock_skips");
                 return Ok(Grab::Busy);
             }
             Err(e) => return Err(e.into()),
@@ -673,8 +681,10 @@ impl QueueManager {
                 elem_key: ekey.to_vec(),
                 eid: elem.eid,
                 error_queue: opts.error_queue.clone(),
+                grabbed_at: rrq_obs::now(),
             });
         self.stats.lock().dequeues += 1;
+        rrq_obs::counter_inc("qm.dequeue.ops");
         Ok(Grab::Taken(elem))
     }
 
@@ -974,6 +984,7 @@ impl QueueManager {
                     let killed = r?;
                     if killed {
                         self.qindex.remove(&queue, &ekey);
+                        rrq_obs::counter_inc("qm.element.dropped");
                         self.stats.lock().kills += 1;
                     }
                     return Ok(killed);
@@ -1042,6 +1053,13 @@ impl QueueManager {
     /// The ready index's current contents: `queue → ordered (key, eid)`.
     pub fn index_snapshot(&self) -> IndexSnapshot {
         self.qindex.snapshot()
+    }
+
+    /// The ready index's element total and the `qm.queue.depth` gauge
+    /// reading, captured in one critical section. The two must always agree
+    /// — the gauge is updated inside the index mutex (see [`QueueIndex`]).
+    pub fn depth_accounting(&self) -> (usize, i64) {
+        self.qindex.depth_accounting()
     }
 
     /// The same structure derived from a fresh scan of the committed element
@@ -1294,27 +1312,36 @@ impl QueueManager {
                 }
                 // The dequeue never committed, so the old key is still in
                 // the ready index; fix it up to match the outcome, then
-                // signal so woken dequeuers see the fresh entry.
+                // signal so woken dequeuers see the fresh entry. Each arm is
+                // one `fixup` call — one critical section — so the index
+                // (and the depth gauge it carries) never shows the element
+                // half-moved to a concurrent `depth()` or divergence check.
                 match outcome {
                     AbortOutcome::Dropped => {
-                        self.qindex.remove(&d.queue, &d.elem_key);
+                        self.qindex.fixup(Some((&d.queue, &d.elem_key)), None);
+                        rrq_obs::counter_inc("qm.element.dropped");
                     }
                     AbortOutcome::Moved { queue, ekey } => {
-                        self.qindex.remove(&d.queue, &d.elem_key);
-                        self.qindex.insert(&queue, ekey, d.eid);
+                        self.qindex
+                            .fixup(Some((&d.queue, &d.elem_key)), Some((&queue, ekey, d.eid)));
                         self.stats.lock().error_moves += 1;
                         self.notifier.signal(&queue);
                     }
                     AbortOutcome::Requeued { ekey } => {
-                        self.qindex.remove(&d.queue, &d.elem_key);
-                        self.qindex.insert(&d.queue, ekey, d.eid);
+                        self.qindex
+                            .fixup(Some((&d.queue, &d.elem_key)), Some((&d.queue, ekey, d.eid)));
                         self.notifier.signal(&d.queue);
                     }
                     AbortOutcome::Returned => {
-                        self.qindex.insert(&d.queue, d.elem_key.clone(), d.eid);
+                        self.qindex
+                            .fixup(None, Some((&d.queue, d.elem_key.clone(), d.eid)));
                         self.notifier.signal(&d.queue);
                     }
                 }
+                rrq_obs::observe(
+                    "qm.element.lock_hold_ticks",
+                    rrq_obs::now().saturating_sub(d.grabbed_at),
+                );
                 Ok(())
             }
             Err(e) => {
@@ -1403,9 +1430,15 @@ impl ResourceManager for QueueManager {
         // element within one transaction a net no-op.
         for e in &pend.enqueued {
             self.qindex.insert(&e.queue, e.elem_key.clone(), e.eid);
+            rrq_obs::counter_inc("qm.enqueue.committed");
         }
         for dq in &pend.dequeued {
             self.qindex.remove(&dq.queue, &dq.elem_key);
+            rrq_obs::counter_inc("qm.dequeue.committed");
+            rrq_obs::observe(
+                "qm.element.lock_hold_ticks",
+                rrq_obs::now().saturating_sub(dq.grabbed_at),
+            );
         }
         for q in &pend.enqueued_queues {
             self.notifier.signal(q);

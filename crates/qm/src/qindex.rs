@@ -27,10 +27,43 @@ use crate::element::Eid;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 
+/// The queue-depth gauge. Updated strictly inside the index's own mutex so
+/// the gauge and `total()` can never be observed disagreeing — the abort
+/// disposition fix-up used to remove and re-insert in two critical
+/// sections, and a concurrent `depth()`/gauge reader saw the element
+/// missing from one but not the other (see [`QueueIndex::fixup`]).
+const DEPTH_GAUGE: &str = "qm.queue.depth";
+
+type Ready = HashMap<String, BTreeMap<Vec<u8>, Eid>>;
+
 /// Ordered ready-lists for every queue, keyed by element key.
 #[derive(Default)]
 pub struct QueueIndex {
-    inner: Mutex<HashMap<String, BTreeMap<Vec<u8>, Eid>>>,
+    inner: Mutex<Ready>,
+}
+
+fn insert_locked(g: &mut Ready, queue: &str, elem_key: Vec<u8>, eid: Eid) {
+    if g.entry(queue.to_string())
+        .or_default()
+        .insert(elem_key, eid)
+        .is_none()
+    {
+        rrq_obs::gauge_add(DEPTH_GAUGE, 1);
+    }
+}
+
+fn remove_locked(g: &mut Ready, queue: &str, elem_key: &[u8]) -> bool {
+    let Some(m) = g.get_mut(queue) else {
+        return false;
+    };
+    let hit = m.remove(elem_key).is_some();
+    if m.is_empty() {
+        g.remove(queue);
+    }
+    if hit {
+        rrq_obs::gauge_add(DEPTH_GAUGE, -1);
+    }
+    hit
 }
 
 impl QueueIndex {
@@ -41,24 +74,42 @@ impl QueueIndex {
 
     /// Record a committed element.
     pub fn insert(&self, queue: &str, elem_key: Vec<u8>, eid: Eid) {
-        self.inner
-            .lock()
-            .entry(queue.to_string())
-            .or_default()
-            .insert(elem_key, eid);
+        insert_locked(&mut self.inner.lock(), queue, elem_key, eid);
     }
 
     /// Drop a committed element; `true` if it was present.
     pub fn remove(&self, queue: &str, elem_key: &[u8]) -> bool {
+        remove_locked(&mut self.inner.lock(), queue, elem_key)
+    }
+
+    /// Apply an abort-disposition fix-up as one atomic step: drop the
+    /// element's old entry and add its new one (error-queue move, requeue,
+    /// return) inside a single critical section, so index contents and the
+    /// depth gauge move together and no observer sees the element half-way.
+    pub fn fixup(
+        &self,
+        remove: Option<(&str, &[u8])>,
+        insert: Option<(&str, Vec<u8>, Eid)>,
+    ) -> bool {
         let mut g = self.inner.lock();
-        let Some(m) = g.get_mut(queue) else {
-            return false;
+        let hit = match remove {
+            Some((q, k)) => remove_locked(&mut g, q, k),
+            None => false,
         };
-        let hit = m.remove(elem_key).is_some();
-        if m.is_empty() {
-            g.remove(queue);
+        if let Some((q, k, eid)) = insert {
+            insert_locked(&mut g, q, k, eid);
         }
         hit
+    }
+
+    /// `(total(), depth-gauge reading)` observed in one critical section —
+    /// they must always be equal while a metrics session is active and the
+    /// whole index lifetime falls inside it.
+    pub fn depth_accounting(&self) -> (usize, i64) {
+        let g = self.inner.lock();
+        let total = g.values().map(BTreeMap::len).sum();
+        let gauge = rrq_obs::snapshot().gauge(DEPTH_GAUGE);
+        (total, gauge)
     }
 
     /// Number of live elements in `queue` — O(1) in the queue count, no
@@ -69,7 +120,10 @@ impl QueueIndex {
 
     /// Forget a destroyed queue wholesale.
     pub fn clear_queue(&self, queue: &str) {
-        self.inner.lock().remove(queue);
+        let mut g = self.inner.lock();
+        if let Some(m) = g.remove(queue) {
+            rrq_obs::gauge_add(DEPTH_GAUGE, -(m.len() as i64));
+        }
     }
 
     /// Up to `limit` candidates in dequeue order, strictly after `after`
@@ -109,6 +163,17 @@ impl QueueIndex {
     /// Total live elements across all queues.
     pub fn total(&self) -> usize {
         self.inner.lock().values().map(BTreeMap::len).sum()
+    }
+}
+
+impl Drop for QueueIndex {
+    fn drop(&mut self) {
+        // Retire this index's contribution to the process-wide depth gauge
+        // (a crashed node's surviving elements re-enter through the rebuild
+        // scan of its successor, so crash + restart nets zero for them).
+        let g = self.inner.get_mut();
+        let total: usize = g.values().map(BTreeMap::len).sum();
+        rrq_obs::gauge_add(DEPTH_GAUGE, -(total as i64));
     }
 }
 

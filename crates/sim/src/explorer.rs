@@ -16,7 +16,7 @@
 
 use crate::driver::CrashPoint;
 use crate::node::{ServerFactory, ServerNodeSim};
-use crate::oracle::{EffectLedger, ReplyMatcher};
+use crate::oracle::{metrics_conservation, EffectLedger, ReplyMatcher};
 use crate::script::{point_name, FaultEvent, FaultScript, PartitionDirection};
 use rrq_check::protocol::Conformance;
 use rrq_core::api::QmApi;
@@ -66,6 +66,10 @@ pub enum InjectedBug {
     /// be proven processed, skip the Rereceive and assume it was — breaking
     /// at-least-once reply processing (§3's central obligation).
     SkipRereceive,
+    /// Double every `qm.enqueue.committed` increment (an accounting bug in
+    /// the instrumentation layer, not the protocol) — client-invisible, so
+    /// only the metrics-conservation oracle can catch it.
+    DoubleCountEnqueue,
 }
 
 /// Explorer parameters shared by a whole sweep.
@@ -234,6 +238,14 @@ pub fn run_script_with(
     checker: &Conformance,
 ) -> RunOutcome {
     checker.reset();
+    // Fresh metrics session per script: counters start at zero, and every
+    // law in [`metrics_conservation`] refers to this run alone. Declared
+    // before the node so it outlives the repository (the depth gauge's
+    // retire-on-drop must still be observed).
+    let obs = rrq_obs::Session::start();
+    if cfg.bug == Some(InjectedBug::DoubleCountEnqueue) {
+        obs.double_count(Some("qm.enqueue.committed"));
+    }
     let mut trace: Vec<String> = script
         .encode()
         .lines()
@@ -546,6 +558,16 @@ pub fn run_script_with(
                 Err(e) => violations.push(format!("balance {i} unreadable: {e}")),
             }
             trace.push(format!("balance {i}={}", model[i as usize]));
+        }
+        // Metrics conservation, only on otherwise-clean runs: violation
+        // paths (livelock in particular) leave servers mid-flight, where a
+        // counter snapshot is not a quiescent point and its noise would make
+        // the digest nondeterministic.
+        if violations.is_empty() {
+            let ledger_total = EffectLedger::counts(&repo)
+                .map(|c| c.values().map(|&n| u64::from(n)).sum::<u64>())
+                .unwrap_or(0);
+            violations.extend(metrics_conservation(&obs.snapshot(), &repo, ledger_total));
         }
     }
     for v in checker.violations() {

@@ -145,6 +145,81 @@ impl ReplyMatcher {
     }
 }
 
+/// The metrics oracle: conservation laws over the production counters,
+/// checked at a quiescent point (every request answered, clerk disconnected,
+/// servers idle on empty queues) against the per-script [`rrq_obs::Session`]
+/// snapshot. The laws hold across crashes because counter increments sit
+/// after the durable commit they describe and node crashes join server
+/// threads before failing the disks — an increment is never torn off from
+/// its committed effect.
+///
+/// * **Law A (element conservation).** Every committed enqueue is either
+///   still queued, retired by a committed dequeue, or dropped by an abort
+///   disposition: `enqueue.committed − dequeue.committed − element.dropped`
+///   must equal the `qm.queue.depth` gauge, which must equal the live ready
+///   index's element total (both read in one critical section).
+/// * **Law B (durability ordering).** A commit record is acknowledged only
+///   after its force: `wal.records_synced ≥ wal.commit_records`.
+/// * **Law C (group-commit accounting).** A follower wakes only when some
+///   force covered its record: `gc.follower_wakeups ≤ wal.records_synced`.
+/// * **Law D (reply/effect agreement).** Every committed final reply ran
+///   the instrumented handler inside the same transaction:
+///   `core.server.replies_committed` equals the effect ledger's total.
+pub fn metrics_conservation(
+    snap: &rrq_obs::Snapshot,
+    repo: &Repository,
+    ledger_total: u64,
+) -> Vec<String> {
+    let mut bad = Vec::new();
+
+    // Law A.
+    let enq = snap.counter("qm.enqueue.committed");
+    let deq = snap.counter("qm.dequeue.committed");
+    let dropped = snap.counter("qm.element.dropped");
+    let flow = enq as i128 - deq as i128 - dropped as i128;
+    let (live, gauge) = repo.qm().depth_accounting();
+    if flow != i128::from(gauge) {
+        bad.push(format!(
+            "metrics law A: enqueue.committed ({enq}) - dequeue.committed ({deq}) \
+             - element.dropped ({dropped}) = {flow}, but qm.queue.depth gauge is {gauge}"
+        ));
+    }
+    if i128::from(gauge) != live as i128 {
+        bad.push(format!(
+            "metrics law A: qm.queue.depth gauge {gauge} disagrees with the \
+             ready index's {live} live elements"
+        ));
+    }
+
+    // Law B.
+    let synced = snap.counter("storage.wal.records_synced");
+    let commits = snap.counter("storage.wal.commit_records");
+    if synced < commits {
+        bad.push(format!(
+            "metrics law B: wal.records_synced ({synced}) < wal.commit_records ({commits})"
+        ));
+    }
+
+    // Law C.
+    let wakeups = snap.counter("storage.gc.follower_wakeups");
+    if wakeups > synced {
+        bad.push(format!(
+            "metrics law C: gc.follower_wakeups ({wakeups}) > wal.records_synced ({synced})"
+        ));
+    }
+
+    // Law D.
+    let replies = snap.counter("core.server.replies_committed");
+    if replies != ledger_total {
+        bad.push(format!(
+            "metrics law D: core.server.replies_committed ({replies}) != \
+             effect-ledger total ({ledger_total})"
+        ));
+    }
+
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -222,6 +222,77 @@ fn checked_in_minimal_script_reproduces_the_seeded_bug() {
     );
 }
 
+#[test]
+fn double_count_bug_is_caught_by_metrics_oracle_and_shrinks() {
+    // The bug doubles a counter, nothing else: every client-visible oracle
+    // stays silent, and only metrics conservation (law A) can catch it.
+    let buggy = ExplorerConfig {
+        bug: Some(InjectedBug::DoubleCountEnqueue),
+        ..ExplorerConfig::default()
+    };
+    let script = FaultScript {
+        seed: 7,
+        n_requests: 3,
+        events: vec![FaultEvent::Partition {
+            serial: 2,
+            direction: PartitionDirection::Both,
+            ops: 1,
+        }],
+    };
+    let outcome = run_script(&script, &buggy);
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("metrics law A")),
+        "double-count not caught: {:?}",
+        outcome.violations
+    );
+    assert!(
+        outcome.violations.iter().all(|v| v.contains("metrics law")),
+        "only the metrics oracle should fire: {:?}",
+        outcome.violations
+    );
+
+    // Any single request trips it, so the shrinker should strip the (noise)
+    // partition and trim the workload to one request.
+    let report = shrink(&script, &buggy);
+    assert!(report.input_failed);
+    assert_eq!(report.script.events, Vec::new(), "partition was pure noise");
+    assert_eq!(report.script.n_requests, 1);
+
+    // Determinism: the law-A counts in the violation text replay exactly.
+    let again = run_script(&script, &buggy);
+    assert_eq!(outcome.digest, again.digest);
+    assert_eq!(outcome.violations, again.violations);
+}
+
+#[test]
+fn checked_in_minimal_double_count_script_reproduces_the_bug() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/min-double-count.rrqs");
+    let buggy = ExplorerConfig {
+        bug: Some(InjectedBug::DoubleCountEnqueue),
+        ..ExplorerConfig::default()
+    };
+    let (script, outcome) = explorer::replay_file(&path, &buggy).unwrap();
+    assert_eq!(script.events.len(), 0);
+    assert_eq!(script.n_requests, 1);
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| v.contains("metrics law A")),
+        "expected a law-A conservation violation: {:?}",
+        outcome.violations
+    );
+    let (_, fixed) = explorer::replay_file(&path, &ExplorerConfig::default()).unwrap();
+    assert_eq!(
+        fixed.violations,
+        Vec::<String>::new(),
+        "without the bug the same script satisfies every law"
+    );
+}
+
 /// A non-testable device: it cannot answer "did I process this already?",
 /// so resynchronization after an after-process crash must re-process —
 /// at-least-once, surfacing in [`ReplyMatcher::duplicated`].

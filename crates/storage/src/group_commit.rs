@@ -42,6 +42,8 @@ pub struct GroupCommitStats {
 struct GcState {
     /// Log length known durable. Reset by [`GroupCommit::on_truncate`].
     durable: u64,
+    /// Record count known durable (metrics: per-group batch sizes).
+    durable_records: u64,
     /// A leader is currently dallying or syncing.
     leader_active: bool,
     stats: GroupCommitStats,
@@ -80,8 +82,14 @@ impl GroupCommit {
             return Ok(());
         }
         g.stats.requests += 1;
+        rrq_obs::counter_inc("storage.gc.sync_requests");
+        let mut waited = false;
         loop {
             if g.durable >= target {
+                if waited {
+                    // Satisfied by another leader's force without syncing.
+                    rrq_obs::counter_inc("storage.gc.follower_wakeups");
+                }
                 return Ok(());
             }
             if !g.leader_active {
@@ -94,6 +102,7 @@ impl GroupCommit {
                 // sync below: the device moves its whole volatile tail to
                 // stable storage in one force.
                 let covered = wal.len();
+                let covered_records = wal.records_appended();
                 let res = wal.sync();
                 g = self.state.lock();
                 g.leader_active = false;
@@ -101,7 +110,15 @@ impl GroupCommit {
                     Ok(()) => {
                         g.durable = g.durable.max(covered);
                         g.stats.groups += 1;
+                        rrq_obs::counter_inc("storage.gc.groups");
+                        let batch = covered_records.saturating_sub(g.durable_records);
+                        g.durable_records = g.durable_records.max(covered_records);
+                        rrq_obs::observe("storage.gc.batch_records", batch);
                         self.cv.notify_all();
+                        // The leader's own record is covered by its own sync;
+                        // it returns through the `durable >= target` check
+                        // above without counting as a follower wakeup.
+                        waited = false;
                     }
                     Err(e) => {
                         // Wake followers so one of them retries as leader.
@@ -110,6 +127,7 @@ impl GroupCommit {
                     }
                 }
             } else {
+                waited = true;
                 self.cv.wait(&mut g);
             }
         }
@@ -117,7 +135,9 @@ impl GroupCommit {
 
     /// The log was truncated (checkpoint): durable offsets restart at zero.
     pub fn on_truncate(&self) {
-        self.state.lock().durable = 0;
+        let mut g = self.state.lock();
+        g.durable = 0;
+        g.durable_records = 0;
     }
 
     /// Snapshot of the batching counters.

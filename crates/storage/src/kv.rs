@@ -223,6 +223,9 @@ impl KvStore {
         let mem = load_checkpoint(ckpt_disk.as_ref())?;
         let wal = Wal::new(wal_disk);
         let outcome = replay(&wal)?;
+        rrq_obs::counter_inc("storage.recovery.runs");
+        rrq_obs::counter_add("storage.recovery.redo_records", outcome.redo.len() as u64);
+        rrq_obs::counter_add("storage.recovery.in_doubt", outcome.in_doubt.len() as u64);
 
         // Discard a torn tail (a crash mid-append left corrupt bytes on the
         // platter). Future appends must start at the valid prefix, or the
@@ -230,6 +233,7 @@ impl KvStore {
         if outcome.valid_end < wal.len() {
             let valid = wal.disk().read(0, outcome.valid_end as usize)?;
             wal.disk().reset(valid)?;
+            rrq_obs::counter_inc("storage.recovery.torn_tail_truncations");
         }
 
         let mut mem = mem;

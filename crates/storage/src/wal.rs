@@ -11,6 +11,7 @@ use crate::checksum::crc32;
 use crate::codec::{put, Reader};
 use crate::disk::Disk;
 use crate::error::{StorageError, StorageResult};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Frame marker; helps recovery distinguish "end of log" from garbage.
@@ -92,13 +93,21 @@ pub struct LogRecord {
 /// appends externally (the KV store holds its own lock around WAL access).
 pub struct Wal {
     disk: Arc<dyn Disk>,
+    /// Records appended through this instance (metrics only).
+    appended: AtomicU64,
+    /// Records covered by the last successful [`Wal::sync`] (metrics only).
+    synced: AtomicU64,
 }
 
 impl Wal {
     /// Open a log over a device. Existing contents are left untouched; call
     /// [`Wal::scan`] to read them back.
     pub fn new(disk: Arc<dyn Disk>) -> Self {
-        Wal { disk }
+        Wal {
+            disk,
+            appended: AtomicU64::new(0),
+            synced: AtomicU64::new(0),
+        }
     }
 
     /// The underlying device (for stats and crash injection in tests).
@@ -118,12 +127,30 @@ impl Wal {
         put::u32(&mut frame, body.len() as u32);
         put::u32(&mut frame, crc32(&body));
         frame.extend_from_slice(&body);
-        self.disk.append(&frame)
+        let lsn = self.disk.append(&frame)?;
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        rrq_obs::counter_inc("storage.wal.appends");
+        if kind == RecordKind::Commit {
+            rrq_obs::counter_inc("storage.wal.commit_records");
+        }
+        Ok(lsn)
     }
 
     /// Force all appended records to stable storage.
     pub fn sync(&self) -> StorageResult<()> {
-        self.disk.sync()
+        // Snapshot the record count before the device force: everything
+        // appended up to here is covered, later appends may not be.
+        let covered = self.appended.load(Ordering::SeqCst);
+        self.disk.sync()?;
+        let prev = self.synced.fetch_max(covered, Ordering::SeqCst);
+        rrq_obs::counter_inc("storage.wal.forces");
+        rrq_obs::counter_add("storage.wal.records_synced", covered.saturating_sub(prev));
+        Ok(())
+    }
+
+    /// Records appended through this instance (metrics bookkeeping).
+    pub fn records_appended(&self) -> u64 {
+        self.appended.load(Ordering::SeqCst)
     }
 
     /// Total log length in bytes.
@@ -138,7 +165,10 @@ impl Wal {
 
     /// Atomically truncate the log to empty (after a checkpoint).
     pub fn reset(&self) -> StorageResult<()> {
-        self.disk.reset(Vec::new())
+        self.disk.reset(Vec::new())?;
+        self.appended.store(0, Ordering::SeqCst);
+        self.synced.store(0, Ordering::SeqCst);
+        Ok(())
     }
 
     /// Scan the log from `start` and return every valid record.

@@ -107,6 +107,7 @@ impl LockManager {
         let mut g = self.state.lock();
         let mut waited = false;
         let mut enqueued = false;
+        let mut wait_start: Option<u64> = None;
         loop {
             let entry = g.table.entry(key.clone()).or_default();
             let held_mode = entry.holders.get(&txn).copied();
@@ -134,8 +135,16 @@ impl LockManager {
                 g.waits.clear_waiter(txn);
                 if waited {
                     g.stats.waited_grants += 1;
+                    rrq_obs::counter_inc("txn.lock.waited_grants");
+                    if let Some(start) = wait_start {
+                        rrq_obs::observe(
+                            "txn.lock.wait_ticks",
+                            rrq_obs::now().saturating_sub(start),
+                        );
+                    }
                 } else {
                     g.stats.immediate_grants += 1;
+                    rrq_obs::counter_inc("txn.lock.immediate_grants");
                 }
                 rrq_check::race::lock_acquired(key.ns, &key.key);
                 return Ok(());
@@ -162,10 +171,14 @@ impl LockManager {
                     e.waiters.retain(|w| *w != txn);
                 }
                 g.stats.deadlocks += 1;
+                rrq_obs::counter_inc("txn.lock.deadlock_victims");
                 return Err(TxnError::Deadlock { victim: txn });
             }
 
             waited = true;
+            if wait_start.is_none() {
+                wait_start = Some(rrq_obs::now());
+            }
             let now = Instant::now();
             if now >= deadline {
                 g.waits.clear_waiter(txn);
@@ -173,6 +186,7 @@ impl LockManager {
                     e.waiters.retain(|w| *w != txn);
                 }
                 g.stats.timeouts += 1;
+                rrq_obs::counter_inc("txn.lock.timeouts");
                 return Err(TxnError::LockTimeout);
             }
             let result = self.cv.wait_until(&mut g, deadline);
@@ -182,6 +196,7 @@ impl LockManager {
                     e.waiters.retain(|w| *w != txn);
                 }
                 g.stats.timeouts += 1;
+                rrq_obs::counter_inc("txn.lock.timeouts");
                 return Err(TxnError::LockTimeout);
             }
         }

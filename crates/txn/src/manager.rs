@@ -292,6 +292,7 @@ fn commit_impl(mgr: &TxnManager, id: TxnId, rms: &[Arc<dyn ResourceManager>]) ->
         0 => Ok(()),
         1 => rms[0].commit(id),
         _ => {
+            rrq_obs::counter_inc("txn.twophase.rounds");
             for rm in rms {
                 rm.prepare(id)
                     .map_err(|e| TxnError::PrepareFailed(format!("{}: {e}", rm.name())))?;
@@ -299,6 +300,7 @@ fn commit_impl(mgr: &TxnManager, id: TxnId, rms: &[Arc<dyn ResourceManager>]) ->
             if let Some(coord) = &mgr.inner.coord {
                 coord.log_decision(id, true)?;
             }
+            rrq_obs::counter_inc("txn.twophase.decisions");
             mgr.inner.stats.lock().two_phase_commits += 1;
             for rm in rms {
                 rm.commit(id)?;
