@@ -19,6 +19,11 @@ cargo build --release
 echo "== cargo test"
 cargo test -q --release
 
+echo "== E18 contention smoke (striped vs single-mutex at 4 workers)"
+# Asserts striped throughput is no worse than the shards=1 baseline on the
+# shared-queue bank workload (full sweep: experiments -- e18).
+cargo run --release -p rrq-bench --bin experiments -q -- e18 --smoke
+
 echo "== explorer smoke sweep (200 fixed-seed fault scripts)"
 # Deterministic: any failure prints the seed and a replayable script path
 # (replay with: cargo run --release -p rrq-bench --bin explore -- --replay <path>).

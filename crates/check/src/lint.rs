@@ -1,6 +1,6 @@
 //! Source-level workspace lints (plain line scanning, no parsing).
 //!
-//! Five rules over every `.rs` file under `crates/*/src`, skipping
+//! Six rules over every `.rs` file under `crates/*/src`, skipping
 //! `#[cfg(test)]` items and `//` comment lines:
 //!
 //! * **no-unwrap-in-recovery** — `unwrap()`/`expect(` are banned in the
@@ -33,6 +33,16 @@
 //!   `fn sync_through` whose nearby body issues a real `.sync(`.
 //!   Indirection through a coordinator that never forces the device would
 //!   be flagged, not allowlisted.
+//! * **shard-lock-order** — inside `crates/txn` and `crates/qm`, no scope
+//!   may acquire a second stripe guard while one is held. The striped
+//!   coordination layer's deadlock-freedom argument rests on "at most one
+//!   stripe guard per thread, `meta` strictly after it"; two stripes held
+//!   at once (in either order) reintroduces the lock-order cycles the
+//!   stripes were split to avoid. Guard acquisitions are recognised
+//!   syntactically: `.enter()` (lock-table stripe) and `.pending_shard`
+//!   (pending-map stripe) are `let`-bound guards, live until their block
+//!   closes or a `drop(` line intervenes; `.with_ready(` is a
+//!   closure-scoped guard, live only inside the closure's braces.
 //!
 //! Each lint has an allowlist file at `crates/check/lints/<lint>.allow`
 //! (one `path-suffix [:: line-fragment]` per line, `#` comments) for the
@@ -62,6 +72,14 @@ const PAT_SYNC: &str = concat!("sy", "nc(");
 const PAT_SYNC_THROUGH: &str = concat!("sync_th", "rough(");
 const PAT_FN_SYNC_THROUGH: &str = concat!("fn sync_th", "rough");
 const PAT_DOT_SYNC: &str = concat!(".sy", "nc(");
+const PAT_SHARD_ENTER: &str = concat!(".ent", "er()");
+const PAT_PENDING_SHARD: &str = concat!(".pending_", "shard");
+const PAT_WITH_READY: &str = concat!(".with_", "ready(");
+const PAT_DROP_CALL: &str = concat!("dr", "op(");
+
+/// `let`-bound stripe-guard acquisitions (`.pending_shard` prefix-matches
+/// both `.pending_shard(` and `.pending_shard_at(`).
+const SHARD_GUARD_PATS: &[&str] = &[PAT_SHARD_ENTER, PAT_PENDING_SHARD];
 
 /// The `rrq_obs` recording entry points whose first argument is a metric
 /// name. `obs::` matches both `rrq_obs::f(` and a `use rrq_obs as obs` alias.
@@ -83,6 +101,7 @@ pub const LINTS: &[&str] = &[
     "no-raw-spawn",
     "no-wallclock-in-sim",
     "commit-sync",
+    "shard-lock-order",
     "metric-catalogue",
 ];
 
@@ -260,6 +279,13 @@ fn lint_file(rel: &str, text: &str, coordinator_ok: bool, out: &mut Vec<Finding>
         rel.ends_with("storage/src/recovery.rs") || rel.ends_with("storage/src/wal.rs");
     let spawn_exempt = rel.ends_with("core/src/threads.rs");
     let sim_path = rel.contains("crates/sim/src") || rel.contains("crates/obs/src");
+    let shard_scope = rel.contains("crates/txn/src") || rel.contains("crates/qm/src");
+
+    if shard_scope {
+        for i in shard_lock_order(&lines, &scannable) {
+            push(out, "shard-lock-order", i);
+        }
+    }
 
     for i in 0..lines.len() {
         if !scannable(i) {
@@ -287,6 +313,98 @@ fn lint_file(rel: &str, text: &str, coordinator_ok: bool, out: &mut Vec<Finding>
             }
         }
     }
+}
+
+/// Line indices (0-based) where a stripe guard is acquired while another
+/// is already held — the `shard-lock-order` rule's per-file scan.
+///
+/// The tracker is a one-slot heuristic over brace depth, not a borrow
+/// checker: a `let`-bound guard ([`SHARD_GUARD_PATS`]) is considered live
+/// from its acquisition until the surrounding block closes (depth drops
+/// below the acquisition depth) or a `drop(` line intervenes; a
+/// closure-scoped guard ([`PAT_WITH_READY`]) is live only while braces
+/// opened after it remain open. Two acquisitions on one line, or an
+/// acquisition while the slot is occupied, is a finding. Guards that are
+/// really statement-temporaries (a chained `.pending_shard(t).remove(…)`)
+/// are over-approximated as live to end of block — code in scope keeps one
+/// acquisition per brace scope, which is exactly the discipline the rule
+/// exists to enforce.
+fn shard_lock_order(lines: &[&str], scannable: &impl Fn(usize) -> bool) -> Vec<usize> {
+    #[derive(Clone, Copy)]
+    enum Class {
+        /// `let`-bound guard: lives until its block closes or a `drop(`.
+        Bound,
+        /// Closure argument: lives only inside the closure's braces.
+        Scoped,
+    }
+    enum Ev {
+        Open,
+        Close,
+        Acq(Class),
+    }
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut active: Option<(Class, i64)> = None;
+    for (i, &line) in lines.iter().enumerate() {
+        if !scannable(i) {
+            continue;
+        }
+        if line.contains(PAT_DROP_CALL) && matches!(active, Some((Class::Bound, _))) {
+            active = None;
+        }
+        let mut events: Vec<(usize, Ev)> = line
+            .char_indices()
+            .filter_map(|(pos, ch)| match ch {
+                '{' => Some((pos, Ev::Open)),
+                '}' => Some((pos, Ev::Close)),
+                _ => None,
+            })
+            .collect();
+        let find_all = |pat: &str, class: Class, events: &mut Vec<(usize, Ev)>| {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(pat) {
+                events.push((from + pos, Ev::Acq(class)));
+                from += pos + pat.len();
+            }
+        };
+        for pat in SHARD_GUARD_PATS {
+            find_all(pat, Class::Bound, &mut events);
+        }
+        find_all(PAT_WITH_READY, Class::Scoped, &mut events);
+        events.sort_by_key(|(pos, _)| *pos);
+        for (_, ev) in events {
+            match ev {
+                Ev::Open => depth += 1,
+                Ev::Close => {
+                    depth -= 1;
+                    if let Some((class, d)) = active {
+                        let released = match class {
+                            Class::Bound => depth < d,
+                            Class::Scoped => depth <= d,
+                        };
+                        if released {
+                            active = None;
+                        }
+                    }
+                }
+                Ev::Acq(class) => {
+                    if active.is_some() {
+                        out.push(i);
+                    } else {
+                        active = Some((class, depth));
+                    }
+                }
+            }
+        }
+        // A closure-scoped guard whose closure stayed on one line (no brace
+        // ever opened) dies with its own statement.
+        if let Some((Class::Scoped, d)) = active {
+            if depth <= d {
+                active = None;
+            }
+        }
+    }
+    out
 }
 
 /// Cross-file pass for the `metric-catalogue` rule: collect every metric
@@ -618,6 +736,89 @@ mod tests {
         let out = run(&root.0).unwrap();
         assert_eq!(out.findings.len(), 1);
         assert_eq!(out.findings[0].lint, "no-wallclock-in-sim");
+    }
+
+    #[test]
+    fn second_stripe_guard_while_one_held_is_flagged() {
+        let root = TempRoot::new();
+        let src = format!(
+            "fn f(&self) {{\n    let a = self.shards[0]{e};\n    let b = self.shards[1]{e};\n}}\n",
+            e = PAT_SHARD_ENTER
+        );
+        root.write("crates/txn/src/lock.rs", &src);
+        let out = run(&root.0).unwrap();
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].lint, "shard-lock-order");
+        assert_eq!(out.findings[0].line, 3);
+    }
+
+    #[test]
+    fn sequential_stripe_scopes_are_clean() {
+        let root = TempRoot::new();
+        // One guard per brace scope: a loop body re-acquiring each
+        // iteration, then a fresh acquisition after the loop has closed.
+        let src = format!(
+            "fn f(&self) {{\n    for s in self.shards.iter() {{\n        let g = s{e};\n    }}\n    let g = self.shards[0]{e};\n}}\nfn g(&self, t: u64) {{\n    let p = self{ps}(t);\n}}\n",
+            e = PAT_SHARD_ENTER,
+            ps = PAT_PENDING_SHARD
+        );
+        root.write("crates/qm/src/ops.rs", &src);
+        let out = run(&root.0).unwrap();
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn drop_releases_a_bound_guard() {
+        let root = TempRoot::new();
+        let src = format!(
+            "fn f(&self) {{\n    let a = self.shards[0]{e};\n    drop(a);\n    let b = self.shards[1]{e};\n}}\n",
+            e = PAT_SHARD_ENTER
+        );
+        root.write("crates/txn/src/lock.rs", &src);
+        let out = run(&root.0).unwrap();
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn stripe_guard_inside_with_ready_closure_is_flagged() {
+        let root = TempRoot::new();
+        let src = format!(
+            "fn f(&self, t: u64) {{\n    self{wr}\"q\", true, |m| {{\n        let p = self{ps}(t);\n    }});\n}}\n",
+            wr = PAT_WITH_READY,
+            ps = PAT_PENDING_SHARD
+        );
+        root.write("crates/qm/src/ops.rs", &src);
+        let out = run(&root.0).unwrap();
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].lint, "shard-lock-order");
+        assert_eq!(out.findings[0].line, 3);
+    }
+
+    #[test]
+    fn with_ready_scope_ends_with_its_closure() {
+        let root = TempRoot::new();
+        // A multi-line closure, then a one-line closure, then a bound
+        // guard: each scope ends before the next acquisition, so all clean.
+        let src = format!(
+            "fn f(&self, t: u64) {{\n    self{wr}\"q\", true, |m| {{\n        m.clear();\n    }});\n    let n = self{wr}\"q\", false, |m| m.len());\n    let p = self{ps}(t);\n}}\n",
+            wr = PAT_WITH_READY,
+            ps = PAT_PENDING_SHARD
+        );
+        root.write("crates/qm/src/qindex.rs", &src);
+        let out = run(&root.0).unwrap();
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn stripe_guards_outside_txn_and_qm_are_out_of_scope() {
+        let root = TempRoot::new();
+        let src = format!(
+            "fn f(&self) {{\n    let a = self.shards[0]{e};\n    let b = self.shards[1]{e};\n}}\n",
+            e = PAT_SHARD_ENTER
+        );
+        root.write("crates/storage/src/kv.rs", &src);
+        let out = run(&root.0).unwrap();
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
     }
 
     fn catalogue(rows: &[&str]) -> String {

@@ -47,5 +47,5 @@ pub use error::{QmError, QmResult};
 pub use meta::{OrderingMode, QueueMeta};
 pub use ops::{DequeueOptions, EnqueueOptions, QueueHandle, QueueManager};
 pub use registration::Registration;
-pub use repository::Repository;
+pub use repository::{RepoDisks, RepoOptions, Repository};
 pub use retrieval::Predicate;

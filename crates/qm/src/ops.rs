@@ -37,7 +37,7 @@ use crate::qindex::QueueIndex;
 use crate::registration::{LastOp, Registration};
 use crate::retrieval::Predicate;
 use crate::trigger::Trigger;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use rrq_storage::codec::{put, Decode, Encode, Reader};
 use rrq_storage::kv::KvStore;
 use rrq_txn::{
@@ -165,7 +165,12 @@ pub struct QueueManager {
     volatile: Arc<KvStore>,
     locks: Arc<LockManager>,
     notifier: QueueNotifier,
-    pending: Mutex<HashMap<u64, PendingTxn>>,
+    /// Open-transaction bookkeeping, striped by transaction id so concurrent
+    /// servers enlisting different transactions don't share one mutex. Each
+    /// access touches exactly one stripe; the kill-element poison scan walks
+    /// the stripes one at a time (never two guards at once — enforced by the
+    /// `shard-lock-order` rrq-lint rule).
+    pending: Box<[Mutex<HashMap<u64, PendingTxn>>]>,
     /// Committed ready-lists per queue — the dequeue/depth hot path. Kept in
     /// lock-step with the stores at commit/abort/kill/destroy boundaries and
     /// rebuilt from a storage scan on restart.
@@ -188,16 +193,33 @@ pub struct QueueManager {
 /// How many candidates a dequeue scan decodes per storage page.
 const SCAN_PAGE: usize = 64;
 
+/// Default stripe count for the pending-transaction map; matches the lock
+/// manager's default. `with_shards(.., 1)` restores the single-mutex
+/// behaviour for baselines and differential tests.
+pub const DEFAULT_PENDING_SHARDS: usize = 16;
+
 impl QueueManager {
     /// Build a manager over a durable store and a volatile store, sharing the
-    /// node's lock manager. Bumps and persists the repository epoch (element
-    /// ids and sequence numbers from this incarnation sort after every
-    /// earlier one).
+    /// node's lock manager, with the default pending-map stripe count.
     pub fn new(
         name: impl Into<String>,
         durable: Arc<KvStore>,
         volatile: Arc<KvStore>,
         locks: Arc<LockManager>,
+    ) -> QmResult<Arc<Self>> {
+        Self::with_shards(name, durable, volatile, locks, DEFAULT_PENDING_SHARDS)
+    }
+
+    /// Build a manager striping the pending-transaction map `shards` ways
+    /// (`shards >= 1`). Bumps and persists the repository epoch (element
+    /// ids and sequence numbers from this incarnation sort after every
+    /// earlier one).
+    pub fn with_shards(
+        name: impl Into<String>,
+        durable: Arc<KvStore>,
+        volatile: Arc<KvStore>,
+        locks: Arc<LockManager>,
+        shards: usize,
     ) -> QmResult<Arc<Self>> {
         let sys_ids = TxnIdGen::new(1 << 56);
         // Bump the epoch in a system transaction.
@@ -232,7 +254,10 @@ impl QueueManager {
             volatile,
             locks,
             notifier: QueueNotifier::new(),
-            pending: Mutex::new(HashMap::new()),
+            pending: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             qindex,
             use_index: AtomicBool::new(true),
             sys_ids,
@@ -253,6 +278,29 @@ impl QueueManager {
     /// The repository epoch of this incarnation.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The stripe of the pending map that owns `txn`'s bookkeeping.
+    fn pending_shard(&self, txn: u64) -> MutexGuard<'_, HashMap<u64, PendingTxn>> {
+        self.pending_shard_at(txn as usize % self.pending.len())
+    }
+
+    /// Acquire stripe `i` of the pending map, counting contended
+    /// acquisitions (one extra CAS on the uncontended path; the metrics are
+    /// no-ops unless a Session is installed).
+    fn pending_shard_at(&self, i: usize) -> MutexGuard<'_, HashMap<u64, PendingTxn>> {
+        let m = &self.pending[i];
+        if let Some(g) = m.try_lock() {
+            return g;
+        }
+        rrq_obs::counter_inc("qm.pending.shard.contended");
+        let start = rrq_obs::now();
+        let g = m.lock();
+        rrq_obs::observe(
+            "qm.pending.shard.acquire_wait_ticks",
+            rrq_obs::now().saturating_sub(start),
+        );
+        g
     }
 
     /// Counter snapshot.
@@ -538,7 +586,7 @@ impl QueueManager {
             )?;
         }
         {
-            let mut g = self.pending.lock();
+            let mut g = self.pending_shard(txn);
             let p = g.entry(txn).or_default();
             p.enqueued.push(EnqueuedRef {
                 queue: meta.name.clone(),
@@ -671,8 +719,7 @@ impl QueueManager {
                 &elem.payload,
             )?;
         }
-        self.pending
-            .lock()
+        self.pending_shard(txn)
             .entry(txn)
             .or_default()
             .dequeued
@@ -705,7 +752,7 @@ impl QueueManager {
         let ns = self.ns_of(&meta.name);
         // This transaction's own uncommitted overlay for the queue.
         let (own_enq, own_deq) = {
-            let g = self.pending.lock();
+            let g = self.pending_shard(txn);
             match g.get(&txn) {
                 None => (Vec::new(), HashSet::new()),
                 Some(p) => {
@@ -996,10 +1043,14 @@ impl QueueManager {
                         self.durable.put(t, &keys::kill_key(eid), &[1])?;
                         Ok(())
                     })?;
-                    let mut g = self.pending.lock();
-                    for p in g.values_mut() {
-                        if p.dequeued.iter().any(|d| d.eid == eid) {
-                            p.poisoned = Some(eid);
+                    // Walk the stripes one at a time; a dequeuer lives in
+                    // exactly one, and holding two guards is never needed.
+                    for i in 0..self.pending.len() {
+                        let mut g = self.pending_shard_at(i);
+                        for p in g.values_mut() {
+                            if p.dequeued.iter().any(|d| d.eid == eid) {
+                                p.poisoned = Some(eid);
+                            }
                         }
                     }
                     self.stats.lock().kills += 1;
@@ -1395,16 +1446,20 @@ impl ResourceManager for QueueManager {
     fn begin(&self, txn: TxnId) -> TxnResult<()> {
         self.durable.begin(txn.raw())?;
         self.volatile.begin(txn.raw())?;
-        self.pending.lock().insert(txn.raw(), PendingTxn::default());
+        self.pending_shard(txn.raw())
+            .insert(txn.raw(), PendingTxn::default());
         Ok(())
     }
 
     fn prepare(&self, txn: TxnId) -> TxnResult<()> {
-        if let Some(p) = self.pending.lock().get(&txn.raw()) {
-            if let Some(eid) = p.poisoned {
-                return Err(TxnError::InvalidState(format!(
-                    "element {eid} cancelled; transaction must abort"
-                )));
+        {
+            let g = self.pending_shard(txn.raw());
+            if let Some(p) = g.get(&txn.raw()) {
+                if let Some(eid) = p.poisoned {
+                    return Err(TxnError::InvalidState(format!(
+                        "element {eid} cancelled; transaction must abort"
+                    )));
+                }
             }
         }
         self.durable.prepare(txn.raw())?;
@@ -1414,16 +1469,22 @@ impl ResourceManager for QueueManager {
 
     fn commit(&self, txn: TxnId) -> TxnResult<()> {
         // One-phase path: the poison check runs here too.
-        if let Some(p) = self.pending.lock().get(&txn.raw()) {
-            if let Some(eid) = p.poisoned {
-                return Err(TxnError::InvalidState(format!(
-                    "element {eid} cancelled; transaction must abort"
-                )));
+        {
+            let g = self.pending_shard(txn.raw());
+            if let Some(p) = g.get(&txn.raw()) {
+                if let Some(eid) = p.poisoned {
+                    return Err(TxnError::InvalidState(format!(
+                        "element {eid} cancelled; transaction must abort"
+                    )));
+                }
             }
         }
         self.durable.commit(txn.raw())?;
         self.volatile.commit(txn.raw())?;
-        let pend = self.pending.lock().remove(&txn.raw()).unwrap_or_default();
+        let pend = self
+            .pending_shard(txn.raw())
+            .remove(&txn.raw())
+            .unwrap_or_default();
         // Mirror the committed effects into the ready index *before* waking
         // anyone: a dequeuer signalled below must find the new entries.
         // Insert-then-remove keeps an enqueue-then-dequeue of the same
@@ -1462,7 +1523,10 @@ impl ResourceManager for QueueManager {
     fn abort(&self, txn: TxnId) -> TxnResult<()> {
         self.durable.abort(txn.raw())?;
         self.volatile.abort(txn.raw())?;
-        let pend = self.pending.lock().remove(&txn.raw()).unwrap_or_default();
+        let pend = self
+            .pending_shard(txn.raw())
+            .remove(&txn.raw())
+            .unwrap_or_default();
         for d in &pend.dequeued {
             self.handle_aborted_dequeue(d, 1)
                 .map_err(|e| TxnError::InvalidState(e.to_string()))?;

@@ -17,6 +17,28 @@
 //! between candidate selection and lock acquisition — dequeue re-reads under
 //! the element lock, exactly as the scan path always has.
 //!
+//! ## Locking
+//!
+//! Queues are independent hot spots (§10 argues relaxed ordering exists so
+//! concurrent servers don't serialize on shared queue state), so the index
+//! gives each queue its own mutex under an outer `RwLock`'d map:
+//!
+//! * single-queue operations (insert, remove, depth, candidate paging) take
+//!   the outer **read** lock plus that queue's mutex for their whole
+//!   critical section — commits on different queues, and enqueue-commit vs
+//!   dequeue-commit racing on the same queue, no longer share one mutex;
+//! * cross-queue operations ([`QueueIndex::fixup`]'s error-queue moves) and
+//!   whole-index reads (`snapshot`, `depth_accounting`, `total`,
+//!   `clear_queue`) take the outer **write** lock, which excludes every
+//!   single-queue writer wholesale — under it the per-queue mutexes are
+//!   untouched via `Mutex::get_mut`, so no path ever holds two per-queue
+//!   guards (the `shard-lock-order` rrq-lint rule enforces this).
+//!
+//! The depth gauge still moves strictly inside the per-queue (or
+//! whole-index) critical section, so the gauge and `total()` can never be
+//! observed disagreeing — the PR 4 invariant pinned by
+//! `crates/qm/tests/gauge_atomicity.rs`.
+//!
 //! On restart the index is rebuilt from a single scan of the stores
 //! (volatile queues come back empty, so in practice this is the durable
 //! store's `e/` prefix). `QueueManager::index_divergence` re-derives the
@@ -24,27 +46,47 @@
 //! crash-equivalence property test in `crates/sim` leans on it.
 
 use crate::element::Eid;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::{BTreeMap, HashMap};
 
-/// The queue-depth gauge. Updated strictly inside the index's own mutex so
-/// the gauge and `total()` can never be observed disagreeing — the abort
-/// disposition fix-up used to remove and re-insert in two critical
-/// sections, and a concurrent `depth()`/gauge reader saw the element
-/// missing from one but not the other (see [`QueueIndex::fixup`]).
+/// The queue-depth gauge. Updated strictly inside the per-queue (or
+/// whole-index) critical section so the gauge and `total()` can never be
+/// observed disagreeing — the abort disposition fix-up used to remove and
+/// re-insert in two critical sections, and a concurrent `depth()`/gauge
+/// reader saw the element missing from one but not the other (see
+/// [`QueueIndex::fixup`]).
 const DEPTH_GAUGE: &str = "qm.queue.depth";
 
-type Ready = HashMap<String, BTreeMap<Vec<u8>, Eid>>;
+type ReadyMap = BTreeMap<Vec<u8>, Eid>;
+type Ready = HashMap<String, Mutex<ReadyMap>>;
 
 /// Ordered ready-lists for every queue, keyed by element key.
 #[derive(Default)]
 pub struct QueueIndex {
-    inner: Mutex<Ready>,
+    queues: RwLock<Ready>,
 }
 
+/// Acquire one queue's mutex, counting contended acquisitions (no-op cost —
+/// one CAS — unless the lock is busy or a metrics session is installed).
+fn enter_cell(cell: &Mutex<ReadyMap>) -> MutexGuard<'_, ReadyMap> {
+    if let Some(g) = cell.try_lock() {
+        return g;
+    }
+    rrq_obs::counter_inc("qm.qindex.shard.contended");
+    let start = rrq_obs::now();
+    let g = cell.lock();
+    rrq_obs::observe(
+        "qm.qindex.shard.acquire_wait_ticks",
+        rrq_obs::now().saturating_sub(start),
+    );
+    g
+}
+
+/// Insert under the outer write lock (cross-queue fix-up path).
 fn insert_locked(g: &mut Ready, queue: &str, elem_key: Vec<u8>, eid: Eid) {
     if g.entry(queue.to_string())
         .or_default()
+        .get_mut()
         .insert(elem_key, eid)
         .is_none()
     {
@@ -52,14 +94,12 @@ fn insert_locked(g: &mut Ready, queue: &str, elem_key: Vec<u8>, eid: Eid) {
     }
 }
 
+/// Remove under the outer write lock (cross-queue fix-up path).
 fn remove_locked(g: &mut Ready, queue: &str, elem_key: &[u8]) -> bool {
     let Some(m) = g.get_mut(queue) else {
         return false;
     };
-    let hit = m.remove(elem_key).is_some();
-    if m.is_empty() {
-        g.remove(queue);
-    }
+    let hit = m.get_mut().remove(elem_key).is_some();
     if hit {
         rrq_obs::gauge_add(DEPTH_GAUGE, -1);
     }
@@ -72,26 +112,66 @@ impl QueueIndex {
         Self::default()
     }
 
+    /// Run `f` inside `queue`'s own critical section: outer read lock +
+    /// per-queue mutex, held together for the whole closure so whole-index
+    /// readers (which take the outer write lock) serialize against it.
+    /// `None` when the queue has no cell yet and `create` is false.
+    fn with_ready<R>(
+        &self,
+        queue: &str,
+        create: bool,
+        f: impl FnOnce(&mut ReadyMap) -> R,
+    ) -> Option<R> {
+        {
+            let g = self.queues.read();
+            if let Some(cell) = g.get(queue) {
+                let mut m = enter_cell(cell);
+                return Some(f(&mut m));
+            }
+        }
+        if !create {
+            return None;
+        }
+        // First element ever seen for this queue: briefly take the outer
+        // write lock to materialize its cell (rare — once per queue name).
+        let mut g = self.queues.write();
+        let cell = g.entry(queue.to_string()).or_default();
+        Some(f(cell.get_mut()))
+    }
+
     /// Record a committed element.
     pub fn insert(&self, queue: &str, elem_key: Vec<u8>, eid: Eid) {
-        insert_locked(&mut self.inner.lock(), queue, elem_key, eid);
+        self.with_ready(queue, true, |m| {
+            if m.insert(elem_key, eid).is_none() {
+                rrq_obs::gauge_add(DEPTH_GAUGE, 1);
+            }
+        });
     }
 
     /// Drop a committed element; `true` if it was present.
     pub fn remove(&self, queue: &str, elem_key: &[u8]) -> bool {
-        remove_locked(&mut self.inner.lock(), queue, elem_key)
+        self.with_ready(queue, false, |m| {
+            let hit = m.remove(elem_key).is_some();
+            if hit {
+                rrq_obs::gauge_add(DEPTH_GAUGE, -1);
+            }
+            hit
+        })
+        .unwrap_or(false)
     }
 
     /// Apply an abort-disposition fix-up as one atomic step: drop the
     /// element's old entry and add its new one (error-queue move, requeue,
     /// return) inside a single critical section, so index contents and the
     /// depth gauge move together and no observer sees the element half-way.
+    /// May span two queues, hence the outer write lock rather than a pair of
+    /// per-queue guards.
     pub fn fixup(
         &self,
         remove: Option<(&str, &[u8])>,
         insert: Option<(&str, Vec<u8>, Eid)>,
     ) -> bool {
-        let mut g = self.inner.lock();
+        let mut g = self.queues.write();
         let hit = match remove {
             Some((q, k)) => remove_locked(&mut g, q, k),
             None => false,
@@ -106,8 +186,8 @@ impl QueueIndex {
     /// they must always be equal while a metrics session is active and the
     /// whole index lifetime falls inside it.
     pub fn depth_accounting(&self) -> (usize, i64) {
-        let g = self.inner.lock();
-        let total = g.values().map(BTreeMap::len).sum();
+        let mut g = self.queues.write();
+        let total = g.values_mut().map(|c| c.get_mut().len()).sum();
         let gauge = rrq_obs::snapshot().gauge(DEPTH_GAUGE);
         (total, gauge)
     }
@@ -115,14 +195,14 @@ impl QueueIndex {
     /// Number of live elements in `queue` — O(1) in the queue count, no
     /// storage scan.
     pub fn depth(&self, queue: &str) -> usize {
-        self.inner.lock().get(queue).map_or(0, BTreeMap::len)
+        self.with_ready(queue, false, |m| m.len()).unwrap_or(0)
     }
 
     /// Forget a destroyed queue wholesale.
     pub fn clear_queue(&self, queue: &str) {
-        let mut g = self.inner.lock();
-        if let Some(m) = g.remove(queue) {
-            rrq_obs::gauge_add(DEPTH_GAUGE, -(m.len() as i64));
+        let mut g = self.queues.write();
+        if let Some(mut m) = g.remove(queue) {
+            rrq_obs::gauge_add(DEPTH_GAUGE, -(m.get_mut().len() as i64));
         }
     }
 
@@ -135,34 +215,38 @@ impl QueueIndex {
         limit: usize,
     ) -> Vec<(Vec<u8>, Eid)> {
         use std::ops::Bound;
-        let g = self.inner.lock();
-        let Some(m) = g.get(queue) else {
-            return Vec::new();
-        };
-        let lower = match after {
-            Some(a) => Bound::Excluded(a),
-            None => Bound::Unbounded,
-        };
-        m.range::<[u8], _>((lower, Bound::Unbounded))
-            .take(limit)
-            .map(|(k, &eid)| (k.clone(), eid))
-            .collect()
+        self.with_ready(queue, false, |m| {
+            let lower = match after {
+                Some(a) => Bound::Excluded(a),
+                None => Bound::Unbounded,
+            };
+            m.range::<[u8], _>((lower, Bound::Unbounded))
+                .take(limit)
+                .map(|(k, &eid)| (k.clone(), eid))
+                .collect()
+        })
+        .unwrap_or_default()
     }
 
     /// Full ordered dump, sorted by queue name — the comparison shape used
     /// by the equivalence check.
     pub fn snapshot(&self) -> BTreeMap<String, Vec<(Vec<u8>, Eid)>> {
-        self.inner
-            .lock()
-            .iter()
-            .filter(|(_, m)| !m.is_empty())
-            .map(|(q, m)| (q.clone(), m.iter().map(|(k, &e)| (k.clone(), e)).collect()))
+        let mut g = self.queues.write();
+        g.iter_mut()
+            .filter_map(|(q, m)| {
+                let m = m.get_mut();
+                if m.is_empty() {
+                    return None;
+                }
+                Some((q.clone(), m.iter().map(|(k, &e)| (k.clone(), e)).collect()))
+            })
             .collect()
     }
 
     /// Total live elements across all queues.
     pub fn total(&self) -> usize {
-        self.inner.lock().values().map(BTreeMap::len).sum()
+        let mut g = self.queues.write();
+        g.values_mut().map(|c| c.get_mut().len()).sum()
     }
 }
 
@@ -171,8 +255,8 @@ impl Drop for QueueIndex {
         // Retire this index's contribution to the process-wide depth gauge
         // (a crashed node's surviving elements re-enter through the rebuild
         // scan of its successor, so crash + restart nets zero for them).
-        let g = self.inner.get_mut();
-        let total: usize = g.values().map(BTreeMap::len).sum();
+        let mut g = self.queues.write();
+        let total: usize = g.values_mut().map(|c| c.get_mut().len()).sum();
         rrq_obs::gauge_add(DEPTH_GAUGE, -(total as i64));
     }
 }
@@ -181,6 +265,7 @@ impl Drop for QueueIndex {
 mod tests {
     use super::*;
     use crate::keys;
+    use std::sync::Arc;
 
     #[test]
     fn candidates_come_back_in_dequeue_order() {
@@ -232,5 +317,31 @@ mod tests {
         ix.clear_queue("q");
         assert_eq!(ix.depth("q"), 0);
         assert_eq!(ix.total(), 1);
+    }
+
+    #[test]
+    fn parallel_queues_do_not_corrupt_totals() {
+        // Hammer two disjoint queues from two threads while a third asks for
+        // whole-index totals; every observation must be internally sane.
+        let ix = Arc::new(QueueIndex::new());
+        let mut handles = Vec::new();
+        for q in ["qa", "qb"] {
+            let ix = Arc::clone(&ix);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    let k = keys::element_key(q, 0, i);
+                    ix.insert(q, k.clone(), Eid(i));
+                    assert!(ix.remove(q, &k));
+                }
+            }));
+        }
+        for _ in 0..200 {
+            let t = ix.total();
+            assert!(t <= 2, "at most one in-flight element per queue, saw {t}");
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ix.total(), 0);
     }
 }

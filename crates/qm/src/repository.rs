@@ -11,11 +11,14 @@
 use crate::error::{QmError, QmResult};
 use crate::meta::QueueMeta;
 use crate::ops::QueueManager;
-use rrq_storage::disk::{CrashStyle, SimDisk, TornWriteMode};
+use rrq_storage::disk::{CrashStyle, Disk, LatencyDisk, SimDisk, TornWriteMode};
 use rrq_storage::kv::{KvOptions, KvStore};
 use rrq_storage::recovery::RecoveryReport;
-use rrq_txn::{CoordinatorLog, KvResource, LockManager, ResourceManager, Txn, TxnManager};
+use rrq_txn::{
+    CoordinatorLog, KvResource, LockManager, ResourceManager, Txn, TxnManager, DEFAULT_LOCK_SHARDS,
+};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The stable devices backing a repository. Clone-shared: keep a copy to
 /// crash and reopen the "same disks" in tests and simulations.
@@ -55,6 +58,30 @@ impl RepoDisks {
     }
 }
 
+/// Tuning knobs for [`Repository::open_with`]. `Default` is what
+/// [`Repository::open`] uses; `shards: 1` restores the pre-striping
+/// single-mutex coordination layer (the E18 baseline).
+#[derive(Debug, Clone)]
+pub struct RepoOptions {
+    /// Stripe count for the lock table and the pending-transaction map.
+    pub shards: usize,
+    /// Durable-store options (group commit, sync policy).
+    pub kv: KvOptions,
+    /// When set, wrap the WAL device in a [`LatencyDisk`] charging this much
+    /// per force — models a real storage device for contention experiments.
+    pub wal_sync_latency: Option<Duration>,
+}
+
+impl Default for RepoOptions {
+    fn default() -> Self {
+        RepoOptions {
+            shards: DEFAULT_LOCK_SHARDS,
+            kv: KvOptions::default(),
+            wal_sync_latency: None,
+        }
+    }
+}
+
 /// An open repository.
 pub struct Repository {
     name: String,
@@ -65,14 +92,23 @@ pub struct Repository {
 }
 
 impl Repository {
-    /// Open (or recover) the repository on `disks`.
+    /// Open (or recover) the repository on `disks` with default options.
     pub fn open(name: impl Into<String>, disks: RepoDisks) -> QmResult<(Self, RecoveryReport)> {
+        Self::open_with(name, disks, RepoOptions::default())
+    }
+
+    /// Open (or recover) the repository on `disks` with explicit tuning.
+    pub fn open_with(
+        name: impl Into<String>,
+        disks: RepoDisks,
+        opts: RepoOptions,
+    ) -> QmResult<(Self, RecoveryReport)> {
         let name = name.into();
-        let (store, report) = KvStore::open(
-            Arc::new(disks.wal.clone()),
-            Arc::new(disks.ckpt.clone()),
-            KvOptions::default(),
-        )?;
+        let wal: Arc<dyn Disk> = match opts.wal_sync_latency {
+            Some(cost) => Arc::new(LatencyDisk::new(Arc::new(disks.wal.clone()), cost)),
+            None => Arc::new(disks.wal.clone()),
+        };
+        let (store, report) = KvStore::open(wal, Arc::new(disks.ckpt.clone()), opts.kv)?;
 
         // Volatile queues: a brand-new in-memory store each incarnation.
         let (volatile, _) = KvStore::open(
@@ -84,7 +120,7 @@ impl Repository {
             },
         )?;
 
-        let locks = Arc::new(LockManager::new());
+        let locks = Arc::new(LockManager::with_shards(opts.shards));
         let coord = CoordinatorLog::new(Arc::new(disks.coord.clone()));
         let tm = TxnManager::new(Arc::clone(&locks), Some(coord), 1);
 
@@ -94,7 +130,13 @@ impl Repository {
             tm.resolve_in_doubt(&rm, &report.in_doubt)?;
         }
 
-        let qm = QueueManager::new(format!("qm/{name}"), Arc::clone(&store), volatile, locks)?;
+        let qm = QueueManager::with_shards(
+            format!("qm/{name}"),
+            Arc::clone(&store),
+            volatile,
+            locks,
+            opts.shards,
+        )?;
 
         Ok((
             Repository {
@@ -244,6 +286,36 @@ mod tests {
         let (repo2, _) = Repository::open("r3", disks).unwrap();
         // The queue still exists (metadata is durable) but is empty.
         assert_eq!(repo2.qm().depth("vol").unwrap(), 0);
+    }
+
+    #[test]
+    fn shards_one_baseline_still_works_end_to_end() {
+        let disks = RepoDisks::new();
+        let opts = RepoOptions {
+            shards: 1,
+            ..RepoOptions::default()
+        };
+        let (repo, _) = Repository::open_with("r5", disks.clone(), opts.clone()).unwrap();
+        repo.create_queue_defaults("q").unwrap();
+        let (h, _) = repo.qm().register("q", "c", true).unwrap();
+        repo.autocommit(|t| {
+            repo.qm()
+                .enqueue(t.id().raw(), &h, b"one", EnqueueOptions::default())
+        })
+        .unwrap();
+        drop(repo);
+        disks.crash();
+        let (repo2, _) = Repository::open_with("r5", disks, opts).unwrap();
+        assert_eq!(repo2.qm().depth("q").unwrap(), 1);
+        let (h, _) = repo2.qm().register("q", "s", false).unwrap();
+        let e = repo2
+            .autocommit(|t| {
+                repo2
+                    .qm()
+                    .dequeue(t.id().raw(), &h, DequeueOptions::default())
+            })
+            .unwrap();
+        assert_eq!(e.payload, b"one");
     }
 
     #[test]

@@ -170,6 +170,75 @@ fn rebuilt_index_matches_scan_across_generated_crash_schedules() {
     }
 }
 
+/// PR 5 regression for the per-queue ready lists: crash the server while a
+/// dequeue is in flight on each of two distinct queues at once, then check
+/// every rebuilt per-queue index against a fresh scan. With the index now
+/// locked per queue, recovery must still see one coherent whole — both
+/// in-flight dequeues rolled back, no element left locked on either queue.
+#[test]
+fn crash_mid_dequeue_on_two_queues_rebuilds_each_queue_index() {
+    let disks = RepoDisks::new();
+    {
+        let (repo, _) = Repository::open("two-q", disks.clone()).unwrap();
+        create_queues(&repo);
+        let (hr, _) = repo.qm().register("req", "c", false).unwrap();
+        let (hb, _) = repo.qm().register("back", "c", false).unwrap();
+        for k in 0..4u64 {
+            repo.autocommit(|t| {
+                let txn = t.id().raw();
+                repo.qm().enqueue(
+                    txn,
+                    &hr,
+                    format!("r{k}").as_bytes(),
+                    EnqueueOptions::default(),
+                )?;
+                repo.qm().enqueue(
+                    txn,
+                    &hb,
+                    format!("b{k}").as_bytes(),
+                    EnqueueOptions::default(),
+                )
+            })
+            .unwrap();
+        }
+        // One dequeue mid-flight per queue, in two separate transactions,
+        // both unresolved at crash time.
+        let t1 = repo.begin().unwrap();
+        repo.qm()
+            .dequeue(t1.id().raw(), &hr, DequeueOptions::default())
+            .unwrap();
+        let t2 = repo.begin().unwrap();
+        repo.qm()
+            .dequeue(t2.id().raw(), &hb, DequeueOptions::default())
+            .unwrap();
+        std::mem::forget(t1);
+        std::mem::forget(t2);
+        disks.crash();
+    }
+    let (repo, _) = Repository::open("two-q", disks).unwrap();
+    assert_equivalent(&repo, "two-queue mid-dequeue crash");
+    for q in ["req", "back"] {
+        assert_eq!(
+            repo.qm().depth(q).unwrap(),
+            4,
+            "in-flight dequeue on {q:?} rolled back on restart"
+        );
+    }
+    // Both queues must be fully servable after the rebuild.
+    let (hr, _) = repo.qm().register("req", "s", false).unwrap();
+    let (hb, _) = repo.qm().register("back", "s", false).unwrap();
+    for h in [hr, hb] {
+        for _ in 0..4 {
+            repo.autocommit(|t| {
+                repo.qm()
+                    .dequeue(t.id().raw(), &h, DequeueOptions::default())
+            })
+            .unwrap();
+        }
+    }
+    assert_equivalent(&repo, "two-queue drain");
+}
+
 #[test]
 fn torn_tail_modes_each_rebuild_equivalently() {
     use rrq_storage::disk::TornWriteMode;

@@ -30,7 +30,7 @@ pub mod twophase;
 
 pub use error::{TxnError, TxnResult};
 pub use ids::{TxnId, TxnIdGen};
-pub use lock::{LockKey, LockManager, LockMode};
+pub use lock::{LockKey, LockManager, LockMode, DEFAULT_LOCK_SHARDS};
 pub use manager::{Txn, TxnManager};
 pub use rm::{KvResource, ResourceManager};
 pub use twophase::CoordinatorLog;

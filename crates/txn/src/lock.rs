@@ -11,12 +11,28 @@
 //! * Deadlocks are detected with a waits-for graph at block time; the
 //!   requester is the victim, so a server can abort (returning its request to
 //!   the queue per §5) and retry.
+//!
+//! The table is hash-striped into [`LockManager::shard_count`] shards, each
+//! with its own mutex + condvar and its own slice of the per-txn held-sets,
+//! so concurrent servers working on unrelated keys no longer serialize on one
+//! global mutex (§2's contention argument, measured by E18). The waits-for
+//! graph and the counters stay behind one small separate lock — deadlock
+//! detection must see edges across every shard to find cross-shard cycles,
+//! and victim selection at block time is unchanged. Lock order is strictly
+//! shard → meta, and no path ever holds two shard guards at once (enforced by
+//! the `shard-lock-order` rrq-lint rule).
 
 use crate::deadlock::WaitsForGraph;
 use crate::error::{TxnError, TxnResult};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
+
+/// Default stripe count for [`LockManager::new`]. Sixteen keeps the
+/// birthday-collision rate for a handful of hot keys low without bloating
+/// the per-manager footprint; `with_shards(1)` restores the pre-striping
+/// single-mutex behaviour for baselines and differential tests.
+pub const DEFAULT_LOCK_SHARDS: usize = 16;
 
 /// Lock compatibility modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,26 +84,107 @@ pub struct LockStats {
     pub timeouts: u64,
 }
 
+/// One stripe of the lock table: the entries whose keys hash here, plus the
+/// slice of each transaction's held-set that lives on this stripe.
 #[derive(Default)]
-struct State {
+struct ShardState {
     table: HashMap<LockKey, Entry>,
     held: HashMap<u64, HashSet<LockKey>>,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    cv: Condvar,
+}
+
+impl Shard {
+    /// Acquire this shard's mutex, counting contended acquisitions. The
+    /// `try_lock` fast path costs one CAS; only the slow path touches the
+    /// metrics (which are themselves no-ops unless a Session is installed).
+    fn enter(&self) -> MutexGuard<'_, ShardState> {
+        if let Some(g) = self.state.try_lock() {
+            return g;
+        }
+        rrq_obs::counter_inc("txn.lock.shard.contended");
+        let start = rrq_obs::now();
+        let g = self.state.lock();
+        rrq_obs::observe(
+            "txn.lock.shard.acquire_wait_ticks",
+            rrq_obs::now().saturating_sub(start),
+        );
+        g
+    }
+}
+
+/// Global state shared by every shard: the waits-for graph (deadlock cycles
+/// may span shards, so edges must live in one graph) and the counters.
+/// Always acquired *after* a shard guard, never before.
+#[derive(Default)]
+struct Meta {
     waits: WaitsForGraph,
     stats: LockStats,
 }
 
 /// The lock manager. One instance guards one node's resources; share it via
 /// `Arc`.
-#[derive(Default)]
 pub struct LockManager {
-    state: Mutex<State>,
-    cv: Condvar,
+    shards: Box<[Shard]>,
+    meta: Mutex<Meta>,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_LOCK_SHARDS)
+    }
 }
 
 impl LockManager {
-    /// Create an empty lock manager.
+    /// Create an empty lock manager with the default stripe count.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty lock manager striped `n` ways (`n >= 1`). One shard
+    /// reproduces the pre-striping global-mutex behaviour exactly.
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1);
+        let shards = (0..n)
+            .map(|_| Shard {
+                state: Mutex::new(ShardState::default()),
+                cv: Condvar::new(),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        LockManager {
+            shards,
+            meta: Mutex::new(Meta::default()),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Stripe a key hashes to. Exposed so tests can construct cross-shard
+    /// scenarios deterministically.
+    pub fn shard_id(&self, key: &LockKey) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        // FNV-1a over ns || key; stable across runs (unlike RandomState).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.ns.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for b in &key.key {
+            h = (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, key: &LockKey) -> &Shard {
+        &self.shards[self.shard_id(key)]
     }
 
     /// Acquire `key` in `mode` for `txn`, blocking up to `timeout`.
@@ -104,12 +201,18 @@ impl LockManager {
         timeout: Duration,
     ) -> TxnResult<()> {
         let deadline = Instant::now() + timeout;
-        let mut g = self.state.lock();
+        let shard = self.shard(key);
+        let mut g = shard.enter();
         let mut waited = false;
         let mut enqueued = false;
         let mut wait_start: Option<u64> = None;
         loop {
-            let entry = g.table.entry(key.clone()).or_default();
+            if !g.table.contains_key(key) {
+                // Only clone the key bytes on first contact; wakeups re-run
+                // this loop and must not re-allocate.
+                g.table.insert(key.clone(), Entry::default());
+            }
+            let entry = g.table.get_mut(key).expect("entry ensured above");
             let held_mode = entry.holders.get(&txn).copied();
             let grantable = match held_mode {
                 Some(LockMode::Exclusive) => true,
@@ -132,9 +235,16 @@ impl LockManager {
                     entry.waiters.retain(|w| *w != txn);
                 }
                 g.held.entry(txn).or_default().insert(key.clone());
-                g.waits.clear_waiter(txn);
+                {
+                    let mut m = self.meta.lock();
+                    if waited {
+                        m.waits.clear_waiter(txn);
+                        m.stats.waited_grants += 1;
+                    } else {
+                        m.stats.immediate_grants += 1;
+                    }
+                }
                 if waited {
-                    g.stats.waited_grants += 1;
                     rrq_obs::counter_inc("txn.lock.waited_grants");
                     if let Some(start) = wait_start {
                         rrq_obs::observe(
@@ -143,7 +253,6 @@ impl LockManager {
                         );
                     }
                 } else {
-                    g.stats.immediate_grants += 1;
                     rrq_obs::counter_inc("txn.lock.immediate_grants");
                 }
                 rrq_check::race::lock_acquired(key.ns, &key.key);
@@ -161,16 +270,24 @@ impl LockManager {
                 entry.waiters.push_back(txn);
                 enqueued = true;
             }
-            g.waits.clear_waiter(txn);
-            for h in &conflicters {
-                g.waits.add_edge(txn, *h);
-            }
-            if g.waits.has_cycle_through(txn) {
-                g.waits.clear_waiter(txn);
+            let deadlocked = {
+                let mut m = self.meta.lock();
+                m.waits.clear_waiter(txn);
+                for h in &conflicters {
+                    m.waits.add_edge(txn, *h);
+                }
+                if m.waits.has_cycle_through(txn) {
+                    m.waits.clear_waiter(txn);
+                    m.stats.deadlocks += 1;
+                    true
+                } else {
+                    false
+                }
+            };
+            if deadlocked {
                 if let Some(e) = g.table.get_mut(key) {
                     e.waiters.retain(|w| *w != txn);
                 }
-                g.stats.deadlocks += 1;
                 rrq_obs::counter_inc("txn.lock.deadlock_victims");
                 return Err(TxnError::Deadlock { victim: txn });
             }
@@ -179,27 +296,34 @@ impl LockManager {
             if wait_start.is_none() {
                 wait_start = Some(rrq_obs::now());
             }
-            let now = Instant::now();
-            if now >= deadline {
-                g.waits.clear_waiter(txn);
-                if let Some(e) = g.table.get_mut(key) {
-                    e.waiters.retain(|w| *w != txn);
-                }
-                g.stats.timeouts += 1;
-                rrq_obs::counter_inc("txn.lock.timeouts");
-                return Err(TxnError::LockTimeout);
+            if Instant::now() >= deadline {
+                return self.wait_timed_out(&mut g, txn, key);
             }
-            let result = self.cv.wait_until(&mut g, deadline);
+            let result = shard.cv.wait_until(&mut g, deadline);
             if result.timed_out() {
-                g.waits.clear_waiter(txn);
-                if let Some(e) = g.table.get_mut(key) {
-                    e.waiters.retain(|w| *w != txn);
-                }
-                g.stats.timeouts += 1;
-                rrq_obs::counter_inc("txn.lock.timeouts");
-                return Err(TxnError::LockTimeout);
+                return self.wait_timed_out(&mut g, txn, key);
             }
         }
+    }
+
+    /// Shared timeout cleanup: drop the waiter record from the shard and the
+    /// waits-for graph, count the timeout. Called with the shard guard held.
+    fn wait_timed_out(
+        &self,
+        g: &mut MutexGuard<'_, ShardState>,
+        txn: u64,
+        key: &LockKey,
+    ) -> TxnResult<()> {
+        {
+            let mut m = self.meta.lock();
+            m.waits.clear_waiter(txn);
+            m.stats.timeouts += 1;
+        }
+        if let Some(e) = g.table.get_mut(key) {
+            e.waiters.retain(|w| *w != txn);
+        }
+        rrq_obs::counter_inc("txn.lock.timeouts");
+        Err(TxnError::LockTimeout)
     }
 
     /// Non-blocking acquire; `Err(LockTimeout)` when unavailable now.
@@ -208,9 +332,17 @@ impl LockManager {
     }
 
     /// Release every lock held by `txn` and wake waiters.
+    ///
+    /// Shards are visited one at a time (never two guards at once); only
+    /// shards that actually held something for `txn` get a wakeup, so with
+    /// striping a commit no longer thunders every waiter in the process.
     pub fn unlock_all(&self, txn: u64) {
-        let mut g = self.state.lock();
-        if let Some(keys) = g.held.remove(&txn) {
+        for shard in self.shards.iter() {
+            let mut g = shard.enter();
+            let keys = match g.held.remove(&txn) {
+                Some(k) if !k.is_empty() => k,
+                _ => continue,
+            };
             for k in keys {
                 if let Some(e) = g.table.get_mut(&k) {
                     e.holders.remove(&txn);
@@ -220,59 +352,66 @@ impl LockManager {
                 }
                 rrq_check::race::lock_released(k.ns, &k.key);
             }
+            shard.cv.notify_all();
         }
-        g.waits.clear_waiter(txn);
-        g.waits.clear_target(txn);
-        self.cv.notify_all();
+        let mut m = self.meta.lock();
+        m.waits.clear_waiter(txn);
+        m.waits.clear_target(txn);
     }
 
     /// §6 lock inheritance: transfer every lock held by `from` to `to`
-    /// (merging with `to`'s own holdings at the stronger mode). Waiters are
-    /// *not* woken — the resources remain locked throughout.
+    /// (merging with `to`'s own holdings at the stronger mode). Within each
+    /// shard the handoff is atomic, so a transferred resource is never
+    /// observably free in between.
     pub fn transfer_locks(&self, from: u64, to: u64) {
         if from == to {
             return;
         }
-        let mut g = self.state.lock();
-        let keys = g.held.remove(&from).unwrap_or_default();
-        for k in &keys {
-            if let Some(e) = g.table.get_mut(k) {
-                if let Some(mode) = e.holders.remove(&from) {
-                    let merged = match (e.holders.get(&to), mode) {
-                        (Some(LockMode::Exclusive), _) | (_, LockMode::Exclusive) => {
-                            LockMode::Exclusive
-                        }
-                        _ => LockMode::Shared,
-                    };
-                    e.holders.insert(to, merged);
+        for shard in self.shards.iter() {
+            let mut g = shard.enter();
+            let keys = match g.held.remove(&from) {
+                Some(k) if !k.is_empty() => k,
+                _ => continue,
+            };
+            for k in &keys {
+                if let Some(e) = g.table.get_mut(k) {
+                    if let Some(mode) = e.holders.remove(&from) {
+                        let merged = match (e.holders.get(&to), mode) {
+                            (Some(LockMode::Exclusive), _) | (_, LockMode::Exclusive) => {
+                                LockMode::Exclusive
+                            }
+                            _ => LockMode::Shared,
+                        };
+                        e.holders.insert(to, merged);
+                    }
                 }
             }
+            // Happens-before: the inheriting transaction's thread (the
+            // caller) adopts each lock without `from` ever releasing it.
+            for k in &keys {
+                rrq_check::race::lock_transferred(k.ns, &k.key);
+            }
+            g.held.entry(to).or_default().extend(keys);
+            // Wake this shard's waiters so their block-time edge refresh
+            // re-targets `to` (PR 1 lost-wakeup audit; transfer_wakeup.rs).
+            shard.cv.notify_all();
         }
-        // Happens-before: the inheriting transaction's thread (the caller)
-        // adopts each lock without `from` ever releasing it.
-        for k in &keys {
-            rrq_check::race::lock_transferred(k.ns, &k.key);
-        }
-        g.held.entry(to).or_default().extend(keys);
-        g.waits.clear_target(from);
-        // `from` no longer exists; anyone waiting on it now waits on `to`,
-        // which the next block-time edge refresh will record.
-        self.cv.notify_all();
+        self.meta.lock().waits.clear_target(from);
     }
 
     /// Number of locks currently held by `txn`.
     pub fn held_count(&self, txn: u64) -> usize {
-        self.state
-            .lock()
-            .held
-            .get(&txn)
-            .map(|s| s.len())
-            .unwrap_or(0)
+        let mut total = 0;
+        for shard in self.shards.iter() {
+            let g = shard.enter();
+            total += g.held.get(&txn).map(|s| s.len()).unwrap_or(0);
+        }
+        total
     }
 
     /// True when `txn` holds `key` at least at `mode`.
     pub fn holds(&self, txn: u64, key: &LockKey, mode: LockMode) -> bool {
-        let g = self.state.lock();
+        let g = self.shard(key).enter();
         match g.table.get(key).and_then(|e| e.holders.get(&txn)) {
             Some(LockMode::Exclusive) => true,
             Some(LockMode::Shared) => mode == LockMode::Shared,
@@ -282,7 +421,7 @@ impl LockManager {
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> LockStats {
-        self.state.lock().stats
+        self.meta.lock().stats
     }
 }
 
@@ -442,6 +581,25 @@ mod tests {
     }
 
     #[test]
+    fn shard_ids_are_stable_and_in_range() {
+        let lm = LockManager::with_shards(8);
+        assert_eq!(lm.shard_count(), 8);
+        let mut seen = HashSet::new();
+        for i in 0..64u8 {
+            let k = LockKey::new(0, vec![i]);
+            let s = lm.shard_id(&k);
+            assert!(s < 8);
+            assert_eq!(s, lm.shard_id(&k));
+            seen.insert(s);
+        }
+        // 64 distinct keys must not all land on one stripe.
+        assert!(seen.len() > 1);
+        // shards=1 degenerates to a single stripe.
+        let single = LockManager::with_shards(1);
+        assert_eq!(single.shard_id(&LockKey::new(9, "zz")), 0);
+    }
+
+    #[test]
     fn many_threads_stress_single_key() {
         let lm = Arc::new(LockManager::new());
         let counter = Arc::new(Mutex::new(0u64));
@@ -465,5 +623,33 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*counter.lock(), 400);
+    }
+
+    #[test]
+    fn many_threads_stress_across_shards() {
+        // Same stress as above but over many keys, so the striped fast path
+        // (different shards, no meta contention beyond counters) is exercised.
+        let lm = Arc::new(LockManager::with_shards(8));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let lm = Arc::clone(&lm);
+            handles.push(thread::spawn(move || {
+                for i in 0..100u64 {
+                    let txn = t * 1000 + i;
+                    let k = key(&[(i % 32) as u8]);
+                    lm.lock(txn, &k, LockMode::Exclusive, T).unwrap();
+                    assert!(lm.holds(txn, &k, LockMode::Exclusive));
+                    lm.unlock_all(txn);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..8u64 {
+            for i in 0..100u64 {
+                assert_eq!(lm.held_count(t * 1000 + i), 0);
+            }
+        }
     }
 }
