@@ -152,7 +152,7 @@ fn e1_client_resync(scale: &Scale) {
         let report = driver
             .run(n, |s| schedule.get(s), |s| vec![s as u8], &mut printer)
             .unwrap();
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Release);
         for h in handles {
             h.join().unwrap();
         }
@@ -327,7 +327,7 @@ fn e4_end_to_end(scale: &Scale) {
             .unwrap();
         }
         let rate = n as f64 / t0.elapsed().as_secs_f64();
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Release);
         for h in handles {
             h.join().unwrap();
         }
@@ -428,7 +428,7 @@ fn e5_multi_txn(scale: &Scale) {
             });
             let (_s, handles, stop) = spawn_pool(&repo, "req", 3, handler).unwrap();
             let rate = drive_transfers(&repo, "req", n, ACCOUNTS);
-            stop.store(true, Ordering::Relaxed);
+            stop.store(true, Ordering::Release);
             for h in handles {
                 h.join().unwrap();
             }
@@ -459,7 +459,7 @@ fn e5_multi_txn(scale: &Scale) {
             let stop = Arc::new(AtomicBool::new(false));
             let handles: Vec<_> = servers.iter().map(|s| s.spawn(Arc::clone(&stop))).collect();
             let rate = drive_transfers(&repo, "x0", n, ACCOUNTS);
-            stop.store(true, Ordering::Relaxed);
+            stop.store(true, Ordering::Release);
             for h in handles {
                 h.join().unwrap();
             }
@@ -590,7 +590,7 @@ fn e6_request_serializability(scale: &Scale) {
                 }
             }
             rates.push(n as f64 / t0.elapsed().as_secs_f64());
-            stop.store(true, Ordering::Relaxed);
+            stop.store(true, Ordering::Release);
             for h in handles {
                 h.join().unwrap();
             }
@@ -705,7 +705,7 @@ fn e7_cancellation(scale: &Scale) {
                 });
             }
         }
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Release);
         for h in handles {
             h.join().unwrap();
         }
@@ -730,7 +730,7 @@ fn e8_interactive(scale: &Scale) {
         let asked = Arc::new(AtomicU32::new(0));
         let asked2 = Arc::clone(&asked);
         let user: rrq_core::conversation::UserFn = Arc::new(move |p| {
-            asked2.fetch_add(1, Ordering::Relaxed);
+            asked2.fetch_add(1, Ordering::AcqRel);
             p.to_vec()
         });
         let _guard = rrq_core::conversation::spawn_conversation_endpoint(
@@ -744,7 +744,7 @@ fn e8_interactive(scale: &Scale) {
         let bus2 = bus.clone();
         let handler: Handler = Arc::new(move |_ctx, req| {
             use rrq_core::conversation::{Conversation, RpcConversation};
-            let n = attempts2.fetch_add(1, Ordering::Relaxed);
+            let n = attempts2.fetch_add(1, Ordering::AcqRel);
             let rpc =
                 rrq_net::rpc::RpcClient::new(&bus2, &format!("conv-srv-{}-{n}", req.rid.serial));
             let mut conv = RpcConversation::new(rpc, "conv-client", req.rid.to_attr());
@@ -770,20 +770,20 @@ fn e8_interactive(scale: &Scale) {
         for i in 0..n_requests {
             // Reset per-request attempt counter so each request aborts
             // `aborts` times.
-            attempts.store(0, Ordering::Relaxed);
+            attempts.store(0, Ordering::Release);
             clerk
                 .send("converse", vec![], Rid::new("c", i + 1))
                 .unwrap();
             let _ = clerk.receive(b"").unwrap();
         }
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Release);
         for h in handles {
             h.join().unwrap();
         }
         let s = log.stats();
         println!(
             "| {aborts:>18} | {rounds:>6} | {:>10} | {:>8} | {:>11} |",
-            asked.load(Ordering::Relaxed),
+            asked.load(Ordering::Acquire),
             s.replayed,
             s.divergences
         );
@@ -980,7 +980,7 @@ fn e11_burst_and_load_sharing(scale: &Scale) {
         )
         .unwrap();
     }
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Release);
     for h in handles {
         h.join().unwrap();
     }
@@ -1049,7 +1049,7 @@ fn e12_send_modes(scale: &Scale) {
             oneway - base_oneway,
             total as f64 / n as f64
         );
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Release);
         for h in handles {
             h.join().unwrap();
         }
@@ -1177,7 +1177,7 @@ fn e14_testable_device(scale: &Scale) {
             before - rids.len()
         };
         println!("| {device} | {n:>21} | {duplicates:>16} |");
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Release);
         for h in handles {
             h.join().unwrap();
         }
@@ -1645,7 +1645,7 @@ fn e18_run(name: &str, workers: usize, shards: usize, n: u64) -> (f64, rrq_obs::
     // (and their block times observed) only once the holder releases, so
     // the wait histogram below covers workload transactions only.
     let snap = session.snapshot();
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Release);
     locks.unlock_all(HOLDER);
     for p in parked {
         p.join().unwrap();

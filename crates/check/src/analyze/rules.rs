@@ -1,0 +1,418 @@
+//! The four rule families, run over the scanned fact base:
+//!
+//! * `lock-order` — every observed acquisition edge (directly, or through
+//!   calls that transitively acquire) must lie in the transitive closure of
+//!   the declared partial order; same-class double acquisition is a finding.
+//! * `no-block-under-guard` — no blocking operation (directly, or through a
+//!   call that may block) while a `no-block` class guard is live.
+//! * `durability-dominator` — commit-point mutations must be dominated by a
+//!   commit-record append *and* a sync (or by a call to a proven-durable
+//!   function); direct commit-record appends must be post-dominated by a
+//!   sync.
+//! * `relaxed-ordering` — `Ordering::Relaxed` only inside `crates/obs`.
+//!
+//! Call-graph properties (transitive acquisitions, may-block, durability)
+//! are propagated by name: a call site inherits the union over *all*
+//! workspace functions of that name. For durability this is an ALL-defs
+//! greatest fixpoint — a name counts as durable only while every definition
+//! still does — so deleting the sync from one `commit` breaks every caller
+//! that leaned on the name, which is exactly the CI pin the rule exists for.
+
+use std::collections::{BTreeSet, HashMap};
+
+use super::catalogue::Catalogue;
+use super::scan::{EventKind, FileFacts, FnFact, PAT_RELAXED};
+use super::Finding;
+
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_NO_BLOCK: &str = "no-block-under-guard";
+pub const RULE_DURABILITY: &str = "durability-dominator";
+pub const RULE_RELAXED: &str = "relaxed-ordering";
+
+pub fn apply(cat: &Catalogue, files: &[FileFacts], rules: &[&str]) -> Vec<Finding> {
+    let mut fns: Vec<(usize, &FnFact)> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for f in &file.fns {
+            fns.push((fi, f));
+        }
+    }
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, (_, f)) in fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(i);
+    }
+
+    // --- transitive acquisitions -----------------------------------------
+    let mut acq_all: Vec<BTreeSet<usize>> = fns
+        .iter()
+        .map(|(_, f)| {
+            let mut s = BTreeSet::new();
+            for e in &f.events {
+                match &e.kind {
+                    EventKind::Acquire { class } => {
+                        s.insert(*class);
+                    }
+                    EventKind::Binding { binding } => {
+                        s.extend(cat.bindings[*binding].acquires.iter().copied());
+                    }
+                    _ => {}
+                }
+            }
+            s
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            let mut add: BTreeSet<usize> = BTreeSet::new();
+            for e in &fns[i].1.events {
+                if let EventKind::Call { name } = &e.kind {
+                    if let Some(defs) = by_name.get(name.as_str()) {
+                        for &d in defs {
+                            add.extend(acq_all[d].iter().copied());
+                        }
+                    }
+                }
+            }
+            for c in add {
+                changed |= acq_all[i].insert(c);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- may-block --------------------------------------------------------
+    let mut blocking: Vec<bool> = fns
+        .iter()
+        .map(|(_, f)| {
+            f.events.iter().any(|e| match &e.kind {
+                EventKind::Blocking { .. } => true,
+                EventKind::Binding { binding } => cat.bindings[*binding].blocking,
+                _ => false,
+            })
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            if blocking[i] {
+                continue;
+            }
+            let hit = fns[i].1.events.iter().any(|e| {
+                if let EventKind::Call { name } = &e.kind {
+                    by_name
+                        .get(name.as_str())
+                        .is_some_and(|defs| defs.iter().any(|&d| blocking[d]))
+                } else {
+                    false
+                }
+            });
+            if hit {
+                blocking[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- durable functions (greatest fixpoint, ALL defs per name) ---------
+    let has_marker: Vec<bool> = fns
+        .iter()
+        .map(|(_, f)| {
+            f.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::CommitMarker))
+        })
+        .collect();
+    let has_sync: Vec<bool> = fns
+        .iter()
+        .map(|(_, f)| f.events.iter().any(|e| matches!(e.kind, EventKind::Sync)))
+        .collect();
+    let mut durable = vec![true; fns.len()];
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            if !durable[i] {
+                continue;
+            }
+            let name_durable = |n: &str| {
+                by_name
+                    .get(n)
+                    .is_some_and(|defs| defs.iter().all(|&d| durable[d]))
+            };
+            let call_durable = fns[i].1.events.iter().any(|e| {
+                if let EventKind::Call { name } = &e.kind {
+                    name_durable(name)
+                } else {
+                    false
+                }
+            });
+            let ok = call_durable || (has_marker[i] && has_sync[i]);
+            if !ok {
+                durable[i] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let name_durable = |n: &str| -> bool {
+        by_name
+            .get(n)
+            .is_some_and(|defs| defs.iter().all(|&d| durable[d]))
+    };
+
+    let cname = |c: usize| cat.classes[c].name.as_str();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut emit = |findings: &mut Vec<Finding>, f: Finding| {
+        let key = format!("{}|{}|{}|{}", f.rule, f.file, f.line, f.message);
+        if seen.insert(key) {
+            findings.push(f);
+        }
+    };
+
+    // --- lock-order --------------------------------------------------------
+    if rules.contains(&RULE_LOCK_ORDER) {
+        for &(fi, f) in &fns {
+            let file = files[fi].file.as_str();
+            for e in &f.events {
+                // (acquired classes at this event, suffix for the chain)
+                let acquired: Vec<(usize, Option<&str>)> = match &e.kind {
+                    EventKind::Acquire { class } => vec![(*class, None)],
+                    EventKind::Binding { binding } => cat.bindings[*binding]
+                        .acquires
+                        .iter()
+                        .map(|&c| (c, Some(cat.bindings[*binding].pattern.as_str())))
+                        .collect(),
+                    EventKind::Call { name } => {
+                        if e.held.is_empty() {
+                            continue;
+                        }
+                        let mut cs: BTreeSet<usize> = BTreeSet::new();
+                        if let Some(defs) = by_name.get(name.as_str()) {
+                            for &d in defs {
+                                cs.extend(acq_all[d].iter().copied());
+                            }
+                        }
+                        cs.iter().map(|&c| (c, Some(name.as_str()))).collect()
+                    }
+                    _ => continue,
+                };
+                for (c, via) in acquired {
+                    for h in &e.held {
+                        let bad_double = h.class == c;
+                        let bad_order = !bad_double && !cat.allowed[h.class][c];
+                        if !bad_double && !bad_order {
+                            continue;
+                        }
+                        let what = if bad_double {
+                            format!("re-acquires `{}` while already held", cname(c))
+                        } else {
+                            format!(
+                                "acquires `{}` while holding `{}`: edge `{}` -> `{}` is not in \
+                                 the declared order (LOCKS.md)",
+                                cname(c),
+                                cname(h.class),
+                                cname(h.class),
+                                cname(c)
+                            )
+                        };
+                        let what = match via {
+                            Some(v) => format!("{what} (through `{v}`)"),
+                            None => what,
+                        };
+                        let mut chain: Vec<String> = e
+                            .held
+                            .iter()
+                            .map(|g| {
+                                format!("`{}` acquired at {}:{}", cname(g.class), file, g.line)
+                            })
+                            .collect();
+                        chain.push(match via {
+                            Some(v) => format!(
+                                "`{}` then acquired via `{}` at {}:{} in fn `{}`",
+                                cname(c),
+                                v,
+                                file,
+                                e.line,
+                                f.name
+                            ),
+                            None => format!(
+                                "`{}` then acquired at {}:{} in fn `{}`",
+                                cname(c),
+                                file,
+                                e.line,
+                                f.name
+                            ),
+                        });
+                        emit(
+                            &mut findings,
+                            Finding {
+                                rule: RULE_LOCK_ORDER,
+                                file: file.to_string(),
+                                line: e.line,
+                                message: what,
+                                chain,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // --- no-block-under-guard ---------------------------------------------
+    if rules.contains(&RULE_NO_BLOCK) {
+        for &(fi, f) in &fns {
+            let file = files[fi].file.as_str();
+            for e in &f.events {
+                let (desc, exempt): (String, &[usize]) = match &e.kind {
+                    EventKind::Blocking { desc, exempt } => (format!("`{desc}`"), exempt),
+                    EventKind::Binding { binding } if cat.bindings[*binding].blocking => {
+                        (format!("call `{}`", cat.bindings[*binding].pattern), &[])
+                    }
+                    EventKind::Call { name } => {
+                        let may_block = by_name
+                            .get(name.as_str())
+                            .is_some_and(|defs| defs.iter().any(|&d| blocking[d]));
+                        if !may_block {
+                            continue;
+                        }
+                        (format!("call to `{name}` (may block)"), &[])
+                    }
+                    _ => continue,
+                };
+                for h in &e.held {
+                    if !cat.classes[h.class].no_block || exempt.contains(&h.class) {
+                        continue;
+                    }
+                    emit(
+                        &mut findings,
+                        Finding {
+                            rule: RULE_NO_BLOCK,
+                            file: file.to_string(),
+                            line: e.line,
+                            message: format!(
+                                "blocking operation {desc} while `{}` (no-block) is held",
+                                cname(h.class)
+                            ),
+                            chain: vec![format!(
+                                "`{}` acquired at {}:{} in fn `{}`",
+                                cname(h.class),
+                                file,
+                                h.line,
+                                f.name
+                            )],
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // --- durability-dominator ----------------------------------------------
+    if rules.contains(&RULE_DURABILITY) {
+        for &(fi, f) in &fns {
+            let file = files[fi].file.as_str();
+            let mut markers: Vec<usize> = Vec::new();
+            let mut syncs: Vec<usize> = Vec::new();
+            let mut durable_calls: Vec<usize> = Vec::new();
+            for (i, e) in f.events.iter().enumerate() {
+                match &e.kind {
+                    EventKind::CommitMarker => markers.push(i),
+                    EventKind::Sync => syncs.push(i),
+                    EventKind::Call { name } if name_durable(name) => durable_calls.push(i),
+                    _ => {}
+                }
+            }
+            for (mi, e) in f.events.iter().enumerate() {
+                if let EventKind::Mutation { mutation } = &e.kind {
+                    let dom = |idxs: &[usize]| idxs.iter().any(|&x| f.dominates(x, mi));
+                    let has_m = dom(&markers) || dom(&durable_calls);
+                    let has_s = dom(&syncs) || dom(&durable_calls);
+                    if has_m && has_s {
+                        continue;
+                    }
+                    let missing = match (has_m, has_s) {
+                        (false, false) => "a commit-record append or a durable sync",
+                        (false, true) => "a commit-record append",
+                        (true, false) => "a durable sync",
+                        _ => unreachable!(),
+                    };
+                    emit(
+                        &mut findings,
+                        Finding {
+                            rule: RULE_DURABILITY,
+                            file: file.to_string(),
+                            line: e.line,
+                            message: format!(
+                                "commit-point mutation `{}` in fn `{}` is not dominated by \
+                                 {missing}",
+                                cat.mutations[*mutation].pattern, f.name
+                            ),
+                            chain: vec![format!(
+                                "no dominating durability event on some path to {}:{}",
+                                file, e.line
+                            )],
+                        },
+                    );
+                }
+            }
+            for &a in &markers {
+                let post = syncs
+                    .iter()
+                    .chain(durable_calls.iter())
+                    .any(|&s| f.postdominates(s, a));
+                if !post {
+                    emit(
+                        &mut findings,
+                        Finding {
+                            rule: RULE_DURABILITY,
+                            file: file.to_string(),
+                            line: f.events[a].line,
+                            message: format!(
+                                "commit-record append in fn `{}` is not followed by a sync on \
+                                 every path",
+                                f.name
+                            ),
+                            chain: vec![format!(
+                                "append at {}:{} has no post-dominating sync",
+                                file, f.events[a].line
+                            )],
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // --- relaxed-ordering ---------------------------------------------------
+    if rules.contains(&RULE_RELAXED) {
+        for file in files {
+            for &line in &file.relaxed {
+                emit(
+                    &mut findings,
+                    Finding {
+                        rule: RULE_RELAXED,
+                        file: file.file.clone(),
+                        line,
+                        message: format!(
+                            "atomic uses `{PAT_RELAXED}` outside `crates/obs`; state the \
+                             intended ordering (Acquire/Release/AcqRel or SeqCst)"
+                        ),
+                        chain: Vec::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings
+}

@@ -1,0 +1,43 @@
+//! Workspace static analyzer: `cargo run -p rrq-check --bin rrq-analyze
+//! [root]`.
+//!
+//! Reads the lock-class catalogue from `<root>/LOCKS.md`, scans
+//! `crates/*/src`, and exits non-zero on any finding not covered by an
+//! allowlist entry under `crates/check/lints/`. See `rrq_check::analyze`
+//! for the rule families.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        // crates/check/../.. == the workspace root, wherever cargo runs us.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let outcome = match rrq_check::analyze::run(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rrq-analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for finding in &outcome.findings {
+        println!("{finding}");
+    }
+    if outcome.findings.is_empty() {
+        println!(
+            "rrq-analyze: clean ({} files scanned, {} finding(s) allowlisted)",
+            outcome.files_scanned, outcome.suppressed
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "rrq-analyze: {} finding(s) in {} files ({} allowlisted)",
+            outcome.findings.len(),
+            outcome.files_scanned,
+            outcome.suppressed
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -2,10 +2,17 @@
 //!
 //! Scans `crates/*/src` under the workspace root (defaulting to the root
 //! that contains this crate) and exits non-zero on any finding that is not
-//! covered by an allowlist entry. See `rrq_check::lint` for the rules.
+//! covered by an allowlist entry. See `rrq_check::lint` for the line-scan
+//! rules. The retired `commit-sync` and `shard-lock-order` lints are
+//! delegated to the `rrq-analyze` passes that superseded them
+//! (`durability-dominator` and `lock-order`), so this gate keeps covering
+//! the commit-durability and stripe-ordering invariants even when run on
+//! its own.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+use rrq_check::analyze;
 
 fn main() -> ExitCode {
     let root = match std::env::args_os().nth(1) {
@@ -23,18 +30,32 @@ fn main() -> ExitCode {
     for finding in &outcome.findings {
         println!("{finding}");
     }
-    if outcome.findings.is_empty() {
+    // Delegated analyzer rules standing in for the retired lints. A root
+    // without a readable LOCKS.md still fails closed, but only after the
+    // plain lint findings above have been reported.
+    let delegated =
+        match analyze::run_rules(&root, &[analyze::RULE_DURABILITY, analyze::RULE_LOCK_ORDER]) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("rrq-lint: cannot run delegated analyzer rules: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    for finding in &delegated.findings {
+        println!("{finding}");
+    }
+    let total = outcome.findings.len() + delegated.findings.len();
+    let suppressed = outcome.suppressed + delegated.suppressed;
+    if total == 0 {
         println!(
             "rrq-lint: clean ({} files scanned, {} finding(s) allowlisted)",
-            outcome.files_scanned, outcome.suppressed
+            outcome.files_scanned, suppressed
         );
         ExitCode::SUCCESS
     } else {
         eprintln!(
             "rrq-lint: {} finding(s) in {} files ({} allowlisted)",
-            outcome.findings.len(),
-            outcome.files_scanned,
-            outcome.suppressed
+            total, outcome.files_scanned, suppressed
         );
         ExitCode::FAILURE
     }

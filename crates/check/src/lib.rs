@@ -11,15 +11,23 @@
 //!   state-transition diagrams as data, plus a conformance checker that
 //!   validates event traces emitted by `rrq-core`'s clerk and server loop.
 //! * [`lint`] — a source-level lint pass over `crates/*/src` enforcing
-//!   workspace rules (no `unwrap` in recovery paths, no raw thread spawns,
-//!   no wall-clock reads in simulation code, `sync()` adjacent to
-//!   commit-point log writes). Run it with `cargo run -p rrq-check --bin
-//!   rrq-lint`; it is also enforced by a `cargo test` gate.
+//!   single-line workspace rules (no `unwrap` in recovery paths, no raw
+//!   thread spawns, no wall-clock reads in simulation code). Run it with
+//!   `cargo run -p rrq-check --bin rrq-lint`; it is also enforced by a
+//!   `cargo test` gate.
+//! * [`analyze`] — the whole-workspace static analyzer (`rrq-analyze`): a
+//!   per-function fact base driven by the checked-in `LOCKS.md` catalogue,
+//!   enforcing the declared lock-acquisition order across crates, the
+//!   durability-dominator rule for commit-point mutations, no blocking
+//!   under `no-block` guards, and `Ordering::Relaxed` confined to
+//!   `crates/obs`. It supersedes the old `commit-sync` and
+//!   `shard-lock-order` lints.
 //!
-//! All runtime hooks are compiled in permanently but gated behind a relaxed
+//! All runtime hooks are compiled in permanently but gated behind one
 //! atomic load, so production code pays one predictable branch when no
 //! checker is active.
 
+pub mod analyze;
 pub mod clock;
 pub mod lint;
 pub mod protocol;

@@ -1,6 +1,6 @@
 //! Source-level workspace lints (plain line scanning, no parsing).
 //!
-//! Six rules over every `.rs` file under `crates/*/src`, skipping
+//! Four rules over every `.rs` file under `crates/*/src`, skipping
 //! `#[cfg(test)]` items and `//` comment lines:
 //!
 //! * **no-unwrap-in-recovery** — `unwrap()`/`expect(` are banned in the
@@ -24,25 +24,16 @@
 //!   wrapped calls); an identifier argument is resolved through a
 //!   same-file `const NAME: &str = "…";`. `crates/obs/src` itself is out
 //!   of scope — the crate defines the hooks, it doesn't own names.
-//! * **commit-sync** — a WAL append of a commit-point record
-//!   (`RecordKind::Commit` or a 2PC `DECISION_KIND`) must have a `sync(`
-//!   call within the next few lines; durability of the commit point is
-//!   the paper's whole game. A `sync_through(` call (the group-commit
-//!   coordinator's entry point) also satisfies the rule — but only after
-//!   the lint has *followed the sync*: some scanned file must define
-//!   `fn sync_through` whose nearby body issues a real `.sync(`.
-//!   Indirection through a coordinator that never forces the device would
-//!   be flagged, not allowlisted.
-//! * **shard-lock-order** — inside `crates/txn` and `crates/qm`, no scope
-//!   may acquire a second stripe guard while one is held. The striped
-//!   coordination layer's deadlock-freedom argument rests on "at most one
-//!   stripe guard per thread, `meta` strictly after it"; two stripes held
-//!   at once (in either order) reintroduces the lock-order cycles the
-//!   stripes were split to avoid. Guard acquisitions are recognised
-//!   syntactically: `.enter()` (lock-table stripe) and `.pending_shard`
-//!   (pending-map stripe) are `let`-bound guards, live until their block
-//!   closes or a `drop(` line intervenes; `.with_ready(` is a
-//!   closure-scoped guard, live only inside the closure's braces.
+//!
+//! Two former rules were retired in favour of [`crate::analyze`], which
+//! reasons about whole functions and the cross-crate call graph instead
+//! of a fixed lookahead window: **commit-sync** (a commit-point append
+//! must be followed by a sync within a few lines) is superseded by the
+//! analyzer's `durability-dominator` rule, and **shard-lock-order** (no
+//! second stripe guard while one is held, single scope only) by its
+//! `lock-order` rule driven by the declared partial order in `LOCKS.md`.
+//! The `rrq-lint` binary still runs those two analyzer rules so the old
+//! CI gate keeps its teeth even if `rrq-analyze` is skipped.
 //!
 //! Each lint has an allowlist file at `crates/check/lints/<lint>.allow`
 //! (one `path-suffix [:: line-fragment]` per line, `#` comments) for the
@@ -53,33 +44,12 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Lines of lookahead for the commit-sync adjacency rule.
-const SYNC_WINDOW: usize = 4;
-
-/// Lines of lookahead from a `fn sync_through` definition to the `.sync(`
-/// it must ultimately issue (the coordinator's body, dally included).
-const COORDINATOR_WINDOW: usize = 40;
-
 // Built with concat! so this file does not match its own patterns.
 const PAT_UNWRAP: &str = concat!(".unwr", "ap()");
 const PAT_EXPECT: &str = concat!(".exp", "ect(");
 const PAT_SPAWN: &str = concat!("thread::", "spawn(");
 const PAT_INSTANT: &str = concat!("Instant::", "now");
 const PAT_SYSTIME: &str = concat!("SystemTime::", "now");
-const PAT_COMMIT: &str = concat!("RecordKind::", "Commit");
-const PAT_DECISION: &str = concat!("DECISION_", "KIND");
-const PAT_SYNC: &str = concat!("sy", "nc(");
-const PAT_SYNC_THROUGH: &str = concat!("sync_th", "rough(");
-const PAT_FN_SYNC_THROUGH: &str = concat!("fn sync_th", "rough");
-const PAT_DOT_SYNC: &str = concat!(".sy", "nc(");
-const PAT_SHARD_ENTER: &str = concat!(".ent", "er()");
-const PAT_PENDING_SHARD: &str = concat!(".pending_", "shard");
-const PAT_WITH_READY: &str = concat!(".with_", "ready(");
-const PAT_DROP_CALL: &str = concat!("dr", "op(");
-
-/// `let`-bound stripe-guard acquisitions (`.pending_shard` prefix-matches
-/// both `.pending_shard(` and `.pending_shard_at(`).
-const SHARD_GUARD_PATS: &[&str] = &[PAT_SHARD_ENTER, PAT_PENDING_SHARD];
 
 /// The `rrq_obs` recording entry points whose first argument is a metric
 /// name. `obs::` matches both `rrq_obs::f(` and a `use rrq_obs as obs` alias.
@@ -100,8 +70,6 @@ pub const LINTS: &[&str] = &[
     "no-unwrap-in-recovery",
     "no-raw-spawn",
     "no-wallclock-in-sim",
-    "commit-sync",
-    "shard-lock-order",
     "metric-catalogue",
 ];
 
@@ -159,15 +127,9 @@ pub fn run(root: &Path) -> io::Result<Outcome> {
         let rel = relative_slash(root, file);
         texts.push((rel, text));
     }
-    // "Follow the sync": a commit append may satisfy the adjacency rule via
-    // the group-commit coordinator only if some scanned file really defines
-    // a `fn sync_through` that reaches a device `.sync(` nearby.
-    let coordinator_ok = texts
-        .iter()
-        .any(|(_, text)| defines_syncing_coordinator(text));
     let mut raw = Vec::new();
     for (rel, text) in &texts {
-        lint_file(rel, text, coordinator_ok, &mut raw);
+        lint_file(rel, text, &mut raw);
         out.files_scanned += 1;
     }
     lint_metric_catalogue(root, &texts, &mut raw);
@@ -185,14 +147,14 @@ pub fn run(root: &Path) -> io::Result<Outcome> {
     Ok(out)
 }
 
-fn frag_matches(frag: &Option<String>, excerpt: &str) -> bool {
+pub(crate) fn frag_matches(frag: &Option<String>, excerpt: &str) -> bool {
     match frag {
         None => true,
         Some(f) => excerpt.contains(f.as_str()),
     }
 }
 
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
         if path.is_dir() {
@@ -204,7 +166,7 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-fn relative_slash(root: &Path, file: &Path) -> String {
+pub(crate) fn relative_slash(root: &Path, file: &Path) -> String {
     let rel = file.strip_prefix(root).unwrap_or(file);
     rel.components()
         .map(|c| c.as_os_str().to_string_lossy())
@@ -213,12 +175,14 @@ fn relative_slash(root: &Path, file: &Path) -> String {
 }
 
 /// Mark every line that belongs to a `#[cfg(test)]` item by tracking the
-/// braces of the item that follows the attribute.
-fn test_flags(lines: &[&str]) -> Vec<bool> {
+/// braces of the item that follows the attribute. Also covers compound
+/// gates like `#[cfg(all(test, debug_assertions))]`.
+pub(crate) fn test_flags(lines: &[&str]) -> Vec<bool> {
     let mut flags = vec![false; lines.len()];
     let mut i = 0;
     while i < lines.len() {
-        if lines[i].trim_start().starts_with("#[cfg(test)]") {
+        let head = lines[i].trim_start();
+        if head.starts_with("#[cfg(test)]") || head.starts_with("#[cfg(all(test") {
             let mut depth: i64 = 0;
             let mut seen_open = false;
             let mut j = i;
@@ -250,19 +214,7 @@ fn test_flags(lines: &[&str]) -> Vec<bool> {
     flags
 }
 
-/// Does `text` define a `fn sync_through` whose body (within
-/// [`COORDINATOR_WINDOW`] lines) issues a real `.sync(`?
-fn defines_syncing_coordinator(text: &str) -> bool {
-    let lines: Vec<&str> = text.lines().collect();
-    lines.iter().enumerate().any(|(i, line)| {
-        line.contains(PAT_FN_SYNC_THROUGH)
-            && (i + 1..=i + COORDINATOR_WINDOW)
-                .filter(|&j| j < lines.len())
-                .any(|j| lines[j].contains(PAT_DOT_SYNC))
-    })
-}
-
-fn lint_file(rel: &str, text: &str, coordinator_ok: bool, out: &mut Vec<Finding>) {
+fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
     let lines: Vec<&str> = text.lines().collect();
     let in_test = test_flags(&lines);
     let scannable = |i: usize| -> bool { !in_test[i] && !lines[i].trim_start().starts_with("//") };
@@ -279,19 +231,11 @@ fn lint_file(rel: &str, text: &str, coordinator_ok: bool, out: &mut Vec<Finding>
         rel.ends_with("storage/src/recovery.rs") || rel.ends_with("storage/src/wal.rs");
     let spawn_exempt = rel.ends_with("core/src/threads.rs");
     let sim_path = rel.contains("crates/sim/src") || rel.contains("crates/obs/src");
-    let shard_scope = rel.contains("crates/txn/src") || rel.contains("crates/qm/src");
 
-    if shard_scope {
-        for i in shard_lock_order(&lines, &scannable) {
-            push(out, "shard-lock-order", i);
-        }
-    }
-
-    for i in 0..lines.len() {
+    for (i, &line) in lines.iter().enumerate() {
         if !scannable(i) {
             continue;
         }
-        let line = lines[i];
         if recovery_path && (line.contains(PAT_UNWRAP) || line.contains(PAT_EXPECT)) {
             push(out, "no-unwrap-in-recovery", i);
         }
@@ -301,110 +245,7 @@ fn lint_file(rel: &str, text: &str, coordinator_ok: bool, out: &mut Vec<Finding>
         if sim_path && (line.contains(PAT_INSTANT) || line.contains(PAT_SYSTIME)) {
             push(out, "no-wallclock-in-sim", i);
         }
-        if line.contains(".append(") && (line.contains(PAT_COMMIT) || line.contains(PAT_DECISION)) {
-            let synced = (i + 1..=i + SYNC_WINDOW)
-                .filter(|&j| j < lines.len())
-                .any(|j| {
-                    lines[j].contains(PAT_SYNC)
-                        || (coordinator_ok && lines[j].contains(PAT_SYNC_THROUGH))
-                });
-            if !synced {
-                push(out, "commit-sync", i);
-            }
-        }
     }
-}
-
-/// Line indices (0-based) where a stripe guard is acquired while another
-/// is already held — the `shard-lock-order` rule's per-file scan.
-///
-/// The tracker is a one-slot heuristic over brace depth, not a borrow
-/// checker: a `let`-bound guard ([`SHARD_GUARD_PATS`]) is considered live
-/// from its acquisition until the surrounding block closes (depth drops
-/// below the acquisition depth) or a `drop(` line intervenes; a
-/// closure-scoped guard ([`PAT_WITH_READY`]) is live only while braces
-/// opened after it remain open. Two acquisitions on one line, or an
-/// acquisition while the slot is occupied, is a finding. Guards that are
-/// really statement-temporaries (a chained `.pending_shard(t).remove(…)`)
-/// are over-approximated as live to end of block — code in scope keeps one
-/// acquisition per brace scope, which is exactly the discipline the rule
-/// exists to enforce.
-fn shard_lock_order(lines: &[&str], scannable: &impl Fn(usize) -> bool) -> Vec<usize> {
-    #[derive(Clone, Copy)]
-    enum Class {
-        /// `let`-bound guard: lives until its block closes or a `drop(`.
-        Bound,
-        /// Closure argument: lives only inside the closure's braces.
-        Scoped,
-    }
-    enum Ev {
-        Open,
-        Close,
-        Acq(Class),
-    }
-    let mut out = Vec::new();
-    let mut depth: i64 = 0;
-    let mut active: Option<(Class, i64)> = None;
-    for (i, &line) in lines.iter().enumerate() {
-        if !scannable(i) {
-            continue;
-        }
-        if line.contains(PAT_DROP_CALL) && matches!(active, Some((Class::Bound, _))) {
-            active = None;
-        }
-        let mut events: Vec<(usize, Ev)> = line
-            .char_indices()
-            .filter_map(|(pos, ch)| match ch {
-                '{' => Some((pos, Ev::Open)),
-                '}' => Some((pos, Ev::Close)),
-                _ => None,
-            })
-            .collect();
-        let find_all = |pat: &str, class: Class, events: &mut Vec<(usize, Ev)>| {
-            let mut from = 0;
-            while let Some(pos) = line[from..].find(pat) {
-                events.push((from + pos, Ev::Acq(class)));
-                from += pos + pat.len();
-            }
-        };
-        for pat in SHARD_GUARD_PATS {
-            find_all(pat, Class::Bound, &mut events);
-        }
-        find_all(PAT_WITH_READY, Class::Scoped, &mut events);
-        events.sort_by_key(|(pos, _)| *pos);
-        for (_, ev) in events {
-            match ev {
-                Ev::Open => depth += 1,
-                Ev::Close => {
-                    depth -= 1;
-                    if let Some((class, d)) = active {
-                        let released = match class {
-                            Class::Bound => depth < d,
-                            Class::Scoped => depth <= d,
-                        };
-                        if released {
-                            active = None;
-                        }
-                    }
-                }
-                Ev::Acq(class) => {
-                    if active.is_some() {
-                        out.push(i);
-                    } else {
-                        active = Some((class, depth));
-                    }
-                }
-            }
-        }
-        // A closure-scoped guard whose closure stayed on one line (no brace
-        // ever opened) dies with its own statement.
-        if let Some((Class::Scoped, d)) = active {
-            if depth <= d {
-                active = None;
-            }
-        }
-    }
-    out
 }
 
 /// Cross-file pass for the `metric-catalogue` rule: collect every metric
@@ -525,7 +366,7 @@ fn resolve_const(lines: &[&str], after: &str) -> Option<String> {
 }
 
 /// Parse `crates/check/lints/<lint>.allow`: `suffix [:: fragment]` lines.
-fn load_allowlist(root: &Path, lint: &str) -> Vec<(String, Option<String>)> {
+pub(crate) fn load_allowlist(root: &Path, lint: &str) -> Vec<(String, Option<String>)> {
     let path = root
         .join("crates/check/lints")
         .join(format!("{lint}.allow"));
@@ -639,59 +480,6 @@ mod tests {
     }
 
     #[test]
-    fn commit_append_without_sync_flagged() {
-        let root = TempRoot::new();
-        let bad = format!("fn f() {{ wal.append(t, {}, &[])?; }}\n", PAT_COMMIT);
-        let good = format!(
-            "fn f() {{\n    wal.append(t, {}, &[])?;\n    wal.sync()?;\n}}\n",
-            PAT_COMMIT
-        );
-        root.write("crates/storage/src/a.rs", &bad);
-        root.write("crates/storage/src/b.rs", &good);
-        let out = run(&root.0).unwrap();
-        assert_eq!(out.findings.len(), 1);
-        assert_eq!(out.findings[0].lint, "commit-sync");
-        assert!(out.findings[0].file.ends_with("a.rs"));
-    }
-
-    #[test]
-    fn commit_append_via_coordinator_is_clean_when_it_really_syncs() {
-        let root = TempRoot::new();
-        let caller = format!(
-            "fn commit() {{\n    wal.append(t, {}, &[])?;\n    self.{}target)?;\n}}\n",
-            PAT_COMMIT, PAT_SYNC_THROUGH
-        );
-        let coordinator = format!(
-            "pub {}(&self, target: u64) {{\n    let res = wal{});\n}}\n",
-            PAT_FN_SYNC_THROUGH, PAT_DOT_SYNC
-        );
-        root.write("crates/storage/src/kv.rs", &caller);
-        root.write("crates/storage/src/group_commit.rs", &coordinator);
-        let out = run(&root.0).unwrap();
-        assert!(out.findings.is_empty(), "{:?}", out.findings);
-    }
-
-    #[test]
-    fn coordinator_that_never_syncs_does_not_satisfy_the_rule() {
-        let root = TempRoot::new();
-        let caller = format!(
-            "fn commit() {{\n    wal.append(t, {}, &[])?;\n    self.{}target)?;\n}}\n",
-            PAT_COMMIT, PAT_SYNC_THROUGH
-        );
-        // A coordinator definition exists but its body never forces the
-        // device: following the sync leads nowhere, so the append is flagged.
-        let bogus = format!(
-            "pub {}(&self, _t: u64) {{\n    // dropped\n}}\n",
-            PAT_FN_SYNC_THROUGH
-        );
-        root.write("crates/storage/src/kv.rs", &caller);
-        root.write("crates/storage/src/group_commit.rs", &bogus);
-        let out = run(&root.0).unwrap();
-        assert_eq!(out.findings.len(), 1);
-        assert_eq!(out.findings[0].lint, "commit-sync");
-    }
-
-    #[test]
     fn allowlist_suppresses_by_suffix_and_fragment() {
         let root = TempRoot::new();
         let src = format!("fn f() {{ std::{}|| ()); }}\n", PAT_SPAWN);
@@ -736,89 +524,6 @@ mod tests {
         let out = run(&root.0).unwrap();
         assert_eq!(out.findings.len(), 1);
         assert_eq!(out.findings[0].lint, "no-wallclock-in-sim");
-    }
-
-    #[test]
-    fn second_stripe_guard_while_one_held_is_flagged() {
-        let root = TempRoot::new();
-        let src = format!(
-            "fn f(&self) {{\n    let a = self.shards[0]{e};\n    let b = self.shards[1]{e};\n}}\n",
-            e = PAT_SHARD_ENTER
-        );
-        root.write("crates/txn/src/lock.rs", &src);
-        let out = run(&root.0).unwrap();
-        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
-        assert_eq!(out.findings[0].lint, "shard-lock-order");
-        assert_eq!(out.findings[0].line, 3);
-    }
-
-    #[test]
-    fn sequential_stripe_scopes_are_clean() {
-        let root = TempRoot::new();
-        // One guard per brace scope: a loop body re-acquiring each
-        // iteration, then a fresh acquisition after the loop has closed.
-        let src = format!(
-            "fn f(&self) {{\n    for s in self.shards.iter() {{\n        let g = s{e};\n    }}\n    let g = self.shards[0]{e};\n}}\nfn g(&self, t: u64) {{\n    let p = self{ps}(t);\n}}\n",
-            e = PAT_SHARD_ENTER,
-            ps = PAT_PENDING_SHARD
-        );
-        root.write("crates/qm/src/ops.rs", &src);
-        let out = run(&root.0).unwrap();
-        assert!(out.findings.is_empty(), "{:?}", out.findings);
-    }
-
-    #[test]
-    fn drop_releases_a_bound_guard() {
-        let root = TempRoot::new();
-        let src = format!(
-            "fn f(&self) {{\n    let a = self.shards[0]{e};\n    drop(a);\n    let b = self.shards[1]{e};\n}}\n",
-            e = PAT_SHARD_ENTER
-        );
-        root.write("crates/txn/src/lock.rs", &src);
-        let out = run(&root.0).unwrap();
-        assert!(out.findings.is_empty(), "{:?}", out.findings);
-    }
-
-    #[test]
-    fn stripe_guard_inside_with_ready_closure_is_flagged() {
-        let root = TempRoot::new();
-        let src = format!(
-            "fn f(&self, t: u64) {{\n    self{wr}\"q\", true, |m| {{\n        let p = self{ps}(t);\n    }});\n}}\n",
-            wr = PAT_WITH_READY,
-            ps = PAT_PENDING_SHARD
-        );
-        root.write("crates/qm/src/ops.rs", &src);
-        let out = run(&root.0).unwrap();
-        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
-        assert_eq!(out.findings[0].lint, "shard-lock-order");
-        assert_eq!(out.findings[0].line, 3);
-    }
-
-    #[test]
-    fn with_ready_scope_ends_with_its_closure() {
-        let root = TempRoot::new();
-        // A multi-line closure, then a one-line closure, then a bound
-        // guard: each scope ends before the next acquisition, so all clean.
-        let src = format!(
-            "fn f(&self, t: u64) {{\n    self{wr}\"q\", true, |m| {{\n        m.clear();\n    }});\n    let n = self{wr}\"q\", false, |m| m.len());\n    let p = self{ps}(t);\n}}\n",
-            wr = PAT_WITH_READY,
-            ps = PAT_PENDING_SHARD
-        );
-        root.write("crates/qm/src/qindex.rs", &src);
-        let out = run(&root.0).unwrap();
-        assert!(out.findings.is_empty(), "{:?}", out.findings);
-    }
-
-    #[test]
-    fn stripe_guards_outside_txn_and_qm_are_out_of_scope() {
-        let root = TempRoot::new();
-        let src = format!(
-            "fn f(&self) {{\n    let a = self.shards[0]{e};\n    let b = self.shards[1]{e};\n}}\n",
-            e = PAT_SHARD_ENTER
-        );
-        root.write("crates/storage/src/kv.rs", &src);
-        let out = run(&root.0).unwrap();
-        assert!(out.findings.is_empty(), "{:?}", out.findings);
     }
 
     fn catalogue(rows: &[&str]) -> String {

@@ -308,7 +308,7 @@ fn lock_poison_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Emit a client event to the installed observer, if any.
 pub fn emit_client(client: &str, event: ClientEvent) {
-    if !ACTIVE.load(Ordering::Relaxed) {
+    if !ACTIVE.load(Ordering::Acquire) {
         return;
     }
     let obs = lock_poison_ok(&OBSERVER).clone();
@@ -319,7 +319,7 @@ pub fn emit_client(client: &str, event: ClientEvent) {
 
 /// Emit a server event to the installed observer, if any.
 pub fn emit_server(server: &str, event: ServerEvent) {
-    if !ACTIVE.load(Ordering::Relaxed) {
+    if !ACTIVE.load(Ordering::Acquire) {
         return;
     }
     let obs = lock_poison_ok(&OBSERVER).clone();

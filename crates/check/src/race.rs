@@ -135,7 +135,7 @@ fn slot_of(d: &mut Detector) -> usize {
 }
 
 fn hooked(f: impl FnOnce(&mut Detector, usize)) {
-    if !ENABLED.load(Ordering::Relaxed) {
+    if !ENABLED.load(Ordering::Acquire) {
         return;
     }
     let mut d = lock_poison_ok(detector());
@@ -143,14 +143,14 @@ fn hooked(f: impl FnOnce(&mut Detector, usize)) {
     f(&mut d, slot);
 }
 
-fn acquire(d: &mut Detector, slot: usize, resource: String) {
+fn join_acquire(d: &mut Detector, slot: usize, resource: String) {
     if let Some(r) = d.resources.get(&resource) {
         let r = r.clone();
         d.threads[slot].join(&r);
     }
 }
 
-fn release(d: &mut Detector, slot: usize, resource: String) {
+fn join_release(d: &mut Detector, slot: usize, resource: String) {
     let t = d.threads[slot].clone();
     d.resources.entry(resource).or_default().join(&t);
     d.threads[slot].tick(slot);
@@ -163,29 +163,29 @@ fn lock_resource(ns: u32, key: &[u8]) -> String {
 /// The calling thread was granted the lock `(ns, key)`: it now observes
 /// everything done under any previous holding of that lock.
 pub fn lock_acquired(ns: u32, key: &[u8]) {
-    hooked(|d, slot| acquire(d, slot, lock_resource(ns, key)));
+    hooked(|d, slot| join_acquire(d, slot, lock_resource(ns, key)));
 }
 
 /// The calling thread released the lock `(ns, key)`.
 pub fn lock_released(ns: u32, key: &[u8]) {
-    hooked(|d, slot| release(d, slot, lock_resource(ns, key)));
+    hooked(|d, slot| join_release(d, slot, lock_resource(ns, key)));
 }
 
 /// §5 lock inheritance: the calling thread (the inheriting transaction's
 /// thread) adopts the lock without the holder ever releasing it.
 pub fn lock_transferred(ns: u32, key: &[u8]) {
-    hooked(|d, slot| acquire(d, slot, lock_resource(ns, key)));
+    hooked(|d, slot| join_acquire(d, slot, lock_resource(ns, key)));
 }
 
 /// Release-like edge: everything the enqueuing transaction did so far is
 /// published to whoever later dequeues from `queue`.
 pub fn queue_enqueued(queue: &str) {
-    hooked(|d, slot| release(d, slot, format!("queue:{queue}")));
+    hooked(|d, slot| join_release(d, slot, format!("queue:{queue}")));
 }
 
 /// Acquire-like edge: the dequeuer observes all publishes into `queue`.
 pub fn queue_dequeued(queue: &str) {
-    hooked(|d, slot| acquire(d, slot, format!("queue:{queue}")));
+    hooked(|d, slot| join_acquire(d, slot, format!("queue:{queue}")));
 }
 
 fn record(d: &mut Detector, slot: usize, cell: &str, kind: AccessKind) {
@@ -249,9 +249,9 @@ pub fn on_write(cell: &str) {
 pub fn serialized_read(cell: &str) {
     hooked(|d, slot| {
         let latch = format!("ser:{cell}");
-        acquire(d, slot, latch.clone());
+        join_acquire(d, slot, latch.clone());
         record(d, slot, cell, AccessKind::Read);
-        release(d, slot, latch);
+        join_release(d, slot, latch);
     });
 }
 
@@ -259,9 +259,9 @@ pub fn serialized_read(cell: &str) {
 pub fn serialized_write(cell: &str) {
     hooked(|d, slot| {
         let latch = format!("ser:{cell}");
-        acquire(d, slot, latch.clone());
+        join_acquire(d, slot, latch.clone());
         record(d, slot, cell, AccessKind::Write);
-        release(d, slot, latch);
+        join_release(d, slot, latch);
     });
 }
 

@@ -1,0 +1,15 @@
+// Fixture: declared order respected, commit append synced before the
+// commit-point mutation, no Relaxed atomics — zero findings expected.
+pub struct S;
+
+pub fn good(s: &S) {
+    let a = s.alpha();
+    let b = s.beta();
+    use_both(&a, &b);
+}
+
+pub fn commit_good(s: &S) {
+    s.wal.append(7, RecordKind::Commit, &[]);
+    s.wal.sync();
+    s.index.mutate(7);
+}

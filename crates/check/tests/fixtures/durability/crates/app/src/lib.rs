@@ -1,0 +1,9 @@
+// Fixture: the commit record is appended but the device is never forced, so
+// the commit-point mutation is not dominated by a sync (and the append has
+// no post-dominating sync either).
+pub struct S;
+
+pub fn commit_bad(s: &S) {
+    s.wal.append(7, RecordKind::Commit, &[]);
+    s.index.mutate(7);
+}

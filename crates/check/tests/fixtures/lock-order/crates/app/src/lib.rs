@@ -1,0 +1,20 @@
+// Fixture: acquires `a-lock` while `b-lock` is held, violating the declared
+// `a-lock` < `b-lock` order — once directly, once through a call.
+pub struct S;
+
+pub fn bad_direct(s: &S) {
+    let b = s.beta();
+    let a = s.alpha();
+    use_both(a, b);
+}
+
+pub fn helper_acquires_a(s: &S) {
+    let a = s.alpha();
+    touch(a);
+}
+
+pub fn bad_through_call(s: &S) {
+    let b = s.beta();
+    helper_acquires_a(s);
+    touch(b);
+}

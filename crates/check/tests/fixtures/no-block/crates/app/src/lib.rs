@@ -1,0 +1,9 @@
+// Fixture: a blocking channel receive while the `no-block` class `a-lock`
+// is held.
+pub struct S;
+
+pub fn bad(s: &S) {
+    let g = s.alpha();
+    let m = s.rx.recv();
+    use_both(g, m);
+}

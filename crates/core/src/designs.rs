@@ -150,7 +150,7 @@ fn run_direct(
                         match txn.lock_exclusive(&lk) {
                             Ok(()) => {}
                             Err(TxnError::Deadlock { .. }) | Err(TxnError::LockTimeout) => {
-                                conflicts.fetch_add(1, Ordering::Relaxed);
+                                conflicts.fetch_add(1, Ordering::AcqRel);
                                 txn.abort()?;
                                 continue;
                             }
@@ -181,7 +181,7 @@ fn run_direct(
         completed,
         elapsed,
         throughput: completed as f64 / elapsed.as_secs_f64().max(1e-9),
-        lock_conflicts: conflicts.load(Ordering::Relaxed),
+        lock_conflicts: conflicts.load(Ordering::Acquire),
     })
 }
 
@@ -212,7 +212,7 @@ pub fn run_queued(
             format!("rrq-d3s{s}"),
             move || -> CoreResult<()> {
                 let (h, _) = repo.qm().register(req_q, &format!("d3s{s}"), false)?;
-                while !stop.load(Ordering::Relaxed) {
+                while !stop.load(Ordering::Acquire) {
                     let txn = repo.begin()?;
                     let elem = match repo.qm().dequeue(
                         txn.id().raw(),
@@ -239,7 +239,7 @@ pub fn run_queued(
                     match txn.lock_exclusive(&lk) {
                         Ok(()) => {}
                         Err(TxnError::Deadlock { .. }) | Err(TxnError::LockTimeout) => {
-                            conflicts.fetch_add(1, Ordering::Relaxed);
+                            conflicts.fetch_add(1, Ordering::AcqRel);
                             txn.abort()?; // request returns to the queue
                             continue;
                         }
@@ -323,7 +323,7 @@ pub fn run_queued(
         completed += h.join().expect("client thread panicked")?;
     }
     let elapsed = start.elapsed();
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Release);
     for h in server_handles {
         h.join().expect("server thread panicked")?;
     }
@@ -331,7 +331,7 @@ pub fn run_queued(
         completed,
         elapsed,
         throughput: completed as f64 / elapsed.as_secs_f64().max(1e-9),
-        lock_conflicts: conflicts.load(Ordering::Relaxed),
+        lock_conflicts: conflicts.load(Ordering::Acquire),
     })
 }
 

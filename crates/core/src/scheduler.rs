@@ -179,7 +179,7 @@ impl PoolController {
         }
         while self.instances.len() > want {
             if let Some((stop, handle)) = self.instances.pop() {
-                stop.store(true, Ordering::Relaxed);
+                stop.store(true, Ordering::Release);
                 let _ = handle.join();
             }
         }
@@ -189,7 +189,7 @@ impl PoolController {
     /// Stop every instance.
     pub fn shutdown(&mut self) {
         for (stop, _) in &self.instances {
-            stop.store(true, Ordering::Relaxed);
+            stop.store(true, Ordering::Release);
         }
         for (_, handle) in self.instances.drain(..) {
             let _ = handle.join();

@@ -495,7 +495,7 @@ impl Server {
         let me = Arc::clone(self);
         let name = format!("rrq-server-{}", self.cfg.server_name);
         crate::threads::spawn_named(name, move || {
-            while !stop.load(Ordering::Relaxed) {
+            while !stop.load(Ordering::Acquire) {
                 match me.run_once() {
                     Ok(_) => {}
                     Err(CoreError::Malformed(_)) => {} // dropped bad request

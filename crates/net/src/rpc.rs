@@ -41,8 +41,8 @@ impl RpcClient {
     /// (rpc calls, one-way sends) so far.
     pub fn counts(&self) -> (u64, u64) {
         (
-            self.calls.load(Ordering::Relaxed),
-            self.one_ways.load(Ordering::Relaxed),
+            self.calls.load(Ordering::Acquire),
+            self.one_ways.load(Ordering::Acquire),
         )
     }
 
@@ -50,9 +50,9 @@ impl RpcClient {
     /// correlation id (replies to calls that already timed out) are
     /// discarded.
     pub fn call(&self, to: &str, payload: Vec<u8>, timeout: Duration) -> NetResult<Vec<u8>> {
-        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::AcqRel);
         rrq_obs::counter_inc("net.rpc.calls");
-        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let corr = self.next_corr.fetch_add(1, Ordering::AcqRel);
         self.endpoint.send_to(to, corr, false, payload)?;
         let deadline = Instant::now() + timeout;
         loop {
@@ -72,7 +72,7 @@ impl RpcClient {
     /// Fire-and-forget send; no acknowledgement, no failure signal beyond
     /// local misconfiguration.
     pub fn send_one_way(&self, to: &str, payload: Vec<u8>) -> NetResult<()> {
-        self.one_ways.fetch_add(1, Ordering::Relaxed);
+        self.one_ways.fetch_add(1, Ordering::AcqRel);
         self.endpoint.send_to(to, 0, false, payload)
     }
 }
@@ -147,7 +147,7 @@ pub fn spawn_server(
     let stop = Arc::new(AtomicU64::new(0));
     let stop2 = Arc::clone(&stop);
     let handle = std::thread::spawn(move || {
-        let _ = server.serve_until(|| stop2.load(Ordering::Relaxed) != 0, handler);
+        let _ = server.serve_until(|| stop2.load(Ordering::Acquire) != 0, handler);
     });
     ServerGuard {
         stop,
@@ -164,7 +164,7 @@ pub struct ServerGuard {
 impl ServerGuard {
     /// Stop the server and join its thread.
     pub fn shutdown(mut self) {
-        self.stop.store(1, Ordering::Relaxed);
+        self.stop.store(1, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -173,7 +173,7 @@ impl ServerGuard {
 
 impl Drop for ServerGuard {
     fn drop(&mut self) {
-        self.stop.store(1, Ordering::Relaxed);
+        self.stop.store(1, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

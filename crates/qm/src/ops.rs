@@ -168,8 +168,8 @@ pub struct QueueManager {
     /// Open-transaction bookkeeping, striped by transaction id so concurrent
     /// servers enlisting different transactions don't share one mutex. Each
     /// access touches exactly one stripe; the kill-element poison scan walks
-    /// the stripes one at a time (never two guards at once — enforced by the
-    /// `shard-lock-order` rrq-lint rule).
+    /// the stripes one at a time (never two guards at once — the `qm-pending`
+    /// class in LOCKS.md, enforced by the rrq-analyze `lock-order` rule).
     pending: Box<[Mutex<HashMap<u64, PendingTxn>>]>,
     /// Committed ready-lists per queue — the dequeue/depth hot path. Kept in
     /// lock-step with the stores at commit/abort/kill/destroy boundaries and
@@ -324,13 +324,13 @@ impl QueueManager {
         if let Some(&n) = g.get(queue) {
             return n;
         }
-        let n = self.next_ns.fetch_add(1, Ordering::Relaxed);
+        let n = self.next_ns.fetch_add(1, Ordering::AcqRel);
         g.insert(queue.to_string(), n);
         n
     }
 
     fn next_eid(&self) -> (Eid, u64) {
-        let c = self.counter.fetch_add(1, Ordering::Relaxed);
+        let c = self.counter.fetch_add(1, Ordering::AcqRel);
         let eid = Eid::compose(self.epoch, c);
         // The same epoch-qualified counter doubles as the FIFO sequence.
         (eid, eid.raw())
@@ -646,7 +646,7 @@ impl QueueManager {
         opts: &DequeueOptions,
         deadline: Option<Instant>,
     ) -> QmResult<Option<Element>> {
-        if self.use_index.load(Ordering::Relaxed) {
+        if self.use_index.load(Ordering::Acquire) {
             rrq_obs::counter_inc("qm.dequeue.index_hits");
             self.try_dequeue_once_indexed(txn, handle, meta, opts, deadline)
         } else {
@@ -1017,16 +1017,7 @@ impl QueueManager {
             match self.locks.try_lock(sys, &lk, LockMode::Exclusive) {
                 Ok(()) => {
                     // Unlocked: delete right now in a system transaction.
-                    let r = (|| -> QmResult<bool> {
-                        store.begin(sys)?;
-                        let still_there = store.get(Some(sys), &ekey)?.is_some();
-                        if still_there {
-                            store.delete(sys, &ekey)?;
-                            store.delete(sys, &keys::index_key(eid))?;
-                        }
-                        store.commit(sys)?;
-                        Ok(still_there)
-                    })();
+                    let r = Self::kill_live_element(store, sys, &ekey, eid);
                     self.locks.unlock_all(sys);
                     let killed = r?;
                     if killed {
@@ -1061,11 +1052,26 @@ impl QueueManager {
         Ok(false)
     }
 
+    /// Delete a live, unlocked element inside a committed system
+    /// transaction; returns whether it was still present. A named function
+    /// (not a closure in `kill_element`) so the durability-dominator pass
+    /// can see the `commit` on every path to the caller's index update.
+    fn kill_live_element(store: &Arc<KvStore>, sys: u64, ekey: &[u8], eid: Eid) -> QmResult<bool> {
+        store.begin(sys)?;
+        let still_there = store.get(Some(sys), ekey)?.is_some();
+        if still_there {
+            store.delete(sys, ekey)?;
+            store.delete(sys, &keys::index_key(eid))?;
+        }
+        store.commit(sys)?;
+        Ok(still_there)
+    }
+
     /// Number of live (committed) elements in `queue` — answered from the
     /// ready index, no storage scan.
     pub fn depth(&self, queue: &str) -> QmResult<usize> {
         self.queue_meta(queue)?; // unknown queues still error
-        if self.use_index.load(Ordering::Relaxed) {
+        if self.use_index.load(Ordering::Acquire) {
             return Ok(self.qindex.depth(queue));
         }
         self.depth_scan(queue)
@@ -1093,12 +1099,12 @@ impl QueueManager {
     /// index (the default) and the raw storage scan. Benchmarks A/B the two;
     /// semantics are identical.
     pub fn set_indexed_dequeue(&self, on: bool) {
-        self.use_index.store(on, Ordering::Relaxed);
+        self.use_index.store(on, Ordering::Release);
     }
 
     /// Whether the indexed hot path is active.
     pub fn indexed_dequeue(&self) -> bool {
-        self.use_index.load(Ordering::Relaxed)
+        self.use_index.load(Ordering::Acquire)
     }
 
     /// The ready index's current contents: `queue → ordered (key, eid)`.

@@ -32,7 +32,8 @@
 //!   `clear_queue`) take the outer **write** lock, which excludes every
 //!   single-queue writer wholesale — under it the per-queue mutexes are
 //!   untouched via `Mutex::get_mut`, so no path ever holds two per-queue
-//!   guards (the `shard-lock-order` rrq-lint rule enforces this).
+//!   guards (the `qindex-queue` class in LOCKS.md; the rrq-analyze
+//!   `lock-order` rule rejects a second same-class acquisition).
 //!
 //! The depth gauge still moves strictly inside the per-queue (or
 //! whole-index) critical section, so the gauge and `total()` can never be

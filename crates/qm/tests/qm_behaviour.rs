@@ -317,6 +317,28 @@ fn kill_element_in_queue() {
 }
 
 #[test]
+fn kill_element_keeps_index_and_storage_consistent() {
+    let r = repo();
+    r.create_queue_defaults("q").unwrap();
+    let (h, _) = r.qm().register("q", "c", false).unwrap();
+    enq(&r, &h, b"keep-1");
+    let victim = enq(&r, &h, b"victim");
+    enq(&r, &h, b"keep-2");
+
+    assert!(r.qm().kill_element(victim).unwrap());
+    // The ready index and a raw storage scan must agree after the kill: the
+    // deleting system transaction commits before the index update
+    // (regression for the extracted `kill_live_element` helper, pinned by
+    // the durability-dominator rule).
+    assert_eq!(r.qm().depth("q").unwrap(), 2);
+    assert_eq!(r.qm().depth_scan("q").unwrap(), 2);
+    // Survivors dequeue in order; the victim never surfaces.
+    assert_eq!(deq(&r, &h).unwrap(), b"keep-1");
+    assert_eq!(deq(&r, &h).unwrap(), b"keep-2");
+    assert!(matches!(deq(&r, &h), Err(QmError::Empty(_))));
+}
+
+#[test]
 fn kill_element_held_by_uncommitted_dequeuer_aborts_it() {
     let r = repo();
     r.create_queue_defaults("q").unwrap();

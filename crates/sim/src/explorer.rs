@@ -268,7 +268,7 @@ pub fn run_script_with(
     let incarnation_counter = Arc::new(AtomicU64::new(0));
     let counter = Arc::clone(&incarnation_counter);
     let factory: ServerFactory = Arc::new(move |repo| {
-        let i = counter.fetch_add(1, Ordering::Relaxed);
+        let i = counter.fetch_add(1, Ordering::AcqRel);
         let scfg = ServerConfig::new(format!("srv-i{i}"), REQ_QUEUE);
         Ok(vec![Server::new(
             Arc::clone(repo),

@@ -110,7 +110,7 @@ impl ServerNodeSim {
     /// Crash the node; with `Some(mode)` the WAL keeps a torn tail that
     /// recovery must reject (see `RepoDisks::crash_with`).
     pub fn crash_with(&mut self, torn: Option<TornWriteMode>) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -121,7 +121,7 @@ impl ServerNodeSim {
 
     /// Graceful stop (no storage loss) — used at test teardown.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         for t in self.threads.drain(..) {
             let _ = t.join();
         }

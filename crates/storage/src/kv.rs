@@ -42,7 +42,12 @@
 //! which holds the exclusive `ckpt_gate` and may take `mem.read` then `log`.
 //! Commit-point record writers (commit / prepare / logged abort) hold
 //! `ckpt_gate.read` so a checkpoint can never truncate the log while a
-//! commit record is in flight between append and sync.
+//! commit record is in flight between append and sync. The classes and
+//! their declared order live in `LOCKS.md` (kv-gate, kv-txns, kv-log,
+//! kv-apply, kv-mem); the rrq-analyze `lock-order` and
+//! `no-block-under-guard` rules check every path against them — in
+//! particular `log` is a no-block class, so device forces happen outside
+//! the append latch (see [`KvStore::checkpoint`]).
 
 use crate::checkpoint::{load_checkpoint, write_checkpoint};
 use crate::codec::{put, Reader};
@@ -571,7 +576,7 @@ impl KvStore {
         }
         self.retire(seq, &ops);
         self.txns.lock().remove(&txn);
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.commits.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 
@@ -630,7 +635,7 @@ impl KvStore {
             // txn as in-doubt and the coordinator aborts it again (presumed
             // abort would also work).
         }
-        self.aborts.fetch_add(1, Ordering::Relaxed);
+        self.aborts.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 
@@ -654,9 +659,15 @@ impl KvStore {
             let mem = self.mem.read();
             write_checkpoint(self.ckpt.as_ref(), &mem)?;
         }
-        let _log = self.log.lock();
-        self.wal.reset()?;
-        self.wal.append(0, RecordKind::Checkpoint, &[])?;
+        {
+            // The append latch covers only the truncate + marker append; the
+            // device force and the coordinator reset run after it drops
+            // (kv-log is a no-block class — the exclusive gate already
+            // excludes every appender, so nothing can slip in between).
+            let _log = self.log.lock();
+            self.wal.reset()?;
+            self.wal.append(0, RecordKind::Checkpoint, &[])?;
+        }
         self.wal.sync()?;
         // Log offsets restarted; the coordinator's watermark must too.
         self.group.on_truncate();
@@ -671,8 +682,8 @@ impl KvStore {
     /// (commits, aborts) counters.
     pub fn txn_counts(&self) -> (u64, u64) {
         (
-            self.commits.load(Ordering::Relaxed),
-            self.aborts.load(Ordering::Relaxed),
+            self.commits.load(Ordering::Acquire),
+            self.aborts.load(Ordering::Acquire),
         )
     }
 

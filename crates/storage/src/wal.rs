@@ -128,7 +128,7 @@ impl Wal {
         put::u32(&mut frame, crc32(&body));
         frame.extend_from_slice(&body);
         let lsn = self.disk.append(&frame)?;
-        self.appended.fetch_add(1, Ordering::Relaxed);
+        self.appended.fetch_add(1, Ordering::AcqRel);
         rrq_obs::counter_inc("storage.wal.appends");
         if kind == RecordKind::Commit {
             rrq_obs::counter_inc("storage.wal.commit_records");

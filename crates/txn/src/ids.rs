@@ -44,12 +44,12 @@ impl TxnIdGen {
 
     /// Issue the next id.
     pub fn next(&self) -> TxnId {
-        TxnId(self.next.fetch_add(1, Ordering::Relaxed))
+        TxnId(self.next.fetch_add(1, Ordering::AcqRel))
     }
 
     /// The id that would be issued next (for persisting a high-water mark).
     pub fn peek(&self) -> u64 {
-        self.next.load(Ordering::Relaxed)
+        self.next.load(Ordering::Acquire)
     }
 }
 

@@ -24,6 +24,7 @@ pub mod deadlock;
 pub mod error;
 pub mod ids;
 pub mod lock;
+pub mod lockorder;
 pub mod manager;
 pub mod rm;
 pub mod twophase;

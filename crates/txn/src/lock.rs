@@ -19,13 +19,20 @@
 //! graph and the counters stay behind one small separate lock — deadlock
 //! detection must see edges across every shard to find cross-shard cycles,
 //! and victim selection at block time is unchanged. Lock order is strictly
-//! shard → meta, and no path ever holds two shard guards at once (enforced by
-//! the `shard-lock-order` rrq-lint rule).
+//! shard → meta, and no path ever holds two shard guards at once. The
+//! discipline is enforced twice: statically by `rrq-analyze` (classes
+//! `txn-stripe` / `txn-meta` in `LOCKS.md`, checked inter-procedurally
+//! across the workspace) and dynamically by the [`crate::lockorder`]
+//! debug-build checker — every [`StripeGuard`]/[`MetaGuard`] carries a
+//! [`Held`] token that panics on any out-of-order acquisition a test or
+//! explorer sweep reaches.
 
 use crate::deadlock::WaitsForGraph;
 use crate::error::{TxnError, TxnResult};
+use crate::lockorder::{GuardClass, Held};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::ops::{Deref, DerefMut};
 use std::time::{Duration, Instant};
 
 /// Default stripe count for [`LockManager::new`]. Sixteen keeps the
@@ -97,13 +104,66 @@ struct Shard {
     cv: Condvar,
 }
 
+/// A stripe guard: the shard mutex plus the debug-build order token. Derefs
+/// to [`ShardState`]; condvar waits go through [`StripeGuard::inner_mut`].
+struct StripeGuard<'a> {
+    _order: Held,
+    inner: MutexGuard<'a, ShardState>,
+}
+
+impl<'a> StripeGuard<'a> {
+    /// The raw mutex guard, for parking on the stripe's own condvar.
+    fn inner_mut(&mut self) -> &mut MutexGuard<'a, ShardState> {
+        &mut self.inner
+    }
+}
+
+impl Deref for StripeGuard<'_> {
+    type Target = ShardState;
+    fn deref(&self) -> &ShardState {
+        &self.inner
+    }
+}
+
+impl DerefMut for StripeGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ShardState {
+        &mut self.inner
+    }
+}
+
+/// The meta-lock guard, order-checked like [`StripeGuard`].
+struct MetaGuard<'a> {
+    _order: Held,
+    inner: MutexGuard<'a, Meta>,
+}
+
+impl Deref for MetaGuard<'_> {
+    type Target = Meta;
+    fn deref(&self) -> &Meta {
+        &self.inner
+    }
+}
+
+impl DerefMut for MetaGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Meta {
+        &mut self.inner
+    }
+}
+
 impl Shard {
     /// Acquire this shard's mutex, counting contended acquisitions. The
     /// `try_lock` fast path costs one CAS; only the slow path touches the
     /// metrics (which are themselves no-ops unless a Session is installed).
-    fn enter(&self) -> MutexGuard<'_, ShardState> {
+    /// The order token is taken *before* the mutex so a would-deadlock
+    /// acquisition panics in debug builds even when the schedule would have
+    /// let it slip through.
+    fn enter(&self) -> StripeGuard<'_> {
+        let order = Held::acquire(GuardClass::Stripe);
         if let Some(g) = self.state.try_lock() {
-            return g;
+            return StripeGuard {
+                _order: order,
+                inner: g,
+            };
         }
         rrq_obs::counter_inc("txn.lock.shard.contended");
         let start = rrq_obs::now();
@@ -112,7 +172,10 @@ impl Shard {
             "txn.lock.shard.acquire_wait_ticks",
             rrq_obs::now().saturating_sub(start),
         );
-        g
+        StripeGuard {
+            _order: order,
+            inner: g,
+        }
     }
 }
 
@@ -187,6 +250,18 @@ impl LockManager {
         &self.shards[self.shard_id(key)]
     }
 
+    /// Acquire the meta lock (waits-for graph + counters), order-checked:
+    /// legal with a stripe guard or nothing held, never under another meta
+    /// guard. This accessor is also the `txn-meta` acquisition pattern the
+    /// static analyzer classifies (see `LOCKS.md`).
+    fn meta(&self) -> MetaGuard<'_> {
+        let order = Held::acquire(GuardClass::Meta);
+        MetaGuard {
+            _order: order,
+            inner: self.meta.lock(),
+        }
+    }
+
     /// Acquire `key` in `mode` for `txn`, blocking up to `timeout`.
     ///
     /// Re-acquiring a held lock is a no-op; requesting `Exclusive` while
@@ -236,7 +311,7 @@ impl LockManager {
                 }
                 g.held.entry(txn).or_default().insert(key.clone());
                 {
-                    let mut m = self.meta.lock();
+                    let mut m = self.meta();
                     if waited {
                         m.waits.clear_waiter(txn);
                         m.stats.waited_grants += 1;
@@ -271,7 +346,7 @@ impl LockManager {
                 enqueued = true;
             }
             let deadlocked = {
-                let mut m = self.meta.lock();
+                let mut m = self.meta();
                 m.waits.clear_waiter(txn);
                 for h in &conflicters {
                     m.waits.add_edge(txn, *h);
@@ -299,7 +374,7 @@ impl LockManager {
             if Instant::now() >= deadline {
                 return self.wait_timed_out(&mut g, txn, key);
             }
-            let result = shard.cv.wait_until(&mut g, deadline);
+            let result = shard.cv.wait_until(g.inner_mut(), deadline);
             if result.timed_out() {
                 return self.wait_timed_out(&mut g, txn, key);
             }
@@ -308,14 +383,9 @@ impl LockManager {
 
     /// Shared timeout cleanup: drop the waiter record from the shard and the
     /// waits-for graph, count the timeout. Called with the shard guard held.
-    fn wait_timed_out(
-        &self,
-        g: &mut MutexGuard<'_, ShardState>,
-        txn: u64,
-        key: &LockKey,
-    ) -> TxnResult<()> {
+    fn wait_timed_out(&self, g: &mut StripeGuard<'_>, txn: u64, key: &LockKey) -> TxnResult<()> {
         {
-            let mut m = self.meta.lock();
+            let mut m = self.meta();
             m.waits.clear_waiter(txn);
             m.stats.timeouts += 1;
         }
@@ -354,7 +424,7 @@ impl LockManager {
             }
             shard.cv.notify_all();
         }
-        let mut m = self.meta.lock();
+        let mut m = self.meta();
         m.waits.clear_waiter(txn);
         m.waits.clear_target(txn);
     }
@@ -396,7 +466,7 @@ impl LockManager {
             // re-targets `to` (PR 1 lost-wakeup audit; transfer_wakeup.rs).
             shard.cv.notify_all();
         }
-        self.meta.lock().waits.clear_target(from);
+        self.meta().waits.clear_target(from);
     }
 
     /// Number of locks currently held by `txn`.
@@ -421,7 +491,7 @@ impl LockManager {
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> LockStats {
-        self.meta.lock().stats
+        self.meta().stats
     }
 }
 

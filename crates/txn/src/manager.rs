@@ -49,7 +49,7 @@ impl Inner {
     fn lock_timeout(&self) -> Duration {
         Duration::from_millis(
             self.lock_timeout_ms
-                .load(std::sync::atomic::Ordering::Relaxed),
+                .load(std::sync::atomic::Ordering::Acquire),
         )
     }
 }
@@ -91,7 +91,7 @@ impl TxnManager {
     pub fn set_lock_timeout(&self, timeout: Duration) {
         self.inner.lock_timeout_ms.store(
             timeout.as_millis() as u64,
-            std::sync::atomic::Ordering::Relaxed,
+            std::sync::atomic::Ordering::Release,
         );
     }
 
