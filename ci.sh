@@ -30,10 +30,23 @@ echo "== E18 contention smoke (striped vs single-mutex at 4 workers)"
 # shared-queue bank workload (full sweep: experiments -- e18).
 cargo run --release -p rrq-bench --bin experiments -q -- e18 --smoke
 
+echo "== E19 partitioned-WAL smoke (parallel recovery + single-partition baseline)"
+# Asserts recovery over 4 shard logs is >= 2x faster than the monolithic
+# scan on per-read-latency devices, and that a wal_partitions=1 store holds
+# >= 0.95x the KvStore::open baseline throughput (full sweep: experiments -- e19).
+cargo run --release -p rrq-bench --bin experiments -q -- e19 --smoke
+
 echo "== explorer smoke sweep (200 fixed-seed fault scripts)"
 # Deterministic: any failure prints the seed and a replayable script path
 # (replay with: cargo run --release -p rrq-bench --bin explore -- --replay <path>).
 cargo run --release -p rrq-bench --bin explore -- \
   --scripts 200 --seed 1 --budget-secs 240 --out target/explorer-failures
+
+echo "== explorer partitioned sweep (200 scripts, wal_partitions=4, per-log torn tails)"
+# Same fixed seeds, four shard logs: scripts tear random log subsets and the
+# conservation oracles must stay green across every recovery.
+cargo run --release -p rrq-bench --bin explore -- \
+  --scripts 200 --seed 1 --budget-secs 240 --wal-partitions 4 \
+  --out target/explorer-failures-p4
 
 echo "CI OK"

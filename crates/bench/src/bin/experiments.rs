@@ -31,7 +31,7 @@ use rrq_sim::node::ServerNodeSim;
 use rrq_sim::oracle::EffectLedger;
 use rrq_sim::schedule::CrashSchedule;
 use rrq_storage::codec::Encode;
-use rrq_storage::disk::{Disk, LatencyDisk, SimDisk};
+use rrq_storage::disk::{CrashStyle, Disk, LatencyDisk, SimDisk};
 use rrq_storage::kv::{KvOptions, KvStore};
 use rrq_txn::{LockKey, LockMode};
 use rrq_workload::arrivals::{bursty_arrivals, ZipfSelector};
@@ -110,6 +110,9 @@ fn main() {
     }
     if run("e18") {
         e18_shard_contention(&scale, smoke);
+    }
+    if run("e19") {
+        e19_partitioned_wal(&scale, smoke);
     }
 }
 
@@ -1565,6 +1568,7 @@ fn e18_run(name: &str, workers: usize, shards: usize, n: u64) -> (f64, rrq_obs::
             group_commit_window: Duration::from_micros(100),
         },
         wal_sync_latency: Some(Duration::from_micros(100)),
+        wal_partitions: 1,
     };
     let (repo, _) = Repository::open_with(name, RepoDisks::new(), opts).unwrap();
     let repo = Arc::new(repo);
@@ -1743,4 +1747,290 @@ fn e18_shard_contention(scale: &Scale, smoke: bool) {
     if !monotone {
         println!("WARNING: striped throughput not monotone over 1→4 workers: {striped_rates:?}\n");
     }
+}
+
+// ======================================================================
+// E19 — partitioned WAL: recovery time and commit throughput
+// ======================================================================
+
+/// Per-read device latency for the recovery measurements. `Wal::scan` issues
+/// two reads per record (header, body), so charging each read makes recovery
+/// wall time proportional to the *bytes a log device must deliver* — the
+/// real-world cost — instead of to single-core CPU time, where N scan
+/// threads on this box would show nothing. Reads on one device queue behind
+/// each other; reads on different shard logs overlap, which is exactly the
+/// claim the parallel-recovery measurement needs to test.
+const E19_READ_LATENCY: Duration = Duration::from_micros(10);
+
+/// Commit `commits` single-key transactions over `partitions` shard logs,
+/// checkpointing every `ckpt_every` commits if asked, then crash every
+/// device (clean power loss: volatile bytes drop, synced bytes survive).
+fn e19_history(
+    partitions: usize,
+    commits: u64,
+    ckpt_every: Option<u64>,
+) -> (Vec<SimDisk>, SimDisk) {
+    let wals: Vec<SimDisk> = (0..partitions).map(|_| SimDisk::new()).collect();
+    let ckpt = SimDisk::new();
+    let (store, _) = KvStore::open_partitioned(
+        wals.iter()
+            .map(|d| Arc::new(d.clone()) as Arc<dyn Disk>)
+            .collect(),
+        Arc::new(ckpt.clone()),
+        KvOptions::default(),
+    )
+    .unwrap();
+    for i in 0..commits {
+        let token = i + 1;
+        store.begin(token).unwrap();
+        // A rolling keyspace: hashes spread keys across every shard log.
+        let key = [b'k', (i % 251) as u8, (i / 251) as u8];
+        store.put(token, &key, &i.to_le_bytes()).unwrap();
+        store.commit(token).unwrap();
+        if let Some(every) = ckpt_every {
+            if token % every == 0 {
+                store.checkpoint().unwrap();
+            }
+        }
+    }
+    drop(store);
+    for d in &wals {
+        d.crash(CrashStyle::DropVolatile);
+    }
+    ckpt.crash(CrashStyle::DropVolatile);
+    (wals, ckpt)
+}
+
+/// Reopen crashed devices with per-read latency on the logs and time the
+/// recovery. Returns (wall time, redo records replayed).
+fn e19_recover(wals: &[SimDisk], ckpt: &SimDisk) -> (Duration, usize) {
+    let disks: Vec<Arc<dyn Disk>> = wals
+        .iter()
+        .map(|d| {
+            Arc::new(
+                LatencyDisk::new(Arc::new(d.clone()), Duration::ZERO)
+                    .with_read_latency(E19_READ_LATENCY),
+            ) as Arc<dyn Disk>
+        })
+        .collect();
+    let t0 = Instant::now();
+    let (store, report) =
+        KvStore::open_partitioned(disks, Arc::new(ckpt.clone()), KvOptions::default()).unwrap();
+    let elapsed = t0.elapsed();
+    drop(store);
+    (elapsed, report.replayed)
+}
+
+/// Commit-throughput cell: `threads` committers of single-key transactions
+/// over `partitions` logs, each log a 100µs-per-force device. Returns req/s.
+fn e19_throughput(partitions: usize, group: bool, threads: usize, per_thread: u64) -> f64 {
+    let wals: Vec<Arc<dyn Disk>> = (0..partitions)
+        .map(|_| {
+            Arc::new(LatencyDisk::new(
+                Arc::new(SimDisk::new()),
+                Duration::from_micros(100),
+            )) as Arc<dyn Disk>
+        })
+        .collect();
+    let opts = KvOptions {
+        sync_on_commit: true,
+        group_commit: group,
+        group_commit_window: Duration::from_micros(100),
+    };
+    let (store, _) = KvStore::open_partitioned(wals, Arc::new(SimDisk::new()), opts).unwrap();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let token = t as u64 * 1_000_000 + i + 1;
+                    store.begin(token).unwrap();
+                    // Thread-private keys: the measurement is log-device
+                    // bandwidth, not write-write conflicts.
+                    let key = [b't', t as u8, (i % 64) as u8];
+                    store.put(token, &key, b"v").unwrap();
+                    store.commit(token).unwrap();
+                }
+            });
+        }
+    });
+    threads as u64 as f64 * per_thread as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn e19_partitioned_wal(scale: &Scale, smoke: bool) {
+    println!("## E19 — partitioned WAL: recovery and throughput\n");
+    println!("Three questions about the shard-log design. (a) Do incremental");
+    println!("checkpoints bound recovery by the delta since the last checkpoint");
+    println!("rather than by history length? (b) Does scanning N logs in parallel");
+    println!("beat one monolithic scan when log reads cost device time? (c) What");
+    println!("does partitioning do to commit throughput when every force pays a");
+    println!("100µs device delay — with and without group commit?\n");
+
+    let mut json = String::from("{\n  \"experiment\": \"E19\",\n  \"recovery\": [\n");
+    let mut first = true;
+
+    // ---- (a) recovery vs history length, with and without checkpoints ----
+    // Lengths ≡ 100 (mod 250): every history ends 100 commits past its last
+    // checkpoint, so the checkpointed store has the *same* delta to replay
+    // at every length — the flat line is the claim.
+    let histories: &[u64] = if smoke {
+        &[600, 2100]
+    } else {
+        &[600, 2100, 8100]
+    };
+    let ckpt_every = 250;
+    println!("### Recovery time vs history length (partitions = 4, 10µs/read)\n");
+    println!("| committed txns | no ckpt: recovery | no ckpt: redo | ckpt every {ckpt_every}: recovery | ckpt: redo |");
+    println!("|---------------:|------------------:|--------------:|--------------------------:|-----------:|");
+    let mut flat = Vec::new();
+    let mut growing = Vec::new();
+    for &n in histories {
+        let (wals, ckpt) = e19_history(4, n, None);
+        let (t_none, redo_none) = e19_recover(&wals, &ckpt);
+        let (wals, ckpt) = e19_history(4, n, Some(ckpt_every));
+        let (t_ckpt, redo_ckpt) = e19_recover(&wals, &ckpt);
+        growing.push(t_none);
+        flat.push(t_ckpt);
+        println!(
+            "| {n:>14} | {:>15.1}ms | {redo_none:>13} | {:>23.1}ms | {redo_ckpt:>10} |",
+            t_none.as_secs_f64() * 1e3,
+            t_ckpt.as_secs_f64() * 1e3
+        );
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(
+            "    {{\"commits\": {n}, \"no_ckpt_ms\": {:.2}, \"no_ckpt_redo\": {redo_none}, \"ckpt_ms\": {:.2}, \"ckpt_redo\": {redo_ckpt}}}",
+            t_none.as_secs_f64() * 1e3,
+            t_ckpt.as_secs_f64() * 1e3
+        ));
+    }
+    // The checkpointed store replays at most `ckpt_every` transactions no
+    // matter how long the history is; the uncheckpointed one replays all of
+    // them. Recovery time must reflect that shape.
+    let spread = flat.last().unwrap().as_secs_f64() / flat[0].as_secs_f64().max(1e-9);
+    println!(
+        "\nCheckpointed recovery stays within {spread:.1}x across a {}x history spread;",
+        histories.last().unwrap() / histories[0]
+    );
+    println!(
+        "uncheckpointed grows {:.1}x.\n",
+        growing.last().unwrap().as_secs_f64() / growing[0].as_secs_f64().max(1e-9)
+    );
+
+    // ---- (b) parallel scan vs monolithic scan ----
+    let n = if smoke { 1000 } else { 4000 };
+    println!("### Parallel recovery: one scan thread per shard log ({n} txns, no checkpoints)\n");
+    println!("| partitions | recovery | speedup vs 1 |");
+    println!("|-----------:|---------:|-------------:|");
+    let mut mono_t = Duration::ZERO;
+    json.push_str("\n  ],\n  \"parallel_recovery\": [\n");
+    first = true;
+    let parts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    for &p in parts {
+        let (wals, ckpt) = e19_history(p, n, None);
+        let (t, _) = e19_recover(&wals, &ckpt);
+        if p == 1 {
+            mono_t = t;
+        }
+        let speedup = mono_t.as_secs_f64() / t.as_secs_f64().max(1e-9);
+        println!(
+            "| {p:>10} | {:>6.1}ms | {speedup:>11.2}x |",
+            t.as_secs_f64() * 1e3
+        );
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(
+            "    {{\"partitions\": {p}, \"recovery_ms\": {:.2}, \"speedup\": {speedup:.2}}}",
+            t.as_secs_f64() * 1e3
+        ));
+        if smoke && p == 4 {
+            assert!(
+                speedup >= 2.0,
+                "E19 smoke: parallel recovery over 4 logs only {speedup:.2}x faster than monolithic (wanted >= 2x)"
+            );
+        }
+    }
+    println!();
+
+    // ---- (c) commit throughput vs partition count ----
+    let threads = 8;
+    let per_thread = if smoke { 50 } else { 100 * scale.n };
+    println!("### Commit throughput: {threads} committers, 100µs per force, single-key txns\n");
+    println!("| partitions | per-commit sync req/s | group commit req/s |");
+    println!("|-----------:|----------------------:|-------------------:|");
+    json.push_str("\n  ],\n  \"throughput\": [\n");
+    first = true;
+    let tput_parts: &[usize] = if smoke { &[1] } else { &[1, 2, 4, 8] };
+    for &p in tput_parts {
+        let solo = e19_throughput(p, false, threads, per_thread);
+        let grouped = e19_throughput(p, true, threads, per_thread);
+        println!(
+            "| {p:>10} | {:>21} | {:>18} |",
+            fmt_rate(solo),
+            fmt_rate(grouped)
+        );
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(
+            "    {{\"partitions\": {p}, \"per_commit_req_per_sec\": {solo:.1}, \"group_commit_req_per_sec\": {grouped:.1}}}"
+        ));
+    }
+    json.push_str("\n  ]\n}\n");
+    println!();
+
+    // The `wal_partitions = 1` store must not tax the baseline: `open` and
+    // `open_partitioned(1)` are the same machinery, so this is a regression
+    // tripwire on the partitioned commit path itself.
+    let baseline = {
+        let (store, _) = KvStore::open(
+            Arc::new(LatencyDisk::new(
+                Arc::new(SimDisk::new()),
+                Duration::from_micros(100),
+            )),
+            Arc::new(SimDisk::new()),
+            KvOptions::default(),
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let token = t as u64 * 1_000_000 + i + 1;
+                        store.begin(token).unwrap();
+                        store
+                            .put(token, &[b't', t as u8, (i % 64) as u8], b"v")
+                            .unwrap();
+                        store.commit(token).unwrap();
+                    }
+                });
+            }
+        });
+        threads as u64 as f64 * per_thread as f64 / t0.elapsed().as_secs_f64()
+    };
+    let partitioned_1 = e19_throughput(1, true, threads, per_thread);
+    println!(
+        "Single-partition store vs `KvStore::open` baseline: {} vs {} req/s.\n",
+        fmt_rate(partitioned_1),
+        fmt_rate(baseline)
+    );
+    if smoke {
+        assert!(
+            partitioned_1 >= 0.95 * baseline,
+            "E19 smoke: wal_partitions=1 ({partitioned_1:.1} req/s) fell below 0.95x the open() baseline ({baseline:.1} req/s)"
+        );
+        println!("E19 smoke: parallel recovery and single-partition throughput gates — ok.\n");
+        return;
+    }
+
+    std::fs::write("BENCH_PR7.json", &json).unwrap();
+    println!("Series written to BENCH_PR7.json.\n");
 }

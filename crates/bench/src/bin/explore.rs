@@ -6,6 +6,7 @@
 //!     --seed 1 --budget-secs 240 --out target/explorer-failures
 //! cargo run --release -p rrq-bench --bin explore -- --replay path.rrqs
 //! cargo run --release -p rrq-bench --bin explore -- --scripts 50 --bug
+//! cargo run --release -p rrq-bench --bin explore -- --scripts 200 --wal-partitions 4
 //! ```
 //!
 //! Runs seeded [`rrq_sim::script::FaultScript`]s through the explorer,
@@ -30,6 +31,7 @@ struct Args {
     out: PathBuf,
     replay: Option<PathBuf>,
     bug: Option<InjectedBug>,
+    wal_partitions: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("target/explorer-failures"),
         replay: None,
         bug: None,
+        wal_partitions: 1,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(flag) = it.next() {
@@ -51,6 +54,11 @@ fn parse_args() -> Result<Args, String> {
                 args.budget_secs = val("--budget-secs")?.parse().map_err(|e| format!("{e}"))?
             }
             "--out" => args.out = PathBuf::from(val("--out")?),
+            "--wal-partitions" => {
+                args.wal_partitions = val("--wal-partitions")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--replay" => args.replay = Some(PathBuf::from(val("--replay")?)),
             "--bug" => {
                 // Optional bug name; a bare `--bug` keeps its original
@@ -87,6 +95,7 @@ fn main() -> ExitCode {
     let cfg = ExplorerConfig {
         bug: args.bug,
         out_dir: Some(args.out.clone()),
+        wal_partitions: args.wal_partitions,
         ..ExplorerConfig::default()
     };
 

@@ -12,7 +12,7 @@ use crate::error::{QmError, QmResult};
 use crate::meta::QueueMeta;
 use crate::ops::QueueManager;
 use rrq_storage::disk::{CrashStyle, Disk, LatencyDisk, SimDisk, TornWriteMode};
-use rrq_storage::kv::{KvOptions, KvStore};
+use rrq_storage::kv::{KvOptions, KvStore, MAX_WAL_PARTITIONS};
 use rrq_storage::recovery::RecoveryReport;
 use rrq_txn::{
     CoordinatorLog, KvResource, LockManager, ResourceManager, Txn, TxnManager, DEFAULT_LOCK_SHARDS,
@@ -22,14 +22,33 @@ use std::time::Duration;
 
 /// The stable devices backing a repository. Clone-shared: keep a copy to
 /// crash and reopen the "same disks" in tests and simulations.
-#[derive(Debug, Clone, Default)]
+///
+/// One WAL device exists per possible log partition
+/// ([`MAX_WAL_PARTITIONS`]); a repository opened with `wal_partitions = N`
+/// uses the first `N`. The legacy `wal` field aliases `wals[0]` (SimDisk
+/// clones share state), so single-log code keeps working unchanged.
+#[derive(Debug, Clone)]
 pub struct RepoDisks {
-    /// Write-ahead log device.
+    /// Write-ahead log device of partition 0 (aliases `wals[0]`).
     pub wal: SimDisk,
+    /// Per-partition write-ahead log devices.
+    pub wals: Vec<SimDisk>,
     /// Checkpoint device.
     pub ckpt: SimDisk,
     /// Two-phase-commit coordinator log device.
     pub coord: SimDisk,
+}
+
+impl Default for RepoDisks {
+    fn default() -> Self {
+        let wals: Vec<SimDisk> = (0..MAX_WAL_PARTITIONS).map(|_| SimDisk::new()).collect();
+        RepoDisks {
+            wal: wals[0].clone(),
+            wals,
+            ckpt: SimDisk::new(),
+            coord: SimDisk::new(),
+        }
+    }
 }
 
 impl RepoDisks {
@@ -43,15 +62,28 @@ impl RepoDisks {
         self.crash_with(None);
     }
 
-    /// Crash all devices; with `Some(mode)` the WAL additionally keeps a
-    /// torn (corrupt) tail of its unsynced bytes, so recovery must reject
-    /// the partial frames. The checkpoint and coordinator devices only ever
-    /// take whole-contents swaps, so a torn tail there models nothing the
-    /// protocol can see — they always drop volatile cleanly.
+    /// Crash all devices; with `Some(mode)` every WAL device additionally
+    /// keeps a torn (corrupt) tail of its unsynced bytes, so recovery must
+    /// reject the partial frames. The checkpoint and coordinator devices
+    /// only ever take whole-contents swaps or forced appends, so a torn
+    /// tail there models nothing the protocol can see — they always drop
+    /// volatile cleanly.
     pub fn crash_with(&self, torn: Option<TornWriteMode>) {
-        match torn {
-            Some(mode) => self.wal.crash_torn(mode),
-            None => self.wal.crash(CrashStyle::DropVolatile),
+        self.crash_torn_logs(torn, 0);
+    }
+
+    /// Crash all devices, tearing only the WAL partitions selected by
+    /// `mask` (bit *i* = log *i*; `0` = all of them — the [`Self::crash_with`]
+    /// behaviour). Unselected logs drop their volatile bytes cleanly, which
+    /// models per-device torn writes: each log is its own platter, so a
+    /// power cut can tear some logs' in-flight frames and not others'.
+    pub fn crash_torn_logs(&self, torn: Option<TornWriteMode>, mask: u8) {
+        for (i, w) in self.wals.iter().enumerate() {
+            let selected = mask == 0 || (i < u8::BITS as usize && mask & (1 << i) != 0);
+            match torn {
+                Some(mode) if selected => w.crash_torn(mode),
+                _ => w.crash(CrashStyle::DropVolatile),
+            }
         }
         self.ckpt.crash(CrashStyle::DropVolatile);
         self.coord.crash(CrashStyle::DropVolatile);
@@ -67,9 +99,14 @@ pub struct RepoOptions {
     pub shards: usize,
     /// Durable-store options (group commit, sync policy).
     pub kv: KvOptions,
-    /// When set, wrap the WAL device in a [`LatencyDisk`] charging this much
-    /// per force — models a real storage device for contention experiments.
+    /// When set, wrap each WAL device in a [`LatencyDisk`] charging this
+    /// much per force — models real storage devices for contention
+    /// experiments. With several partitions each log gets its *own* latency
+    /// wrapper, so forces on different logs proceed in parallel.
     pub wal_sync_latency: Option<Duration>,
+    /// Number of per-shard WAL partitions (clamped to
+    /// `1..=`[`MAX_WAL_PARTITIONS`]). `1` is the exact single-log baseline.
+    pub wal_partitions: usize,
 }
 
 impl Default for RepoOptions {
@@ -78,6 +115,7 @@ impl Default for RepoOptions {
             shards: DEFAULT_LOCK_SHARDS,
             kv: KvOptions::default(),
             wal_sync_latency: None,
+            wal_partitions: 1,
         }
     }
 }
@@ -104,11 +142,20 @@ impl Repository {
         opts: RepoOptions,
     ) -> QmResult<(Self, RecoveryReport)> {
         let name = name.into();
-        let wal: Arc<dyn Disk> = match opts.wal_sync_latency {
-            Some(cost) => Arc::new(LatencyDisk::new(Arc::new(disks.wal.clone()), cost)),
-            None => Arc::new(disks.wal.clone()),
-        };
-        let (store, report) = KvStore::open(wal, Arc::new(disks.ckpt.clone()), opts.kv)?;
+        let partitions = opts.wal_partitions.clamp(1, MAX_WAL_PARTITIONS);
+        let wals: Vec<Arc<dyn Disk>> = disks
+            .wals
+            .iter()
+            .take(partitions)
+            .map(|d| match opts.wal_sync_latency {
+                Some(cost) => {
+                    Arc::new(LatencyDisk::new(Arc::new(d.clone()), cost)) as Arc<dyn Disk>
+                }
+                None => Arc::new(d.clone()) as Arc<dyn Disk>,
+            })
+            .collect();
+        let (store, report) =
+            KvStore::open_partitioned(wals, Arc::new(disks.ckpt.clone()), opts.kv)?;
 
         // Volatile queues: a brand-new in-memory store each incarnation.
         let (volatile, _) = KvStore::open(

@@ -28,6 +28,7 @@ use rrq_core::request::Reply;
 use rrq_core::rid::Rid;
 use rrq_core::server::{Server, ServerConfig};
 use rrq_net::{FaultPlan, NetworkBus};
+use rrq_qm::repository::RepoOptions;
 use rrq_workload::bank::{self, Transfer};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -83,6 +84,9 @@ pub struct ExplorerConfig {
     pub bug: Option<InjectedBug>,
     /// Where failing scripts are persisted as replayable files.
     pub out_dir: Option<PathBuf>,
+    /// WAL partitions the server node runs with (1 = the monolithic log).
+    /// Scripted per-log tears only bite when this is above one.
+    pub wal_partitions: usize,
 }
 
 impl Default for ExplorerConfig {
@@ -92,6 +96,7 @@ impl Default for ExplorerConfig {
             initial_balance: 10_000,
             bug: None,
             out_dir: None,
+            wal_partitions: 1,
         }
     }
 }
@@ -281,6 +286,10 @@ pub fn run_script_with(
         vec![REQ_QUEUE.into(), format!("reply.{CLIENT_ID}")],
         factory,
     );
+    node.set_repo_options(RepoOptions {
+        wal_partitions: cfg.wal_partitions,
+        ..RepoOptions::default()
+    });
     node.start().expect("initial server boot failed");
     bank::seed_accounts(&node.repo(), cfg.accounts, cfg.initial_balance)
         .expect("seeding accounts failed");
@@ -447,12 +456,20 @@ pub fn run_script_with(
                 if *applied {
                     continue;
                 }
-                if let FaultEvent::ServerCrash { serial: es, torn } = *ev {
+                if let FaultEvent::ServerCrash {
+                    serial: es,
+                    torn,
+                    torn_logs,
+                } = *ev
+                {
                     if es <= serial {
                         *applied = true;
                         drop(rpc.take());
-                        node.crash_with(torn);
+                        node.crash_torn_logs(torn, torn_logs);
                         trace.push(match torn {
+                            Some(m) if torn_logs != 0 => {
+                                format!("server-crash torn={} logs={torn_logs:#04x}", m.name())
+                            }
                             Some(m) => format!("server-crash torn={}", m.name()),
                             None => "server-crash".into(),
                         });

@@ -8,7 +8,7 @@
 
 use rrq_core::error::CoreResult;
 use rrq_core::server::{Handler, Server, ServerConfig};
-use rrq_qm::repository::{RepoDisks, Repository};
+use rrq_qm::repository::{RepoDisks, RepoOptions, Repository};
 use rrq_storage::disk::TornWriteMode;
 use rrq_storage::recovery::RecoveryReport;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -22,6 +22,7 @@ pub type ServerFactory =
 /// A crash-restartable server node.
 pub struct ServerNodeSim {
     disks: RepoDisks,
+    opts: RepoOptions,
     name: String,
     server_factory: ServerFactory,
     repo: Option<Arc<Repository>>,
@@ -65,6 +66,7 @@ impl ServerNodeSim {
     ) -> Self {
         ServerNodeSim {
             disks: RepoDisks::new(),
+            opts: RepoOptions::default(),
             name: name.into(),
             server_factory,
             repo: None,
@@ -75,11 +77,19 @@ impl ServerNodeSim {
         }
     }
 
+    /// Repository tuning used on every boot (partitioned WAL in particular).
+    /// Call before the first [`ServerNodeSim::start`]; the options persist
+    /// across crashes and restarts.
+    pub fn set_repo_options(&mut self, opts: RepoOptions) {
+        self.opts = opts;
+    }
+
     /// Boot (or re-boot after [`ServerNodeSim::crash`]) the node. Returns
     /// the storage recovery report.
     pub fn start(&mut self) -> CoreResult<RecoveryReport> {
         assert!(self.repo.is_none(), "node already running");
-        let (repo, report) = Repository::open(self.name.clone(), self.disks.clone())?;
+        let (repo, report) =
+            Repository::open_with(self.name.clone(), self.disks.clone(), self.opts.clone())?;
         let repo = Arc::new(repo);
         for q in &self.initial_queues {
             repo.create_queue_defaults(q)?;
@@ -110,12 +120,19 @@ impl ServerNodeSim {
     /// Crash the node; with `Some(mode)` the WAL keeps a torn tail that
     /// recovery must reject (see `RepoDisks::crash_with`).
     pub fn crash_with(&mut self, torn: Option<TornWriteMode>) {
+        self.crash_torn_logs(torn, 0);
+    }
+
+    /// Crash the node with the tear aimed at a subset of WAL partitions:
+    /// bit `i` of `mask` tears log `i`, the rest lose only volatile bytes.
+    /// `mask == 0` tears every log (see `RepoDisks::crash_torn_logs`).
+    pub fn crash_torn_logs(&mut self, torn: Option<TornWriteMode>, mask: u8) {
         self.stop.store(true, Ordering::Release);
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
         self.repo = None;
-        self.disks.crash_with(torn);
+        self.disks.crash_torn_logs(torn, mask);
         self.crashes += 1;
     }
 

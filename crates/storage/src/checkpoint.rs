@@ -1,71 +1,180 @@
-//! Checkpoint snapshots for the key-value store.
+//! Incremental checkpoint chains for the key-value store.
 //!
-//! A checkpoint is a full serialization of the committed tree, written with
-//! an atomic device swap ([`crate::disk::Disk::reset`], modelling
-//! write-temp-then-rename) so a crash during checkpointing leaves the
-//! previous checkpoint intact. The snapshot carries a magic header, an entry
-//! count, and a trailing CRC-32 over everything before it; a snapshot that
-//! fails validation is treated as absent (the log still has everything since
-//! the previous good checkpoint — see [`crate::kv::KvStore::checkpoint`],
-//! which only truncates the log *after* the swap succeeds).
+//! A checkpoint is no longer a single full serialization of the tree: the
+//! device holds a *chain* of crc32-framed segments — one **base** snapshot
+//! (written with an atomic device swap, [`crate::disk::Disk::reset`],
+//! modelling write-temp-then-rename) followed by zero or more **delta**
+//! segments, each carrying only the keys dirtied since the previous segment
+//! (appended, then forced with [`crate::disk::Disk::sync`]). Restart cost is
+//! therefore bounded by data touched since the last checkpoint, not by
+//! history length.
+//!
+//! Crash atomicity: a crash mid-base leaves the previous contents intact
+//! (the swap is atomic); a crash mid-delta leaves a torn tail that fails its
+//! CRC, so [`load_chain`] stops at the previous complete segment — and the
+//! store only truncates its logs *after* the segment write returns, so the
+//! logs still hold everything the lost delta described. A chain whose first
+//! segment is not a valid base (including the pre-segment full-snapshot
+//! format) is treated as absent.
 
 use crate::checksum::crc32;
 use crate::codec::{put, Reader};
 use crate::disk::Disk;
-use crate::error::{StorageError, StorageResult};
+use crate::error::StorageResult;
 use std::collections::BTreeMap;
 
-const CKPT_MAGIC: u32 = 0xC4EC_B001;
+/// Segment frame marker (distinct from the retired full-snapshot magic).
+const SEG_MAGIC: u32 = 0xC4EC_B007;
 
-/// Serialize the tree and atomically swap it onto `disk`.
-pub fn write_checkpoint(disk: &dyn Disk, mem: &BTreeMap<Vec<u8>, Vec<u8>>) -> StorageResult<()> {
-    let mut buf = Vec::new();
-    put::u32(&mut buf, CKPT_MAGIC);
-    put::u64(&mut buf, mem.len() as u64);
-    for (k, v) in mem {
-        put::bytes(&mut buf, k);
-        put::bytes(&mut buf, v);
-    }
-    let crc = crc32(&buf);
-    put::u32(&mut buf, crc);
-    disk.reset(buf)
+/// Frame header bytes: magic(4) + kind(1) + body len(8).
+const SEG_HEADER: usize = 13;
+
+/// Trailing CRC-32 over magic + kind + len + body.
+const SEG_TRAILER: usize = 4;
+
+const KIND_BASE: u8 = 0;
+const KIND_DELTA: u8 = 1;
+
+/// What [`load_chain`] found on the checkpoint device.
+#[derive(Debug, Default)]
+pub struct CheckpointChain {
+    /// The tree described by the valid chain prefix (base + deltas applied).
+    pub mem: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// Number of valid segments (0 = no usable checkpoint).
+    pub segments: u64,
+    /// Byte offset where the valid chain ends. Bytes past it are a stale or
+    /// torn segment and must be discarded before the next delta is appended.
+    pub valid_end: u64,
 }
 
-/// Load the checkpoint from `disk`, returning an empty tree when the device
-/// is empty or the snapshot is invalid.
-pub fn load_checkpoint(disk: &dyn Disk) -> StorageResult<BTreeMap<Vec<u8>, Vec<u8>>> {
-    let len = disk.len();
-    if len == 0 {
-        return Ok(BTreeMap::new());
+fn frame(kind: u8, body: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(SEG_HEADER + body.len() + SEG_TRAILER);
+    put::u32(&mut buf, SEG_MAGIC);
+    put::u8(&mut buf, kind);
+    put::u64(&mut buf, body.len() as u64);
+    buf.extend_from_slice(body);
+    let crc = crc32(&buf);
+    put::u32(&mut buf, crc);
+    buf
+}
+
+/// Serialize the whole tree as a base segment and atomically swap it onto
+/// `disk`, starting a fresh chain. Durable when this returns.
+pub fn write_base(disk: &dyn Disk, mem: &BTreeMap<Vec<u8>, Vec<u8>>) -> StorageResult<()> {
+    let mut body = Vec::new();
+    put::u64(&mut body, mem.len() as u64);
+    for (k, v) in mem {
+        put::bytes(&mut body, k);
+        put::bytes(&mut body, v);
     }
-    if len < 16 {
-        // magic + count + crc can't fit: treat as absent.
-        return Ok(BTreeMap::new());
+    disk.reset(frame(KIND_BASE, &body))
+}
+
+/// Append one delta segment — the dirtied keys with their current committed
+/// values (`None` = tombstone) — and force it. Durable when this returns.
+pub fn append_delta(
+    disk: &dyn Disk,
+    delta: &BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+) -> StorageResult<()> {
+    let mut body = Vec::new();
+    put::u64(&mut body, delta.len() as u64);
+    for (k, v) in delta {
+        put::bytes(&mut body, k);
+        match v {
+            Some(val) => {
+                put::u8(&mut body, 1);
+                put::bytes(&mut body, val);
+            }
+            None => put::u8(&mut body, 0),
+        }
     }
-    let raw = disk.read(0, len as usize)?;
-    let (body, crc_bytes) = raw.split_at(raw.len() - 4);
-    let expect = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
-    if crc32(body) != expect {
-        return Ok(BTreeMap::new());
-    }
+    disk.append(&frame(KIND_DELTA, &body))?;
+    disk.sync()
+}
+
+fn apply_base(body: &[u8], mem: &mut BTreeMap<Vec<u8>, Vec<u8>>) -> StorageResult<()> {
     let mut r = Reader::new(body);
-    let magic = r.u32()?;
-    if magic != CKPT_MAGIC {
-        return Ok(BTreeMap::new());
-    }
     let count = r.u64()?;
-    let mut mem = BTreeMap::new();
+    mem.clear();
     for _ in 0..count {
         let k = r.bytes()?;
         let v = r.bytes()?;
         mem.insert(k, v);
     }
-    if !r.is_empty() {
-        return Err(StorageError::Decode(
-            "trailing bytes in checkpoint body".into(),
-        ));
+    Ok(())
+}
+
+fn apply_delta(body: &[u8], mem: &mut BTreeMap<Vec<u8>, Vec<u8>>) -> StorageResult<()> {
+    let mut r = Reader::new(body);
+    let count = r.u64()?;
+    for _ in 0..count {
+        let k = r.bytes()?;
+        match r.u8()? {
+            0 => {
+                mem.remove(&k);
+            }
+            _ => {
+                let v = r.bytes()?;
+                mem.insert(k, v);
+            }
+        }
     }
-    Ok(mem)
+    Ok(())
+}
+
+/// Walk the segment chain from offset 0, applying base + deltas in order.
+///
+/// The walk stops — without error — at the first segment that is truncated,
+/// has a bad magic or kind, or fails its CRC: that is the torn tail of a
+/// crash mid-checkpoint, and everything it described is still in the logs.
+/// A chain that does not *start* with a valid base is treated as absent.
+pub fn load_chain(disk: &dyn Disk) -> StorageResult<CheckpointChain> {
+    let total = disk.len();
+    let mut chain = CheckpointChain::default();
+    let mut off = 0u64;
+    while off + (SEG_HEADER + SEG_TRAILER) as u64 <= total {
+        let header = disk.read(off, SEG_HEADER)?;
+        let mut r = Reader::new(&header);
+        let Ok(magic) = r.u32() else { break };
+        if magic != SEG_MAGIC {
+            break;
+        }
+        let Ok(kind) = r.u8() else { break };
+        if kind != KIND_BASE && kind != KIND_DELTA {
+            break;
+        }
+        let Ok(len) = r.u64() else { break };
+        let frame_end = off + (SEG_HEADER as u64) + len + (SEG_TRAILER as u64);
+        if frame_end > total {
+            break; // truncated tail
+        }
+        let covered = disk.read(off, SEG_HEADER + len as usize)?;
+        let crc_bytes = disk.read(off + SEG_HEADER as u64 + len, SEG_TRAILER)?;
+        let expect = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        if crc32(&covered) != expect {
+            break; // torn segment
+        }
+        if chain.segments == 0 && kind != KIND_BASE {
+            break; // chain must start with a base
+        }
+        let body = &covered[SEG_HEADER..];
+        let applied = if kind == KIND_BASE {
+            apply_base(body, &mut chain.mem)
+        } else {
+            apply_delta(body, &mut chain.mem)
+        };
+        if applied.is_err() {
+            break; // a crc-valid but undecodable segment: stop, don't fail
+        }
+        chain.segments += 1;
+        off = frame_end;
+        chain.valid_end = off;
+    }
+    if chain.segments == 0 {
+        chain.mem.clear();
+        chain.valid_end = 0;
+    }
+    Ok(chain)
 }
 
 #[cfg(test)]
@@ -82,52 +191,127 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip() {
+    fn base_roundtrip() {
         let d = MemDisk::new();
         let m = sample();
-        write_checkpoint(&d, &m).unwrap();
-        assert_eq!(load_checkpoint(&d).unwrap(), m);
+        write_base(&d, &m).unwrap();
+        let chain = load_chain(&d).unwrap();
+        assert_eq!(chain.mem, m);
+        assert_eq!(chain.segments, 1);
+        assert_eq!(chain.valid_end, d.len());
     }
 
     #[test]
-    fn empty_device_loads_empty_tree() {
+    fn empty_device_loads_empty_chain() {
         let d = MemDisk::new();
-        assert!(load_checkpoint(&d).unwrap().is_empty());
+        let chain = load_chain(&d).unwrap();
+        assert!(chain.mem.is_empty());
+        assert_eq!(chain.segments, 0);
     }
 
     #[test]
-    fn corrupt_snapshot_treated_as_absent() {
+    fn deltas_apply_in_order_over_base() {
         let d = MemDisk::new();
-        write_checkpoint(&d, &sample()).unwrap();
-        // Flip one byte in the middle.
+        write_base(&d, &sample()).unwrap();
+        let mut d1 = BTreeMap::new();
+        d1.insert(b"alpha".to_vec(), Some(b"2".to_vec()));
+        d1.insert(b"gamma".to_vec(), Some(b"3".to_vec()));
+        append_delta(&d, &d1).unwrap();
+        let mut d2 = BTreeMap::new();
+        d2.insert(b"beta".to_vec(), None); // tombstone
+        d2.insert(b"alpha".to_vec(), Some(b"4".to_vec()));
+        append_delta(&d, &d2).unwrap();
+
+        let chain = load_chain(&d).unwrap();
+        assert_eq!(chain.segments, 3);
+        assert_eq!(chain.mem.get(b"alpha".as_slice()), Some(&b"4".to_vec()));
+        assert_eq!(chain.mem.get(b"beta".as_slice()), None);
+        assert_eq!(chain.mem.get(b"gamma".as_slice()), Some(&b"3".to_vec()));
+        assert_eq!(
+            chain.mem.get(b"".as_slice()),
+            Some(&b"empty-key".to_vec()),
+            "untouched base key survives"
+        );
+    }
+
+    #[test]
+    fn torn_delta_falls_back_to_previous_chain() {
+        let d = MemDisk::new();
+        write_base(&d, &sample()).unwrap();
+        let mut d1 = BTreeMap::new();
+        d1.insert(b"alpha".to_vec(), Some(b"2".to_vec()));
+        append_delta(&d, &d1).unwrap();
+        let good_end = d.len();
+
+        // A second delta whose tail is torn: drop its last byte (the CRC
+        // cannot validate).
+        let mut d2 = BTreeMap::new();
+        d2.insert(b"alpha".to_vec(), Some(b"99".to_vec()));
+        append_delta(&d, &d2).unwrap();
+        let raw = d.read(0, d.len() as usize).unwrap();
+        d.reset(raw[..raw.len() - 1].to_vec()).unwrap();
+
+        let chain = load_chain(&d).unwrap();
+        assert_eq!(chain.segments, 2, "stops at the previous complete segment");
+        assert_eq!(chain.valid_end, good_end);
+        assert_eq!(chain.mem.get(b"alpha".as_slice()), Some(&b"2".to_vec()));
+    }
+
+    #[test]
+    fn corrupt_base_treated_as_absent() {
+        let d = MemDisk::new();
+        write_base(&d, &sample()).unwrap();
         let raw = d.read(0, d.len() as usize).unwrap();
         let mut bad = raw.clone();
         bad[10] ^= 0xFF;
         d.reset(bad).unwrap();
-        assert!(load_checkpoint(&d).unwrap().is_empty());
+        let chain = load_chain(&d).unwrap();
+        assert!(chain.mem.is_empty());
+        assert_eq!(chain.segments, 0);
+        assert_eq!(chain.valid_end, 0);
+    }
+
+    #[test]
+    fn delta_without_base_treated_as_absent() {
+        let d = MemDisk::new();
+        let mut d1 = BTreeMap::new();
+        d1.insert(b"k".to_vec(), Some(b"v".to_vec()));
+        append_delta(&d, &d1).unwrap();
+        let chain = load_chain(&d).unwrap();
+        assert_eq!(chain.segments, 0);
+        assert!(chain.mem.is_empty());
     }
 
     #[test]
     fn short_garbage_treated_as_absent() {
         let d = MemDisk::new();
         d.reset(vec![1, 2, 3]).unwrap();
-        assert!(load_checkpoint(&d).unwrap().is_empty());
+        let chain = load_chain(&d).unwrap();
+        assert!(chain.mem.is_empty());
+        assert_eq!(chain.segments, 0);
     }
 
     #[test]
-    fn rewrite_replaces_previous_snapshot() {
+    fn new_base_replaces_previous_chain() {
         let d = MemDisk::new();
-        write_checkpoint(&d, &sample()).unwrap();
+        write_base(&d, &sample()).unwrap();
+        let mut d1 = BTreeMap::new();
+        d1.insert(b"x".to_vec(), Some(b"y".to_vec()));
+        append_delta(&d, &d1).unwrap();
         let mut m2 = BTreeMap::new();
         m2.insert(b"only".to_vec(), b"one".to_vec());
-        write_checkpoint(&d, &m2).unwrap();
-        assert_eq!(load_checkpoint(&d).unwrap(), m2);
+        write_base(&d, &m2).unwrap();
+        let chain = load_chain(&d).unwrap();
+        assert_eq!(chain.segments, 1);
+        assert_eq!(chain.mem, m2);
     }
 
     #[test]
     fn empty_tree_roundtrips() {
         let d = MemDisk::new();
-        write_checkpoint(&d, &BTreeMap::new()).unwrap();
-        assert!(load_checkpoint(&d).unwrap().is_empty());
+        write_base(&d, &BTreeMap::new()).unwrap();
+        let chain = load_chain(&d).unwrap();
+        assert!(chain.mem.is_empty());
+        assert_eq!(chain.segments, 1);
     }
 }

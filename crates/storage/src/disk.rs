@@ -348,7 +348,8 @@ impl Disk for SimDisk {
     }
 }
 
-/// A device wrapper that charges a fixed latency per [`Disk::sync`].
+/// A device wrapper that charges a fixed latency per [`Disk::sync`] (and,
+/// opt-in, per [`Disk::read`]).
 ///
 /// [`SimDisk`]'s sync is a memcpy, so per-commit and group-commit forcing
 /// cost the same and a benchmark cannot see batching win. Real log devices
@@ -358,10 +359,15 @@ impl Disk for SimDisk {
 /// Forces are serialized: a log device has one flush channel, so two threads
 /// syncing "at the same time" still pay two delays back to back. Without
 /// that, per-commit syncing would scale linearly with committer threads and
-/// no benchmark could see why group commit exists.
+/// no benchmark could see why group commit exists. Reads, when given a
+/// latency via [`LatencyDisk::with_read_latency`], go through the same
+/// single command channel — which is what lets a recovery benchmark see the
+/// point of one scan thread per log device: reads on *different* devices
+/// overlap, reads on the same device queue.
 pub struct LatencyDisk {
     inner: Arc<dyn Disk>,
     sync_latency: std::time::Duration,
+    read_latency: std::time::Duration,
     flush_channel: Mutex<()>,
 }
 
@@ -371,8 +377,15 @@ impl LatencyDisk {
         LatencyDisk {
             inner,
             sync_latency,
+            read_latency: std::time::Duration::ZERO,
             flush_channel: Mutex::new(()),
         }
+    }
+
+    /// Also sleep `read_latency` on every read (default: reads are free).
+    pub fn with_read_latency(mut self, read_latency: std::time::Duration) -> Self {
+        self.read_latency = read_latency;
+        self
     }
 }
 
@@ -382,6 +395,10 @@ impl Disk for LatencyDisk {
     }
 
     fn read(&self, offset: u64, len: usize) -> StorageResult<Vec<u8>> {
+        if !self.read_latency.is_zero() {
+            let _channel = self.flush_channel.lock();
+            std::thread::sleep(self.read_latency);
+        }
         self.inner.read(offset, len)
     }
 

@@ -220,6 +220,45 @@ mod tests {
     }
 
     #[test]
+    fn truncating_one_log_leaves_sibling_watermark_intact() {
+        // Regression: with one coordinator per log partition, a checkpoint
+        // truncating log A must reset only A's watermark. A global reset
+        // would make log B's already-durable records look volatile — a
+        // commit racing the checkpoint on B would re-force needlessly, and
+        // B's watermark could no longer prove its commit record durable.
+        let (disk_a, disk_b) = (SimDisk::new(), SimDisk::new());
+        let wal_a = Wal::new(Arc::new(disk_a.clone()));
+        let wal_b = Wal::new(Arc::new(disk_b.clone()));
+        let (gc_a, gc_b) = (
+            GroupCommit::new(Duration::ZERO),
+            GroupCommit::new(Duration::ZERO),
+        );
+        wal_b.append(1, RecordKind::Commit, &[]).unwrap();
+        let b_target = wal_b.len();
+        gc_b.sync_through(&wal_b, b_target).unwrap();
+        let b_syncs = disk_b.stats().syncs;
+
+        // Checkpoint truncates log A only.
+        wal_a.append(2, RecordKind::Commit, &[]).unwrap();
+        gc_a.sync_through(&wal_a, wal_a.len()).unwrap();
+        wal_a.reset().unwrap();
+        gc_a.on_truncate();
+
+        // Sibling B's watermark still covers its commit record: no new
+        // device sync is needed to prove it durable.
+        gc_b.sync_through(&wal_b, b_target).unwrap();
+        assert_eq!(
+            disk_b.stats().syncs,
+            b_syncs,
+            "sibling log re-forced after a checkpoint it was not part of"
+        );
+        // And A's own watermark did reset: its next record is forced.
+        wal_a.append(3, RecordKind::Commit, &[]).unwrap();
+        gc_a.sync_through(&wal_a, wal_a.len()).unwrap();
+        assert_eq!(disk_a.volatile_len(), 0);
+    }
+
+    #[test]
     fn sync_error_is_surfaced_not_swallowed() {
         let disk = SimDisk::new();
         let wal = Wal::new(Arc::new(disk.clone()));

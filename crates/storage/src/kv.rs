@@ -25,39 +25,58 @@
 //! Concurrency control (locking) is the responsibility of the transaction
 //! layer above; this store guarantees atomicity and durability only.
 //!
+//! ## Partitioned logging and the epoch scheme
+//!
+//! The write-ahead log is split into `wal_partitions` per-shard logs (see
+//! [`KvStore::open_partitioned`]; [`KvStore::open`] is the one-log
+//! baseline). A key always hashes to the same log
+//! ([`partition_for_key`]), each log has its own append latch, its own
+//! [`GroupCommit`] coordinator, and — in the simulator — its own latency
+//! device, so commits touching different shards force different devices in
+//! parallel.
+//!
+//! Commit order across logs is preserved by a global **epoch**: the commit
+//! point allocates a monotonically increasing epoch under the *home* log's
+//! latch (the lowest-indexed log the transaction touches) and stamps it
+//! into the commit record's payload. A multi-key transaction appends and
+//! *forces* its data records in every sibling log before the home commit
+//! record exists at all, so a durable commit record implies durable data —
+//! and recovery replays committed transactions in epoch order (see
+//! [`crate::recovery::replay_partitioned`]). The retire line applies writes
+//! to the shared tree in the same epoch order, so the live tree always
+//! equals what recovery would rebuild.
+//!
 //! ## Internal locking
 //!
 //! The store is reader-parallel: committed state lives in `mem` behind an
 //! `RwLock`, so `get`/`scan_prefix*` take a read lock and run concurrently
 //! with each other and with the logging half of a commit. Private overlays
-//! live in `txns` behind their own mutex; the WAL append latch (`log`)
-//! serializes record appends and allocates the *apply sequence*, so the
-//! order writes reach the shared tree always equals commit-record order in
-//! the log (recovery replays in commit order — the live tree must agree).
-//! Commit forcing goes through the [`GroupCommit`] coordinator, which
-//! batches concurrent syncs into one device force per group.
+//! live in `txns` behind their own mutex; each log's append latch
+//! serializes record appends to that log. Commit forcing goes through the
+//! log's [`GroupCommit`] coordinator, which batches concurrent syncs into
+//! one device force per group.
 //!
-//! Lock order: a thread holds at most one of {`txns`, `mem`, `log`} at a
+//! Lock order: a thread holds at most one of {`txns`, `mem`, `latch`} at a
 //! time, except the apply step (`apply` → `mem.write`) and checkpointing,
-//! which holds the exclusive `ckpt_gate` and may take `mem.read` then `log`.
-//! Commit-point record writers (commit / prepare / logged abort) hold
-//! `ckpt_gate.read` so a checkpoint can never truncate the log while a
+//! which holds the exclusive `ckpt_gate` and may take `mem.read` then a log
+//! latch. Commit-point record writers (commit / prepare / logged abort)
+//! hold `ckpt_gate.read` so a checkpoint can never truncate a log while a
 //! commit record is in flight between append and sync. The classes and
 //! their declared order live in `LOCKS.md` (kv-gate, kv-txns, kv-log,
 //! kv-apply, kv-mem); the rrq-analyze `lock-order` and
 //! `no-block-under-guard` rules check every path against them — in
-//! particular `log` is a no-block class, so device forces happen outside
-//! the append latch (see [`KvStore::checkpoint`]).
+//! particular the per-log latch is a no-block class, so device forces
+//! happen outside it (see [`KvStore::checkpoint`]).
 
-use crate::checkpoint::{load_checkpoint, write_checkpoint};
+use crate::checkpoint::{append_delta, load_chain, write_base};
 use crate::codec::{put, Reader};
 use crate::disk::Disk;
 use crate::error::{StorageError, StorageResult};
 use crate::group_commit::{GroupCommit, GroupCommitStats};
-use crate::recovery::{replay, RecoveryReport};
+use crate::recovery::{replay_partitioned, RecoveryReport};
 use crate::wal::{RecordKind, Wal};
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -119,9 +138,62 @@ impl WriteOp {
     }
 }
 
+/// Most partitions any store will reasonably use; callers pre-allocating
+/// per-log devices (the simulator's `RepoDisks`) size against this.
+pub const MAX_WAL_PARTITIONS: usize = 8;
+
+/// Stable key → log mapping: FNV-1a over the key bytes, mod the partition
+/// count. Exposed so tests and fault scripts can aim at a specific log.
+pub fn partition_for_key(key: &[u8], partitions: usize) -> usize {
+    if partitions <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % partitions as u64) as usize
+}
+
+fn touched_partitions(ops: &[WriteOp], n: usize) -> Vec<usize> {
+    let mut seen = vec![false; n];
+    for op in ops {
+        seen[partition_for_key(op.key(), n)] = true;
+    }
+    (0..n).filter(|&i| seen[i]).collect()
+}
+
+/// The *home* log of a transaction: the lowest-indexed log it touches (log 0
+/// for empty transactions). The commit, prepare, and abort markers all go to
+/// the home log, so recovery finds a transaction's outcome in exactly one
+/// place. Deterministic in the op *set*, so a recovered in-doubt transaction
+/// resolves through the same log it prepared through.
+fn home_partition(ops: &[WriteOp], n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    touched_partitions(ops, n).first().copied().unwrap_or(0)
+}
+
+fn ops_for_partition(ops: &[WriteOp], part: usize, n: usize) -> Vec<WriteOp> {
+    if n <= 1 {
+        return ops.to_vec();
+    }
+    ops.iter()
+        .filter(|op| partition_for_key(op.key(), n) == part)
+        .cloned()
+        .collect()
+}
+
 /// Per-transaction private state.
 #[derive(Debug, Default)]
 struct TxnState {
+    /// Unique incarnation id stamped into this transaction's log records.
+    /// Never reused (the counter resumes past every id found in the logs),
+    /// so a recycled caller token can never splice a dead incarnation's
+    /// records into a later outcome during replay.
+    internal: u64,
     /// Redo operations in execution order.
     ops: Vec<WriteOp>,
     /// Overlay for read-your-writes: key → Some(value) | None (deleted).
@@ -158,27 +230,28 @@ impl Default for KvOptions {
     }
 }
 
-/// Serializes WAL appends and hands out apply sequence numbers at the
-/// commit point, so apply order == commit-record order.
-#[derive(Debug, Default)]
-struct LogState {
-    next_seq: u64,
+/// One log partition: its WAL, its group-commit coordinator (each log has
+/// its own durable watermark — truncating one log must never make a sibling
+/// log's records look durable), and the append latch serializing appends.
+struct LogUnit {
+    wal: Wal,
+    group: GroupCommit,
+    latch: Mutex<()>,
 }
 
-impl LogState {
-    fn alloc_seq(&mut self) -> u64 {
-        let s = self.next_seq;
-        self.next_seq += 1;
-        s
-    }
-}
-
-/// The retire line: commit `seq` may touch the shared tree only once every
-/// earlier seq has retired.
+/// The retire line: the commit with epoch `e` may touch the shared tree only
+/// once every earlier epoch has retired. `dirty` accumulates the keys
+/// written since the last checkpoint — the next incremental checkpoint's
+/// delta segment is exactly this set.
 #[derive(Debug, Default)]
 struct ApplyState {
     applied: u64,
+    dirty: HashSet<Vec<u8>>,
 }
+
+/// How many chain segments accumulate before the next checkpoint rewrites a
+/// full base instead of appending another delta.
+const SEGMENT_LIMIT: u64 = 8;
 
 /// Handle to an open transaction, used purely as documentation — all methods
 /// take the raw token so the transaction layer can drive many stores with
@@ -195,59 +268,98 @@ pub struct KvStore {
     mem: RwLock<BTreeMap<Vec<u8>, Vec<u8>>>,
     /// Open transactions' private buffers.
     txns: Mutex<HashMap<u64, TxnState>>,
-    /// WAL append latch + apply-sequence allocator.
-    log: Mutex<LogState>,
+    /// The per-shard logs (length = `wal_partitions`).
+    logs: Vec<LogUnit>,
+    /// Global commit epoch: allocated under the home log's latch, stamped
+    /// into the commit record, never reset (checkpoints truncate logs but
+    /// epochs keep rising, so stale un-truncated records replay first).
+    epoch: AtomicU64,
+    /// Incarnation-id allocator (see [`TxnState::internal`]).
+    next_txn: AtomicU64,
     /// Retire line for in-order application of committed writes.
     apply: Mutex<ApplyState>,
     apply_cv: Condvar,
-    /// Commit-force batching.
-    group: GroupCommit,
-    /// Commit-point writers hold `read`; checkpoint holds `write` so the
-    /// log is never truncated under an in-flight commit record.
+    /// Commit-point writers hold `read`; checkpoint holds `write` so no log
+    /// is ever truncated under an in-flight commit record.
     ckpt_gate: RwLock<()>,
-    wal: Wal,
     ckpt: Arc<dyn Disk>,
+    /// Valid segments on the checkpoint device (0 = no usable chain).
+    /// Mutated only under the exclusive checkpoint gate.
+    ckpt_segments: AtomicU64,
     opts: KvOptions,
     commits: AtomicU64,
     aborts: AtomicU64,
 }
 
 impl KvStore {
-    /// Open (or recover) a store over a log device and a checkpoint device.
-    ///
-    /// Recovery loads the last complete checkpoint, replays every committed
-    /// transaction in the log in commit order, and re-materializes prepared
-    /// but unresolved transactions as in-doubt (listed in the returned
-    /// [`RecoveryReport`]; resolve them with [`KvStore::commit`] /
-    /// [`KvStore::abort`]).
+    /// Open (or recover) a store over a single log device and a checkpoint
+    /// device — the `wal_partitions = 1` baseline.
     pub fn open(
         wal_disk: Arc<dyn Disk>,
         ckpt_disk: Arc<dyn Disk>,
         opts: KvOptions,
     ) -> StorageResult<(Arc<KvStore>, RecoveryReport)> {
-        let mem = load_checkpoint(ckpt_disk.as_ref())?;
-        let wal = Wal::new(wal_disk);
-        let outcome = replay(&wal)?;
+        Self::open_partitioned(vec![wal_disk], ckpt_disk, opts)
+    }
+
+    /// Open (or recover) a store over one log device per partition plus a
+    /// checkpoint device.
+    ///
+    /// Recovery loads the last complete checkpoint chain (base + deltas),
+    /// replays every committed transaction from all logs — scanned in
+    /// parallel, merged in epoch order — and re-materializes prepared but
+    /// unresolved transactions as in-doubt (listed in the returned
+    /// [`RecoveryReport`]; resolve them with [`KvStore::commit`] /
+    /// [`KvStore::abort`]).
+    pub fn open_partitioned(
+        wal_disks: Vec<Arc<dyn Disk>>,
+        ckpt_disk: Arc<dyn Disk>,
+        opts: KvOptions,
+    ) -> StorageResult<(Arc<KvStore>, RecoveryReport)> {
+        if wal_disks.is_empty() {
+            return Err(StorageError::InvalidState(
+                "at least one wal partition required".into(),
+            ));
+        }
+        let chain = load_chain(ckpt_disk.as_ref())?;
+        if chain.valid_end < ckpt_disk.len() {
+            // A crash mid-checkpoint left a torn or stale segment: drop it
+            // so the next delta append lands right after the valid chain.
+            let valid = ckpt_disk.read(0, chain.valid_end as usize)?;
+            ckpt_disk.reset(valid)?;
+            rrq_obs::counter_inc("storage.ckpt.stale_segments_dropped");
+        }
+
+        let wals: Vec<Wal> = wal_disks.into_iter().map(Wal::new).collect();
+        let outcome = replay_partitioned(&wals)?;
         rrq_obs::counter_inc("storage.recovery.runs");
         rrq_obs::counter_add("storage.recovery.redo_records", outcome.redo.len() as u64);
         rrq_obs::counter_add("storage.recovery.in_doubt", outcome.in_doubt.len() as u64);
+        rrq_obs::gauge_set("storage.wal.partitions", wals.len() as i64);
 
-        // Discard a torn tail (a crash mid-append left corrupt bytes on the
-        // platter). Future appends must start at the valid prefix, or the
-        // next recovery's scan would stop at the old tear and lose them.
-        if outcome.valid_end < wal.len() {
-            let valid = wal.disk().read(0, outcome.valid_end as usize)?;
-            wal.disk().reset(valid)?;
-            rrq_obs::counter_inc("storage.recovery.torn_tail_truncations");
+        // Discard torn tails (a crash mid-append left corrupt bytes on a
+        // platter). Future appends must start at each log's valid prefix, or
+        // the next recovery's scan would stop at the old tear and lose them.
+        for (wal, valid_end) in wals.iter().zip(outcome.valid_ends.iter()) {
+            if *valid_end < wal.len() {
+                let valid = wal.disk().read(0, *valid_end as usize)?;
+                wal.disk().reset(valid)?;
+                rrq_obs::counter_inc("storage.recovery.torn_tail_truncations");
+            }
         }
 
-        let mut mem = mem;
+        let mut mem = chain.mem;
+        let mut dirty = HashSet::new();
         for op in &outcome.redo {
             apply(&mut mem, op);
+            // Replayed keys are durable in the logs but not in the chain:
+            // they are dirty until the next checkpoint covers them.
+            dirty.insert(op.key().to_vec());
         }
         let mut txns = HashMap::new();
         for (token, ops) in outcome.in_doubt.iter() {
             let mut st = TxnState {
+                internal: outcome.in_doubt_internal.get(token).copied().unwrap_or(0),
                 logged: true,
                 prepared: true,
                 ..Default::default()
@@ -271,16 +383,28 @@ impl KvStore {
             aborted_txns: outcome.aborted_txns,
             in_doubt: outcome.in_doubt.keys().copied().collect(),
         };
+        let logs: Vec<LogUnit> = wals
+            .into_iter()
+            .map(|wal| LogUnit {
+                wal,
+                group: GroupCommit::new(opts.group_commit_window),
+                latch: Mutex::new(()),
+            })
+            .collect();
         let store = Arc::new(KvStore {
             mem: RwLock::new(mem),
             txns: Mutex::new(txns),
-            log: Mutex::new(LogState::default()),
-            apply: Mutex::new(ApplyState::default()),
+            logs,
+            epoch: AtomicU64::new(outcome.next_epoch),
+            next_txn: AtomicU64::new(outcome.next_txn_id),
+            apply: Mutex::new(ApplyState {
+                applied: outcome.next_epoch,
+                dirty,
+            }),
             apply_cv: Condvar::new(),
-            group: GroupCommit::new(opts.group_commit_window),
             ckpt_gate: RwLock::new(()),
-            wal,
             ckpt: ckpt_disk,
+            ckpt_segments: AtomicU64::new(chain.segments),
             opts,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
@@ -290,13 +414,20 @@ impl KvStore {
 
     /// Begin a transaction under the caller's token.
     pub fn begin(&self, txn: KvTxn) -> StorageResult<()> {
+        let internal = self.next_txn.fetch_add(1, Ordering::SeqCst);
         let mut g = self.txns.lock();
         if g.contains_key(&txn) {
             return Err(StorageError::InvalidState(format!(
                 "txn {txn} already open"
             )));
         }
-        g.insert(txn, TxnState::default());
+        g.insert(
+            txn,
+            TxnState {
+                internal,
+                ..Default::default()
+            },
+        );
         Ok(())
     }
 
@@ -509,7 +640,7 @@ impl KvStore {
     /// will survive a crash as in-doubt.
     pub fn prepare(&self, txn: KvTxn) -> StorageResult<()> {
         let _gate = self.ckpt_gate.read();
-        let ops = {
+        let (ops, id) = {
             let mut g = self.txns.lock();
             let st = g.get_mut(&txn).ok_or(StorageError::UnknownTxn(txn))?;
             if st.prepared {
@@ -518,19 +649,45 @@ impl KvStore {
             // Claim before logging so no write can slip in unlogged between
             // the clone below and the durable prepare record.
             st.prepared = true;
-            st.ops.clone()
+            (st.ops.clone(), st.internal)
         };
         let result = (|| {
+            let n = self.logs.len();
+            let home = home_partition(&ops, n);
+            // Sibling logs first: after the home log's prepare record is
+            // durable the whole transaction must survive as in-doubt, so
+            // every other log's data records are forced before it.
+            for idx in touched_partitions(&ops, n) {
+                if idx == home {
+                    continue;
+                }
+                let part_ops = ops_for_partition(&ops, idx, n);
+                let unit = &self.logs[idx];
+                let target;
+                {
+                    let _latch = unit.latch.lock();
+                    log_ops(&unit.wal, id, &part_ops)?;
+                    target = unit.wal.len();
+                }
+                // Prepare always forces, even for volatile stores: an
+                // in-doubt txn must survive as in-doubt.
+                self.force_through(unit, target)?;
+            }
+            let home_ops = ops_for_partition(&ops, home, n);
+            let unit = &self.logs[home];
+            // The prepare record's payload carries the caller's token:
+            // recovery surfaces the in-doubt txn under the token the
+            // coordinator knows, while the records stay keyed by `id`.
+            let mut token = Vec::with_capacity(8);
+            put::u64(&mut token, txn);
             let target;
             {
-                let _log = self.log.lock();
-                log_ops(&self.wal, txn, &ops)?;
-                self.wal.append(txn, RecordKind::Prepare, &[])?;
-                target = self.wal.len();
+                let _latch = unit.latch.lock();
+                log_ops(&unit.wal, id, &home_ops)?;
+                unit.wal.append(id, RecordKind::Prepare, &token)?;
+                target = unit.wal.len();
             }
-            // Prepare always forces, even for volatile stores: an in-doubt
-            // txn must survive as in-doubt.
-            self.force_through(target)
+            self.force_through(unit, target)
         })();
         let mut g = self.txns.lock();
         if let Some(st) = g.get_mut(&txn) {
@@ -545,72 +702,107 @@ impl KvStore {
     /// Commit `txn`: make its writes durable and visible.
     ///
     /// One-phase path (no prior [`KvStore::prepare`]): writes + `Commit`
-    /// record are logged and forced together. The force goes through the
-    /// group-commit coordinator (when enabled), so concurrent committers
-    /// share one device sync; writes reach the shared tree only after the
-    /// force returns, in commit-record order (the apply sequence allocated
-    /// under the append latch).
+    /// record are logged and forced together. Data records for sibling logs
+    /// are appended and forced *first*, so the commit record in the home log
+    /// is never durable while any of the transaction's data is not. The
+    /// force goes through the home log's group-commit coordinator (when
+    /// enabled), so concurrent committers on the same log share one device
+    /// sync; writes reach the shared tree only after the force returns, in
+    /// global epoch order (the epoch allocated under the home append latch).
     pub fn commit(&self, txn: KvTxn) -> StorageResult<()> {
         let _gate = self.ckpt_gate.read();
-        let (ops, logged) = {
+        let (ops, logged, id) = {
             let g = self.txns.lock();
             let st = g.get(&txn).ok_or(StorageError::UnknownTxn(txn))?;
-            (st.ops.clone(), st.logged)
+            (st.ops.clone(), st.logged, st.internal)
         };
-        let seq;
-        {
-            let mut log = self.log.lock();
-            if !logged {
-                log_ops(&self.wal, txn, &ops)?;
+        let n = self.logs.len();
+        let home = home_partition(&ops, n);
+        if !logged && n > 1 {
+            for idx in touched_partitions(&ops, n) {
+                if idx == home {
+                    continue;
+                }
+                let part_ops = ops_for_partition(&ops, idx, n);
+                let unit = &self.logs[idx];
+                let target;
+                {
+                    let _latch = unit.latch.lock();
+                    log_ops(&unit.wal, id, &part_ops)?;
+                    target = unit.wal.len();
+                }
+                self.sync_through(unit, target)?;
             }
-            self.wal.append(txn, RecordKind::Commit, &[])?;
-            seq = log.alloc_seq();
         }
-        let target = self.wal.len();
-        if let Err(e) = self.sync_through(target) {
-            // Keep the retire line moving; nothing is applied, the txn stays
-            // open, and the caller sees the device error (same outcome as
-            // the old per-txn sync failing).
-            self.retire(seq, &[]);
+        let home_ops = if logged {
+            Vec::new()
+        } else {
+            ops_for_partition(&ops, home, n)
+        };
+        let unit = &self.logs[home];
+        let epoch;
+        let target;
+        let appended;
+        {
+            let _latch = unit.latch.lock();
+            if !logged {
+                log_ops(&unit.wal, id, &home_ops)?;
+            }
+            epoch = self.epoch.fetch_add(1, Ordering::SeqCst);
+            let mut payload = Vec::with_capacity(8);
+            put::u64(&mut payload, epoch);
+            appended = unit.wal.append(id, RecordKind::Commit, &payload);
+            target = unit.wal.len();
+        }
+        if let Err(e) = appended.and_then(|_| self.sync_through(unit, target)) {
+            // Append or force failed after the epoch was allocated: keep the
+            // retire line moving. Nothing is applied, the txn stays open, and
+            // the caller sees the device error.
+            self.retire(epoch, &[]);
             return Err(e);
         }
-        self.retire(seq, &ops);
+        self.retire(epoch, &ops);
         self.txns.lock().remove(&txn);
         self.commits.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 
-    /// Force the log through `target` for a commit point, honoring the
+    /// Force `unit`'s log through `target` for a commit point, honoring the
     /// store's durability options.
-    fn sync_through(&self, target: u64) -> StorageResult<()> {
+    fn sync_through(&self, unit: &LogUnit, target: u64) -> StorageResult<()> {
         if !self.opts.sync_on_commit {
             return Ok(());
         }
-        self.force_through(target)
+        self.force_through(unit, target)
     }
 
     /// Unconditional force (prepare, checkpoint): batched when group commit
     /// is on, a direct device sync otherwise.
-    fn force_through(&self, target: u64) -> StorageResult<()> {
+    fn force_through(&self, unit: &LogUnit, target: u64) -> StorageResult<()> {
         if self.opts.group_commit {
-            self.group.sync_through(&self.wal, target)
+            unit.group.sync_through(&unit.wal, target)
         } else {
-            self.wal.sync()
+            unit.wal.sync()
         }
     }
 
     /// Wait for our turn on the retire line, apply `ops` to the shared tree,
-    /// and pass the baton. Applying in sequence order keeps the live tree
-    /// identical to what recovery would rebuild (commit-record order).
-    fn retire(&self, seq: u64, ops: &[WriteOp]) {
+    /// and pass the baton. Applying in epoch order keeps the live tree
+    /// identical to what recovery would rebuild (epoch-merged replay).
+    fn retire(&self, epoch: u64, ops: &[WriteOp]) {
         let mut g = self.apply.lock();
-        while g.applied != seq {
+        while g.applied != epoch {
             self.apply_cv.wait(&mut g);
         }
         if !ops.is_empty() {
-            let mut mem = self.mem.write();
+            {
+                let mut mem = self.mem.write();
+                for op in ops {
+                    apply(&mut mem, op);
+                }
+            }
             for op in ops {
-                apply(&mut mem, op);
+                g.dirty.insert(op.key().to_vec());
             }
         }
         g.applied += 1;
@@ -619,8 +811,8 @@ impl KvStore {
 
     /// Abort `txn`: discard its buffered writes.
     ///
-    /// If the transaction was prepared, an `Abort` record is logged so
-    /// recovery stops considering it in-doubt.
+    /// If the transaction was prepared, an `Abort` record is logged (to its
+    /// home log) so recovery stops considering it in-doubt.
     pub fn abort(&self, txn: KvTxn) -> StorageResult<()> {
         let _gate = self.ckpt_gate.read();
         let st = self
@@ -629,8 +821,9 @@ impl KvStore {
             .remove(&txn)
             .ok_or(StorageError::UnknownTxn(txn))?;
         if st.logged {
-            let _log = self.log.lock();
-            self.wal.append(txn, RecordKind::Abort, &[])?;
+            let unit = &self.logs[home_partition(&st.ops, self.logs.len())];
+            let _latch = unit.latch.lock();
+            unit.wal.append(st.internal, RecordKind::Abort, &[])?;
             // No sync needed: if the abort record is lost, recovery treats the
             // txn as in-doubt and the coordinator aborts it again (presumed
             // abort would also work).
@@ -639,14 +832,21 @@ impl KvStore {
         Ok(())
     }
 
-    /// Write a checkpoint: the complete committed state is atomically swapped
-    /// onto the checkpoint device, then the log is truncated. Open
-    /// transactions are unaffected (their writes are not yet in `mem`), but
-    /// prepared transactions block checkpointing — their redo records live
-    /// only in the log.
+    /// Write a checkpoint and truncate the logs.
+    ///
+    /// Checkpoints are *incremental*: the first one (or one following
+    /// [`SEGMENT_LIMIT`] accumulated segments) writes a full base snapshot
+    /// with an atomic device swap; later ones append a crc-checked delta
+    /// segment holding only the keys dirtied since the previous checkpoint,
+    /// then force it. Either way the chain is durable before any log is
+    /// truncated — a crash mid-checkpoint leaves a torn delta that recovery
+    /// discards, falling back to the previous complete chain plus the
+    /// still-untruncated logs. Open transactions are unaffected (their
+    /// writes are not yet in `mem`), but prepared transactions block
+    /// checkpointing — their redo records live only in the logs.
     ///
     /// Holds the checkpoint gate exclusively, so no commit record can sit
-    /// appended-but-unforced (or forced-but-unapplied) while the log is
+    /// appended-but-unforced (or forced-but-unapplied) while a log is
     /// truncated underneath it.
     pub fn checkpoint(&self) -> StorageResult<()> {
         let _gate = self.ckpt_gate.write();
@@ -655,28 +855,73 @@ impl KvStore {
                 "cannot checkpoint with prepared transactions pending".into(),
             ));
         }
-        {
-            let mem = self.mem.read();
-            write_checkpoint(self.ckpt.as_ref(), &mem)?;
+        let dirty: HashSet<Vec<u8>> = {
+            let mut ag = self.apply.lock();
+            std::mem::take(&mut ag.dirty)
+        };
+        let segments = self.ckpt_segments.load(Ordering::SeqCst);
+        let wrote = (|| {
+            if segments == 0 || segments >= SEGMENT_LIMIT {
+                {
+                    let mem = self.mem.read();
+                    write_base(self.ckpt.as_ref(), &mem)?;
+                }
+                self.ckpt_segments.store(1, Ordering::SeqCst);
+                rrq_obs::counter_inc("storage.ckpt.base_segments");
+            } else if !dirty.is_empty() {
+                let delta: BTreeMap<Vec<u8>, Option<Vec<u8>>> = {
+                    let mem = self.mem.read();
+                    dirty
+                        .iter()
+                        .map(|k| (k.clone(), mem.get(k).cloned()))
+                        .collect()
+                };
+                append_delta(self.ckpt.as_ref(), &delta)?;
+                self.ckpt_segments.fetch_add(1, Ordering::SeqCst);
+                rrq_obs::counter_inc("storage.ckpt.delta_segments");
+            }
+            // Nothing dirty and a valid chain: the chain already describes
+            // the whole tree, so only the log truncation below is needed.
+            Ok(())
+        })();
+        if let Err(e) = wrote {
+            // The segment never became durable: the taken dirty keys are
+            // still covered only by the logs — put them back for the next
+            // checkpoint attempt.
+            {
+                let mut ag = self.apply.lock();
+                ag.dirty.extend(dirty);
+            }
+            return Err(e);
         }
-        {
-            // The append latch covers only the truncate + marker append; the
-            // device force and the coordinator reset run after it drops
-            // (kv-log is a no-block class — the exclusive gate already
-            // excludes every appender, so nothing can slip in between).
-            let _log = self.log.lock();
-            self.wal.reset()?;
-            self.wal.append(0, RecordKind::Checkpoint, &[])?;
+        for unit in &self.logs {
+            {
+                // The append latch covers only the truncate + marker append;
+                // the device force and the coordinator reset run after it
+                // drops (kv-log is a no-block class — the exclusive gate
+                // already excludes every appender, so nothing can slip in
+                // between).
+                let _latch = unit.latch.lock();
+                unit.wal.reset()?;
+                unit.wal.append(0, RecordKind::Checkpoint, &[])?;
+            }
+            unit.wal.sync()?;
+            // This log's offsets restarted; its coordinator's watermark must
+            // too — and only its own (sibling logs keep their watermarks).
+            unit.group.on_truncate();
         }
-        self.wal.sync()?;
-        // Log offsets restarted; the coordinator's watermark must too.
-        self.group.on_truncate();
         Ok(())
     }
 
-    /// Current log length in bytes (drives checkpoint policy).
+    /// Total log length in bytes across all partitions (drives checkpoint
+    /// policy).
     pub fn wal_len(&self) -> u64 {
-        self.wal.len()
+        self.logs.iter().map(|u| u.wal.len()).sum()
+    }
+
+    /// Number of log partitions this store was opened with.
+    pub fn wal_partitions(&self) -> usize {
+        self.logs.len()
     }
 
     /// (commits, aborts) counters.
@@ -687,9 +932,16 @@ impl KvStore {
         )
     }
 
-    /// Group-commit batching counters (requests vs. device syncs).
+    /// Group-commit batching counters (requests vs. device syncs), summed
+    /// across the per-log coordinators.
     pub fn group_commit_stats(&self) -> GroupCommitStats {
-        self.group.stats()
+        let mut total = GroupCommitStats::default();
+        for unit in &self.logs {
+            let s = unit.group.stats();
+            total.requests += s.requests;
+            total.groups += s.groups;
+        }
+        total
     }
 }
 
@@ -736,6 +988,32 @@ mod tests {
     fn reopen(wal: &SimDisk, ckpt: &SimDisk) -> (Arc<KvStore>, RecoveryReport) {
         KvStore::open(
             Arc::new(wal.clone()),
+            Arc::new(ckpt.clone()),
+            KvOptions::default(),
+        )
+        .unwrap()
+    }
+
+    fn fresh_partitioned(n: usize) -> (Arc<KvStore>, Vec<SimDisk>, SimDisk) {
+        let wals: Vec<SimDisk> = (0..n).map(|_| SimDisk::new()).collect();
+        let ckpt = SimDisk::new();
+        let (store, report) = KvStore::open_partitioned(
+            wals.iter()
+                .map(|d| Arc::new(d.clone()) as Arc<dyn Disk>)
+                .collect(),
+            Arc::new(ckpt.clone()),
+            KvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.replayed, 0);
+        (store, wals, ckpt)
+    }
+
+    fn reopen_partitioned(wals: &[SimDisk], ckpt: &SimDisk) -> (Arc<KvStore>, RecoveryReport) {
+        KvStore::open_partitioned(
+            wals.iter()
+                .map(|d| Arc::new(d.clone()) as Arc<dyn Disk>)
+                .collect(),
             Arc::new(ckpt.clone()),
             KvOptions::default(),
         )
@@ -1061,5 +1339,158 @@ mod tests {
         let (store2, _) = reopen(&wal, &ckpt);
         assert_eq!(store2.get(None, b"a").unwrap(), Some(b"1".to_vec()));
         assert_eq!(store2.get(None, b"b").unwrap(), None);
+    }
+
+    #[test]
+    fn partition_for_key_is_stable_and_in_range() {
+        for n in 1..=MAX_WAL_PARTITIONS {
+            for key in [&b"a"[..], b"q/elem/0001", b"", b"acct/42"] {
+                let p = partition_for_key(key, n);
+                assert!(p < n);
+                assert_eq!(p, partition_for_key(key, n), "deterministic");
+            }
+        }
+        assert_eq!(partition_for_key(b"anything", 1), 0);
+    }
+
+    #[test]
+    fn partitioned_multi_key_txn_survives_crash() {
+        let (store, wals, ckpt) = fresh_partitioned(4);
+        assert_eq!(store.wal_partitions(), 4);
+        store.begin(1).unwrap();
+        // Enough keys that several partitions are touched.
+        for i in 0..16u32 {
+            store
+                .put(1, format!("k/{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        store.commit(1).unwrap();
+        let touched = wals.iter().filter(|w| w.durable_len() > 0).count();
+        assert!(touched > 1, "a 16-key txn must span multiple logs");
+
+        for w in &wals {
+            w.crash(CrashStyle::DropVolatile);
+        }
+        let (store2, report) = reopen_partitioned(&wals, &ckpt);
+        assert_eq!(report.committed_txns, 1);
+        for i in 0..16u32 {
+            assert_eq!(
+                store2.get(None, format!("k/{i}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_commit_order_respected_across_logs() {
+        let (store, wals, ckpt) = fresh_partitioned(4);
+        // Many txns over a few keys: the final value of each key is decided
+        // by global commit (epoch) order, which replay must reproduce.
+        for t in 1..=40u64 {
+            store.begin(t).unwrap();
+            let key = format!("k/{}", t % 5);
+            store
+                .put(t, key.as_bytes(), format!("v{t}").as_bytes())
+                .unwrap();
+            store.commit(t).unwrap();
+        }
+        let live: Vec<_> = store.scan_prefix(None, b"k/").unwrap();
+        for w in &wals {
+            w.crash(CrashStyle::DropVolatile);
+        }
+        let (store2, _) = reopen_partitioned(&wals, &ckpt);
+        assert_eq!(store2.scan_prefix(None, b"k/").unwrap(), live);
+    }
+
+    #[test]
+    fn partitioned_incremental_checkpoint_bounds_replay() {
+        let (store, wals, ckpt) = fresh_partitioned(4);
+        for t in 1..=20u64 {
+            store.begin(t).unwrap();
+            store.put(t, format!("k/{t}").as_bytes(), b"v").unwrap();
+            store.commit(t).unwrap();
+        }
+        store.checkpoint().unwrap(); // base
+        for t in 21..=25u64 {
+            store.begin(t).unwrap();
+            store.put(t, format!("k/{t}").as_bytes(), b"w").unwrap();
+            store.commit(t).unwrap();
+        }
+        store.checkpoint().unwrap(); // delta: 5 keys, not 25
+        for w in &wals {
+            w.crash(CrashStyle::DropVolatile);
+        }
+        let (store2, report) = reopen_partitioned(&wals, &ckpt);
+        assert_eq!(report.replayed, 0, "all state came from the chain");
+        assert_eq!(store2.committed_len(), 25);
+        assert_eq!(store2.get(None, b"k/25").unwrap(), Some(b"w".to_vec()));
+        assert_eq!(store2.get(None, b"k/1").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn partitioned_prepare_commits_after_recovery() {
+        let (store, wals, ckpt) = fresh_partitioned(4);
+        store.begin(9).unwrap();
+        for i in 0..8u32 {
+            store.put(9, format!("p/{i}").as_bytes(), b"x").unwrap();
+        }
+        store.prepare(9).unwrap();
+        for w in &wals {
+            w.crash(CrashStyle::DropVolatile);
+        }
+        let (store2, report) = reopen_partitioned(&wals, &ckpt);
+        assert_eq!(report.in_doubt, vec![9]);
+        store2.commit(9).unwrap();
+        for w in &wals {
+            w.crash(CrashStyle::DropVolatile);
+        }
+        let (store3, _) = reopen_partitioned(&wals, &ckpt);
+        for i in 0..8u32 {
+            assert_eq!(
+                store3.get(None, format!("p/{i}").as_bytes()).unwrap(),
+                Some(b"x".to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn delta_checkpoint_preserves_deletes() {
+        let (store, wal, ckpt) = fresh();
+        store.begin(1).unwrap();
+        store.put(1, b"keep", b"1").unwrap();
+        store.put(1, b"drop", b"2").unwrap();
+        store.commit(1).unwrap();
+        store.checkpoint().unwrap(); // base with both keys
+        store.begin(2).unwrap();
+        store.delete(2, b"drop").unwrap();
+        store.commit(2).unwrap();
+        store.checkpoint().unwrap(); // delta with a tombstone
+        wal.crash(CrashStyle::DropVolatile);
+        let (store2, report) = reopen(&wal, &ckpt);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(store2.get(None, b"keep").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(store2.get(None, b"drop").unwrap(), None);
+    }
+
+    #[test]
+    fn segment_limit_triggers_base_rewrite() {
+        let (store, _, ckpt) = fresh();
+        let mut t = 0u64;
+        // First checkpoint = base, the next SEGMENT_LIMIT-1 = deltas, then
+        // the chain is rewritten as a single base again.
+        for round in 0..(SEGMENT_LIMIT + 2) {
+            t += 1;
+            store.begin(t).unwrap();
+            store.put(t, format!("r/{round}").as_bytes(), b"v").unwrap();
+            store.commit(t).unwrap();
+            store.checkpoint().unwrap();
+        }
+        let chain = crate::checkpoint::load_chain(&ckpt).unwrap();
+        assert!(
+            chain.segments <= SEGMENT_LIMIT,
+            "chain rewritten before exceeding the limit: {}",
+            chain.segments
+        );
+        assert_eq!(chain.mem.len() as u64, SEGMENT_LIMIT + 2);
     }
 }

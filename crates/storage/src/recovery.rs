@@ -7,13 +7,36 @@
 //! for the two-phase-commit coordinator to resolve (paper §6 notes a QM "may
 //! need to support multiple transaction protocols"; in-doubt handoff is the
 //! hook that makes the queue store a well-behaved 2PC participant).
+//!
+//! ## Partitioned logs
+//!
+//! With `wal_partitions > 1` the store splits its log by key hash; recovery
+//! scans every log **in parallel** (one named thread per log) and then merges
+//! the per-log facts. Commit records carry the global *epoch* allocated at
+//! the commit point, so committed transactions are replayed in epoch order
+//! across logs; a key always hashes to the same log, so per-key record order
+//! within one log is already replay order for that key. Commit records with
+//! no epoch payload (pre-partitioning logs, and hand-built test logs) fall
+//! back to their scan position, carrying the last epoch seen in the same log
+//! so legacy and epoch-stamped records interleave in log order.
+//!
+//! Records are grouped by the *internal incarnation id* the store stamps
+//! into each record's txn field — unique per transaction incarnation, never
+//! reused, so a caller token recycled after a restart can never splice a
+//! dead incarnation's data records into a later outcome (the single-log
+//! scanner used to handle this by consuming ops at each outcome record in
+//! sequence; with outcome records living in one log and data records in
+//! many, uniqueness replaces sequence). `Prepare` records carry the caller's
+//! token in their payload, so in-doubt transactions still surface under the
+//! token the coordinator knows.
 
-use crate::error::StorageResult;
+use crate::codec::Reader;
+use crate::error::{StorageError, StorageResult};
 use crate::kv::WriteOp;
 use crate::wal::{RecordKind, Wal};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// What the redo pass found, before it is applied.
+/// What the redo pass found in a single log, before it is applied.
 #[derive(Debug, Default)]
 pub struct ReplayOutcome {
     /// Redo operations of committed transactions, in commit order.
@@ -32,6 +55,32 @@ pub struct ReplayOutcome {
     pub valid_end: u64,
 }
 
+/// What the redo pass found across a set of partitioned logs.
+#[derive(Debug, Default)]
+pub struct PartitionedOutcome {
+    /// Redo operations of committed transactions, in global epoch order.
+    pub redo: Vec<WriteOp>,
+    /// Number of committed transactions replayed.
+    pub committed_txns: usize,
+    /// Number of aborted transactions discarded.
+    pub aborted_txns: usize,
+    /// Prepared transactions with no durable outcome, ops merged across
+    /// logs, keyed by transaction token.
+    pub in_doubt: HashMap<u64, Vec<WriteOp>>,
+    /// Internal incarnation id of each in-doubt transaction, keyed by
+    /// token — resolving the transaction must reuse its original id so the
+    /// outcome record matches the data records already in the logs.
+    pub in_doubt_internal: HashMap<u64, u64>,
+    /// Per-log valid-prefix ends (index-aligned with the scanned logs).
+    pub valid_ends: Vec<u64>,
+    /// One past the highest commit epoch seen — where the epoch counter and
+    /// the retire line resume.
+    pub next_epoch: u64,
+    /// One past the highest incarnation id seen in any log — where the
+    /// store's id counter resumes so ids stay unique across restarts.
+    pub next_txn_id: u64,
+}
+
 /// Summary returned to callers of [`crate::kv::KvStore::open`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -45,55 +94,183 @@ pub struct RecoveryReport {
     pub in_doubt: Vec<u64>,
 }
 
-/// Scan the log and classify every transaction's fate.
-pub fn replay(wal: &Wal) -> StorageResult<ReplayOutcome> {
-    let (records, valid_end) = wal.scan(0)?;
-    let mut pending: HashMap<u64, Vec<WriteOp>> = HashMap::new();
-    let mut prepared: HashMap<u64, bool> = HashMap::new();
-    let mut out = ReplayOutcome {
-        valid_end,
-        ..ReplayOutcome::default()
-    };
+/// Per-log classification of every record, produced by one scan.
+#[derive(Debug, Default)]
+struct LogFacts {
+    valid_end: u64,
+    /// Data records per transaction, in append order.
+    ops: HashMap<u64, Vec<WriteOp>>,
+    /// Commit records in scan order: (txn, epoch payload if present).
+    commits: Vec<(u64, Option<u64>)>,
+    /// Prepare records: (incarnation id, caller token from the payload —
+    /// falling back to the id itself for payload-less legacy records).
+    prepared: Vec<(u64, u64)>,
+    aborted: Vec<u64>,
+    /// Highest record txn field seen (0 when the log is empty).
+    max_txn: u64,
+}
 
+fn scan_and_classify(wal: &Wal) -> StorageResult<LogFacts> {
+    let (records, valid_end) = wal.scan(0)?;
+    let mut facts = LogFacts {
+        valid_end,
+        ..LogFacts::default()
+    };
     for rec in records {
+        facts.max_txn = facts.max_txn.max(rec.txn);
         match rec.kind {
             RecordKind::KvPut => {
                 let op = WriteOp::decode_put(&rec.payload)?;
-                pending.entry(rec.txn).or_default().push(op);
+                facts.ops.entry(rec.txn).or_default().push(op);
             }
             RecordKind::KvDelete => {
                 let op = WriteOp::decode_delete(&rec.payload)?;
-                pending.entry(rec.txn).or_default().push(op);
+                facts.ops.entry(rec.txn).or_default().push(op);
             }
             RecordKind::Prepare => {
-                prepared.insert(rec.txn, true);
+                let token = if rec.payload.len() >= 8 {
+                    Reader::new(&rec.payload).u64().unwrap_or(rec.txn)
+                } else {
+                    rec.txn
+                };
+                facts.prepared.push((rec.txn, token));
             }
             RecordKind::Commit => {
-                prepared.remove(&rec.txn);
-                if let Some(ops) = pending.remove(&rec.txn) {
-                    out.redo.extend(ops);
-                }
-                out.committed_txns += 1;
+                let epoch = if rec.payload.len() >= 8 {
+                    Reader::new(&rec.payload).u64().ok()
+                } else {
+                    None
+                };
+                facts.commits.push((rec.txn, epoch));
             }
-            RecordKind::Abort => {
-                prepared.remove(&rec.txn);
-                pending.remove(&rec.txn);
-                out.aborted_txns += 1;
-            }
+            RecordKind::Abort => facts.aborted.push(rec.txn),
             RecordKind::Checkpoint | RecordKind::Custom(_) => {
                 // Checkpoint markers carry no redo info; custom records are
                 // scanned by their owners via `Wal::scan` directly.
             }
         }
     }
+    Ok(facts)
+}
 
-    for (txn, _) in prepared {
-        let ops = pending.remove(&txn).unwrap_or_default();
-        out.in_doubt.insert(txn, ops);
+/// Scan `wals` (in parallel when there is more than one) and merge the
+/// per-log facts into one global outcome.
+pub fn replay_partitioned(wals: &[Wal]) -> StorageResult<PartitionedOutcome> {
+    let mut facts: Vec<LogFacts> = if wals.len() <= 1 {
+        let mut v = Vec::with_capacity(wals.len());
+        for wal in wals {
+            v.push(scan_and_classify(wal)?);
+        }
+        v
+    } else {
+        let results: StorageResult<Vec<LogFacts>> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(wals.len());
+            for (i, wal) in wals.iter().enumerate() {
+                let builder = std::thread::Builder::new().name(format!("rrq-recover-{i}"));
+                let handle = builder
+                    .spawn_scoped(s, move || scan_and_classify(wal))
+                    .map_err(|e| {
+                        StorageError::InvalidState(format!("recovery scan thread: {e}"))
+                    })?;
+                handles.push(handle);
+            }
+            let mut out = Vec::with_capacity(handles.len());
+            for h in handles {
+                let res = h.join().map_err(|_| {
+                    StorageError::InvalidState("recovery scan thread panicked".into())
+                })?;
+                out.push(res?);
+            }
+            Ok(out)
+        });
+        rrq_obs::counter_add("storage.recovery.parallel_logs", wals.len() as u64);
+        results?
+    };
+
+    // Merge: a transaction is committed if any log holds its commit record.
+    // Sort key = (epoch, log, scan position); commits without an epoch carry
+    // the last epoch seen in their log, so they stay in log order relative
+    // to their neighbours.
+    let mut committed: HashMap<u64, (u64, usize, usize)> = HashMap::new();
+    let mut max_epoch: Option<u64> = None;
+    let mut max_txn = 0u64;
+    let mut prepared: Vec<(u64, u64)> = Vec::new();
+    let mut aborted: HashSet<u64> = HashSet::new();
+    for (li, f) in facts.iter().enumerate() {
+        max_txn = max_txn.max(f.max_txn);
+        let mut carry = 0u64;
+        for (pos, (txn, epoch)) in f.commits.iter().enumerate() {
+            let key_epoch = match epoch {
+                Some(e) => {
+                    carry = *e;
+                    max_epoch = Some(max_epoch.map_or(*e, |m| m.max(*e)));
+                    *e
+                }
+                None => carry,
+            };
+            committed.insert(*txn, (key_epoch, li, pos));
+        }
+        prepared.extend(f.prepared.iter().copied());
+        aborted.extend(f.aborted.iter().copied());
+    }
+
+    let mut order: Vec<(u64, usize, usize, u64)> = committed
+        .iter()
+        .map(|(txn, (e, li, pos))| (*e, *li, *pos, *txn))
+        .collect();
+    order.sort_unstable();
+
+    let mut out = PartitionedOutcome {
+        committed_txns: committed.len(),
+        valid_ends: facts.iter().map(|f| f.valid_end).collect(),
+        next_epoch: max_epoch.map_or(0, |e| e + 1),
+        next_txn_id: max_txn + 1,
+        ..PartitionedOutcome::default()
+    };
+    for (_, _, _, txn) in order {
+        for f in facts.iter_mut() {
+            if let Some(ops) = f.ops.remove(&txn) {
+                out.redo.extend(ops);
+            }
+        }
+    }
+    for txn in &aborted {
+        if !committed.contains_key(txn) {
+            out.aborted_txns += 1;
+        }
+    }
+    for (id, token) in prepared {
+        if committed.contains_key(&id) || aborted.contains(&id) {
+            continue;
+        }
+        let mut ops = Vec::new();
+        for f in facts.iter_mut() {
+            if let Some(part) = f.ops.remove(&id) {
+                ops.extend(part);
+            }
+        }
+        out.in_doubt.insert(token, ops);
+        out.in_doubt_internal.insert(token, id);
     }
     // Writes without prepare or outcome simply vanish (the crash hit before
-    // commit); `pending` leftovers are dropped here.
+    // commit); `facts[*].ops` leftovers are dropped here.
     Ok(out)
+}
+
+/// Scan a single log and classify every transaction's fate.
+pub fn replay(wal: &Wal) -> StorageResult<ReplayOutcome> {
+    let out = replay_partitioned(std::slice::from_ref(wal))?;
+    let valid_end = match out.valid_ends.first() {
+        Some(v) => *v,
+        None => 0,
+    };
+    Ok(ReplayOutcome {
+        redo: out.redo,
+        committed_txns: out.committed_txns,
+        aborted_txns: out.aborted_txns,
+        in_doubt: out.in_doubt,
+        valid_end,
+    })
 }
 
 #[cfg(test)]
@@ -112,6 +289,12 @@ mod tests {
             value: value.to_vec(),
         }
         .encode_payload()
+    }
+
+    fn epoch_payload(e: u64) -> Vec<u8> {
+        let mut p = Vec::new();
+        crate::codec::put::u64(&mut p, e);
+        p
     }
 
     #[test]
@@ -190,5 +373,85 @@ mod tests {
         let out = replay(&w).unwrap();
         assert!(out.redo.is_empty());
         assert!(out.in_doubt.is_empty());
+    }
+
+    #[test]
+    fn epoch_order_wins_across_logs() {
+        // Two logs; the commit on log 1 has the *lower* epoch, so its write
+        // must be applied first even though log order says otherwise.
+        let w0 = wal();
+        let w1 = wal();
+        w0.append(1, RecordKind::KvPut, &put_payload(b"k", b"late"))
+            .unwrap();
+        w0.append(1, RecordKind::Commit, &epoch_payload(7)).unwrap();
+        w1.append(2, RecordKind::KvPut, &put_payload(b"k", b"early"))
+            .unwrap();
+        w1.append(2, RecordKind::Commit, &epoch_payload(3)).unwrap();
+        w0.sync().unwrap();
+        w1.sync().unwrap();
+        let out = replay_partitioned(&[w0, w1]).unwrap();
+        assert_eq!(out.committed_txns, 2);
+        assert_eq!(out.next_epoch, 8);
+        match &out.redo[1] {
+            WriteOp::Put { value, .. } => assert_eq!(value, b"late"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_doubt_ops_merge_across_logs() {
+        // Data records in both logs, prepare in the home log only.
+        let w0 = wal();
+        let w1 = wal();
+        w0.append(5, RecordKind::KvPut, &put_payload(b"a", b"1"))
+            .unwrap();
+        w0.append(5, RecordKind::Prepare, &[]).unwrap();
+        w1.append(5, RecordKind::KvPut, &put_payload(b"b", b"2"))
+            .unwrap();
+        w0.sync().unwrap();
+        w1.sync().unwrap();
+        let out = replay_partitioned(&[w0, w1]).unwrap();
+        assert_eq!(out.in_doubt.len(), 1);
+        assert_eq!(out.in_doubt[&5].len(), 2, "ops from both logs merged");
+    }
+
+    #[test]
+    fn sibling_data_without_commit_record_vanishes() {
+        // The crash window between sibling-log force and home commit record:
+        // data is durable in log 1 but no commit record exists anywhere.
+        let w0 = wal();
+        let w1 = wal();
+        w1.append(9, RecordKind::KvPut, &put_payload(b"x", b"1"))
+            .unwrap();
+        w1.sync().unwrap();
+        let out = replay_partitioned(&[w0, w1]).unwrap();
+        assert!(out.redo.is_empty());
+        assert!(out.in_doubt.is_empty());
+        assert_eq!(out.committed_txns, 0);
+    }
+
+    #[test]
+    fn per_log_valid_ends_reported() {
+        let w0 = wal();
+        let w1 = wal();
+        w0.append(1, RecordKind::KvPut, &put_payload(b"a", b"1"))
+            .unwrap();
+        w0.sync().unwrap();
+        w1.append(2, RecordKind::KvPut, &put_payload(b"b", b"2"))
+            .unwrap();
+        w1.sync().unwrap();
+        // Tear log 1's tail only.
+        w1.append(2, RecordKind::KvPut, &put_payload(b"c", b"3"))
+            .unwrap();
+        w1.sync().unwrap();
+        let raw = w1.disk().read(0, w1.len() as usize).unwrap();
+        let cut = raw.len() - 3;
+        w1.disk().reset(raw[..cut].to_vec()).unwrap();
+
+        let wals = [w0, w1];
+        let out = replay_partitioned(&wals).unwrap();
+        assert_eq!(out.valid_ends.len(), 2);
+        assert_eq!(out.valid_ends[0], wals[0].len(), "log 0 fully valid");
+        assert!(out.valid_ends[1] < cut as u64, "log 1 tail invalid");
     }
 }

@@ -1,0 +1,347 @@
+//! Directed crash-window tests for the partitioned WAL.
+//!
+//! The partitioned commit protocol has two windows a random sweep is
+//! unlikely to land in precisely:
+//!
+//! 1. **Between the sibling-log forces and the home-log commit record.** A
+//!    multi-partition transaction forces its data records on every sibling
+//!    log *before* the commit record is appended to the home log. A crash in
+//!    that window leaves durable data records with no outcome — recovery
+//!    must treat the transaction as if it never happened, on every log.
+//!
+//! 2. **Mid-incremental-checkpoint.** A crash while a delta segment is being
+//!    forced leaves a torn segment past the valid chain. Recovery must fall
+//!    back to the previous complete chain plus the still-untruncated logs,
+//!    and drop the stale tail so the next delta lands cleanly.
+//!
+//! Each test here constructs one window deterministically (device failure
+//! injection for 1, hand-torn checkpoint tails for 2) instead of hoping a
+//! schedule finds it.
+
+use rrq_storage::disk::{CrashStyle, Disk, SimDisk, TornWriteMode};
+use rrq_storage::kv::{partition_for_key, KvOptions, KvStore};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const PARTITIONS: usize = 4;
+
+fn open4(
+    wals: &[SimDisk],
+    ckpt: &SimDisk,
+) -> (Arc<KvStore>, rrq_storage::recovery::RecoveryReport) {
+    KvStore::open_partitioned(
+        wals.iter()
+            .map(|d| Arc::new(d.clone()) as Arc<dyn Disk>)
+            .collect(),
+        Arc::new(ckpt.clone()),
+        KvOptions::default(),
+    )
+    .unwrap()
+}
+
+/// Two single-byte keys living on different partitions, lowest-partition key
+/// first (so the first key's log is the transaction's home log).
+fn cross_partition_keys() -> (Vec<u8>, Vec<u8>) {
+    let mut best: Option<(usize, Vec<u8>)> = None;
+    for b in 0u8..=255 {
+        let key = vec![b];
+        let p = partition_for_key(&key, PARTITIONS);
+        match &best {
+            None => best = Some((p, key)),
+            Some((bp, bk)) if p != *bp => {
+                let (a, b) = if p < *bp {
+                    ((p, key), (*bp, bk.clone()))
+                } else {
+                    ((*bp, bk.clone()), (p, key))
+                };
+                assert!(a.0 < b.0);
+                return (a.1, b.1);
+            }
+            _ => {}
+        }
+    }
+    panic!("all byte keys hash to one partition");
+}
+
+fn dump(store: &KvStore) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    store.scan_prefix(None, b"").unwrap().into_iter().collect()
+}
+
+/// Window 1, home side: the sibling log's data records are durable but the
+/// home log's commit record never made it (device failed at the commit
+/// point). After a crash, no fragment of the transaction may surface.
+#[test]
+fn durable_sibling_data_without_commit_record_recovers_to_nothing() {
+    let wals: Vec<SimDisk> = (0..PARTITIONS).map(|_| SimDisk::new()).collect();
+    let ckpt = SimDisk::new();
+    let (store, _) = open4(&wals, &ckpt);
+    let (home_key, sib_key) = cross_partition_keys();
+    let home = partition_for_key(&home_key, PARTITIONS);
+
+    // Durable history unrelated to the doomed transaction.
+    store.begin(1).unwrap();
+    store.put(1, b"base", b"kept").unwrap();
+    store.commit(1).unwrap();
+
+    // The multi-partition transaction: sibling forces succeed, then the home
+    // device dies before the commit record can be appended.
+    store.begin(2).unwrap();
+    store.put(2, &home_key, b"h").unwrap();
+    store.put(2, &sib_key, b"s").unwrap();
+    wals[home].fail();
+    assert!(store.commit(2).is_err(), "home log was dead at commit");
+    let sib = partition_for_key(&sib_key, PARTITIONS);
+    assert!(
+        wals[sib].durable_len() > 0,
+        "window not constructed: sibling data should be durable"
+    );
+    wals[home].repair();
+
+    for d in &wals {
+        d.crash(CrashStyle::DropVolatile);
+    }
+    ckpt.crash(CrashStyle::DropVolatile);
+    let (recovered, report) = open4(&wals, &ckpt);
+    assert_eq!(report.in_doubt, Vec::<u64>::new());
+    let got = dump(&recovered);
+    assert_eq!(
+        got,
+        BTreeMap::from([(b"base".to_vec(), b"kept".to_vec())]),
+        "orphaned sibling data must not replay"
+    );
+}
+
+/// Window 1, sibling side: the *sibling* device dies first, so not even its
+/// data records become durable. Same obligation, opposite failure order.
+#[test]
+fn failed_sibling_force_aborts_commit_without_partial_state() {
+    let wals: Vec<SimDisk> = (0..PARTITIONS).map(|_| SimDisk::new()).collect();
+    let ckpt = SimDisk::new();
+    let (store, _) = open4(&wals, &ckpt);
+    let (home_key, sib_key) = cross_partition_keys();
+    let sib = partition_for_key(&sib_key, PARTITIONS);
+
+    store.begin(1).unwrap();
+    store.put(1, &home_key, b"h").unwrap();
+    store.put(1, &sib_key, b"s").unwrap();
+    wals[sib].fail();
+    assert!(store.commit(1).is_err(), "sibling force must surface");
+    wals[sib].repair();
+
+    for d in &wals {
+        d.crash(CrashStyle::DropVolatile);
+    }
+    let (recovered, _) = open4(&wals, &ckpt);
+    assert_eq!(dump(&recovered), BTreeMap::new());
+}
+
+/// Commit returned: every partition's data is recoverable, even when the
+/// crash tears the unsynced tail of every log. The tears can only eat bytes
+/// the commit protocol never vouched for.
+#[test]
+fn committed_multi_partition_txn_survives_torn_tails_on_every_log() {
+    for mode in TornWriteMode::ALL {
+        let wals: Vec<SimDisk> = (0..PARTITIONS).map(|_| SimDisk::new()).collect();
+        let ckpt = SimDisk::new();
+        let (store, _) = open4(&wals, &ckpt);
+        let (home_key, sib_key) = cross_partition_keys();
+
+        store.begin(1).unwrap();
+        store.put(1, &home_key, b"h").unwrap();
+        store.put(1, &sib_key, b"s").unwrap();
+        store.commit(1).unwrap();
+        // Unresolved noise for the tear to land on: an open transaction's
+        // records may be half-written on any log at crash time.
+        store.begin(2).unwrap();
+        store.put(2, &home_key, b"noise").unwrap();
+        store.put(2, &sib_key, b"noise").unwrap();
+
+        for d in &wals {
+            d.crash_torn(mode);
+        }
+        let (recovered, _) = open4(&wals, &ckpt);
+        assert_eq!(
+            dump(&recovered),
+            BTreeMap::from([(home_key.clone(), b"h".to_vec()), (sib_key, b"s".to_vec())]),
+            "mode {:?}",
+            mode
+        );
+    }
+}
+
+/// A prepared multi-partition transaction whose home log is torn at the
+/// crash comes back in-doubt (the prepare record was forced; the tear can
+/// only reach later, volatile bytes), and resolving it commits the original
+/// incarnation's records.
+#[test]
+fn prepared_txn_with_home_log_tear_resurfaces_in_doubt_and_commits() {
+    let wals: Vec<SimDisk> = (0..PARTITIONS).map(|_| SimDisk::new()).collect();
+    let ckpt = SimDisk::new();
+    let (store, _) = open4(&wals, &ckpt);
+    let (home_key, sib_key) = cross_partition_keys();
+    let home = partition_for_key(&home_key, PARTITIONS);
+
+    store.begin(7).unwrap();
+    store.put(7, &home_key, b"h").unwrap();
+    store.put(7, &sib_key, b"s").unwrap();
+    store.prepare(7).unwrap();
+
+    // Tear only the home log; the rest crash clean.
+    for (i, d) in wals.iter().enumerate() {
+        if i == home {
+            d.crash_torn(TornWriteMode::Midway);
+        } else {
+            d.crash(CrashStyle::DropVolatile);
+        }
+    }
+    let (recovered, report) = open4(&wals, &ckpt);
+    assert_eq!(report.in_doubt, vec![7]);
+    assert_eq!(dump(&recovered), BTreeMap::new(), "in-doubt is not visible");
+
+    recovered.commit(7).unwrap();
+    let want = BTreeMap::from([(home_key, b"h".to_vec()), (sib_key, b"s".to_vec())]);
+    assert_eq!(dump(&recovered), want);
+
+    // The post-recovery commit record is durable: a second clean crash keeps
+    // the transaction committed.
+    for d in &wals {
+        d.crash(CrashStyle::DropVolatile);
+    }
+    let (again, report) = open4(&wals, &ckpt);
+    assert_eq!(report.in_doubt, Vec::<u64>::new());
+    assert_eq!(dump(&again), want);
+}
+
+/// Window 2: a crash mid-delta leaves a torn segment past the valid chain.
+/// Recovery falls back to the previous chain + logs, drops the stale tail,
+/// and the next checkpoint appends cleanly where the tail used to be.
+#[test]
+fn torn_delta_segment_is_dropped_and_chain_resumes() {
+    let wals: Vec<SimDisk> = (0..PARTITIONS).map(|_| SimDisk::new()).collect();
+    let ckpt = SimDisk::new();
+    let (store, _) = open4(&wals, &ckpt);
+
+    store.begin(1).unwrap();
+    store.put(1, b"k1", b"v1").unwrap();
+    store.commit(1).unwrap();
+    store.checkpoint().unwrap(); // base segment
+    store.begin(2).unwrap();
+    store.put(2, b"k2", b"v2").unwrap();
+    store.commit(2).unwrap();
+    store.checkpoint().unwrap(); // delta segment
+    store.begin(3).unwrap();
+    store.put(3, b"k3", b"v3").unwrap();
+    store.commit(3).unwrap(); // in the logs only
+
+    // Simulate a crash halfway through forcing the next delta: a segment
+    // header with a partial body lands on the platter, then everything
+    // stops. (`frame` layout: magic u32 + kind u8 + len u64 + body + crc.)
+    let valid_end = ckpt.durable_len();
+    let mut partial = Vec::new();
+    partial.extend_from_slice(&0xC4EC_B007u32.to_le_bytes());
+    partial.push(1); // KIND_DELTA
+    partial.extend_from_slice(&1_000u64.to_le_bytes()); // body len it never got
+    partial.extend_from_slice(b"partial-body");
+    ckpt.append(&partial).unwrap();
+    ckpt.crash_torn(TornWriteMode::Midway);
+    assert!(
+        ckpt.durable_len() > valid_end,
+        "window not constructed: stale bytes should sit past the chain"
+    );
+    for d in &wals {
+        d.crash(CrashStyle::DropVolatile);
+    }
+
+    let want = BTreeMap::from([
+        (b"k1".to_vec(), b"v1".to_vec()),
+        (b"k2".to_vec(), b"v2".to_vec()),
+        (b"k3".to_vec(), b"v3".to_vec()),
+    ]);
+    let (recovered, _) = open4(&wals, &ckpt);
+    assert_eq!(dump(&recovered), want, "previous chain + logs win");
+    assert_eq!(
+        ckpt.len(),
+        valid_end,
+        "stale tail dropped so the next delta lands at the chain end"
+    );
+
+    // The chain keeps growing from the valid prefix.
+    recovered.checkpoint().unwrap();
+    assert!(
+        recovered.wal_len() < 256,
+        "logs truncated down to their checkpoint markers"
+    );
+    for d in &wals {
+        d.crash(CrashStyle::DropVolatile);
+    }
+    ckpt.crash(CrashStyle::DropVolatile);
+    let (again, _) = open4(&wals, &ckpt);
+    assert_eq!(dump(&again), want);
+}
+
+/// Checkpoints racing live commits across all partitions: whatever interleaving
+/// happens, a final crash recovers exactly the committed writes.
+#[test]
+fn checkpoints_racing_partitioned_commits_recover_exactly() {
+    let wals: Vec<SimDisk> = (0..PARTITIONS).map(|_| SimDisk::new()).collect();
+    let ckpt = SimDisk::new();
+    let (store, _) = open4(&wals, &ckpt);
+
+    const WRITERS: u64 = 4;
+    const COMMITS: u64 = 40;
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                for i in 0..COMMITS {
+                    let token = w * COMMITS + i + 1;
+                    store.begin(token).unwrap();
+                    // Mix single- and cross-partition transactions.
+                    store
+                        .put(
+                            token,
+                            format!("w{w}-k{}", i % 8).as_bytes(),
+                            &i.to_le_bytes(),
+                        )
+                        .unwrap();
+                    if i % 3 == 0 {
+                        store
+                            .put(
+                                token,
+                                format!("shared-{}", i % 4).as_bytes(),
+                                &token.to_le_bytes(),
+                            )
+                            .unwrap();
+                    }
+                    store.commit(token).unwrap();
+                }
+            });
+        }
+        let store = Arc::clone(&store);
+        s.spawn(move || {
+            for _ in 0..10 {
+                store.checkpoint().unwrap();
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    let live = dump(&store);
+    for d in &wals {
+        d.crash(CrashStyle::DropVolatile);
+    }
+    ckpt.crash(CrashStyle::DropVolatile);
+    let (recovered, _) = open4(&wals, &ckpt);
+    assert_eq!(dump(&recovered), live, "recovery equals the live tree");
+    for w in 0..WRITERS {
+        for k in 0..8u64 {
+            assert!(
+                recovered
+                    .get(None, format!("w{w}-k{k}").as_bytes())
+                    .unwrap()
+                    .is_some(),
+                "writer {w} key {k} lost"
+            );
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Recovery equivalence: `wal_partitions = 1` vs `wal_partitions = N`.
+//!
+//! The partitioned WAL is an *implementation* change; the paper's §2
+//! recoverability contract is partition-count-blind. This battery pins that
+//! down as a property: for any random workload of overlapping transactions
+//! (commits, aborts, prepares left in doubt, open stragglers, interleaved
+//! checkpoints) and any crash — clean or with torn tails on a random subset
+//! of logs — a store recovered from N partitioned logs is indistinguishable
+//! from one recovered from the monolithic log: same key-value contents, same
+//! in-doubt set, and the same contents again after resolving the in-doubt
+//! transactions and after a post-recovery checkpoint + second crash.
+//!
+//! Why torn tails cannot break equivalence (and the one rule the generator
+//! must respect): every record that *matters* after a crash — data + commit
+//! records of committed transactions, data + prepare records of in-doubt
+//! ones — was forced before the operation returned, and a tear only reaches
+//! unsynced bytes. The single class of unforced record with recovery-side
+//! meaning is the abort record of a *prepared* transaction; whether a tear
+//! preserves it depends on byte layout, which the partition count changes.
+//! So the generator never aborts a prepared transaction before the crash —
+//! mirroring the coordinator, which resolves in-doubt transactions after
+//! recovery (presumed abort), not before a crash it cannot foresee.
+
+use proptest::prelude::*;
+use rrq_storage::disk::{CrashStyle, Disk, SimDisk, TornWriteMode};
+use rrq_storage::kv::{KvOptions, KvStore, MAX_WAL_PARTITIONS};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One transaction in the scripted workload.
+#[derive(Debug, Clone)]
+struct TxnSpec {
+    /// (key, Some(value) = put | None = delete), small keyspace so
+    /// transactions overlap and span partitions.
+    ops: Vec<(u8, Option<u16>)>,
+    fate: Fate,
+    /// Run a checkpoint after this transaction's fate is applied.
+    checkpoint_after: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    Commit,
+    Abort,
+    /// Prepare and leave in doubt until after the crash.
+    Prepare,
+    /// Leave open and unlogged at crash time.
+    Open,
+}
+
+fn fate_strategy() -> impl Strategy<Value = Fate> {
+    prop_oneof![
+        5 => Just(Fate::Commit),
+        2 => Just(Fate::Abort),
+        2 => Just(Fate::Prepare),
+        1 => Just(Fate::Open),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = (u8, Option<u16>)> {
+    prop_oneof![
+        3 => (0u8..24, any::<u16>()).prop_map(|(k, v)| (k, Some(v))),
+        1 => (0u8..24).prop_map(|k| (k, None)),
+    ]
+}
+
+fn txn_strategy() -> impl Strategy<Value = TxnSpec> {
+    (
+        proptest::collection::vec(op_strategy(), 1..6),
+        fate_strategy(),
+        0u8..5,
+    )
+        .prop_map(|(ops, fate, ckpt_pick)| TxnSpec {
+            ops,
+            fate,
+            checkpoint_after: ckpt_pick == 0,
+        })
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    txns: Vec<TxnSpec>,
+    partitions: usize,
+    torn: Option<TornWriteMode>,
+    /// Log-subset mask for the tear, applied modulo the partition count.
+    torn_mask: u8,
+}
+
+fn torn_strategy() -> impl Strategy<Value = Option<TornWriteMode>> {
+    prop_oneof![
+        2 => Just(None),
+        1 => Just(Some(TornWriteMode::Midway)),
+        1 => Just(Some(TornWriteMode::FullLengthCorrupt)),
+        1 => Just(Some(TornWriteMode::HeaderOnly)),
+    ]
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec(txn_strategy(), 1..14),
+        2usize..MAX_WAL_PARTITIONS + 1,
+        torn_strategy(),
+        any::<u8>(),
+    )
+        .prop_map(|(txns, partitions, torn, torn_mask)| Scenario {
+            txns,
+            partitions,
+            torn,
+            torn_mask,
+        })
+}
+
+/// One store under test: its devices plus the live handle.
+struct Instance {
+    wals: Vec<SimDisk>,
+    ckpt: SimDisk,
+    store: Arc<KvStore>,
+    in_doubt: Vec<u64>,
+}
+
+impl Instance {
+    fn fresh(partitions: usize) -> Instance {
+        let wals: Vec<SimDisk> = (0..partitions).map(|_| SimDisk::new()).collect();
+        let ckpt = SimDisk::new();
+        let store = Self::open(&wals, &ckpt).0;
+        Instance {
+            wals,
+            ckpt,
+            store,
+            in_doubt: Vec::new(),
+        }
+    }
+
+    fn open(
+        wals: &[SimDisk],
+        ckpt: &SimDisk,
+    ) -> (Arc<KvStore>, rrq_storage::recovery::RecoveryReport) {
+        KvStore::open_partitioned(
+            wals.iter()
+                .map(|d| Arc::new(d.clone()) as Arc<dyn Disk>)
+                .collect(),
+            Arc::new(ckpt.clone()),
+            KvOptions::default(),
+        )
+        .unwrap()
+    }
+
+    /// Crash every device and reopen. Logs whose mask bit is set tear per
+    /// `torn`; the rest (and the checkpoint device) lose volatile bytes.
+    fn crash_and_recover(&mut self, torn: Option<TornWriteMode>, mask: u8) {
+        for (i, d) in self.wals.iter().enumerate() {
+            match torn {
+                Some(mode) if mask == 0 || mask & (1 << (i % 8)) != 0 => d.crash_torn(mode),
+                _ => d.crash(CrashStyle::DropVolatile),
+            }
+        }
+        self.ckpt.crash(CrashStyle::DropVolatile);
+        let (store, report) = Self::open(&self.wals, &self.ckpt);
+        self.store = store;
+        let mut in_doubt = report.in_doubt;
+        in_doubt.sort_unstable();
+        self.in_doubt = in_doubt;
+    }
+
+    fn dump(&self) -> BTreeMap<Vec<u8>, Vec<u8>> {
+        self.store
+            .scan_prefix(None, b"")
+            .unwrap()
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Drive the same scripted workload into both instances, in lockstep.
+fn run_workload(txns: &[TxnSpec], a: &Instance, b: &Instance) {
+    for (i, spec) in txns.iter().enumerate() {
+        let token = i as u64 + 1;
+        for inst in [a, b] {
+            inst.store.begin(token).unwrap();
+            for (key, val) in &spec.ops {
+                let k = vec![*key];
+                match val {
+                    Some(v) => inst.store.put(token, &k, &v.to_le_bytes()).unwrap(),
+                    None => inst.store.delete(token, &k).unwrap(),
+                }
+            }
+            match spec.fate {
+                Fate::Commit => inst.store.commit(token).unwrap(),
+                Fate::Abort => inst.store.abort(token).unwrap(),
+                Fate::Prepare => inst.store.prepare(token).unwrap(),
+                Fate::Open => {}
+            }
+        }
+        if spec.checkpoint_after {
+            // Both sides must agree on whether a checkpoint is even legal
+            // (prepared transactions pending block it identically).
+            let ra = a.store.checkpoint();
+            let rb = b.store.checkpoint();
+            assert_eq!(ra.is_ok(), rb.is_ok(), "checkpoint legality diverged");
+        }
+    }
+}
+
+/// The property: equal contents and in-doubt sets after the crash, after
+/// resolution, and after a checkpoint + second crash.
+fn check_equivalence(scenario: &Scenario) {
+    let mut mono = Instance::fresh(1);
+    let mut part = Instance::fresh(scenario.partitions);
+    run_workload(&scenario.txns, &mono, &part);
+
+    mono.crash_and_recover(scenario.torn, 0);
+    part.crash_and_recover(scenario.torn, scenario.torn_mask);
+    assert_eq!(
+        mono.in_doubt, part.in_doubt,
+        "in-doubt sets diverged after crash"
+    );
+    assert_eq!(
+        mono.dump(),
+        part.dump(),
+        "recovered contents diverged (partitions={}, torn={:?}, mask={:#x})",
+        scenario.partitions,
+        scenario.torn,
+        scenario.torn_mask
+    );
+
+    // Resolve the in-doubt transactions the same way on both sides.
+    for token in mono.in_doubt.clone() {
+        if token % 2 == 0 {
+            mono.store.commit(token).unwrap();
+            part.store.commit(token).unwrap();
+        } else {
+            mono.store.abort(token).unwrap();
+            part.store.abort(token).unwrap();
+        }
+    }
+    assert_eq!(mono.dump(), part.dump(), "diverged after resolution");
+
+    // The recovered stores keep working identically: checkpoint, one more
+    // committed transaction, clean crash, recover.
+    mono.store.checkpoint().unwrap();
+    part.store.checkpoint().unwrap();
+    for inst in [&mono, &part] {
+        let t = 10_000;
+        inst.store.begin(t).unwrap();
+        inst.store.put(t, b"post", b"crash").unwrap();
+        inst.store.commit(t).unwrap();
+    }
+    mono.crash_and_recover(None, 0);
+    part.crash_and_recover(None, 0);
+    assert_eq!(mono.in_doubt, part.in_doubt);
+    assert_eq!(mono.dump(), part.dump(), "diverged after second crash");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partitioned_recovery_equals_monolithic(scenario in scenario_strategy()) {
+        check_equivalence(&scenario);
+    }
+}
+
+/// Pinned regressions: the corners the strategy weights lightly.
+#[test]
+fn equivalence_corners() {
+    // Every partition count, tear on exactly one log, prepare in flight.
+    for partitions in 2..=MAX_WAL_PARTITIONS {
+        for (m, mode) in TornWriteMode::ALL.into_iter().enumerate() {
+            check_equivalence(&Scenario {
+                txns: vec![
+                    TxnSpec {
+                        ops: (0..6).map(|k| (k, Some(u16::from(k) + 100))).collect(),
+                        fate: Fate::Commit,
+                        checkpoint_after: true,
+                    },
+                    TxnSpec {
+                        ops: vec![(1, None), (7, Some(7))],
+                        fate: Fate::Prepare,
+                        checkpoint_after: false,
+                    },
+                    TxnSpec {
+                        ops: vec![(2, Some(9)), (8, Some(8))],
+                        fate: Fate::Open,
+                        checkpoint_after: false,
+                    },
+                ],
+                partitions,
+                torn: Some(mode),
+                torn_mask: 1 << (m % partitions.min(8)),
+            });
+        }
+    }
+}
