@@ -40,11 +40,16 @@
 //! latch (the lowest-indexed log the transaction touches) and stamps it
 //! into the commit record's payload. A multi-key transaction appends and
 //! *forces* its data records in every sibling log before the home commit
-//! record exists at all, so a durable commit record implies durable data —
-//! and recovery replays committed transactions in epoch order (see
+//! record exists at all — unconditionally, even when `sync_on_commit` is
+//! off, because the home log can always be forced incidentally by another
+//! transaction — so a durable commit record implies durable data, and
+//! recovery replays committed transactions in epoch order (see
 //! [`crate::recovery::replay_partitioned`]). The retire line applies writes
 //! to the shared tree in the same epoch order, so the live tree always
-//! equals what recovery would rebuild.
+//! equals what recovery would rebuild. Checkpoint segments carry the
+//! **covered-epoch watermark** (the retire line's position when the segment
+//! was cut); replay skips commits below it, which is what makes the
+//! per-log, non-atomic log truncation after a checkpoint crash-safe.
 //!
 //! ## Internal locking
 //!
@@ -272,7 +277,9 @@ pub struct KvStore {
     logs: Vec<LogUnit>,
     /// Global commit epoch: allocated under the home log's latch, stamped
     /// into the commit record, never reset (checkpoints truncate logs but
-    /// epochs keep rising, so stale un-truncated records replay first).
+    /// epochs keep rising; on recovery the counter is floored at the
+    /// chain's covered-epoch watermark, and stale un-truncated records —
+    /// epochs below the watermark — are skipped by replay, not re-applied).
     epoch: AtomicU64,
     /// Incarnation-id allocator (see [`TxnState::internal`]).
     next_txn: AtomicU64,
@@ -331,7 +338,10 @@ impl KvStore {
         }
 
         let wals: Vec<Wal> = wal_disks.into_iter().map(Wal::new).collect();
-        let outcome = replay_partitioned(&wals)?;
+        // Commits with epochs below the chain's watermark are resolved but
+        // not replayed: their effects are in the chain, and a crash mid-log-
+        // truncation may have erased the newer commits that superseded them.
+        let outcome = replay_partitioned(&wals, chain.covered_epoch)?;
         rrq_obs::counter_inc("storage.recovery.runs");
         rrq_obs::counter_add("storage.recovery.redo_records", outcome.redo.len() as u64);
         rrq_obs::counter_add("storage.recovery.in_doubt", outcome.in_doubt.len() as u64);
@@ -731,7 +741,13 @@ impl KvStore {
                     log_ops(&unit.wal, id, &part_ops)?;
                     target = unit.wal.len();
                 }
-                self.sync_through(unit, target)?;
+                // Sibling data is forced unconditionally (like prepare), not
+                // via `sync_through`: even with `sync_on_commit` off, the
+                // home log can be forced incidentally — another transaction's
+                // prepare or group commit — making this commit's record
+                // durable. Commit-record-durable ⇒ data-durable must hold
+                // structurally, not only when the options ask for a sync.
+                self.force_through(unit, target)?;
             }
         }
         let home_ops = if logged {
@@ -845,6 +861,17 @@ impl KvStore {
     /// writes are not yet in `mem`), but prepared transactions block
     /// checkpointing — their redo records live only in the logs.
     ///
+    /// Each segment is stamped with the **covered-epoch watermark** — the
+    /// retire line's position, one past the highest epoch reflected in `mem`
+    /// and hence in the chain. The log truncations below are per-log, not
+    /// atomic across logs: a crash partway through can leave a newer
+    /// transaction's commit record erased (its home log already truncated)
+    /// while an older transaction's data and commit records for the same
+    /// keys survive in a not-yet-truncated sibling. The watermark is what
+    /// makes that window safe — replay skips every commit below it instead
+    /// of regressing keys to pre-checkpoint values, so the order in which
+    /// the logs are truncated does not matter.
+    ///
     /// Holds the checkpoint gate exclusively, so no commit record can sit
     /// appended-but-unforced (or forced-but-unapplied) while a log is
     /// truncated underneath it.
@@ -855,16 +882,19 @@ impl KvStore {
                 "cannot checkpoint with prepared transactions pending".into(),
             ));
         }
-        let dirty: HashSet<Vec<u8>> = {
+        // The exclusive gate means no commit is in flight: every allocated
+        // epoch has retired, so `applied` is exactly the watermark the new
+        // segment may claim — all epochs below it are reflected in `mem`.
+        let (dirty, covered_epoch) = {
             let mut ag = self.apply.lock();
-            std::mem::take(&mut ag.dirty)
+            (std::mem::take(&mut ag.dirty), ag.applied)
         };
         let segments = self.ckpt_segments.load(Ordering::SeqCst);
         let wrote = (|| {
             if segments == 0 || segments >= SEGMENT_LIMIT {
                 {
                     let mem = self.mem.read();
-                    write_base(self.ckpt.as_ref(), &mem)?;
+                    write_base(self.ckpt.as_ref(), &mem, covered_epoch)?;
                 }
                 self.ckpt_segments.store(1, Ordering::SeqCst);
                 rrq_obs::counter_inc("storage.ckpt.base_segments");
@@ -876,7 +906,7 @@ impl KvStore {
                         .map(|k| (k.clone(), mem.get(k).cloned()))
                         .collect()
                 };
-                append_delta(self.ckpt.as_ref(), &delta)?;
+                append_delta(self.ckpt.as_ref(), &delta, covered_epoch)?;
                 self.ckpt_segments.fetch_add(1, Ordering::SeqCst);
                 rrq_obs::counter_inc("storage.ckpt.delta_segments");
             }

@@ -20,6 +20,25 @@
 //! back to their scan position, carrying the last epoch seen in the same log
 //! so legacy and epoch-stamped records interleave in log order.
 //!
+//! ## The checkpoint watermark
+//!
+//! Checkpointing truncates the logs one at a time after the chain segment is
+//! durable, so a crash mid-checkpoint can leave some logs truncated and some
+//! not. Every surviving record of such a crash describes a transaction the
+//! chain already covers — but replaying it anyway is not harmless: a newer
+//! transaction's commit record (which lives only in its *home* log) may be
+//! among the truncated ones while an older transaction's data + commit for
+//! the same key survive in an untruncated sibling, and redoing the older
+//! commit would regress the key below checkpointed state. The chain
+//! therefore carries a **covered-epoch watermark**
+//! ([`crate::checkpoint::CheckpointChain::covered_epoch`]), and
+//! [`replay_partitioned`] *skips* every commit record with a lower epoch:
+//! the record still resolves its transaction (a matching `Prepare` does not
+//! resurface as in-doubt, and it still counts in `committed_txns`), but its
+//! redo operations are dropped — the chain already holds their final
+//! effect. The recovered epoch counter resumes at or above the watermark so
+//! post-recovery commits can never be mistaken for covered ones.
+//!
 //! Records are grouped by the *internal incarnation id* the store stamps
 //! into each record's txn field — unique per transaction incarnation, never
 //! reused, so a caller token recycled after a restart can never splice a
@@ -155,7 +174,13 @@ fn scan_and_classify(wal: &Wal) -> StorageResult<LogFacts> {
 
 /// Scan `wals` (in parallel when there is more than one) and merge the
 /// per-log facts into one global outcome.
-pub fn replay_partitioned(wals: &[Wal]) -> StorageResult<PartitionedOutcome> {
+///
+/// `covered_epoch` is the checkpoint chain's watermark: commit records with
+/// a lower epoch are *resolved but not replayed* — their effects are already
+/// in the chain, and re-applying one could regress a key whose newer commit
+/// record was in a log the interrupted checkpoint had already truncated.
+/// Pass `0` when there is no chain (nothing is skipped).
+pub fn replay_partitioned(wals: &[Wal], covered_epoch: u64) -> StorageResult<PartitionedOutcome> {
     let mut facts: Vec<LogFacts> = if wals.len() <= 1 {
         let mut v = Vec::with_capacity(wals.len());
         for wal in wals {
@@ -223,11 +248,26 @@ pub fn replay_partitioned(wals: &[Wal]) -> StorageResult<PartitionedOutcome> {
     let mut out = PartitionedOutcome {
         committed_txns: committed.len(),
         valid_ends: facts.iter().map(|f| f.valid_end).collect(),
-        next_epoch: max_epoch.map_or(0, |e| e + 1),
+        // Floor at the watermark: after a checkpoint truncates every log the
+        // epoch counter would otherwise restart at 0, and this recovery's
+        // own commits would look "covered" to the *next* recovery.
+        next_epoch: max_epoch.map_or(0, |e| e + 1).max(covered_epoch),
         next_txn_id: max_txn + 1,
         ..PartitionedOutcome::default()
     };
-    for (_, _, _, txn) in order {
+    for (epoch, _, _, txn) in order {
+        if epoch < covered_epoch {
+            // Covered by the checkpoint chain: the transaction is resolved
+            // (its prepare, if any, must not resurface as in-doubt) but its
+            // redo is already reflected in the chain — and may since have
+            // been overwritten by a newer commit whose own record lived in
+            // an already-truncated log. Drop the ops instead of replaying.
+            for f in facts.iter_mut() {
+                f.ops.remove(&txn);
+            }
+            rrq_obs::counter_inc("storage.recovery.covered_commits_skipped");
+            continue;
+        }
         for f in facts.iter_mut() {
             if let Some(ops) = f.ops.remove(&txn) {
                 out.redo.extend(ops);
@@ -257,9 +297,10 @@ pub fn replay_partitioned(wals: &[Wal]) -> StorageResult<PartitionedOutcome> {
     Ok(out)
 }
 
-/// Scan a single log and classify every transaction's fate.
+/// Scan a single log and classify every transaction's fate (no checkpoint
+/// chain: every commit found is replayed).
 pub fn replay(wal: &Wal) -> StorageResult<ReplayOutcome> {
-    let out = replay_partitioned(std::slice::from_ref(wal))?;
+    let out = replay_partitioned(std::slice::from_ref(wal), 0)?;
     let valid_end = match out.valid_ends.first() {
         Some(v) => *v,
         None => 0,
@@ -389,7 +430,7 @@ mod tests {
         w1.append(2, RecordKind::Commit, &epoch_payload(3)).unwrap();
         w0.sync().unwrap();
         w1.sync().unwrap();
-        let out = replay_partitioned(&[w0, w1]).unwrap();
+        let out = replay_partitioned(&[w0, w1], 0).unwrap();
         assert_eq!(out.committed_txns, 2);
         assert_eq!(out.next_epoch, 8);
         match &out.redo[1] {
@@ -410,7 +451,7 @@ mod tests {
             .unwrap();
         w0.sync().unwrap();
         w1.sync().unwrap();
-        let out = replay_partitioned(&[w0, w1]).unwrap();
+        let out = replay_partitioned(&[w0, w1], 0).unwrap();
         assert_eq!(out.in_doubt.len(), 1);
         assert_eq!(out.in_doubt[&5].len(), 2, "ops from both logs merged");
     }
@@ -424,7 +465,7 @@ mod tests {
         w1.append(9, RecordKind::KvPut, &put_payload(b"x", b"1"))
             .unwrap();
         w1.sync().unwrap();
-        let out = replay_partitioned(&[w0, w1]).unwrap();
+        let out = replay_partitioned(&[w0, w1], 0).unwrap();
         assert!(out.redo.is_empty());
         assert!(out.in_doubt.is_empty());
         assert_eq!(out.committed_txns, 0);
@@ -449,9 +490,63 @@ mod tests {
         w1.disk().reset(raw[..cut].to_vec()).unwrap();
 
         let wals = [w0, w1];
-        let out = replay_partitioned(&wals).unwrap();
+        let out = replay_partitioned(&wals, 0).unwrap();
         assert_eq!(out.valid_ends.len(), 2);
         assert_eq!(out.valid_ends[0], wals[0].len(), "log 0 fully valid");
         assert!(out.valid_ends[1] < cut as u64, "log 1 tail invalid");
+    }
+
+    #[test]
+    fn commits_below_the_watermark_are_resolved_but_not_replayed() {
+        // The partial-truncation crash: txn 1 (epoch 3) survives whole in an
+        // untruncated log; txn 2's commit record (epoch 9, home = the other,
+        // already-truncated log) is gone, but its data record for the same
+        // key survives next to txn 1's. The chain covers both; replaying
+        // txn 1 would regress the key.
+        let w0 = wal(); // the truncated home log of txn 2: empty
+        let w1 = wal();
+        w1.append(1, RecordKind::KvPut, &put_payload(b"k", b"old"))
+            .unwrap();
+        w1.append(1, RecordKind::Commit, &epoch_payload(3)).unwrap();
+        w1.append(2, RecordKind::KvPut, &put_payload(b"k", b"new"))
+            .unwrap();
+        w0.sync().unwrap();
+        w1.sync().unwrap();
+        let out = replay_partitioned(&[w0, w1], 10).unwrap();
+        assert!(out.redo.is_empty(), "covered commit must not replay");
+        assert_eq!(out.committed_txns, 1, "the commit record still counts");
+        assert!(out.in_doubt.is_empty());
+        assert_eq!(out.next_epoch, 10, "epoch counter floored at the watermark");
+    }
+
+    #[test]
+    fn commits_at_or_above_the_watermark_still_replay() {
+        let w = wal();
+        w.append(1, RecordKind::KvPut, &put_payload(b"a", b"1"))
+            .unwrap();
+        w.append(1, RecordKind::Commit, &epoch_payload(5)).unwrap();
+        w.sync().unwrap();
+        let out = replay_partitioned(std::slice::from_ref(&w), 5).unwrap();
+        assert_eq!(out.redo.len(), 1, "epoch == watermark is NOT covered");
+        assert_eq!(out.next_epoch, 6);
+    }
+
+    #[test]
+    fn covered_prepare_plus_commit_does_not_resurface_in_doubt() {
+        // A prepared-then-committed transaction whose home log escaped
+        // truncation: prepare and commit records both survive below the
+        // watermark. Skipping the commit must still resolve the prepare.
+        let w = wal();
+        w.append(4, RecordKind::KvPut, &put_payload(b"x", b"v"))
+            .unwrap();
+        w.append(4, RecordKind::Prepare, &[]).unwrap();
+        w.append(4, RecordKind::Commit, &epoch_payload(2)).unwrap();
+        w.sync().unwrap();
+        let out = replay_partitioned(std::slice::from_ref(&w), 7).unwrap();
+        assert!(out.redo.is_empty());
+        assert!(
+            out.in_doubt.is_empty(),
+            "resolved txn must not come back in-doubt"
+        );
     }
 }

@@ -345,3 +345,207 @@ fn checkpoints_racing_partitioned_commits_recover_exactly() {
         }
     }
 }
+
+fn open4_with(
+    wals: &[SimDisk],
+    ckpt: &SimDisk,
+    opts: KvOptions,
+) -> (Arc<KvStore>, rrq_storage::recovery::RecoveryReport) {
+    KvStore::open_partitioned(
+        wals.iter()
+            .map(|d| Arc::new(d.clone()) as Arc<dyn Disk>)
+            .collect(),
+        Arc::new(ckpt.clone()),
+        opts,
+    )
+    .unwrap()
+}
+
+/// A short key on partition `part` that differs from `exclude`.
+fn key_on_partition(part: usize, exclude: &[u8]) -> Vec<u8> {
+    for a in 0u8..=255 {
+        for b in 0u8..2 {
+            let key = vec![a, b];
+            if key != exclude && partition_for_key(&key, PARTITIONS) == part {
+                return key;
+            }
+        }
+    }
+    panic!("no two-byte key lands on partition {part}");
+}
+
+/// The review's high-severity window: checkpoint truncates logs one at a
+/// time, and a crash in between can erase a newer transaction's commit
+/// record (home log already truncated) while an *older* committed
+/// transaction's data + commit records for the same key survive in a
+/// not-yet-truncated sibling log. The covered-epoch watermark stamped into
+/// the checkpoint segment must stop replay from regressing the key to the
+/// older value.
+#[test]
+fn partial_log_truncation_cannot_regress_checkpointed_state() {
+    let wals: Vec<SimDisk> = (0..PARTITIONS).map(|_| SimDisk::new()).collect();
+    let ckpt = SimDisk::new();
+    let (store, _) = open4(&wals, &ckpt);
+    let (lo_key, hi_key) = cross_partition_keys();
+    let hi = partition_for_key(&hi_key, PARTITIONS);
+
+    // Older transaction: homed on the hi log (its only key lives there).
+    store.begin(1).unwrap();
+    store.put(1, &hi_key, b"old").unwrap();
+    store.commit(1).unwrap();
+
+    // Newer transaction: homed on the lo log, rewrites the same hi key.
+    // Its commit record lives in the lo log; only a data record for
+    // `hi_key` sits in the hi log.
+    store.begin(2).unwrap();
+    store.put(2, &lo_key, b"x").unwrap();
+    store.put(2, &hi_key, b"new").unwrap();
+    store.commit(2).unwrap();
+
+    // Checkpoint, then put the hi log's pre-checkpoint image back: that is
+    // exactly the state a crash leaves when the lo log's truncation became
+    // durable but the hi log's never happened.
+    let saved = wals[hi].read(0, wals[hi].durable_len() as usize).unwrap();
+    store.checkpoint().unwrap();
+    wals[hi].reset(saved).unwrap();
+
+    for d in &wals {
+        d.crash(CrashStyle::DropVolatile);
+    }
+    ckpt.crash(CrashStyle::DropVolatile);
+    let (recovered, report) = open4(&wals, &ckpt);
+    assert_eq!(report.in_doubt, Vec::<u64>::new());
+    assert_eq!(
+        recovered.get(None, &hi_key).unwrap(),
+        Some(b"new".to_vec()),
+        "surviving pre-checkpoint commit record must not regress the key"
+    );
+    assert_eq!(recovered.get(None, &lo_key).unwrap(), Some(b"x".to_vec()));
+}
+
+/// Same window, prepared flavour: a covered commit's prepare record
+/// survives in the untruncated home log. The watermark skips the commit's
+/// redo, but the transaction must still count as *resolved* — it may not
+/// resurface in-doubt (a coordinator would then re-commit an epoch the
+/// checkpoint already folded in).
+#[test]
+fn covered_prepared_commit_does_not_resurface_in_doubt() {
+    let wals: Vec<SimDisk> = (0..PARTITIONS).map(|_| SimDisk::new()).collect();
+    let ckpt = SimDisk::new();
+    let (store, _) = open4(&wals, &ckpt);
+    let (lo_key, hi_key) = cross_partition_keys();
+    let lo = partition_for_key(&lo_key, PARTITIONS);
+
+    store.begin(5).unwrap();
+    store.put(5, &lo_key, b"L").unwrap();
+    store.put(5, &hi_key, b"H").unwrap();
+    store.prepare(5).unwrap();
+    store.commit(5).unwrap();
+
+    // Crash window: the home (lo) log keeps its data + prepare + commit
+    // records while every sibling was truncated by the checkpoint.
+    let saved = wals[lo].read(0, wals[lo].durable_len() as usize).unwrap();
+    store.checkpoint().unwrap();
+    wals[lo].reset(saved).unwrap();
+
+    for d in &wals {
+        d.crash(CrashStyle::DropVolatile);
+    }
+    ckpt.crash(CrashStyle::DropVolatile);
+    let (recovered, report) = open4(&wals, &ckpt);
+    assert_eq!(
+        report.in_doubt,
+        Vec::<u64>::new(),
+        "covered prepare+commit is resolved, not in-doubt"
+    );
+    assert_eq!(recovered.get(None, &lo_key).unwrap(), Some(b"L".to_vec()));
+    assert_eq!(recovered.get(None, &hi_key).unwrap(), Some(b"H".to_vec()));
+}
+
+/// After recovering from a fully-truncated state the epoch counter must
+/// resume *above* the chain's watermark. If it restarted at zero, the next
+/// commit would be stamped with a covered epoch and a later recovery would
+/// skip it as already-checkpointed — silently dropping an acknowledged
+/// write.
+#[test]
+fn epochs_resume_above_the_watermark_after_recovery() {
+    let wals: Vec<SimDisk> = (0..PARTITIONS).map(|_| SimDisk::new()).collect();
+    let ckpt = SimDisk::new();
+    let (store, _) = open4(&wals, &ckpt);
+
+    store.begin(1).unwrap();
+    store.put(1, b"k", b"first").unwrap();
+    store.commit(1).unwrap();
+    store.checkpoint().unwrap();
+
+    for d in &wals {
+        d.crash(CrashStyle::DropVolatile);
+    }
+    ckpt.crash(CrashStyle::DropVolatile);
+    let (store, _) = open4(&wals, &ckpt);
+
+    store.begin(2).unwrap();
+    store.put(2, b"k", b"second").unwrap();
+    store.commit(2).unwrap();
+
+    for d in &wals {
+        d.crash(CrashStyle::DropVolatile);
+    }
+    ckpt.crash(CrashStyle::DropVolatile);
+    let (recovered, _) = open4(&wals, &ckpt);
+    assert_eq!(
+        recovered.get(None, b"k").unwrap(),
+        Some(b"second".to_vec()),
+        "post-recovery commit was treated as covered by the old watermark"
+    );
+}
+
+/// The review's medium finding: with `sync_on_commit` off, a
+/// multi-partition commit's record can still become durable *incidentally*
+/// (another transaction's prepare forces the same home log). Sibling data
+/// must therefore be forced unconditionally at commit — a durable commit
+/// record with volatile sibling data would replay a partial transaction.
+#[test]
+fn incidentally_durable_commit_record_implies_durable_sibling_data() {
+    let wals: Vec<SimDisk> = (0..PARTITIONS).map(|_| SimDisk::new()).collect();
+    let ckpt = SimDisk::new();
+    let opts = KvOptions {
+        sync_on_commit: false,
+        ..KvOptions::default()
+    };
+    let (store, _) = open4_with(&wals, &ckpt, opts);
+    let (lo_key, hi_key) = cross_partition_keys();
+    let lo = partition_for_key(&lo_key, PARTITIONS);
+
+    // Volatile-mode multi-partition commit: the home (lo) log's commit
+    // record is not forced, but the hi log's data record must be.
+    store.begin(1).unwrap();
+    store.put(1, &lo_key, b"L").unwrap();
+    store.put(1, &hi_key, b"H").unwrap();
+    store.commit(1).unwrap();
+
+    // An unrelated transaction homed on the same lo log prepares: prepare
+    // always forces, which incidentally makes txn 1's commit record
+    // durable (a log force covers its whole volatile prefix).
+    let other = key_on_partition(lo, &lo_key);
+    store.begin(2).unwrap();
+    store.put(2, &other, b"O").unwrap();
+    store.prepare(2).unwrap();
+
+    for d in &wals {
+        d.crash(CrashStyle::DropVolatile);
+    }
+    ckpt.crash(CrashStyle::DropVolatile);
+    let (recovered, report) = open4(&wals, &ckpt);
+    assert_eq!(report.in_doubt, vec![2], "the prepare must survive");
+    assert_eq!(
+        recovered.get(None, &lo_key).unwrap(),
+        Some(b"L".to_vec()),
+        "home data precedes the durable commit record in the same log"
+    );
+    assert_eq!(
+        recovered.get(None, &hi_key).unwrap(),
+        Some(b"H".to_vec()),
+        "durable commit record implies durable sibling data"
+    );
+}
