@@ -36,6 +36,12 @@ echo "== E19 partitioned-WAL smoke (parallel recovery + single-partition baselin
 # >= 0.95x the KvStore::open baseline throughput (full sweep: experiments -- e19).
 cargo run --release -p rrq-bench --bin experiments -q -- e19 --smoke
 
+echo "== E20 combining-dequeue smoke (flat-combining vs baseline at 8 dequeuers)"
+# Asserts the combining front end drains a hot queue >= 1.2x faster than the
+# race-the-index baseline at 8 dequeuers and hands out disjoint candidates
+# (skip rate < 0.1 vs ~n-1 baseline). Full sweep: experiments -- e20.
+cargo run --release -p rrq-bench --bin experiments -q -- e20 --smoke
+
 echo "== explorer smoke sweep (200 fixed-seed fault scripts)"
 # Deterministic: any failure prints the seed and a replayable script path
 # (replay with: cargo run --release -p rrq-bench --bin explore -- --replay <path>).
@@ -48,5 +54,13 @@ echo "== explorer partitioned sweep (200 scripts, wal_partitions=4, per-log torn
 cargo run --release -p rrq-bench --bin explore -- \
   --scripts 200 --seed 1 --budget-secs 240 --wal-partitions 4 \
   --out target/explorer-failures-p4
+
+echo "== explorer combining sweep (200 scripts, dequeue_combining on)"
+# Same fixed seeds with every dequeue routed through the flat-combining
+# dispenser; crashes land mid-combine and the oracle battery must stay
+# green (the dispenser is volatile — recovery restarts it empty).
+cargo run --release -p rrq-bench --bin explore -- \
+  --scripts 200 --seed 1 --budget-secs 240 --dequeue-combining \
+  --out target/explorer-failures-comb
 
 echo "CI OK"

@@ -7,6 +7,7 @@
 //! cargo run --release -p rrq-bench --bin explore -- --replay path.rrqs
 //! cargo run --release -p rrq-bench --bin explore -- --scripts 50 --bug
 //! cargo run --release -p rrq-bench --bin explore -- --scripts 200 --wal-partitions 4
+//! cargo run --release -p rrq-bench --bin explore -- --scripts 200 --dequeue-combining
 //! ```
 //!
 //! Runs seeded [`rrq_sim::script::FaultScript`]s through the explorer,
@@ -32,6 +33,7 @@ struct Args {
     replay: Option<PathBuf>,
     bug: Option<InjectedBug>,
     wal_partitions: usize,
+    dequeue_combining: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         bug: None,
         wal_partitions: 1,
+        dequeue_combining: false,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(flag) = it.next() {
@@ -59,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
+            "--dequeue-combining" => args.dequeue_combining = true,
             "--replay" => args.replay = Some(PathBuf::from(val("--replay")?)),
             "--bug" => {
                 // Optional bug name; a bare `--bug` keeps its original
@@ -96,6 +100,7 @@ fn main() -> ExitCode {
         bug: args.bug,
         out_dir: Some(args.out.clone()),
         wal_partitions: args.wal_partitions,
+        dequeue_combining: args.dequeue_combining,
         ..ExplorerConfig::default()
     };
 

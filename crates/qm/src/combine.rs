@@ -1,0 +1,420 @@
+//! Flat-combining front end for the per-queue ready index.
+//!
+//! E17/E18 measured the skip-lock storm: with *n* dequeuers draining one
+//! hot queue, every grant costs ≈ n−1 wasted candidate scans (each loser
+//! re-pages [`crate::qindex::QueueIndex`] from the head and skips the
+//! elements the winners are holding), and all n serialize on the queue's
+//! ready-list mutex. Flat combining (Hendler et al.) is the standard cure:
+//! instead of n threads each scanning the shared structure, every dequeuer
+//! *publishes* a request slot into a per-queue publication list, and the
+//! first publisher to CAS the **combiner latch** becomes the combiner — it
+//! drains the BTreeMap once and hands out *disjoint* candidate batches to
+//! every waiting slot, in priority-then-FIFO order of the index and FIFO
+//! order of publication. A candidate is offered to exactly one dequeuer per
+//! round, so the storm disappears structurally; element-lock re-resolution
+//! under the existing element lock stays the correctness backstop for races
+//! with aborts and kills (DESIGN.md §24).
+//!
+//! ## Handed-out marks
+//!
+//! A key the combiner dispenses is recorded in the queue's `handed` set and
+//! skipped by later rounds, otherwise the next round would re-dispense it
+//! while its taker still holds the element lock — recreating the storm one
+//! level up. The mark is cleared by whichever comes first:
+//!
+//! * the requester *releases* candidates it did not consume (batch guard on
+//!   every exit path, including errors), or
+//! * the ready index *mutates* the key — RM commit removes it, an abort
+//!   fix-up removes or re-inserts it, a kill deletes it. Every index
+//!   mutation site in [`crate::ops`] calls [`Dispenser::invalidate`], so a
+//!   mark can never outlive the index entry it shadows
+//!   (`qm.combine.handout_invalidations` counts these).
+//!
+//! ## Combiner crash / abort hand-off
+//!
+//! The latch is an `AtomicBool` used for *election only* — it is never held
+//! across a wait and is released by an RAII guard, so a combiner that
+//! panics mid-round unwinds the latch free. Waiters never block on the
+//! latch: they park on their own slot in 1 ms slices and re-CAS between
+//! slices, so a combiner that disappears (or finishes without seeing a
+//! late-published slot) is replaced by the next waiter within one slice. A
+//! whole-process crash discards the dispenser with the rest of the volatile
+//! state; recovery rebuilds the index and starts from an empty publication
+//! list (the crash-mid-combine explorer script pins this).
+
+use crate::element::Eid;
+use crate::qindex::QueueIndex;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Upper bound on one ready-index page the combiner drains per step.
+const COMBINE_PAGE: usize = 64;
+
+/// How long a waiting publisher parks before re-attempting the latch CAS.
+/// Bounds the stall when the combiner finished without serving us (we
+/// published after its last drain) or died without unwinding.
+const WAIT_SLICE: Duration = Duration::from_millis(1);
+
+/// What one combining round handed a single request slot.
+pub struct Handout {
+    /// Disjoint candidates, in index (priority-then-FIFO) order. Every key
+    /// is marked handed-out until consumed, released, or invalidated.
+    pub candidates: Vec<(Vec<u8>, Eid)>,
+    /// The combiner ran out of index entries before filling this slot:
+    /// re-requesting cannot surface more right now.
+    pub exhausted: bool,
+}
+
+/// One published dequeue request, waiting to be served by the combiner.
+struct Slot {
+    /// How many candidates the requester wants this round.
+    wanted: usize,
+    /// Keys the requester already tried (or enqueued-then-dequeued itself)
+    /// this pass; the combiner never offers these to this slot.
+    exclude: HashSet<Vec<u8>>,
+    /// `None` until served; the requester takes the handout under this
+    /// guard. Lock class `combine-slot` (LOCKS.md).
+    served: Mutex<Option<Handout>>,
+    cv: Condvar,
+}
+
+/// Per-queue publication list + handed-out marks. Lock class
+/// `combine-state` (LOCKS.md); the combiner pages the ready index while
+/// holding it, hence the declared `combine-state < qindex-outer` edge.
+#[derive(Default)]
+struct CombineState {
+    slots: VecDeque<Arc<Slot>>,
+    handed: HashSet<Vec<u8>>,
+}
+
+#[derive(Default)]
+struct QueueCombine {
+    /// Combiner election word — CAS'd, never held across a wait, released
+    /// by [`LatchGuard`] so a panicking combiner unwinds it free.
+    latch: AtomicBool,
+    publication: Mutex<CombineState>,
+}
+
+/// Releases the combiner latch on drop (including unwind).
+struct LatchGuard<'a>(&'a AtomicBool);
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// Per-queue combining dispensers, one per [`crate::ops::QueueManager`].
+#[derive(Default)]
+pub struct Dispenser {
+    /// Queue name → its combine cell. Lock class `combine-map` (LOCKS.md).
+    combines: RwLock<HashMap<String, Arc<QueueCombine>>>,
+}
+
+impl Dispenser {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cell(&self, queue: &str) -> Arc<QueueCombine> {
+        {
+            let map = self.combines.read();
+            if let Some(c) = map.get(queue) {
+                return Arc::clone(c);
+            }
+        }
+        let mut map = self.combines.write();
+        Arc::clone(map.entry(queue.to_string()).or_default())
+    }
+
+    fn cell_if_present(&self, queue: &str) -> Option<Arc<QueueCombine>> {
+        let map = self.combines.read();
+        map.get(queue).cloned()
+    }
+
+    /// Publish a request slot and wait for a combining round to serve it —
+    /// becoming the combiner ourselves if the latch is free. `exclude` keys
+    /// are never offered to this slot (they still count as handed for other
+    /// slots if some *other* requester holds them).
+    pub fn request(
+        &self,
+        ix: &QueueIndex,
+        queue: &str,
+        wanted: usize,
+        exclude: &HashSet<Vec<u8>>,
+    ) -> Handout {
+        let qc = self.cell(queue);
+        let slot = Arc::new(Slot {
+            wanted: wanted.max(1),
+            exclude: exclude.clone(),
+            served: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        qc.publication.lock().slots.push_back(Arc::clone(&slot));
+        loop {
+            if qc
+                .latch
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let _release = LatchGuard(&qc.latch);
+                combine_rounds(&qc, ix, queue);
+                // Our slot was published before we took the latch, so the
+                // rounds we just ran are guaranteed to have served it.
+            }
+            let mut g = slot.served.lock();
+            if let Some(h) = g.take() {
+                return h;
+            }
+            // Not served yet: another combiner holds the latch. Park one
+            // slice on our own slot guard, then either take the handout or
+            // go steal the latch (combiner may have died or finished
+            // without seeing us).
+            slot.cv.wait_until(&mut g, Instant::now() + WAIT_SLICE);
+            if let Some(h) = g.take() {
+                return h;
+            }
+        }
+    }
+
+    /// Clear the handed marks for candidates the requester did not consume.
+    pub fn release(&self, queue: &str, keys: &[Vec<u8>]) {
+        if keys.is_empty() {
+            return;
+        }
+        let Some(qc) = self.cell_if_present(queue) else {
+            return;
+        };
+        let mut st = qc.publication.lock();
+        for k in keys {
+            st.handed.remove(k);
+        }
+    }
+
+    /// An index mutation removed or re-created `key`: drop its handed mark
+    /// so the (new) index entry is dispensable again. Called from every
+    /// `qindex` mutation site in `ops` — commit removes, abort fix-ups,
+    /// kills — keeping marks from outliving the entries they shadow.
+    pub fn invalidate(&self, queue: &str, key: &[u8]) {
+        let Some(qc) = self.cell_if_present(queue) else {
+            return;
+        };
+        let mut st = qc.publication.lock();
+        if st.handed.remove(key) {
+            rrq_obs::counter_inc("qm.combine.handout_invalidations");
+        }
+    }
+
+    /// Drop all combining state for a destroyed queue.
+    pub fn forget_queue(&self, queue: &str) {
+        self.combines.write().remove(queue);
+    }
+
+    /// Drop all combining state (used when toggling the combining mode so
+    /// stale handed marks from a previous run can never shadow the index).
+    pub fn clear(&self) {
+        self.combines.write().clear();
+    }
+}
+
+/// Run combining rounds until the publication list drains. Caller holds the
+/// latch.
+fn combine_rounds(qc: &QueueCombine, ix: &QueueIndex, queue: &str) {
+    loop {
+        let served = combine_once(qc, ix, queue);
+        if served.is_empty() {
+            return;
+        }
+        // Deliver outside the publication lock: slot guards are leaves and
+        // never nest with `combine-state`.
+        for (slot, handout) in served {
+            let mut g = slot.served.lock();
+            *g = Some(handout);
+            slot.cv.notify_one();
+        }
+    }
+}
+
+/// One combining round: drain the publication list, page the ready index
+/// once, and assign each candidate to the first published slot (FIFO) that
+/// still wants one and does not exclude it — disjoint by construction.
+fn combine_once(qc: &QueueCombine, ix: &QueueIndex, queue: &str) -> Vec<(Arc<Slot>, Handout)> {
+    let mut st = qc.publication.lock();
+    if st.slots.is_empty() {
+        return Vec::new();
+    }
+    let slots: Vec<Arc<Slot>> = st.slots.drain(..).collect();
+    let mut batches: Vec<Vec<(Vec<u8>, Eid)>> = slots.iter().map(|_| Vec::new()).collect();
+    let mut unfilled = slots.len();
+    // Keys that cannot be dispensed no matter how deep we page: already
+    // handed to a live holder, or excluded by every unfilled slot. Sizes
+    // the page so a lone requester doesn't clone a 64-entry page for one
+    // candidate.
+    let overhead = st.handed.len() + slots.iter().map(|s| s.exclude.len()).max().unwrap_or(0);
+    let mut cursor: Option<Vec<u8>> = None;
+    let mut index_dry = false;
+    let mut page: Vec<(Vec<u8>, Eid)> = Vec::new();
+    while unfilled > 0 && !index_dry {
+        let want: usize = slots
+            .iter()
+            .zip(&batches)
+            .map(|(s, b)| s.wanted - b.len())
+            .sum();
+        let limit = (want + overhead + 4).min(COMBINE_PAGE);
+        ix.candidates_after_into(queue, cursor.as_deref(), limit, &mut page);
+        if page.len() < limit {
+            index_dry = true;
+        }
+        cursor = page.last().map(|(k, _)| k.clone());
+        for (k, eid) in page.drain(..) {
+            if st.handed.contains(&k) {
+                continue;
+            }
+            let taker = slots
+                .iter()
+                .enumerate()
+                .find(|(i, s)| batches[*i].len() < s.wanted && !s.exclude.contains(&k));
+            if let Some((i, slot)) = taker {
+                st.handed.insert(k.clone());
+                batches[i].push((k, eid));
+                if batches[i].len() == slot.wanted {
+                    unfilled -= 1;
+                }
+            }
+        }
+    }
+    rrq_obs::counter_inc("qm.combine.rounds");
+    rrq_obs::observe("qm.combine.ops_per_round", slots.len() as u64);
+    drop(st);
+    slots
+        .into_iter()
+        .zip(batches)
+        .map(|(slot, candidates)| {
+            rrq_obs::observe("qm.combine.batch_size", candidates.len() as u64);
+            let exhausted = index_dry && candidates.len() < slot.wanted;
+            (
+                slot,
+                Handout {
+                    candidates,
+                    exhausted,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::AssertUnwindSafe;
+
+    fn ix_with(queue: &str, keys: &[&[u8]]) -> QueueIndex {
+        let ix = QueueIndex::new();
+        for (i, k) in keys.iter().enumerate() {
+            ix.insert(queue, k.to_vec(), Eid(i as u64));
+        }
+        ix
+    }
+
+    #[test]
+    fn single_requester_combines_itself() {
+        let ix = ix_with("q", &[b"a", b"b", b"c"]);
+        let d = Dispenser::new();
+        let h = d.request(&ix, "q", 1, &HashSet::new());
+        assert_eq!(h.candidates.len(), 1);
+        assert_eq!(h.candidates[0].0, b"a".to_vec());
+        assert!(!h.exhausted, "index still has entries past the batch");
+        // The head key is now marked handed: a second request skips it.
+        let h2 = d.request(&ix, "q", 1, &HashSet::new());
+        assert_eq!(h2.candidates[0].0, b"b".to_vec());
+        // Releasing makes it dispensable again.
+        d.release("q", &[b"a".to_vec(), b"b".to_vec()]);
+        let h3 = d.request(&ix, "q", 1, &HashSet::new());
+        assert_eq!(h3.candidates[0].0, b"a".to_vec());
+    }
+
+    #[test]
+    fn exclusions_and_exhaustion() {
+        let ix = ix_with("q", &[b"a", b"b"]);
+        let d = Dispenser::new();
+        let excl: HashSet<Vec<u8>> = [b"a".to_vec(), b"b".to_vec()].into_iter().collect();
+        let h = d.request(&ix, "q", 1, &excl);
+        assert!(h.candidates.is_empty());
+        assert!(
+            h.exhausted,
+            "everything excluded ⇒ nothing more to hand out"
+        );
+    }
+
+    #[test]
+    fn invalidate_clears_handed_mark() {
+        let ix = ix_with("q", &[b"a"]);
+        let d = Dispenser::new();
+        let h = d.request(&ix, "q", 1, &HashSet::new());
+        assert_eq!(h.candidates.len(), 1);
+        // Simulate the RM commit removing the key from the index.
+        ix.remove("q", b"a");
+        d.invalidate("q", b"a");
+        ix.insert("q", b"a".to_vec(), Eid(9));
+        let h2 = d.request(&ix, "q", 1, &HashSet::new());
+        assert_eq!(
+            h2.candidates[0].0,
+            b"a".to_vec(),
+            "mark cleared ⇒ redispensed"
+        );
+    }
+
+    #[test]
+    fn concurrent_requesters_get_disjoint_candidates() {
+        let keys: Vec<Vec<u8>> = (0u8..32).map(|i| vec![i]).collect();
+        let ix = QueueIndex::new();
+        for (i, k) in keys.iter().enumerate() {
+            ix.insert("q", k.clone(), Eid(i as u64));
+        }
+        let d = Arc::new(Dispenser::new());
+        let ix = Arc::new(ix);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let d = Arc::clone(&d);
+            let ix = Arc::clone(&ix);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..4 {
+                    let h = d.request(&ix, "q", 1, &HashSet::new());
+                    got.extend(h.candidates.into_iter().map(|(k, _)| k));
+                }
+                got
+            }));
+        }
+        let mut all: Vec<Vec<u8>> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n, "no key handed to two requesters");
+        assert_eq!(n, 32, "every key handed out exactly once");
+    }
+
+    #[test]
+    fn latch_released_when_combiner_panics() {
+        let qc = QueueCombine::default();
+        assert!(qc
+            .latch
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok());
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _g = LatchGuard(&qc.latch);
+            panic!("combiner dies mid-round");
+        }));
+        assert!(r.is_err());
+        assert!(
+            !qc.latch.load(Ordering::Acquire),
+            "unwind released the latch for the next requester"
+        );
+    }
+}

@@ -6,16 +6,40 @@
 //! become available (an enqueue committed, or an aborted dequeue returned an
 //! element). A blocked dequeuer samples the version, re-scans, and waits for
 //! the version to move.
+//!
+//! Wakeups are **counted, per-queue, one per newly available element**. The
+//! first cut of this module shared one condvar across every queue and
+//! `notify_all`'d it on any signal, so a commit adding one element to one
+//! queue woke every blocked dequeuer in the process (E17 measured the
+//! resulting thundering herd — the losers re-scan, skip, and go back to
+//! sleep). Now each queue has its own condvar and a signal reporting *n* new
+//! elements wakes at most *n* waiters: exactly the threads that can possibly
+//! win an element re-scan, nobody else. Waking fewer than *n* would be a
+//! livelock risk (two elements commit, one waiter wakes, the second element
+//! sits until timeout); waking more is the herd again.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Per-queue availability versions with wakeups.
+/// One queue's wait state. The condvar is `Arc`'d so a waiter can keep it
+/// across the map rehash that an unrelated queue's first signal may cause.
+#[derive(Default)]
+struct Waitq {
+    version: u64,
+    waiters: usize,
+    cv: Arc<Condvar>,
+}
+
+/// Per-queue availability versions with counted wakeups.
 #[derive(Default)]
 pub struct QueueNotifier {
-    versions: Mutex<HashMap<String, u64>>,
-    cv: Condvar,
+    queues: Mutex<HashMap<String, Waitq>>,
+    /// Wakeups issued (notify_one calls targeting a registered waiter) —
+    /// test hook pinning the no-thundering-herd contract.
+    wakeups: AtomicU64,
 }
 
 impl QueueNotifier {
@@ -26,39 +50,70 @@ impl QueueNotifier {
 
     /// Current version for `queue` (0 if never signalled).
     pub fn version(&self, queue: &str) -> u64 {
-        *self.versions.lock().get(queue).unwrap_or(&0)
+        self.queues.lock().get(queue).map_or(0, |w| w.version)
     }
 
-    /// Signal that `queue` may have gained elements.
+    /// Signal that `queue` may have gained one element.
     pub fn signal(&self, queue: &str) {
-        let mut g = self.versions.lock();
-        *g.entry(queue.to_string()).or_insert(0) += 1;
-        self.cv.notify_all();
+        self.signal_n(queue, 1);
+    }
+
+    /// Signal that `queue` gained up to `newly` elements: bump the version
+    /// once and wake `min(newly, waiters)` blocked dequeuers on that queue
+    /// — never waiters on other queues, never the whole herd.
+    pub fn signal_n(&self, queue: &str, newly: usize) {
+        if newly == 0 {
+            return;
+        }
+        let mut g = self.queues.lock();
+        let w = g.entry(queue.to_string()).or_default();
+        w.version += 1;
+        let wake = newly.min(w.waiters);
+        for _ in 0..wake {
+            w.cv.notify_one();
+        }
+        self.wakeups.fetch_add(wake as u64, Ordering::AcqRel);
     }
 
     /// Block until `queue`'s version exceeds `seen` or `timeout` elapses.
     /// Returns `true` when woken by a signal, `false` on timeout.
     pub fn wait_past(&self, queue: &str, seen: u64, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut g = self.versions.lock();
+        let mut g = self.queues.lock();
         loop {
-            if *g.get(queue).unwrap_or(&0) > seen {
+            let w = g.entry(queue.to_string()).or_default();
+            if w.version > seen {
                 return true;
             }
             if Instant::now() >= deadline {
                 return false;
             }
-            if self.cv.wait_until(&mut g, deadline).timed_out() {
-                return *g.get(queue).unwrap_or(&0) > seen;
+            w.waiters += 1;
+            let cv = Arc::clone(&w.cv);
+            let timed_out = cv.wait_until(&mut g, deadline).timed_out();
+            // Re-borrow after the wait: the map may have rehashed.
+            let w = g.entry(queue.to_string()).or_default();
+            w.waiters -= 1;
+            if timed_out {
+                return w.version > seen;
             }
         }
+    }
+
+    /// Total wakeups issued so far (test hook).
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Acquire)
+    }
+
+    /// Waiters currently blocked on `queue` (test hook).
+    pub fn waiters(&self, queue: &str) -> usize {
+        self.queues.lock().get(queue).map_or(0, |w| w.waiters)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use std::thread;
 
     #[test]
@@ -90,7 +145,9 @@ mod tests {
         let n = Arc::new(QueueNotifier::new());
         let n2 = Arc::clone(&n);
         let h = thread::spawn(move || n2.wait_past("q", 0, Duration::from_secs(5)));
-        thread::sleep(Duration::from_millis(20));
+        while n.waiters("q") == 0 {
+            thread::yield_now();
+        }
         n.signal("q");
         assert!(h.join().unwrap());
     }
@@ -100,8 +157,74 @@ mod tests {
         let n = Arc::new(QueueNotifier::new());
         let n2 = Arc::clone(&n);
         let h = thread::spawn(move || n2.wait_past("a", 0, Duration::from_millis(200)));
-        thread::sleep(Duration::from_millis(20));
-        n.signal("b"); // wakes, rechecks, keeps waiting
+        while n.waiters("a") == 0 {
+            thread::yield_now();
+        }
+        n.signal("b"); // different queue: waiter on "a" is not even woken
         assert!(!h.join().unwrap());
+        assert_eq!(n.wakeups(), 0, "no waiter on b ⇒ no wakeup issued");
+    }
+
+    /// The wakeup-count pin: one new element among k blocked dequeuers on
+    /// the same queue plus a bystander on another queue wakes exactly one
+    /// thread — not the herd, not the bystander.
+    #[test]
+    fn one_element_wakes_exactly_one_of_many_waiters() {
+        let n = Arc::new(QueueNotifier::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let n2 = Arc::clone(&n);
+            handles.push(thread::spawn(move || {
+                n2.wait_past("hot", 0, Duration::from_secs(5))
+            }));
+        }
+        let n3 = Arc::clone(&n);
+        let bystander = thread::spawn(move || n3.wait_past("cold", 0, Duration::from_millis(300)));
+        while n.waiters("hot") < 4 || n.waiters("cold") < 1 {
+            thread::yield_now();
+        }
+        n.signal_n("hot", 1);
+        // Exactly one waiter leaves the wait; the other three stay parked.
+        let t0 = Instant::now();
+        while n.waiters("hot") != 3 {
+            assert!(t0.elapsed() < Duration::from_secs(2), "winner never woke");
+            thread::yield_now();
+        }
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(n.waiters("hot"), 3, "only one of four dequeuers woken");
+        assert_eq!(n.wakeups(), 1, "one element ⇒ one wakeup issued");
+        // Flush the rest; the version already moved so they all return true.
+        n.signal_n("hot", 4);
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+        assert!(!bystander.join().unwrap(), "other queue's waiter untouched");
+        assert_eq!(n.wakeups(), 4, "1 + min(4, 3 remaining waiters)");
+    }
+
+    #[test]
+    fn signal_n_wakes_up_to_n_waiters() {
+        let n = Arc::new(QueueNotifier::new());
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let n2 = Arc::clone(&n);
+            handles.push(thread::spawn(move || {
+                n2.wait_past("q", 0, Duration::from_secs(5))
+            }));
+        }
+        while n.waiters("q") < 3 {
+            thread::yield_now();
+        }
+        n.signal_n("q", 2);
+        let t0 = Instant::now();
+        while n.waiters("q") != 1 {
+            assert!(t0.elapsed() < Duration::from_secs(2), "winners never woke");
+            thread::yield_now();
+        }
+        assert_eq!(n.wakeups(), 2, "two new elements ⇒ two wakeups issued");
+        n.signal_n("q", 1);
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
     }
 }

@@ -215,18 +215,38 @@ impl QueueIndex {
         after: Option<&[u8]>,
         limit: usize,
     ) -> Vec<(Vec<u8>, Eid)> {
+        let mut out = Vec::new();
+        self.candidates_after_into(queue, after, limit, &mut out);
+        out
+    }
+
+    /// [`Self::candidates_after`] into a caller-owned buffer: `out` is
+    /// cleared and refilled, so a paging loop reuses one allocation across
+    /// pages, and an empty page (queue unknown, index empty, or cursor past
+    /// the tail) costs no allocation at all.
+    pub fn candidates_after_into(
+        &self,
+        queue: &str,
+        after: Option<&[u8]>,
+        limit: usize,
+        out: &mut Vec<(Vec<u8>, Eid)>,
+    ) {
         use std::ops::Bound;
-        self.with_ready(queue, false, |m| {
+        out.clear();
+        let _ = self.with_ready(queue, false, |m| {
+            if m.is_empty() {
+                return;
+            }
             let lower = match after {
                 Some(a) => Bound::Excluded(a),
                 None => Bound::Unbounded,
             };
-            m.range::<[u8], _>((lower, Bound::Unbounded))
-                .take(limit)
-                .map(|(k, &eid)| (k.clone(), eid))
-                .collect()
-        })
-        .unwrap_or_default()
+            out.extend(
+                m.range::<[u8], _>((lower, Bound::Unbounded))
+                    .take(limit)
+                    .map(|(k, &eid)| (k.clone(), eid)),
+            );
+        });
     }
 
     /// Full ordered dump, sorted by queue name — the comparison shape used

@@ -107,6 +107,11 @@ pub struct RepoOptions {
     /// Number of per-shard WAL partitions (clamped to
     /// `1..=`[`MAX_WAL_PARTITIONS`]). `1` is the exact single-log baseline.
     pub wal_partitions: usize,
+    /// Route skip-locked dequeues through the flat-combining front end
+    /// (DESIGN.md §24): one combiner drains the ready index per round and
+    /// hands disjoint candidates to every concurrent dequeuer. `false` is
+    /// the per-queue-mutex baseline E20 measures against.
+    pub dequeue_combining: bool,
 }
 
 impl Default for RepoOptions {
@@ -116,6 +121,7 @@ impl Default for RepoOptions {
             kv: KvOptions::default(),
             wal_sync_latency: None,
             wal_partitions: 1,
+            dequeue_combining: false,
         }
     }
 }
@@ -184,6 +190,7 @@ impl Repository {
             locks,
             opts.shards,
         )?;
+        qm.set_dequeue_combining(opts.dequeue_combining);
 
         Ok((
             Repository {

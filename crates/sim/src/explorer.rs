@@ -87,6 +87,10 @@ pub struct ExplorerConfig {
     /// WAL partitions the server node runs with (1 = the monolithic log).
     /// Scripted per-log tears only bite when this is above one.
     pub wal_partitions: usize,
+    /// Run the server's dequeues through the flat-combining front end
+    /// (DESIGN.md §24). Persists across scripted crashes, so recovery
+    /// re-opens with combining still on — the crash-mid-combine case.
+    pub dequeue_combining: bool,
 }
 
 impl Default for ExplorerConfig {
@@ -97,6 +101,7 @@ impl Default for ExplorerConfig {
             bug: None,
             out_dir: None,
             wal_partitions: 1,
+            dequeue_combining: false,
         }
     }
 }
@@ -288,6 +293,7 @@ pub fn run_script_with(
     );
     node.set_repo_options(RepoOptions {
         wal_partitions: cfg.wal_partitions,
+        dequeue_combining: cfg.dequeue_combining,
         ..RepoOptions::default()
     });
     node.start().expect("initial server boot failed");
