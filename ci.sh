@@ -42,6 +42,12 @@ echo "== E20 combining-dequeue smoke (flat-combining vs baseline at 8 dequeuers)
 # (skip rate < 0.1 vs ~n-1 baseline). Full sweep: experiments -- e20.
 cargo run --release -p rrq-bench --bin experiments -q -- e20 --smoke
 
+echo "== E21 repo-partition smoke (shared-nothing scaling, 4 vs 1 partitions)"
+# Asserts 4 shared-nothing repository partitions push >= 1.5x the 1-partition
+# rate on the bank workload at 0% cross-partition traffic, every commit
+# forcing a 100us WAL write (full sweep: experiments -- e21).
+cargo run --release -p rrq-bench --bin experiments -q -- e21 --smoke
+
 echo "== explorer smoke sweep (200 fixed-seed fault scripts)"
 # Deterministic: any failure prints the seed and a replayable script path
 # (replay with: cargo run --release -p rrq-bench --bin explore -- --replay <path>).
@@ -62,5 +68,13 @@ echo "== explorer combining sweep (200 scripts, dequeue_combining on)"
 cargo run --release -p rrq-bench --bin explore -- \
   --scripts 200 --seed 1 --budget-secs 240 --dequeue-combining \
   --out target/explorer-failures-comb
+
+echo "== explorer shared-nothing sweep (200 scripts, repo_partitions=4)"
+# Same fixed seeds against four shared-nothing repository partitions: clerks
+# route per queue, partition-scoped crashes and single-pair cuts land mid
+# protocol, and the oracle battery must stay green across every recovery.
+cargo run --release -p rrq-bench --bin explore -- \
+  --scripts 200 --seed 1 --budget-secs 240 --repo-partitions 4 \
+  --out target/explorer-failures-repo4
 
 echo "CI OK"

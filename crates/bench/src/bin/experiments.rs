@@ -117,6 +117,9 @@ fn main() {
     if run("e20") {
         e20_combining_dequeue(&scale, smoke);
     }
+    if run("e21") {
+        e21_partition_scaling(&scale, smoke);
+    }
 }
 
 fn mk_repo(name: &str, queues: &[&str]) -> Arc<Repository> {
@@ -1573,6 +1576,7 @@ fn e18_run(name: &str, workers: usize, shards: usize, n: u64) -> (f64, rrq_obs::
         wal_sync_latency: Some(Duration::from_micros(100)),
         wal_partitions: 1,
         dequeue_combining: false,
+        repo_partitions: 1,
     };
     let (repo, _) = Repository::open_with(name, RepoDisks::new(), opts).unwrap();
     let repo = Arc::new(repo);
@@ -2216,4 +2220,159 @@ fn e20_combining_dequeue(scale: &Scale, smoke: bool) {
             "WARNING: combining el/s still monotone-decreasing over 8 → 64 dequeuers: {from8:?}\n"
         );
     }
+}
+
+// ======================================================================
+// E21 — shared-nothing repository partitions: scaling sweep
+// ======================================================================
+
+/// Find (and create) a queue homed on partition `p`, deterministically.
+fn e21_queue_on(repo: &Repository, p: usize, tag: &str) -> String {
+    for j in 0..256 {
+        let q = format!("{tag}x{j}");
+        if repo.partition_of(&q) == p {
+            repo.create_queue_defaults(&q).unwrap();
+            return q;
+        }
+    }
+    panic!("no queue name for partition {p} in 256 tries");
+}
+
+/// One E21 cell: 8 workers drive a fixed offered load of bank payments
+/// against a cluster of `parts` shared-nothing partitions. Each payment
+/// updates the payer's balance on its home store and enqueues a credit
+/// record — to a co-located queue normally, to a queue on the *next*
+/// partition for `cross_pct`% of payments (a logged two-phase commit).
+/// Alternating ops consume the worker's own queue, so depths stay bounded.
+/// Every commit pays a 100µs WAL force with group commit off: the force is
+/// the resource being partitioned, exactly the shared-nothing claim.
+fn e21_run(name: &str, parts: usize, cross_pct: u64, per_worker: u64) -> f64 {
+    const WORKERS: usize = 8;
+    let opts = RepoOptions {
+        repo_partitions: parts,
+        kv: KvOptions {
+            sync_on_commit: true,
+            group_commit: false,
+            ..KvOptions::default()
+        },
+        wal_sync_latency: Some(Duration::from_micros(100)),
+        ..RepoOptions::default()
+    };
+    let (repo, _) = Repository::open_with(name, RepoDisks::new(), opts).unwrap();
+    let repo = Arc::new(repo);
+    let locals: Vec<String> = (0..WORKERS)
+        .map(|w| e21_queue_on(&repo, w % parts, &format!("l{w}")))
+        .collect();
+    let remotes: Vec<String> = (0..WORKERS)
+        .map(|w| e21_queue_on(&repo, (w + 1) % parts, &format!("r{w}")))
+        .collect();
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let repo = Arc::clone(&repo);
+            let src = locals[w].clone();
+            let far = remotes[w].clone();
+            s.spawn(move || {
+                let reg = format!("w{w}");
+                let (hs, _) = repo.qm_for(&src).register(&src, &reg, false).unwrap();
+                let (hf, _) = repo.qm_for(&far).register(&far, &reg, false).unwrap();
+                let acct = format!("acct/{w}").into_bytes();
+                for i in 0..per_worker {
+                    let (txn, home) = repo.begin_on(&src).unwrap();
+                    let t = txn.id().raw();
+                    if i % 2 == 0 {
+                        if i % 100 < cross_pct {
+                            let qm = repo.enlist_queue(&txn, home, &far).unwrap();
+                            qm.enqueue(t, &hf, b"pay", EnqueueOptions::default())
+                                .unwrap();
+                        } else {
+                            repo.qm_for(&src)
+                                .enqueue(t, &hs, b"pay", EnqueueOptions::default())
+                                .unwrap();
+                        }
+                    } else {
+                        let _ = repo.qm_for(&src).dequeue(t, &hs, DequeueOptions::default());
+                    }
+                    repo.store_at(home).put(t, &acct, &i.to_le_bytes()).unwrap();
+                    txn.commit().unwrap();
+                }
+            });
+        }
+    });
+    WORKERS as f64 * per_worker as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn e21_partition_scaling(scale: &Scale, smoke: bool) {
+    println!("## E21 — shared-nothing repository partitions: bank scaling sweep\n");
+    println!("Fixed offered load (8 workers), partitions 1 → 8, every commit");
+    println!("forcing a 100µs WAL write. A partition owns its queues, its log");
+    println!("group, its locks and its store, so partition-local payments from");
+    println!("different partitions never serialize on a shared force. The 10%");
+    println!("cross-partition column routes every tenth payment to a sibling's");
+    println!("queue through the logged two-phase protocol — the price of");
+    println!("leaving the shared-nothing fast path.\n");
+
+    let parts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let per_worker = if smoke { 400 } else { 600 * scale.n };
+    let trials = if smoke { 3 } else { 2 };
+    let mut json = String::from("{\n  \"experiment\": \"E21\",\n  \"series\": [\n");
+    println!("| partitions | 0% cross req/s | vs 1p | 10% cross req/s | vs 1p | 10% / 0% |");
+    println!("|-----------:|---------------:|------:|----------------:|------:|---------:|");
+    let mut first = true;
+    let mut base_by_cross = [0.0f64; 2];
+    let mut smoke_pair = (0.0f64, 0.0f64);
+    for &p in parts {
+        let mut rates = [0.0f64; 2];
+        for (ci, &cross) in [0u64, 10].iter().enumerate() {
+            let mut best = 0.0f64;
+            for t in 0..trials {
+                let r = e21_run(&format!("e21-p{p}-c{cross}-{t}"), p, cross, per_worker);
+                best = best.max(r);
+            }
+            rates[ci] = best;
+            if p == 1 {
+                base_by_cross[ci] = best;
+            }
+        }
+        if p == 1 {
+            smoke_pair.0 = rates[0];
+        }
+        if p == 4 {
+            smoke_pair.1 = rates[0];
+        }
+        println!(
+            "| {p:>10} | {:>14} | {:>4.2}x | {:>15} | {:>4.2}x | {:>7.2}x |",
+            fmt_rate(rates[0]),
+            rates[0] / base_by_cross[0],
+            fmt_rate(rates[1]),
+            rates[1] / base_by_cross[1],
+            rates[1] / rates[0],
+        );
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(
+            "    {{\"partitions\": {p}, \"cross0_req_per_sec\": {:.1}, \"cross10_req_per_sec\": {:.1}}}",
+            rates[0], rates[1]
+        ));
+    }
+    json.push_str("\n  ]\n}\n");
+    println!();
+
+    if smoke {
+        let (one, four) = smoke_pair;
+        assert!(
+            four >= 1.5 * one,
+            "E21 smoke: 4 partitions ({four:.1} req/s) below 1.5x the 1-partition baseline ({one:.1} req/s) at 0% cross"
+        );
+        println!(
+            "E21 smoke: 4 partitions {four:.1} req/s vs 1 partition {one:.1} req/s at 0% cross — ok.\n"
+        );
+        return;
+    }
+
+    std::fs::write("BENCH_PR9.json", &json).unwrap();
+    println!("Series written to BENCH_PR9.json.\n");
 }

@@ -8,6 +8,7 @@
 //! cargo run --release -p rrq-bench --bin explore -- --scripts 50 --bug
 //! cargo run --release -p rrq-bench --bin explore -- --scripts 200 --wal-partitions 4
 //! cargo run --release -p rrq-bench --bin explore -- --scripts 200 --dequeue-combining
+//! cargo run --release -p rrq-bench --bin explore -- --scripts 200 --repo-partitions 4
 //! ```
 //!
 //! Runs seeded [`rrq_sim::script::FaultScript`]s through the explorer,
@@ -34,6 +35,7 @@ struct Args {
     bug: Option<InjectedBug>,
     wal_partitions: usize,
     dequeue_combining: bool,
+    repo_partitions: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         bug: None,
         wal_partitions: 1,
         dequeue_combining: false,
+        repo_partitions: 1,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(flag) = it.next() {
@@ -63,6 +66,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("{e}"))?
             }
             "--dequeue-combining" => args.dequeue_combining = true,
+            "--repo-partitions" => {
+                args.repo_partitions = val("--repo-partitions")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--replay" => args.replay = Some(PathBuf::from(val("--replay")?)),
             "--bug" => {
                 // Optional bug name; a bare `--bug` keeps its original
@@ -101,6 +109,7 @@ fn main() -> ExitCode {
         out_dir: Some(args.out.clone()),
         wal_partitions: args.wal_partitions,
         dequeue_combining: args.dequeue_combining,
+        repo_partitions: args.repo_partitions,
         ..ExplorerConfig::default()
     };
 

@@ -16,6 +16,7 @@ use rrq_qm::element::{Eid, Element};
 use rrq_qm::ops::{DequeueOptions, EnqueueOptions, QueueHandle};
 use rrq_qm::registration::Registration;
 use rrq_qm::repository::Repository;
+use rrq_qm::QmError;
 use std::sync::Arc;
 
 /// Non-transactional queue access for front-end processes.
@@ -88,14 +89,17 @@ impl LocalQm {
 
 impl QmApi for LocalQm {
     fn register(&self, queue: &str, registrant: &str, stable: bool) -> CoreResult<Registration> {
-        let (_, reg) = self.repo.qm().register(queue, registrant, stable)?;
+        let (_, reg) = self
+            .repo
+            .qm_for(queue)
+            .register(queue, registrant, stable)?;
         Ok(reg)
     }
 
     fn deregister(&self, queue: &str, registrant: &str) -> CoreResult<()> {
         Ok(self
             .repo
-            .qm()
+            .qm_for(queue)
             .deregister(&Self::handle(queue, registrant))?)
     }
 
@@ -107,9 +111,11 @@ impl QmApi for LocalQm {
         opts: EnqueueOptions,
     ) -> CoreResult<Eid> {
         let h = Self::handle(queue, registrant);
-        Ok(self
-            .repo
-            .autocommit(|t| self.repo.qm().enqueue(t.id().raw(), &h, payload, opts))?)
+        Ok(self.repo.autocommit_on(queue, |t| {
+            self.repo
+                .qm_for(queue)
+                .enqueue(t.id().raw(), &h, payload, opts)
+        })?)
     }
 
     fn enqueue_unacked(
@@ -124,21 +130,36 @@ impl QmApi for LocalQm {
 
     fn dequeue(&self, queue: &str, registrant: &str, opts: DequeueOptions) -> CoreResult<Element> {
         let h = Self::handle(queue, registrant);
-        Ok(self
-            .repo
-            .autocommit(|t| self.repo.qm().dequeue(t.id().raw(), &h, opts))?)
+        Ok(self.repo.autocommit_on(queue, |t| {
+            self.repo.qm_for(queue).dequeue(t.id().raw(), &h, opts)
+        })?)
     }
 
     fn read(&self, eid: Eid) -> CoreResult<Element> {
-        Ok(self.repo.qm().read(eid)?)
+        // Eids are cluster-unique (per-partition epoch bands), so probe
+        // partitions in order; at most one can know the element.
+        let mut last = QmError::NoSuchElement(eid.raw());
+        for p in 0..self.repo.partitions() {
+            match self.repo.qm_at(p).read(eid) {
+                Ok(e) => return Ok(e),
+                Err(QmError::NoSuchElement(_)) if p + 1 < self.repo.partitions() => continue,
+                Err(e) => last = e,
+            }
+        }
+        Err(last.into())
     }
 
     fn kill(&self, eid: Eid) -> CoreResult<bool> {
-        Ok(self.repo.qm().kill_element(eid)?)
+        for p in 0..self.repo.partitions() {
+            if self.repo.qm_at(p).kill_element(eid)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 
     fn depth(&self, queue: &str) -> CoreResult<usize> {
-        Ok(self.repo.qm().depth(queue)?)
+        Ok(self.repo.qm_for(queue).depth(queue)?)
     }
 }
 

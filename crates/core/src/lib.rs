@@ -48,6 +48,7 @@ pub mod pipeline;
 pub mod remote;
 pub mod request;
 pub mod rid;
+pub mod route;
 pub mod saga;
 pub mod scheduler;
 pub mod server;
@@ -60,4 +61,5 @@ pub use client::{ClientRuntime, ResyncAction};
 pub use error::{CoreError, CoreResult};
 pub use request::{Reply, ReplyStatus, Request};
 pub use rid::Rid;
+pub use route::RoutedQm;
 pub use server::{HandlerError, HandlerOutcome, Server, ServerConfig};

@@ -74,10 +74,34 @@ fn decode_enqueue_opts(r: &mut Reader<'_>) -> CoreResult<EnqueueOptions> {
 pub struct QmRpcServer;
 
 impl QmRpcServer {
-    /// Spawn the serving thread; the guard stops it on drop.
+    /// Spawn the serving thread; the guard stops it on drop. Serves every
+    /// partition of the repository (operations route internally).
     pub fn spawn(bus: &NetworkBus, endpoint_name: &str, repo: Arc<Repository>) -> ServerGuard {
+        Self::spawn_scoped(bus, endpoint_name, repo, None)
+    }
+
+    /// Spawn a server for *one* repository partition: operations on queues
+    /// the partition doesn't own are refused, and eid probes only consult
+    /// the one partition. With one endpoint per partition, a network
+    /// partition between a clerk and endpoint *i* severs exactly the queues
+    /// partition *i* owns — the directional fault the explorer injects.
+    pub fn spawn_partition(
+        bus: &NetworkBus,
+        endpoint_name: &str,
+        repo: Arc<Repository>,
+        part: usize,
+    ) -> ServerGuard {
+        Self::spawn_scoped(bus, endpoint_name, repo, Some(part))
+    }
+
+    fn spawn_scoped(
+        bus: &NetworkBus,
+        endpoint_name: &str,
+        repo: Arc<Repository>,
+        scope: Option<usize>,
+    ) -> ServerGuard {
         spawn_server(bus, endpoint_name, move |env| {
-            handle(&repo, &env.payload).unwrap_or_else(|e| {
+            handle(&repo, scope, &env.payload).unwrap_or_else(|e| {
                 let mut out = vec![ST_ERR];
                 put::string(&mut out, &e.to_string());
                 out
@@ -86,13 +110,26 @@ impl QmRpcServer {
     }
 }
 
+/// Refuse operations a partition-scoped endpoint doesn't own.
+fn check_scope(repo: &Repository, scope: Option<usize>, queue: &str) -> CoreResult<()> {
+    if let Some(p) = scope {
+        let owner = repo.partition_of(queue);
+        if owner != p {
+            return Err(CoreError::Protocol(format!(
+                "queue {queue} owned by partition {owner}, not {p}"
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn ok_payload(body: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
     let mut out = vec![ST_OK];
     body(&mut out);
     out
 }
 
-fn handle(repo: &Repository, raw: &[u8]) -> CoreResult<Vec<u8>> {
+fn handle(repo: &Repository, scope: Option<usize>, raw: &[u8]) -> CoreResult<Vec<u8>> {
     if raw.is_empty() {
         return Err(CoreError::Malformed("empty rpc payload".into()));
     }
@@ -103,13 +140,16 @@ fn handle(repo: &Repository, raw: &[u8]) -> CoreResult<Vec<u8>> {
             let queue = r.string().map_err(m)?;
             let registrant = r.string().map_err(m)?;
             let stable = r.bool().map_err(m)?;
-            let (_, reg) = repo.qm().register(&queue, &registrant, stable)?;
+            check_scope(repo, scope, &queue)?;
+            let (_, reg) = repo.qm_for(&queue).register(&queue, &registrant, stable)?;
             Ok(ok_payload(|out| reg.encode(out)))
         }
         OP_DEREGISTER => {
             let queue = r.string().map_err(m)?;
             let registrant = r.string().map_err(m)?;
-            repo.qm().deregister(&QueueHandle { queue, registrant })?;
+            check_scope(repo, scope, &queue)?;
+            repo.qm_for(&queue)
+                .deregister(&QueueHandle { queue, registrant })?;
             Ok(ok_payload(|_| {}))
         }
         OP_ENQUEUE => {
@@ -117,8 +157,12 @@ fn handle(repo: &Repository, raw: &[u8]) -> CoreResult<Vec<u8>> {
             let registrant = r.string().map_err(m)?;
             let payload = r.bytes().map_err(m)?;
             let opts = decode_enqueue_opts(&mut r)?;
+            check_scope(repo, scope, &queue)?;
             let h = QueueHandle { queue, registrant };
-            let eid = repo.autocommit(|t| repo.qm().enqueue(t.id().raw(), &h, &payload, opts))?;
+            let eid = repo.autocommit_on(&h.queue, |t| {
+                repo.qm_for(&h.queue)
+                    .enqueue(t.id().raw(), &h, &payload, opts)
+            })?;
             Ok(ok_payload(|out| put::u64(out, eid.raw())))
         }
         OP_DEQUEUE => {
@@ -129,9 +173,10 @@ fn handle(repo: &Repository, raw: &[u8]) -> CoreResult<Vec<u8>> {
                 0 => None,
                 _ => Some(r.string().map_err(m)?),
             };
+            check_scope(repo, scope, &queue)?;
             let h = QueueHandle { queue, registrant };
-            let res = repo.autocommit(|t| {
-                repo.qm().dequeue(
+            let res = repo.autocommit_on(&h.queue, |t| {
+                repo.qm_for(&h.queue).dequeue(
                     t.id().raw(),
                     &h,
                     DequeueOptions {
@@ -150,17 +195,38 @@ fn handle(repo: &Repository, raw: &[u8]) -> CoreResult<Vec<u8>> {
         }
         OP_READ => {
             let eid = Eid(r.u64().map_err(m)?);
-            let elem = repo.qm().read(eid)?;
-            Ok(ok_payload(|out| elem.encode(out)))
+            let parts: Vec<usize> = match scope {
+                Some(p) => vec![p],
+                None => (0..repo.partitions()).collect(),
+            };
+            let mut last = QmError::NoSuchElement(eid.raw());
+            for p in parts {
+                match repo.qm_at(p).read(eid) {
+                    Ok(elem) => return Ok(ok_payload(|out| elem.encode(out))),
+                    Err(e) => last = e,
+                }
+            }
+            Err(last.into())
         }
         OP_KILL => {
             let eid = Eid(r.u64().map_err(m)?);
-            let killed = repo.qm().kill_element(eid)?;
+            let parts: Vec<usize> = match scope {
+                Some(p) => vec![p],
+                None => (0..repo.partitions()).collect(),
+            };
+            let mut killed = false;
+            for p in parts {
+                if repo.qm_at(p).kill_element(eid)? {
+                    killed = true;
+                    break;
+                }
+            }
             Ok(ok_payload(|out| put::bool(out, killed)))
         }
         OP_DEPTH => {
             let queue = r.string().map_err(m)?;
-            let d = repo.qm().depth(&queue)?;
+            check_scope(repo, scope, &queue)?;
+            let d = repo.qm_for(&queue).depth(&queue)?;
             Ok(ok_payload(|out| put::u64(out, d as u64)))
         }
         op => Err(CoreError::Malformed(format!("unknown opcode {op}"))),

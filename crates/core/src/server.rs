@@ -79,8 +79,28 @@ pub enum HandlerOutcome {
 pub struct ServerCtx<'a> {
     /// The open transaction (locks, id).
     pub txn: &'a Txn,
-    /// The node's repository (application state lives in `repo.store()`).
+    /// The node's repository (application state lives in [`Self::store`]).
     pub repo: &'a Arc<Repository>,
+    /// The repository partition owning the request queue — the transaction's
+    /// home. Application state written through [`Self::store`] stays
+    /// co-located with the queue that drives it.
+    pub home: usize,
+}
+
+impl ServerCtx<'_> {
+    /// The home partition's durable store: where this request's application
+    /// state lives (with one partition this is exactly `repo.store()`).
+    pub fn store(&self) -> &Arc<rrq_storage::kv::KvStore> {
+        self.repo.store_at(self.home)
+    }
+
+    /// Enlist `queue`'s owning partition in the current transaction and
+    /// return its queue manager — the handler-facing door to cross-partition
+    /// work (a no-op returning the home queue manager when `queue` is
+    /// co-located).
+    pub fn enlist_queue(&self, queue: &str) -> CoreResult<&Arc<rrq_qm::ops::QueueManager>> {
+        Ok(self.repo.enlist_queue(self.txn, self.home, queue)?)
+    }
 }
 
 /// The handler signature: pure request → outcome, using `ctx` for state.
@@ -142,6 +162,9 @@ pub struct Server {
     handler: Handler,
     cfg: ServerConfig,
     handle: QueueHandle,
+    /// Partition owning `cfg.request_queue`; every request transaction is
+    /// homed here.
+    home: usize,
     stats: Mutex<ServerStats>,
 }
 
@@ -152,17 +175,7 @@ impl Server {
         cfg: ServerConfig,
         handler: Handler,
     ) -> CoreResult<Arc<Self>> {
-        let (handle, _) = repo
-            .qm()
-            .register(&cfg.request_queue, &cfg.server_name, false)?;
-        Ok(Arc::new(Server {
-            repo,
-            app_rms: Vec::new(),
-            handler,
-            cfg,
-            handle,
-            stats: Mutex::new(ServerStats::default()),
-        }))
+        Self::with_resources(repo, cfg, handler, Vec::new())
     }
 
     /// Build a server that additionally enlists application resource
@@ -173,8 +186,9 @@ impl Server {
         handler: Handler,
         app_rms: Vec<Arc<dyn ResourceManager>>,
     ) -> CoreResult<Arc<Self>> {
+        let home = repo.partition_of(&cfg.request_queue);
         let (handle, _) = repo
-            .qm()
+            .qm_at(home)
             .register(&cfg.request_queue, &cfg.server_name, false)?;
         Ok(Arc::new(Server {
             repo,
@@ -182,6 +196,7 @@ impl Server {
             handler,
             cfg,
             handle,
+            home,
             stats: Mutex::new(ServerStats::default()),
         }))
     }
@@ -206,12 +221,13 @@ impl Server {
         // retries on error queues).
         let mut meta = rrq_qm::meta::QueueMeta::with_defaults(error_queue);
         meta.retry_limit = 0;
-        match repo.qm().create_queue(meta) {
+        let home = repo.partition_of(error_queue);
+        match repo.qm_at(home).create_queue(meta) {
             Ok(()) | Err(QmError::QueueExists(_)) => {}
             Err(e) => return Err(e.into()),
         }
         let (handle, _) = repo
-            .qm()
+            .qm_at(home)
             .register(&cfg.request_queue, &cfg.server_name, false)?;
         Ok(Arc::new(Server {
             repo,
@@ -223,6 +239,7 @@ impl Server {
                 ..cfg
             },
             handle,
+            home,
             stats: Mutex::new(ServerStats::default()),
         }))
     }
@@ -244,11 +261,11 @@ impl Server {
     /// One iteration of the Fig 5 loop.
     pub fn run_once(&self) -> CoreResult<Served> {
         rrq_obs::counter_inc("core.server.loop_iterations");
-        let mut txn = self.repo.begin()?;
+        let txn = self.repo.begin_on_part(self.home)?;
         for rm in &self.app_rms {
             txn.enlist(Arc::clone(rm))?;
         }
-        let elem = match self.repo.qm().dequeue(
+        let elem = match self.repo.qm_at(self.home).dequeue(
             txn.id().raw(),
             &self.handle,
             DequeueOptions {
@@ -320,7 +337,7 @@ impl Server {
         // §6 lock inheritance: adopt locks parked by the previous stage.
         if let Some(parked) = request.inherit_txn {
             self.repo
-                .tm()
+                .tm_at(self.home)
                 .locks()
                 .transfer_locks(parked, txn.id().raw());
         }
@@ -328,6 +345,7 @@ impl Server {
         let ctx = ServerCtx {
             txn: &txn,
             repo: &self.repo,
+            home: self.home,
         };
         let outcome = if self.reply_failed_sentinel() {
             // Error-queue reaper: always produce a Failed reply.
@@ -366,7 +384,18 @@ impl Server {
                 self.commit(txn)
             }
             Ok(HandlerOutcome::ForwardInheriting { queue, mut request }) => {
-                let parked = self.repo.tm().reserve_id();
+                // Lock inheritance cannot span partitions: the parked locks
+                // live in this partition's lock manager, where the next
+                // stage (homed on the target queue's partition) would never
+                // find them — they would leak forever. Downgrade to a plain
+                // forward; the next stage re-acquires its locks (DESIGN.md
+                // S25).
+                if self.repo.partition_of(&queue) != self.home {
+                    rrq_obs::counter_inc("route.forward_inherit.downgraded");
+                    self.forward(&txn, &queue, &request)?;
+                    return self.commit(txn);
+                }
+                let parked = self.repo.tm_at(self.home).reserve_id();
                 request.inherit_txn = Some(parked.raw());
                 self.forward(&txn, &queue, &request)?;
                 match txn.commit_inheriting_locks(parked) {
@@ -429,7 +458,10 @@ impl Server {
             attrs: vec![("rid".into(), reply.rid.to_attr())],
             ..Default::default()
         };
-        match self.repo.qm().enqueue(txn.id().raw(), &h, &payload, opts) {
+        let qm = self
+            .repo
+            .enlist_queue(txn, self.home, &request.reply_queue)?;
+        match qm.enqueue(txn.id().raw(), &h, &payload, opts) {
             Ok(_) | Err(QmError::NoSuchQueue(_)) => {
                 rrq_check::protocol::emit_server(
                     &self.cfg.server_name,
@@ -456,7 +488,8 @@ impl Server {
             ],
             ..Default::default()
         };
-        self.repo.qm().enqueue(txn.id().raw(), &h, &payload, opts)?;
+        let qm = self.repo.enlist_queue(txn, self.home, queue)?;
+        qm.enqueue(txn.id().raw(), &h, &payload, opts)?;
         rrq_check::protocol::emit_server(
             &self.cfg.server_name,
             rrq_check::protocol::ServerEvent::Forward {
@@ -467,8 +500,12 @@ impl Server {
     }
 
     fn commit(&self, txn: Txn) -> CoreResult<Served> {
+        let xpart = self.repo.partitions() > 1 && txn.enlisted() > 1;
         match txn.commit() {
             Ok(()) => {
+                if xpart {
+                    rrq_obs::counter_inc("txn.xpart.commits");
+                }
                 rrq_check::protocol::emit_server(
                     &self.cfg.server_name,
                     rrq_check::protocol::ServerEvent::Commit,
@@ -479,6 +516,9 @@ impl Server {
             Err(TxnError::InvalidState(_)) | Err(TxnError::PrepareFailed(_)) => {
                 // Poisoned by a cancel, or a participant failed to prepare:
                 // the manager already aborted everything.
+                if xpart {
+                    rrq_obs::counter_inc("txn.xpart.aborts");
+                }
                 rrq_check::protocol::emit_server(
                     &self.cfg.server_name,
                     rrq_check::protocol::ServerEvent::Abort,

@@ -41,6 +41,7 @@ pub mod qindex;
 pub mod registration;
 pub mod repository;
 pub mod retrieval;
+pub mod route;
 pub mod trigger;
 
 pub use element::{Eid, Element, Priority};
@@ -50,3 +51,4 @@ pub use ops::{DequeueOptions, EnqueueOptions, QueueHandle, QueueManager};
 pub use registration::Registration;
 pub use repository::{RepoDisks, RepoOptions, Repository};
 pub use retrieval::Predicate;
+pub use route::{partition_of, MAX_REPO_PARTITIONS};

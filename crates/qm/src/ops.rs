@@ -229,13 +229,31 @@ impl QueueManager {
         locks: Arc<LockManager>,
         shards: usize,
     ) -> QmResult<Arc<Self>> {
+        Self::with_shards_base(name, durable, volatile, locks, shards, 0)
+    }
+
+    /// [`Self::with_shards`] with an epoch *band*: a fresh store starts its
+    /// epoch at `epoch_base + 1` instead of `1`. Repository partition *p*
+    /// passes `p << 20`, which keeps element ids — `(epoch << 40) | counter`
+    /// — disjoint across every partition of a cluster (2^20 restarts per
+    /// partition before bands could meet), so an eid names its element
+    /// cluster-wide and `Read`/`KillElement` can safely probe partitions.
+    /// `epoch_base = 0` is bit-for-bit the single-partition baseline.
+    pub fn with_shards_base(
+        name: impl Into<String>,
+        durable: Arc<KvStore>,
+        volatile: Arc<KvStore>,
+        locks: Arc<LockManager>,
+        shards: usize,
+        epoch_base: u64,
+    ) -> QmResult<Arc<Self>> {
         let sys_ids = TxnIdGen::new(1 << 56);
         // Bump the epoch in a system transaction.
         let t = sys_ids.next().raw();
         durable.begin(t)?;
         let epoch = match durable.get(Some(t), &keys::epoch_key())? {
             Some(raw) => u64::decode_all(&raw).map_err(QmError::Storage)? + 1,
-            None => 1,
+            None => epoch_base + 1,
         };
         durable.put(t, &keys::epoch_key(), &epoch.encode_to_vec())?;
         durable.commit(t)?;

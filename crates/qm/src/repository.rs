@@ -7,15 +7,30 @@
 //! participants against the coordinator log, re-creates the volatile store
 //! empty (volatile queues lose their contents on a node failure, §10), and
 //! hands back a ready [`QueueManager`] + [`TxnManager`] pair.
+//!
+//! With `RepoOptions { repo_partitions: N > 1 }` the repository becomes a
+//! shared-nothing *cluster* of N partitions (DESIGN.md S25): each partition
+//! owns the queues [`crate::route::partition_of`] hashes to it and runs its
+//! own durable store (own WAL group + checkpoint device), queue manager,
+//! and lock manager. Only two pieces are shared, both append-only: the 2PC
+//! coordinator log (one decision record covers every partition a
+//! transaction touched) and the transaction-id generator (ids key lock
+//! tables and store tokens, so they must be cluster-unique). A transaction
+//! homed on one partition that never touches another partition's queues is
+//! the paper's common case and pays zero cross-partition coordination; one
+//! that does touch a sibling enlists it as a second resource manager and
+//! commits through the existing logged two-phase protocol in `rrq-txn`.
 
 use crate::error::{QmError, QmResult};
 use crate::meta::QueueMeta;
 use crate::ops::QueueManager;
+use crate::route::{partition_of, MAX_REPO_PARTITIONS};
 use rrq_storage::disk::{CrashStyle, Disk, LatencyDisk, SimDisk, TornWriteMode};
 use rrq_storage::kv::{KvOptions, KvStore, MAX_WAL_PARTITIONS};
 use rrq_storage::recovery::RecoveryReport;
 use rrq_txn::{
-    CoordinatorLog, KvResource, LockManager, ResourceManager, Txn, TxnManager, DEFAULT_LOCK_SHARDS,
+    CoordinatorLog, KvResource, LockManager, ResourceManager, Txn, TxnId, TxnIdGen, TxnManager,
+    TxnResult, DEFAULT_LOCK_SHARDS,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -23,30 +38,44 @@ use std::time::Duration;
 /// The stable devices backing a repository. Clone-shared: keep a copy to
 /// crash and reopen the "same disks" in tests and simulations.
 ///
-/// One WAL device exists per possible log partition
-/// ([`MAX_WAL_PARTITIONS`]); a repository opened with `wal_partitions = N`
-/// uses the first `N`. The legacy `wal` field aliases `wals[0]` (SimDisk
-/// clones share state), so single-log code keeps working unchanged.
+/// Devices come in [`MAX_REPO_PARTITIONS`] groups — one per possible
+/// repository partition, each with [`MAX_WAL_PARTITIONS`] WAL devices and a
+/// checkpoint device; a repository opened with `repo_partitions = P,
+/// wal_partitions = N` uses the first `N` WALs of the first `P` groups. The
+/// legacy fields alias group 0 (SimDisk clones share state), so single-
+/// partition code keeps working unchanged. The coordinator log is a single
+/// shared device: it is the one piece of 2PC state every partition's
+/// recovery consults.
 #[derive(Debug, Clone)]
 pub struct RepoDisks {
-    /// Write-ahead log device of partition 0 (aliases `wals[0]`).
+    /// Write-ahead log device of partition 0's log 0 (aliases
+    /// `wal_groups[0][0]`).
     pub wal: SimDisk,
-    /// Per-partition write-ahead log devices.
+    /// Partition 0's write-ahead log devices (aliases `wal_groups[0]`).
     pub wals: Vec<SimDisk>,
-    /// Checkpoint device.
+    /// Partition 0's checkpoint device (aliases `ckpts[0]`).
     pub ckpt: SimDisk,
-    /// Two-phase-commit coordinator log device.
+    /// Two-phase-commit coordinator log device (cluster-shared).
     pub coord: SimDisk,
+    /// Per-repository-partition WAL device groups.
+    pub wal_groups: Vec<Vec<SimDisk>>,
+    /// Per-repository-partition checkpoint devices.
+    pub ckpts: Vec<SimDisk>,
 }
 
 impl Default for RepoDisks {
     fn default() -> Self {
-        let wals: Vec<SimDisk> = (0..MAX_WAL_PARTITIONS).map(|_| SimDisk::new()).collect();
+        let wal_groups: Vec<Vec<SimDisk>> = (0..MAX_REPO_PARTITIONS)
+            .map(|_| (0..MAX_WAL_PARTITIONS).map(|_| SimDisk::new()).collect())
+            .collect();
+        let ckpts: Vec<SimDisk> = (0..MAX_REPO_PARTITIONS).map(|_| SimDisk::new()).collect();
         RepoDisks {
-            wal: wals[0].clone(),
-            wals,
-            ckpt: SimDisk::new(),
+            wal: wal_groups[0][0].clone(),
+            wals: wal_groups[0].clone(),
+            ckpt: ckpts[0].clone(),
             coord: SimDisk::new(),
+            wal_groups,
+            ckpts,
         }
     }
 }
@@ -72,21 +101,42 @@ impl RepoDisks {
         self.crash_torn_logs(torn, 0);
     }
 
-    /// Crash all devices, tearing only the WAL partitions selected by
-    /// `mask` (bit *i* = log *i*; `0` = all of them — the [`Self::crash_with`]
-    /// behaviour). Unselected logs drop their volatile bytes cleanly, which
-    /// models per-device torn writes: each log is its own platter, so a
-    /// power cut can tear some logs' in-flight frames and not others'.
+    /// Crash all devices, tearing only the WAL log indexes selected by
+    /// `mask` (bit *i* = log *i* of every partition group; `0` = all of
+    /// them — the [`Self::crash_with`] behaviour). Unselected logs drop
+    /// their volatile bytes cleanly, which models per-device torn writes:
+    /// each log is its own platter, so a power cut can tear some logs'
+    /// in-flight frames and not others'.
     pub fn crash_torn_logs(&self, torn: Option<TornWriteMode>, mask: u8) {
-        for (i, w) in self.wals.iter().enumerate() {
-            let selected = mask == 0 || (i < u8::BITS as usize && mask & (1 << i) != 0);
-            match torn {
-                Some(mode) if selected => w.crash_torn(mode),
-                _ => w.crash(CrashStyle::DropVolatile),
-            }
+        for group in &self.wal_groups {
+            crash_group(group, torn, mask);
         }
-        self.ckpt.crash(CrashStyle::DropVolatile);
+        for c in &self.ckpts {
+            c.crash(CrashStyle::DropVolatile);
+        }
         self.coord.crash(CrashStyle::DropVolatile);
+    }
+
+    /// Crash only repository partition `part`'s devices (its WAL group and
+    /// checkpoint device), leaving every sibling partition's devices — and
+    /// the shared coordinator log — untouched. This is the partition-scoped
+    /// failure of a shared-nothing cluster: one node loses power while the
+    /// rest keep their state. `torn`/`mask` follow
+    /// [`Self::crash_torn_logs`], scoped to the one group.
+    pub fn crash_partition(&self, part: usize, torn: Option<TornWriteMode>, mask: u8) {
+        let part = part % self.wal_groups.len().max(1);
+        crash_group(&self.wal_groups[part], torn, mask);
+        self.ckpts[part].crash(CrashStyle::DropVolatile);
+    }
+}
+
+fn crash_group(group: &[SimDisk], torn: Option<TornWriteMode>, mask: u8) {
+    for (i, w) in group.iter().enumerate() {
+        let selected = mask == 0 || (i < u8::BITS as usize && mask & (1 << i) != 0);
+        match torn {
+            Some(mode) if selected => w.crash_torn(mode),
+            _ => w.crash(CrashStyle::DropVolatile),
+        }
     }
 }
 
@@ -112,6 +162,11 @@ pub struct RepoOptions {
     /// hands disjoint candidates to every concurrent dequeuer. `false` is
     /// the per-queue-mutex baseline E20 measures against.
     pub dequeue_combining: bool,
+    /// Number of shared-nothing repository partitions (clamped to
+    /// `1..=`[`MAX_REPO_PARTITIONS`]). Each owns the queues that hash to it
+    /// plus its own store, WAL group, and lock manager; `1` is the exact
+    /// single-repository baseline.
+    pub repo_partitions: usize,
 }
 
 impl Default for RepoOptions {
@@ -122,16 +177,64 @@ impl Default for RepoOptions {
             wal_sync_latency: None,
             wal_partitions: 1,
             dequeue_combining: false,
+            repo_partitions: 1,
         }
     }
 }
 
-/// An open repository.
-pub struct Repository {
-    name: String,
+/// One shared-nothing partition: a durable store, its queue manager, and
+/// the transaction manager wired to the partition's own lock manager (plus
+/// the cluster-shared coordinator log and id generator).
+struct RepoPartition {
     qm: Arc<QueueManager>,
     tm: TxnManager,
     store: Arc<KvStore>,
+}
+
+/// A cross-partition participant: wraps a *sibling* partition's queue
+/// manager so locks taken there under the transaction's id are released on
+/// that partition's own lock manager at commit/abort. ([`Txn`] only releases
+/// locks on its home manager; without this wrapper a cross-partition
+/// enqueue would leak its element locks forever.)
+struct SiblingRm {
+    qm: Arc<QueueManager>,
+    locks: Arc<LockManager>,
+}
+
+impl ResourceManager for SiblingRm {
+    fn name(&self) -> &str {
+        self.qm.qm_name()
+    }
+
+    fn begin(&self, txn: TxnId) -> TxnResult<()> {
+        ResourceManager::begin(&*self.qm, txn)
+    }
+
+    fn prepare(&self, txn: TxnId) -> TxnResult<()> {
+        ResourceManager::prepare(&*self.qm, txn)
+    }
+
+    fn commit(&self, txn: TxnId) -> TxnResult<()> {
+        let r = ResourceManager::commit(&*self.qm, txn);
+        // 2PL release point for the sibling's locks: the commit decision is
+        // already durable in the shared coordinator log by the time the
+        // commit phase runs, and on failure the transaction aborts below.
+        self.locks.unlock_all(txn.raw());
+        r
+    }
+
+    fn abort(&self, txn: TxnId) -> TxnResult<()> {
+        let r = ResourceManager::abort(&*self.qm, txn);
+        self.locks.unlock_all(txn.raw());
+        r
+    }
+}
+
+/// An open repository (a cluster of 1..=[`MAX_REPO_PARTITIONS`] shared-
+/// nothing partitions; see the module docs).
+pub struct Repository {
+    name: String,
+    parts: Vec<RepoPartition>,
     disks: RepoDisks,
 }
 
@@ -142,66 +245,94 @@ impl Repository {
     }
 
     /// Open (or recover) the repository on `disks` with explicit tuning.
+    ///
+    /// Partitions recover independently (each replays only its own WAL
+    /// group), then resolve their in-doubt transactions against the shared
+    /// coordinator log — so a cross-partition transaction prepared
+    /// everywhere but only decided in the coordinator log commits on every
+    /// partition, and one never decided aborts on every partition
+    /// (presumed abort). The returned report aggregates all partitions.
     pub fn open_with(
         name: impl Into<String>,
         disks: RepoDisks,
         opts: RepoOptions,
     ) -> QmResult<(Self, RecoveryReport)> {
         let name = name.into();
-        let partitions = opts.wal_partitions.clamp(1, MAX_WAL_PARTITIONS);
-        let wals: Vec<Arc<dyn Disk>> = disks
-            .wals
-            .iter()
-            .take(partitions)
-            .map(|d| match opts.wal_sync_latency {
-                Some(cost) => {
-                    Arc::new(LatencyDisk::new(Arc::new(d.clone()), cost)) as Arc<dyn Disk>
-                }
-                None => Arc::new(d.clone()) as Arc<dyn Disk>,
-            })
-            .collect();
-        let (store, report) =
-            KvStore::open_partitioned(wals, Arc::new(disks.ckpt.clone()), opts.kv)?;
+        let wal_partitions = opts.wal_partitions.clamp(1, MAX_WAL_PARTITIONS);
+        let repo_partitions = opts.repo_partitions.clamp(1, MAX_REPO_PARTITIONS);
 
-        // Volatile queues: a brand-new in-memory store each incarnation.
-        let (volatile, _) = KvStore::open(
-            Arc::new(SimDisk::new()),
-            Arc::new(SimDisk::new()),
-            KvOptions {
-                sync_on_commit: false,
-                ..KvOptions::default()
-            },
-        )?;
+        // Cluster-shared pieces: one decision log, one id space.
+        let coord = Arc::new(CoordinatorLog::new(Arc::new(disks.coord.clone())));
+        let ids = Arc::new(TxnIdGen::new(1));
 
-        let locks = Arc::new(LockManager::with_shards(opts.shards));
-        let coord = CoordinatorLog::new(Arc::new(disks.coord.clone()));
-        let tm = TxnManager::new(Arc::clone(&locks), Some(coord), 1);
+        let mut parts = Vec::with_capacity(repo_partitions);
+        for p in 0..repo_partitions {
+            let wals: Vec<Arc<dyn Disk>> = disks.wal_groups[p]
+                .iter()
+                .take(wal_partitions)
+                .map(|d| match opts.wal_sync_latency {
+                    Some(cost) => {
+                        Arc::new(LatencyDisk::new(Arc::new(d.clone()), cost)) as Arc<dyn Disk>
+                    }
+                    None => Arc::new(d.clone()) as Arc<dyn Disk>,
+                })
+                .collect();
+            let (store, report) =
+                KvStore::open_partitioned(wals, Arc::new(disks.ckpts[p].clone()), opts.kv)?;
 
-        // Resolve in-doubt transactions left by a crash between 2PC phases.
-        if !report.in_doubt.is_empty() {
-            let rm = KvResource::new(format!("{name}/store"), Arc::clone(&store));
-            tm.resolve_in_doubt(&rm, &report.in_doubt)?;
+            // Volatile queues: a brand-new in-memory store each incarnation.
+            let (volatile, _) = KvStore::open(
+                Arc::new(SimDisk::new()),
+                Arc::new(SimDisk::new()),
+                KvOptions {
+                    sync_on_commit: false,
+                    ..KvOptions::default()
+                },
+            )?;
+
+            let locks = Arc::new(LockManager::with_shards(opts.shards));
+            let tm =
+                TxnManager::with_shared(Arc::clone(&locks), Some(Arc::clone(&coord)), ids.clone());
+
+            // Resolve in-doubt transactions left by a crash between 2PC
+            // phases.
+            if !report.in_doubt.is_empty() {
+                let rm_name = match p {
+                    0 => format!("{name}/store"),
+                    p => format!("{name}/p{p}/store"),
+                };
+                let rm = KvResource::new(rm_name, Arc::clone(&store));
+                tm.resolve_in_doubt(&rm, &report.in_doubt)?;
+            }
+
+            let qm_name = match p {
+                0 => format!("qm/{name}"),
+                p => format!("qm/{name}/p{p}"),
+            };
+            let qm = QueueManager::with_shards_base(
+                qm_name,
+                Arc::clone(&store),
+                volatile,
+                locks,
+                opts.shards,
+                (p as u64) << 20,
+            )?;
+            qm.set_dequeue_combining(opts.dequeue_combining);
+            parts.push((RepoPartition { qm, tm, store }, report));
         }
 
-        let qm = QueueManager::with_shards(
-            format!("qm/{name}"),
-            Arc::clone(&store),
-            volatile,
-            locks,
-            opts.shards,
-        )?;
-        qm.set_dequeue_combining(opts.dequeue_combining);
+        let report = parts
+            .iter()
+            .fold(RecoveryReport::default(), |mut acc, (_, r)| {
+                acc.replayed += r.replayed;
+                acc.committed_txns += r.committed_txns;
+                acc.aborted_txns += r.aborted_txns;
+                acc.in_doubt.extend_from_slice(&r.in_doubt);
+                acc
+            });
+        let parts: Vec<RepoPartition> = parts.into_iter().map(|(p, _)| p).collect();
 
-        Ok((
-            Repository {
-                name,
-                qm,
-                tm,
-                store,
-                disks,
-            },
-            report,
-        ))
+        Ok((Repository { name, parts, disks }, report))
     }
 
     /// Open on fresh devices.
@@ -215,19 +346,56 @@ impl Repository {
         &self.name
     }
 
-    /// The queue manager.
+    /// Number of shared-nothing partitions in this cluster.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The partition that owns `queue`.
+    pub fn partition_of(&self, queue: &str) -> usize {
+        partition_of(queue, self.parts.len())
+    }
+
+    /// Partition 0's queue manager — with `repo_partitions = 1` (the
+    /// default) this is *the* queue manager, exactly as before.
     pub fn qm(&self) -> &Arc<QueueManager> {
-        &self.qm
+        &self.parts[0].qm
     }
 
-    /// The transaction manager.
+    /// Partition 0's transaction manager.
     pub fn tm(&self) -> &TxnManager {
-        &self.tm
+        &self.parts[0].tm
     }
 
-    /// The durable store (application tables can live here too).
+    /// Partition 0's durable store (application tables can live here too).
     pub fn store(&self) -> &Arc<KvStore> {
-        &self.store
+        &self.parts[0].store
+    }
+
+    /// Queue manager of partition `p` (clamped).
+    pub fn qm_at(&self, p: usize) -> &Arc<QueueManager> {
+        &self.parts[p % self.parts.len()].qm
+    }
+
+    /// Transaction manager of partition `p` (clamped).
+    pub fn tm_at(&self, p: usize) -> &TxnManager {
+        &self.parts[p % self.parts.len()].tm
+    }
+
+    /// Durable store of partition `p` (clamped).
+    pub fn store_at(&self, p: usize) -> &Arc<KvStore> {
+        &self.parts[p % self.parts.len()].store
+    }
+
+    /// Queue manager owning `queue`.
+    pub fn qm_for(&self, queue: &str) -> &Arc<QueueManager> {
+        &self.parts[self.partition_of(queue)].qm
+    }
+
+    /// Durable store of the partition owning `queue` (application state
+    /// lives co-located with the queue that drives it).
+    pub fn store_for(&self, queue: &str) -> &Arc<KvStore> {
+        &self.parts[self.partition_of(queue)].store
     }
 
     /// The backing devices (crash injection, reopening).
@@ -235,17 +403,76 @@ impl Repository {
         &self.disks
     }
 
-    /// Begin a transaction with the queue manager already enlisted.
+    /// Begin a transaction homed on partition 0 with its queue manager
+    /// already enlisted — the single-partition baseline entry point.
     pub fn begin(&self) -> QmResult<Txn> {
-        let mut txn = self.tm.begin();
-        let rm: Arc<dyn ResourceManager> = Arc::clone(&self.qm) as _;
+        self.begin_on_part(0)
+    }
+
+    /// Begin a transaction homed on partition `p`: its lock manager serves
+    /// the transaction's lock calls and its queue manager is enlisted.
+    pub fn begin_on_part(&self, p: usize) -> QmResult<Txn> {
+        let part = &self.parts[p % self.parts.len()];
+        let txn = part.tm.begin();
+        let rm: Arc<dyn ResourceManager> = Arc::clone(&part.qm) as _;
         txn.enlist(rm)?;
         Ok(txn)
     }
 
-    /// Run `f` inside a transaction and commit; abort on error.
+    /// Begin a transaction homed on the partition owning `queue`; returns
+    /// the transaction and its home partition index.
+    pub fn begin_on(&self, queue: &str) -> QmResult<(Txn, usize)> {
+        let p = self.partition_of(queue);
+        Ok((self.begin_on_part(p)?, p))
+    }
+
+    /// Make `queue`'s owning partition a participant of `txn` (no-op when
+    /// `queue` is already home — the caller's own partition). Returns the
+    /// owning partition's queue manager, ready for operations under
+    /// `txn`'s id. A cross-partition enlistment upgrades the eventual
+    /// commit to the logged two-phase protocol.
+    pub fn enlist_queue(
+        &self,
+        txn: &Txn,
+        home: usize,
+        queue: &str,
+    ) -> QmResult<&Arc<QueueManager>> {
+        let p = self.partition_of(queue);
+        if p == home % self.parts.len() {
+            return Ok(&self.parts[p].qm);
+        }
+        rrq_obs::counter_inc("route.xpart.enlists");
+        let part = &self.parts[p];
+        let rm: Arc<dyn ResourceManager> = Arc::new(SiblingRm {
+            qm: Arc::clone(&part.qm),
+            locks: Arc::clone(part.tm.locks()),
+        });
+        txn.enlist(rm)?;
+        Ok(&part.qm)
+    }
+
+    /// Run `f` inside a partition-0-homed transaction and commit; abort on
+    /// error.
     pub fn autocommit<R>(&self, f: impl FnOnce(&Txn) -> QmResult<R>) -> QmResult<R> {
-        let txn = self.begin()?;
+        self.autocommit_on_part(0, f)
+    }
+
+    /// [`Self::autocommit`] homed on the partition owning `queue`.
+    pub fn autocommit_on<R>(
+        &self,
+        queue: &str,
+        f: impl FnOnce(&Txn) -> QmResult<R>,
+    ) -> QmResult<R> {
+        self.autocommit_on_part(self.partition_of(queue), f)
+    }
+
+    /// [`Self::autocommit`] homed on partition `p`.
+    pub fn autocommit_on_part<R>(
+        &self,
+        p: usize,
+        f: impl FnOnce(&Txn) -> QmResult<R>,
+    ) -> QmResult<R> {
+        let txn = self.begin_on_part(p)?;
         match f(&txn) {
             Ok(r) => {
                 txn.commit()?;
@@ -258,19 +485,24 @@ impl Repository {
         }
     }
 
-    /// Create a queue with default settings, returning its metadata.
+    /// Create a queue with default settings on its owning partition,
+    /// returning its metadata.
     pub fn create_queue_defaults(&self, name: &str) -> QmResult<QueueMeta> {
         let meta = QueueMeta::with_defaults(name);
-        match self.qm.create_queue(meta.clone()) {
+        let qm = self.qm_for(name);
+        match qm.create_queue(meta.clone()) {
             Ok(()) => Ok(meta),
-            Err(QmError::QueueExists(_)) => self.qm.queue_meta(name),
+            Err(QmError::QueueExists(_)) => qm.queue_meta(name),
             Err(e) => Err(e),
         }
     }
 
-    /// Checkpoint the durable store (bounds recovery time).
+    /// Checkpoint every partition's durable store (bounds recovery time).
     pub fn checkpoint(&self) -> QmResult<()> {
-        Ok(self.store.checkpoint()?)
+        for part in &self.parts {
+            part.store.checkpoint()?;
+        }
+        Ok(())
     }
 }
 
@@ -381,5 +613,179 @@ mod tests {
         };
         let (repo2, _) = Repository::open("r4", disks).unwrap();
         assert!(repo2.qm().epoch() > e1);
+    }
+
+    fn partitioned(name: &str, disks: RepoDisks, n: usize) -> Repository {
+        let (repo, _) = Repository::open_with(
+            name,
+            disks,
+            RepoOptions {
+                repo_partitions: n,
+                ..RepoOptions::default()
+            },
+        )
+        .unwrap();
+        repo
+    }
+
+    #[test]
+    fn partitioned_local_roundtrip_on_every_partition() {
+        let repo = partitioned("pr1", RepoDisks::new(), 4);
+        for i in 0..16 {
+            let q = format!("q{i}");
+            repo.create_queue_defaults(&q).unwrap();
+            let (h, _) = repo.qm_for(&q).register(&q, "c", false).unwrap();
+            repo.autocommit_on(&q, |t| {
+                repo.qm_for(&q)
+                    .enqueue(t.id().raw(), &h, q.as_bytes(), EnqueueOptions::default())
+            })
+            .unwrap();
+            assert_eq!(repo.qm_for(&q).depth(&q).unwrap(), 1);
+            let e = repo
+                .autocommit_on(&q, |t| {
+                    repo.qm_for(&q)
+                        .dequeue(t.id().raw(), &h, DequeueOptions::default())
+                })
+                .unwrap();
+            assert_eq!(e.payload, q.as_bytes());
+        }
+    }
+
+    #[test]
+    fn cross_partition_move_commits_atomically() {
+        let repo = partitioned("pr2", RepoDisks::new(), 4);
+        // Find two queues on different partitions.
+        let (qa, qb) = two_queues_apart(&repo);
+        repo.create_queue_defaults(&qa).unwrap();
+        repo.create_queue_defaults(&qb).unwrap();
+        let (ha, _) = repo.qm_for(&qa).register(&qa, "mv", false).unwrap();
+        let (hb, _) = repo.qm_for(&qb).register(&qb, "mv", false).unwrap();
+        repo.autocommit_on(&qa, |t| {
+            repo.qm_for(&qa)
+                .enqueue(t.id().raw(), &ha, b"m", EnqueueOptions::default())
+        })
+        .unwrap();
+
+        // Move: dequeue from qa (home), enqueue to qb (sibling) — one txn.
+        let (txn, home) = repo.begin_on(&qa).unwrap();
+        let e = repo
+            .qm_for(&qa)
+            .dequeue(txn.id().raw(), &ha, DequeueOptions::default())
+            .unwrap();
+        let qm_b = repo.enlist_queue(&txn, home, &qb).unwrap();
+        qm_b.enqueue(txn.id().raw(), &hb, &e.payload, EnqueueOptions::default())
+            .unwrap();
+        assert_eq!(txn.enlisted(), 2);
+        txn.commit().unwrap();
+
+        assert_eq!(repo.qm_for(&qa).depth(&qa).unwrap(), 0);
+        assert_eq!(repo.qm_for(&qb).depth(&qb).unwrap(), 1);
+        // Sibling locks released: another txn can take the element.
+        let e2 = repo
+            .autocommit_on(&qb, |t| {
+                repo.qm_for(&qb)
+                    .dequeue(t.id().raw(), &hb, DequeueOptions::default())
+            })
+            .unwrap();
+        assert_eq!(e2.payload, b"m");
+    }
+
+    #[test]
+    fn cross_partition_abort_undoes_both_sides() {
+        let repo = partitioned("pr3", RepoDisks::new(), 4);
+        let (qa, qb) = two_queues_apart(&repo);
+        repo.create_queue_defaults(&qa).unwrap();
+        repo.create_queue_defaults(&qb).unwrap();
+        let (ha, _) = repo.qm_for(&qa).register(&qa, "mv", false).unwrap();
+        let (hb, _) = repo.qm_for(&qb).register(&qb, "mv", false).unwrap();
+        repo.autocommit_on(&qa, |t| {
+            repo.qm_for(&qa)
+                .enqueue(t.id().raw(), &ha, b"m", EnqueueOptions::default())
+        })
+        .unwrap();
+
+        let (txn, home) = repo.begin_on(&qa).unwrap();
+        repo.qm_for(&qa)
+            .dequeue(txn.id().raw(), &ha, DequeueOptions::default())
+            .unwrap();
+        let qm_b = repo.enlist_queue(&txn, home, &qb).unwrap();
+        qm_b.enqueue(txn.id().raw(), &hb, b"m", EnqueueOptions::default())
+            .unwrap();
+        txn.abort().unwrap();
+
+        // The dequeue is undone (element back on qa) and the enqueue gone.
+        assert_eq!(repo.qm_for(&qa).depth(&qa).unwrap(), 1);
+        assert_eq!(repo.qm_for(&qb).depth(&qb).unwrap(), 0);
+        // No leaked locks on the sibling: a fresh enqueue+dequeue works.
+        let e = repo
+            .autocommit_on(&qa, |t| {
+                repo.qm_for(&qa)
+                    .dequeue(t.id().raw(), &ha, DequeueOptions::default())
+            })
+            .unwrap();
+        assert_eq!(e.payload, b"m");
+    }
+
+    #[test]
+    fn partitioned_cluster_survives_full_crash() {
+        let disks = RepoDisks::new();
+        let (qa, qb);
+        {
+            let repo = partitioned("pr4", disks.clone(), 4);
+            (qa, qb) = two_queues_apart(&repo);
+            for q in [&qa, &qb] {
+                repo.create_queue_defaults(q).unwrap();
+                let (h, _) = repo.qm_for(q).register(q, "c", false).unwrap();
+                repo.autocommit_on(q, |t| {
+                    repo.qm_for(q).enqueue(
+                        t.id().raw(),
+                        &h,
+                        q.as_bytes(),
+                        EnqueueOptions::default(),
+                    )
+                })
+                .unwrap();
+            }
+        }
+        disks.crash();
+        let repo2 = partitioned("pr4", disks, 4);
+        for q in [&qa, &qb] {
+            assert_eq!(repo2.qm_for(q).depth(q).unwrap(), 1, "queue {q}");
+        }
+    }
+
+    #[test]
+    fn eids_are_disjoint_across_partitions() {
+        let repo = partitioned("pr5", RepoDisks::new(), 4);
+        let (qa, qb) = two_queues_apart(&repo);
+        let mut eids = Vec::new();
+        for q in [&qa, &qb] {
+            repo.create_queue_defaults(q).unwrap();
+            let (h, _) = repo.qm_for(q).register(q, "c", false).unwrap();
+            for _ in 0..8 {
+                let eid = repo
+                    .autocommit_on(q, |t| {
+                        repo.qm_for(q)
+                            .enqueue(t.id().raw(), &h, b"x", EnqueueOptions::default())
+                    })
+                    .unwrap();
+                eids.push(eid.raw());
+            }
+        }
+        let uniq: std::collections::HashSet<u64> = eids.iter().copied().collect();
+        assert_eq!(uniq.len(), eids.len(), "eids collide across partitions");
+    }
+
+    /// Two queue names guaranteed to live on different partitions.
+    fn two_queues_apart(repo: &Repository) -> (String, String) {
+        let qa = "q0".to_string();
+        let pa = repo.partition_of(&qa);
+        for i in 1..64 {
+            let qb = format!("q{i}");
+            if repo.partition_of(&qb) != pa {
+                return (qa, qb);
+            }
+        }
+        panic!("no second partition found");
     }
 }

@@ -1,0 +1,74 @@
+//! Queue-name → repository-partition placement.
+//!
+//! Gray's "Queues Are Databases" argument (PAPERS.md) runs through here: a
+//! cluster of shared-nothing repository partitions each owns a disjoint
+//! subset of queues, and ownership is a pure function of the queue *name* —
+//! no directory service, no routing table to keep consistent, any clerk or
+//! server computes the same owner from the name alone. FNV-1a keeps the
+//! mapping stable across processes and restarts (`DefaultHasher` is
+//! documented as unstable across releases, which would silently re-home
+//! every queue on a toolchain bump).
+
+/// Upper bound on repository partitions per cluster. Each partition owns a
+/// full WAL group, so this bounds total device count in simulations.
+pub const MAX_REPO_PARTITIONS: usize = 8;
+
+/// 64-bit FNV-1a over a queue name.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The partition that owns `queue` in a cluster of `partitions` repositories.
+///
+/// `partitions <= 1` always routes to partition 0 (the single-repository
+/// baseline short-circuits before hashing, so its cost is a compare).
+pub fn partition_of(queue: &str, partitions: usize) -> usize {
+    if partitions <= 1 {
+        return 0;
+    }
+    (fnv1a(queue) % partitions as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_partition_owns_everything() {
+        for q in ["req", "reply.c1", "", "x"] {
+            assert_eq!(partition_of(q, 0), 0);
+            assert_eq!(partition_of(q, 1), 0);
+        }
+    }
+
+    #[test]
+    fn placement_is_stable_and_in_range() {
+        for parts in 2..=MAX_REPO_PARTITIONS {
+            for i in 0..64 {
+                let q = format!("queue.{i}");
+                let p = partition_of(&q, parts);
+                assert!(p < parts);
+                assert_eq!(p, partition_of(&q, parts), "must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_spreads_queue_names() {
+        // Not a statistical test — just proof the map isn't degenerate.
+        let hits: std::collections::HashSet<usize> =
+            (0..32).map(|i| partition_of(&format!("q{i}"), 4)).collect();
+        assert!(hits.len() >= 3, "32 names landed on {hits:?}");
+    }
+
+    #[test]
+    fn fnv1a_reference_vector() {
+        // FNV-1a("a") per the published reference implementation.
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

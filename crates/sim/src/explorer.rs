@@ -26,9 +26,12 @@ use rrq_core::error::CoreError;
 use rrq_core::remote::{QmRpcServer, RemoteQm};
 use rrq_core::request::Reply;
 use rrq_core::rid::Rid;
+use rrq_core::route::RoutedQm;
 use rrq_core::server::{Server, ServerConfig};
+use rrq_net::rpc::ServerGuard;
 use rrq_net::{FaultPlan, NetworkBus};
-use rrq_qm::repository::RepoOptions;
+use rrq_qm::repository::{RepoOptions, Repository};
+use rrq_qm::route::MAX_REPO_PARTITIONS;
 use rrq_workload::bank::{self, Transfer};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -91,6 +94,11 @@ pub struct ExplorerConfig {
     /// (DESIGN.md §24). Persists across scripted crashes, so recovery
     /// re-opens with combining still on — the crash-mid-combine case.
     pub dequeue_combining: bool,
+    /// Shared-nothing repository partitions (DESIGN.md S25). Above one, the
+    /// node serves one RPC endpoint per partition, the clerk routes through
+    /// [`RoutedQm`], `repo-crash` events strike a single partition's
+    /// devices, and `part-partition` events cut one endpoint's link only.
+    pub repo_partitions: usize,
 }
 
 impl Default for ExplorerConfig {
@@ -102,6 +110,7 @@ impl Default for ExplorerConfig {
             out_dir: None,
             wal_partitions: 1,
             dequeue_combining: false,
+            repo_partitions: 1,
         }
     }
 }
@@ -176,22 +185,68 @@ impl ReplyProcessor for CountingProcessor {
     }
 }
 
-fn make_clerk(bus: &NetworkBus) -> Clerk {
-    let mut api = RemoteQm::new(bus, CLIENT_EP, QM_EP);
-    api.set_rpc_timeout(RPC_TIMEOUT);
+/// RPC endpoint of repository partition `p`. Partition 0 keeps the legacy
+/// name so single-partition runs are byte-identical to the historical trace.
+fn qm_ep(p: usize) -> String {
+    if p == 0 {
+        QM_EP.to_string()
+    } else {
+        format!("{QM_EP}.p{p}")
+    }
+}
+
+/// Client-side endpoint used to talk to partition `p`. Distinct per
+/// partition because [`NetworkBus::endpoint`] replaces any existing sender
+/// registered under a name — each `RemoteQm` needs its own reply mailbox.
+fn client_ep(p: usize) -> String {
+    if p == 0 {
+        CLIENT_EP.to_string()
+    } else {
+        format!("{CLIENT_EP}.p{p}")
+    }
+}
+
+fn make_clerk(bus: &NetworkBus, parts: usize) -> Clerk {
     let mut cfg = ClerkConfig::new(CLIENT_ID, REQ_QUEUE);
     cfg.receive_block = RECEIVE_BLOCK;
     cfg.send_mode = SendMode::Acked;
-    Clerk::new(Arc::new(api) as Arc<dyn QmApi>, cfg)
+    let api: Arc<dyn QmApi> = if parts <= 1 {
+        let mut api = RemoteQm::new(bus, CLIENT_EP, QM_EP);
+        api.set_rpc_timeout(RPC_TIMEOUT);
+        Arc::new(api)
+    } else {
+        let apis: Vec<Arc<dyn QmApi>> = (0..parts)
+            .map(|p| {
+                let mut api = RemoteQm::new(bus, &client_ep(p), &qm_ep(p));
+                api.set_rpc_timeout(RPC_TIMEOUT);
+                Arc::new(api) as Arc<dyn QmApi>
+            })
+            .collect();
+        Arc::new(RoutedQm::new(apis))
+    };
+    Clerk::new(api, cfg)
+}
+
+/// Serve the repository over RPC: one endpoint for the whole node at one
+/// partition, one scope-checked endpoint per partition above that.
+fn spawn_rpc(bus: &NetworkBus, repo: Arc<Repository>, parts: usize) -> Vec<ServerGuard> {
+    if parts <= 1 {
+        vec![QmRpcServer::spawn(bus, QM_EP, repo)]
+    } else {
+        (0..parts)
+            .map(|p| QmRpcServer::spawn_partition(bus, &qm_ep(p), Arc::clone(&repo), p))
+            .collect()
+    }
 }
 
 /// A failed client operation: trace it, and spend one unit of the active
-/// partition's outage budget (healing the cut when the budget runs out, so
+/// partition's outage budget (healing every cut when the budget runs out, so
 /// every script terminates).
 fn op_failed(
     trace: &mut Vec<String>,
     outage: &mut Option<u32>,
     faults: &FaultPlan,
+    parts: usize,
     op: &str,
     serial: u64,
     e: &CoreError,
@@ -200,7 +255,9 @@ fn op_failed(
     if let Some(remaining) = outage.as_mut() {
         *remaining = remaining.saturating_sub(1);
         if *remaining == 0 {
-            faults.heal_pair(CLIENT_EP, QM_EP);
+            for p in 0..parts {
+                faults.heal_pair(&client_ep(p), &qm_ep(p));
+            }
             *outage = None;
             trace.push("heal".into());
         }
@@ -291,15 +348,17 @@ pub fn run_script_with(
         vec![REQ_QUEUE.into(), format!("reply.{CLIENT_ID}")],
         factory,
     );
+    let parts = cfg.repo_partitions.clamp(1, MAX_REPO_PARTITIONS);
     node.set_repo_options(RepoOptions {
         wal_partitions: cfg.wal_partitions,
         dequeue_combining: cfg.dequeue_combining,
+        repo_partitions: parts,
         ..RepoOptions::default()
     });
     node.start().expect("initial server boot failed");
     bank::seed_accounts(&node.repo(), cfg.accounts, cfg.initial_balance)
         .expect("seeding accounts failed");
-    let mut rpc = Some(QmRpcServer::spawn(&bus, QM_EP, node.repo()));
+    let mut rpc = spawn_rpc(&bus, node.repo(), parts);
 
     let mut events: Vec<(FaultEvent, bool)> = script.events.iter().map(|e| (*e, false)).collect();
     let mut outage: Option<u32> = None;
@@ -318,11 +377,19 @@ pub fn run_script_with(
             break 'incarnation;
         }
         trace.push(format!("incarnation {incarnations}"));
-        let clerk = make_clerk(&bus);
+        let clerk = make_clerk(&bus, parts);
         let info = match clerk.connect() {
             Ok(i) => i,
             Err(e) => {
-                op_failed(&mut trace, &mut outage, bus.faults(), "connect", 0, &e);
+                op_failed(
+                    &mut trace,
+                    &mut outage,
+                    bus.faults(),
+                    parts,
+                    "connect",
+                    0,
+                    &e,
+                );
                 continue 'incarnation;
             }
         };
@@ -357,6 +424,7 @@ pub fn run_script_with(
                             &mut trace,
                             &mut outage,
                             bus.faults(),
+                            parts,
                             "receive",
                             s.serial,
                             &e,
@@ -381,6 +449,7 @@ pub fn run_script_with(
                                 &mut trace,
                                 &mut outage,
                                 bus.faults(),
+                                parts,
                                 "rereceive",
                                 s.serial,
                                 &e,
@@ -413,25 +482,49 @@ pub fn run_script_with(
                 match *ev {
                     FaultEvent::Partition { direction, ops, .. } => {
                         *applied = true;
-                        match direction {
-                            PartitionDirection::ClientToQm => {
-                                bus.faults().partition(CLIENT_EP, QM_EP)
-                            }
-                            PartitionDirection::QmToClient => {
-                                bus.faults().partition(QM_EP, CLIENT_EP)
-                            }
-                            PartitionDirection::Both => {
-                                bus.faults().partition_pair(CLIENT_EP, QM_EP)
+                        // A node-wide cut severs every partition's link.
+                        for p in 0..parts {
+                            let (c, q) = (client_ep(p), qm_ep(p));
+                            match direction {
+                                PartitionDirection::ClientToQm => bus.faults().partition(&c, &q),
+                                PartitionDirection::QmToClient => bus.faults().partition(&q, &c),
+                                PartitionDirection::Both => bus.faults().partition_pair(&c, &q),
                             }
                         }
                         outage = Some(outage.map_or(ops, |r| r.max(ops)));
                         trace.push(format!("partition {} ops={ops}", direction.name()));
                     }
+                    FaultEvent::PartPartition {
+                        part,
+                        direction,
+                        ops,
+                        ..
+                    } => {
+                        *applied = true;
+                        // Directional cut of ONE partition's link; the rest
+                        // of the cluster stays reachable, so only requests
+                        // routed at the cut partition fail.
+                        let p = part as usize % parts;
+                        let (c, q) = (client_ep(p), qm_ep(p));
+                        match direction {
+                            PartitionDirection::ClientToQm => bus.faults().partition(&c, &q),
+                            PartitionDirection::QmToClient => bus.faults().partition(&q, &c),
+                            PartitionDirection::Both => bus.faults().partition_pair(&c, &q),
+                        }
+                        outage = Some(outage.map_or(ops, |r| r.max(ops)));
+                        trace.push(format!(
+                            "part-partition p{p} {} ops={ops}",
+                            direction.name()
+                        ));
+                    }
                     FaultEvent::Delay { millis, .. } => {
                         *applied = true;
                         let d = Duration::from_millis(millis);
-                        bus.faults().set_delay(CLIENT_EP, QM_EP, d);
-                        bus.faults().set_delay(QM_EP, CLIENT_EP, d);
+                        for p in 0..parts {
+                            let (c, q) = (client_ep(p), qm_ep(p));
+                            bus.faults().set_delay(&c, &q, d);
+                            bus.faults().set_delay(&q, &c, d);
+                        }
                         delay_active = true;
                         trace.push(format!("delay {millis}ms"));
                     }
@@ -447,7 +540,15 @@ pub fn run_script_with(
             ) {
                 Ok(()) => trace.push(format!("send {serial} ok")),
                 Err(e) => {
-                    op_failed(&mut trace, &mut outage, bus.faults(), "send", serial, &e);
+                    op_failed(
+                        &mut trace,
+                        &mut outage,
+                        bus.faults(),
+                        parts,
+                        "send",
+                        serial,
+                        &e,
+                    );
                     continue 'incarnation;
                 }
             }
@@ -457,20 +558,21 @@ pub fn run_script_with(
 
             // Server crashes due at or before this serial fire after its
             // send: the request is stably queued, the node dies and recovers,
-            // and the reply must still come.
+            // and the reply must still come. `repo-crash` is the
+            // partition-scoped variant: only one partition's devices lose
+            // their volatile bytes, but the process (and so every RPC
+            // endpoint) still bounces.
             for (ev, applied) in events.iter_mut() {
                 if *applied {
                     continue;
                 }
-                if let FaultEvent::ServerCrash {
-                    serial: es,
-                    torn,
-                    torn_logs,
-                } = *ev
-                {
-                    if es <= serial {
-                        *applied = true;
-                        drop(rpc.take());
+                let crashed = match *ev {
+                    FaultEvent::ServerCrash {
+                        serial: es,
+                        torn,
+                        torn_logs,
+                    } if es <= serial => {
+                        rpc.clear();
                         node.crash_torn_logs(torn, torn_logs);
                         trace.push(match torn {
                             Some(m) if torn_logs != 0 => {
@@ -479,12 +581,31 @@ pub fn run_script_with(
                             Some(m) => format!("server-crash torn={}", m.name()),
                             None => "server-crash".into(),
                         });
-                        match node.start() {
-                            Ok(_) => rpc = Some(QmRpcServer::spawn(&bus, QM_EP, node.repo())),
-                            Err(e) => {
-                                violations.push(format!("server recovery failed: {e}"));
-                                break 'incarnation;
-                            }
+                        true
+                    }
+                    FaultEvent::RepoCrash {
+                        serial: es,
+                        part,
+                        torn,
+                    } if es <= serial => {
+                        rpc.clear();
+                        let p = part as usize % parts;
+                        node.crash_partition(p, torn);
+                        trace.push(match torn {
+                            Some(m) => format!("repo-crash p{p} torn={}", m.name()),
+                            None => format!("repo-crash p{p}"),
+                        });
+                        true
+                    }
+                    _ => false,
+                };
+                if crashed {
+                    *applied = true;
+                    match node.start() {
+                        Ok(_) => rpc = spawn_rpc(&bus, node.repo(), parts),
+                        Err(e) => {
+                            violations.push(format!("server recovery failed: {e}"));
+                            break 'incarnation;
                         }
                     }
                 }
@@ -512,14 +633,25 @@ pub fn run_script_with(
                     }
                 }
                 Err(e) => {
-                    op_failed(&mut trace, &mut outage, bus.faults(), "receive", serial, &e);
+                    op_failed(
+                        &mut trace,
+                        &mut outage,
+                        bus.faults(),
+                        parts,
+                        "receive",
+                        serial,
+                        &e,
+                    );
                     continue 'incarnation;
                 }
             }
 
             if delay_active {
-                bus.faults().set_delay(CLIENT_EP, QM_EP, Duration::ZERO);
-                bus.faults().set_delay(QM_EP, CLIENT_EP, Duration::ZERO);
+                for p in 0..parts {
+                    let (c, q) = (client_ep(p), qm_ep(p));
+                    bus.faults().set_delay(&c, &q, Duration::ZERO);
+                    bus.faults().set_delay(&q, &c, Duration::ZERO);
+                }
                 delay_active = false;
                 trace.push("delay cleared".into());
             }
@@ -600,7 +732,7 @@ pub fn run_script_with(
     // not leak into the digest.
     violations.sort();
 
-    drop(rpc.take());
+    rpc.clear();
     node.shutdown();
 
     trace.push(format!("incarnations {incarnations}"));

@@ -127,22 +127,34 @@ impl ServerNodeSim {
     /// bit `i` of `mask` tears log `i`, the rest lose only volatile bytes.
     /// `mask == 0` tears every log (see `RepoDisks::crash_torn_logs`).
     pub fn crash_torn_logs(&mut self, torn: Option<TornWriteMode>, mask: u8) {
-        self.stop.store(true, Ordering::Release);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
-        self.repo = None;
+        self.halt();
         self.disks.crash_torn_logs(torn, mask);
         self.crashes += 1;
     }
 
-    /// Graceful stop (no storage loss) — used at test teardown.
-    pub fn shutdown(&mut self) {
+    /// Partition-scoped crash: only repository partition `part`'s devices
+    /// (its WAL group + checkpoint) lose their volatile bytes — siblings
+    /// and the shared coordinator log keep theirs. Server threads still die
+    /// (they share the process), so [`ServerNodeSim::start`] reboots the
+    /// whole cluster; sibling partitions recover from intact logs while the
+    /// crashed one must resolve any prepared cross-partition transactions.
+    pub fn crash_partition(&mut self, part: usize, torn: Option<TornWriteMode>) {
+        self.halt();
+        self.disks.crash_partition(part, torn, 0);
+        self.crashes += 1;
+    }
+
+    fn halt(&mut self) {
         self.stop.store(true, Ordering::Release);
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
         self.repo = None;
+    }
+
+    /// Graceful stop (no storage loss) — used at test teardown.
+    pub fn shutdown(&mut self) {
+        self.halt();
     }
 
     /// Number of crashes injected so far.

@@ -27,23 +27,20 @@ impl EffectLedger {
             let key = effect_key(&req.rid);
             let txn = ctx.txn.id().raw();
             let count = ctx
-                .repo
                 .store()
                 .get(Some(txn), &key)
                 .ok()
                 .flatten()
                 .map(|raw| u32::from_le_bytes(raw.try_into().unwrap_or([0; 4])))
                 .unwrap_or(0);
-            ctx.repo
-                .store()
+            ctx.store()
                 .put(txn, &key, &(count + 1).to_le_bytes())
                 .map_err(|e| crate::driver::abort_err(e.to_string()))?;
             let out = inner(ctx, req)?;
             // Intermediate outputs of interactive requests legitimately
             // commit several transactions per rid; only count final effects.
             if matches!(out, HandlerOutcome::IntermediateReply { .. }) {
-                ctx.repo
-                    .store()
+                ctx.store()
                     .put(txn, &key, &count.to_le_bytes())
                     .map_err(|e| crate::driver::abort_err(e.to_string()))?;
             }
@@ -51,14 +48,19 @@ impl EffectLedger {
         })
     }
 
-    /// Committed effect counts per rid.
+    /// Committed effect counts per rid, aggregated across partition stores
+    /// (a server counts effects on its home partition; one rid served from
+    /// several homes still sums to its true multiplicity).
     pub fn counts(repo: &Repository) -> CoreResult<HashMap<Rid, u32>> {
-        let rows = repo.store().scan_prefix(None, b"oracle/effect/")?;
         let mut out = HashMap::new();
-        for (k, v) in rows {
-            let rid_str = String::from_utf8_lossy(&k[b"oracle/effect/".len()..]).to_string();
-            if let Some(rid) = Rid::from_attr(&rid_str) {
-                out.insert(rid, u32::from_le_bytes(v.try_into().unwrap_or([0; 4])));
+        for p in 0..repo.partitions() {
+            let rows = repo.store_at(p).scan_prefix(None, b"oracle/effect/")?;
+            for (k, v) in rows {
+                let rid_str = String::from_utf8_lossy(&k[b"oracle/effect/".len()..]).to_string();
+                if let Some(rid) = Rid::from_attr(&rid_str) {
+                    *out.entry(rid).or_insert(0) +=
+                        u32::from_le_bytes(v.try_into().unwrap_or([0; 4]));
+                }
             }
         }
         Ok(out)
@@ -177,7 +179,14 @@ pub fn metrics_conservation(
     let deq = snap.counter("qm.dequeue.committed");
     let dropped = snap.counter("qm.element.dropped");
     let flow = enq as i128 - deq as i128 - dropped as i128;
-    let (live, gauge) = repo.qm().depth_accounting();
+    // The depth gauge is session-global but each partition has its own
+    // ready index: sum the live totals, read the gauge once.
+    let (mut live, mut gauge) = (0usize, 0i64);
+    for p in 0..repo.partitions() {
+        let (l, g) = repo.qm_at(p).depth_accounting();
+        live += l;
+        gauge = g;
+    }
     if flow != i128::from(gauge) {
         bad.push(format!(
             "metrics law A: enqueue.committed ({enq}) - dequeue.committed ({deq}) \

@@ -104,6 +104,35 @@ pub enum FaultEvent {
         /// timeout so a delay alone can never fail an operation).
         millis: u64,
     },
+    /// One *repository partition*'s durable devices fail after the send of
+    /// `serial`: its WAL group and checkpoint crash (optionally torn) while
+    /// every sibling partition — and the shared 2PC coordinator log — keeps
+    /// its bytes. The node restarts and recovery must resolve any
+    /// cross-partition transaction the dead partition had prepared.
+    RepoCrash {
+        /// Serial whose send precedes the crash.
+        serial: u64,
+        /// Repository partition to crash (`part % repo_partitions` at run
+        /// time, so scripts stay valid at any partition count).
+        part: u8,
+        /// Torn-write mode for the partition's WAL devices, if any.
+        torn: Option<TornWriteMode>,
+    },
+    /// The clerk↔QM link of *one repository partition's endpoint only* is
+    /// cut before the send of `serial` and heals after `ops` failed client
+    /// operations — the shared-nothing failure-isolation case: queues owned
+    /// by every other partition stay reachable throughout.
+    PartPartition {
+        /// Serial before whose send the cut happens.
+        serial: u64,
+        /// Repository partition whose endpoint is cut (mod-clamped at run
+        /// time).
+        part: u8,
+        /// Which direction(s) to cut.
+        direction: PartitionDirection,
+        /// Failed client operations to ride out before healing.
+        ops: u32,
+    },
 }
 
 impl FaultEvent {
@@ -113,7 +142,9 @@ impl FaultEvent {
             FaultEvent::ClientCrash { serial, .. }
             | FaultEvent::ServerCrash { serial, .. }
             | FaultEvent::Partition { serial, .. }
-            | FaultEvent::Delay { serial, .. } => serial,
+            | FaultEvent::Delay { serial, .. }
+            | FaultEvent::RepoCrash { serial, .. }
+            | FaultEvent::PartPartition { serial, .. } => serial,
         }
     }
 
@@ -143,6 +174,16 @@ impl FaultEvent {
                 ops,
             } => format!("partition {serial} {} {ops}", direction.name()),
             FaultEvent::Delay { serial, millis } => format!("delay {serial} {millis}"),
+            FaultEvent::RepoCrash { serial, part, torn } => match torn {
+                Some(mode) => format!("repo-crash {serial} {part} {}", mode.name()),
+                None => format!("repo-crash {serial} {part}"),
+            },
+            FaultEvent::PartPartition {
+                serial,
+                part,
+                direction,
+                ops,
+            } => format!("part-partition {serial} {part} {} {ops}", direction.name()),
         }
     }
 }
@@ -185,7 +226,7 @@ impl FaultScript {
             let serial = 1 + rng.next_u64() % n_requests;
             // Crashes are the paper's bread and butter: weight them higher
             // than network faults.
-            events.push(match rng.next_u64() % 10 {
+            events.push(match rng.next_u64() % 14 {
                 0..=2 => FaultEvent::ClientCrash {
                     serial,
                     point: match rng.next_u64() % 3 {
@@ -219,9 +260,27 @@ impl FaultScript {
                     direction: PartitionDirection::ALL[(rng.next_u64() % 3) as usize],
                     ops: 1 + (rng.next_u64() % 3) as u32,
                 },
-                _ => FaultEvent::Delay {
+                9 => FaultEvent::Delay {
                     serial,
                     millis: 5 + rng.next_u64() % (MAX_DELAY_MILLIS - 4),
+                },
+                // Partition-scoped faults: the part index is drawn over the
+                // full device range and mod-clamped by the run's actual
+                // partition count (at 1 partition they degrade to the
+                // whole-node equivalents).
+                10..=11 => FaultEvent::RepoCrash {
+                    serial,
+                    part: (rng.next_u64() % 8) as u8,
+                    torn: match rng.next_u64() % 3 {
+                        0 => Some(TornWriteMode::Midway),
+                        _ => None,
+                    },
+                },
+                _ => FaultEvent::PartPartition {
+                    serial,
+                    part: (rng.next_u64() % 8) as u8,
+                    direction: PartitionDirection::ALL[(rng.next_u64() % 3) as usize],
+                    ops: 1 + (rng.next_u64() % 3) as u32,
                 },
             });
         }
@@ -234,9 +293,14 @@ impl FaultScript {
 
     /// Does the script inject any network fault (partitions or delays)?
     pub fn needs_bus(&self) -> bool {
-        self.events
-            .iter()
-            .any(|e| matches!(e, FaultEvent::Partition { .. } | FaultEvent::Delay { .. }))
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                FaultEvent::Partition { .. }
+                    | FaultEvent::Delay { .. }
+                    | FaultEvent::PartPartition { .. }
+            )
+        })
     }
 
     /// Serialize to the `rrq-fault-script v1` text format.
@@ -337,6 +401,36 @@ impl FaultScript {
                     let millis = num("millis")?.min(MAX_DELAY_MILLIS);
                     events.push(FaultEvent::Delay { serial, millis });
                 }
+                "repo-crash" => {
+                    let serial = num("serial")?;
+                    let part = num("part")? as u8;
+                    let torn = match w.next() {
+                        None => None,
+                        Some(name) => Some(
+                            TornWriteMode::from_name(name)
+                                .ok_or_else(|| bad(line, "unknown torn mode"))?,
+                        ),
+                    };
+                    events.push(FaultEvent::RepoCrash { serial, part, torn });
+                }
+                "part-partition" => {
+                    let serial = num("serial")?;
+                    let part = num("part")? as u8;
+                    let direction = w
+                        .next()
+                        .and_then(PartitionDirection::from_name)
+                        .ok_or_else(|| bad(line, "unknown direction"))?;
+                    let ops = w
+                        .next()
+                        .and_then(|s| s.parse::<u32>().ok())
+                        .ok_or_else(|| bad(line, "missing/bad ops count"))?;
+                    events.push(FaultEvent::PartPartition {
+                        serial,
+                        part,
+                        direction,
+                        ops,
+                    });
+                }
                 other => return Err(bad(line, &format!("unknown event kind {other:?}"))),
             }
         }
@@ -435,6 +529,22 @@ mod tests {
                 FaultEvent::Delay {
                     serial: 5,
                     millis: 12,
+                },
+                FaultEvent::RepoCrash {
+                    serial: 5,
+                    part: 2,
+                    torn: None,
+                },
+                FaultEvent::RepoCrash {
+                    serial: 6,
+                    part: 7,
+                    torn: Some(TornWriteMode::Midway),
+                },
+                FaultEvent::PartPartition {
+                    serial: 6,
+                    part: 3,
+                    direction: PartitionDirection::Both,
+                    ops: 1,
                 },
             ],
         };

@@ -75,6 +75,43 @@ fn weakenings(ev: &FaultEvent) -> Vec<FaultEvent> {
         FaultEvent::Delay { serial, millis } if millis > 5 => {
             out.push(FaultEvent::Delay { serial, millis: 5 })
         }
+        FaultEvent::RepoCrash {
+            serial,
+            part,
+            torn: Some(_),
+        } => out.push(FaultEvent::RepoCrash {
+            serial,
+            part,
+            torn: None,
+        }),
+        FaultEvent::PartPartition {
+            serial,
+            part,
+            direction,
+            ops,
+        } => {
+            if direction == PartitionDirection::Both {
+                for d in [
+                    PartitionDirection::ClientToQm,
+                    PartitionDirection::QmToClient,
+                ] {
+                    out.push(FaultEvent::PartPartition {
+                        serial,
+                        part,
+                        direction: d,
+                        ops,
+                    });
+                }
+            }
+            if ops > 1 {
+                out.push(FaultEvent::PartPartition {
+                    serial,
+                    part,
+                    direction,
+                    ops: 1,
+                });
+            }
+        }
         _ => {}
     }
     out

@@ -37,9 +37,9 @@ pub struct TxnStats {
 }
 
 struct Inner {
-    ids: TxnIdGen,
+    ids: Arc<TxnIdGen>,
     locks: Arc<LockManager>,
-    coord: Option<CoordinatorLog>,
+    coord: Option<Arc<CoordinatorLog>>,
     /// Lock-wait timeout in milliseconds (atomic so it can be tuned live).
     lock_timeout_ms: std::sync::atomic::AtomicU64,
     stats: Mutex<TxnStats>,
@@ -70,9 +70,27 @@ impl TxnManager {
     /// * `id_floor` — first transaction id to issue (pass a recovered
     ///   high-water mark after a restart).
     pub fn new(locks: Arc<LockManager>, coord: Option<CoordinatorLog>, id_floor: u64) -> Self {
+        Self::with_shared(
+            locks,
+            coord.map(Arc::new),
+            Arc::new(TxnIdGen::new(id_floor)),
+        )
+    }
+
+    /// Build a manager around *shared* cluster infrastructure: several
+    /// managers (one per repository partition) can point at the same
+    /// coordinator log — so one decision record resolves every participant
+    /// of a cross-partition transaction — and the same id generator, so
+    /// transaction ids (which key lock tables and store tokens) stay unique
+    /// across the whole cluster.
+    pub fn with_shared(
+        locks: Arc<LockManager>,
+        coord: Option<Arc<CoordinatorLog>>,
+        ids: Arc<TxnIdGen>,
+    ) -> Self {
         TxnManager {
             inner: Arc::new(Inner {
-                ids: TxnIdGen::new(id_floor),
+                ids,
                 locks,
                 coord,
                 lock_timeout_ms: std::sync::atomic::AtomicU64::new(5_000),
@@ -101,7 +119,7 @@ impl TxnManager {
         Txn {
             id: self.inner.ids.next(),
             mgr: self.clone(),
-            rms: Vec::new(),
+            rms: Mutex::new(Vec::new()),
             finished: false,
         }
     }
@@ -119,7 +137,7 @@ impl TxnManager {
         Txn {
             id,
             mgr: self.clone(),
-            rms: Vec::new(),
+            rms: Mutex::new(Vec::new()),
             finished: false,
         }
     }
@@ -172,7 +190,10 @@ impl TxnManager {
 pub struct Txn {
     id: TxnId,
     mgr: TxnManager,
-    rms: Vec<Arc<dyn ResourceManager>>,
+    /// Enlisted participants. Behind a mutex so mid-transaction code holding
+    /// only `&Txn` (e.g. a server handler touching a remote repository
+    /// partition) can still enlist.
+    rms: Mutex<Vec<Arc<dyn ResourceManager>>>,
     finished: bool,
 }
 
@@ -183,13 +204,20 @@ impl Txn {
     }
 
     /// Enlist a participant. Idempotent per participant name.
-    pub fn enlist(&mut self, rm: Arc<dyn ResourceManager>) -> TxnResult<()> {
-        if self.rms.iter().any(|r| r.name() == rm.name()) {
+    pub fn enlist(&self, rm: Arc<dyn ResourceManager>) -> TxnResult<()> {
+        let mut rms = self.rms.lock();
+        if rms.iter().any(|r| r.name() == rm.name()) {
             return Ok(());
         }
         rm.begin(self.id)?;
-        self.rms.push(rm);
+        rms.push(rm);
         Ok(())
+    }
+
+    /// Number of enlisted participants (a commit with more than one runs the
+    /// logged two-phase protocol).
+    pub fn enlisted(&self) -> usize {
+        self.rms.lock().len()
     }
 
     /// Acquire an exclusive lock, blocking up to the manager's timeout.
@@ -216,7 +244,7 @@ impl Txn {
     /// several. Locks are released on success.
     pub fn commit(mut self) -> TxnResult<()> {
         self.finished = true;
-        let rms = std::mem::take(&mut self.rms);
+        let rms = std::mem::take(&mut *self.rms.lock());
         let result = commit_impl(&self.mgr, self.id, &rms);
         match result {
             Ok(()) => {
@@ -237,7 +265,7 @@ impl Txn {
     /// releasing them — §6 lock inheritance for multi-transaction requests.
     pub fn commit_inheriting_locks(mut self, heir: TxnId) -> TxnResult<()> {
         self.finished = true;
-        let rms = std::mem::take(&mut self.rms);
+        let rms = std::mem::take(&mut *self.rms.lock());
         // Transfer BEFORE the commit makes this transaction's writes (e.g.
         // the forwarded request element) visible: the next stage may dequeue
         // the request and adopt the heir's locks the instant commit lands.
@@ -268,7 +296,7 @@ impl Txn {
     /// Abort: undo every participant, release locks.
     pub fn abort(mut self) -> TxnResult<()> {
         self.finished = true;
-        let rms = std::mem::take(&mut self.rms);
+        let rms = std::mem::take(&mut *self.rms.lock());
         abort_impl(&self.mgr, self.id, &rms);
         self.mgr.inner.locks.unlock_all(self.id.raw());
         self.mgr.inner.stats.lock().aborted += 1;
@@ -279,7 +307,7 @@ impl Txn {
 impl Drop for Txn {
     fn drop(&mut self) {
         if !self.finished {
-            let rms = std::mem::take(&mut self.rms);
+            let rms = std::mem::take(&mut *self.rms.lock());
             abort_impl(&self.mgr, self.id, &rms);
             self.mgr.inner.locks.unlock_all(self.id.raw());
             self.mgr.inner.stats.lock().aborted += 1;
@@ -343,7 +371,7 @@ mod tests {
         let store = kv_on(&wal, &ckpt);
         let rm: Arc<dyn ResourceManager> = Arc::new(KvResource::new("db", Arc::clone(&store)));
 
-        let mut txn = mgr.begin();
+        let txn = mgr.begin();
         txn.enlist(Arc::clone(&rm)).unwrap();
         store.put(txn.id().raw(), b"k", b"v").unwrap();
         txn.commit().unwrap();
@@ -359,7 +387,7 @@ mod tests {
         let store = kv_on(&wal, &ckpt);
         let rm: Arc<dyn ResourceManager> = Arc::new(KvResource::new("db", Arc::clone(&store)));
 
-        let mut txn = mgr.begin();
+        let txn = mgr.begin();
         txn.enlist(Arc::clone(&rm)).unwrap();
         let k = LockKey::new(0, "k");
         txn.lock_exclusive(&k).unwrap();
@@ -377,7 +405,7 @@ mod tests {
         let store = kv_on(&wal, &ckpt);
         let rm: Arc<dyn ResourceManager> = Arc::new(KvResource::new("db", Arc::clone(&store)));
         {
-            let mut txn = mgr.begin();
+            let txn = mgr.begin();
             txn.enlist(Arc::clone(&rm)).unwrap();
             store.put(txn.id().raw(), b"k", b"v").unwrap();
             // dropped here — simulating a crashed server thread
@@ -401,7 +429,7 @@ mod tests {
         let r1: Arc<dyn ResourceManager> = Arc::new(KvResource::new("a", Arc::clone(&s1)));
         let r2: Arc<dyn ResourceManager> = Arc::new(KvResource::new("b", Arc::clone(&s2)));
 
-        let mut txn = mgr.begin();
+        let txn = mgr.begin();
         txn.enlist(Arc::clone(&r1)).unwrap();
         txn.enlist(Arc::clone(&r2)).unwrap();
         s1.put(txn.id().raw(), b"x", b"1").unwrap();
@@ -426,7 +454,7 @@ mod tests {
                 1,
             );
             let r1: Arc<dyn ResourceManager> = Arc::new(KvResource::new("a", Arc::clone(&s1)));
-            let mut txn = mgr.begin();
+            let txn = mgr.begin();
             txn.enlist(Arc::clone(&r1)).unwrap();
             s1.put(txn.id().raw(), b"x", b"1").unwrap();
             // phase 1 by hand:
@@ -489,7 +517,7 @@ mod tests {
         let store = kv_on(&wal, &ckpt);
         let rm: Arc<dyn ResourceManager> = Arc::new(KvResource::new("db", Arc::clone(&store)));
 
-        let mut t1 = mgr.begin();
+        let t1 = mgr.begin();
         t1.enlist(Arc::clone(&rm)).unwrap();
         let k = LockKey::new(0, "acct");
         t1.lock_exclusive(&k).unwrap();
@@ -513,7 +541,7 @@ mod tests {
         let (wal, ckpt) = (SimDisk::new(), SimDisk::new());
         let store = kv_on(&wal, &ckpt);
         let rm: Arc<dyn ResourceManager> = Arc::new(KvResource::new("db", Arc::clone(&store)));
-        let mut txn = mgr.begin();
+        let txn = mgr.begin();
         txn.enlist(Arc::clone(&rm)).unwrap();
         txn.enlist(Arc::clone(&rm)).unwrap(); // second begin would error if not deduped
         txn.commit().unwrap();

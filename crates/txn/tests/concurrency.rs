@@ -64,7 +64,7 @@ fn concurrent_transfers_conserve_money() {
                 if from == to {
                     continue;
                 }
-                let mut txn = mgr.begin();
+                let txn = mgr.begin();
                 txn.enlist(Arc::clone(&rm)).unwrap();
                 // Deterministic lock order prevents deadlock here; the
                 // deadlock test below covers the victim path.
@@ -128,7 +128,7 @@ fn deadlock_victims_do_not_wedge_the_system() {
         handles.push(std::thread::spawn(move || {
             let mut commits = 0;
             for i in 0..40 {
-                let mut txn = mgr.begin();
+                let txn = mgr.begin();
                 txn.enlist(Arc::clone(&rm)).unwrap();
                 // Half the threads lock x then y, half y then x.
                 let (first, second) = if t % 2 == 0 { ("x", "y") } else { ("y", "x") };

@@ -63,9 +63,18 @@ fn clearing_key(rid: &str) -> Vec<u8> {
     format!("bank/clearing/{rid}").into_bytes()
 }
 
-/// Create `n` accounts, each with `initial` cents.
+/// Create `n` accounts, each with `initial` cents (partition 0's store).
 pub fn seed_accounts(repo: &Repository, n: u32, initial: i64) -> CoreResult<()> {
-    let store = repo.store();
+    seed_store(repo.store(), n, initial)
+}
+
+/// Create `n` accounts on the partition that owns `queue`, so a server
+/// homed on that queue finds its working set partition-local.
+pub fn seed_accounts_on(repo: &Repository, queue: &str, n: u32, initial: i64) -> CoreResult<()> {
+    seed_store(repo.store_for(queue), n, initial)
+}
+
+fn seed_store(store: &Arc<rrq_storage::kv::KvStore>, n: u32, initial: i64) -> CoreResult<()> {
     let t = u64::MAX - 101;
     store.begin(t)?;
     for i in 0..n {
@@ -75,13 +84,22 @@ pub fn seed_accounts(repo: &Repository, n: u32, initial: i64) -> CoreResult<()> 
     Ok(())
 }
 
-/// Read one balance (committed view).
+/// Read one balance (committed view), summed across partition stores.
+///
+/// A handler adjusts the copy on its *home* partition's store, so under a
+/// partitioned repository an account's true balance is the sum of its
+/// per-partition copies — each delta lands on exactly one store, which is
+/// what keeps conservation partition-count-independent.
 pub fn balance(repo: &Repository, i: u32) -> CoreResult<i64> {
-    Ok(repo
-        .store()
-        .get(None, &account_key(i))?
-        .map(|raw| i64::from_le_bytes(raw.try_into().unwrap_or([0; 8])))
-        .unwrap_or(0))
+    let mut sum = 0;
+    for p in 0..repo.partitions() {
+        sum += repo
+            .store_at(p)
+            .get(None, &account_key(i))?
+            .map(|raw| i64::from_le_bytes(raw.try_into().unwrap_or([0; 8])))
+            .unwrap_or(0);
+    }
+    Ok(sum)
 }
 
 /// Sum of all balances (the conservation invariant).
@@ -93,9 +111,14 @@ pub fn total_money(repo: &Repository, n: u32) -> CoreResult<i64> {
     Ok(sum)
 }
 
-/// Number of clearinghouse log entries (one per completed transfer).
+/// Number of clearinghouse log entries (one per completed transfer),
+/// summed across partition stores.
 pub fn clearing_count(repo: &Repository) -> CoreResult<usize> {
-    Ok(repo.store().scan_prefix(None, b"bank/clearing/")?.len())
+    let mut n = 0;
+    for p in 0..repo.partitions() {
+        n += repo.store_at(p).scan_prefix(None, b"bank/clearing/")?.len();
+    }
+    Ok(n)
 }
 
 /// Race-detector cell name of one account balance. Every mutation goes
@@ -113,23 +136,20 @@ fn adjust(ctx: &ServerCtx<'_>, account: u32, delta: i64) -> Result<(), HandlerEr
     let txn = ctx.txn.id().raw();
     rrq_check::race::on_read(&account_cell(account));
     let bal = ctx
-        .repo
         .store()
         .get(Some(txn), &key)
         .map_err(|e| HandlerError::Abort(e.to_string()))?
         .map(|raw| i64::from_le_bytes(raw.try_into().unwrap_or([0; 8])))
         .unwrap_or(0);
     rrq_check::race::on_write(&account_cell(account));
-    ctx.repo
-        .store()
+    ctx.store()
         .put(txn, &key, &(bal + delta).to_le_bytes())
         .map_err(|e| HandlerError::Abort(e.to_string()))?;
     Ok(())
 }
 
 fn log_clearing(ctx: &ServerCtx<'_>, req: &Request, t: &Transfer) -> Result<(), HandlerError> {
-    ctx.repo
-        .store()
+    ctx.store()
         .put(
             ctx.txn.id().raw(),
             &clearing_key(&req.rid.to_attr()),
@@ -188,7 +208,6 @@ pub fn flaky_transfer_handler(abort_every: u64) -> Handler {
             // Fail the first `retry` attempts of every abort_every-th
             // request: the element's abort count saves it eventually.
             let attempts = ctx
-                .repo
                 .store()
                 .get(
                     None,
@@ -201,13 +220,13 @@ pub fn flaky_transfer_handler(abort_every: u64) -> Handler {
             if attempts < 2 {
                 // Track attempts outside the aborting transaction.
                 let t = u64::MAX - 3000 - req.rid.serial;
-                let _ = ctx.repo.store().begin(t);
-                let _ = ctx.repo.store().put(
+                let _ = ctx.store().begin(t);
+                let _ = ctx.store().put(
                     t,
                     &format!("bank/flaky/{}", req.rid.to_attr()).into_bytes(),
                     &[attempts + 1],
                 );
-                let _ = ctx.repo.store().commit(t);
+                let _ = ctx.store().commit(t);
                 return Err(HandlerError::Abort("injected fault".into()));
             }
         }

@@ -53,24 +53,39 @@ fn item_key(item: u32) -> Vec<u8> {
     format!("inv/{item:08}").into_bytes()
 }
 
-/// Stock `count` units of items `0..items`.
+/// Stock `count` units of items `0..items` (partition 0's store).
 pub fn seed_inventory(repo: &Repository, items: u32, count: u32) -> CoreResult<()> {
+    seed_store(repo.store(), items, count)
+}
+
+/// Stock inventory on the partition that owns `queue`, co-locating the
+/// item table with a server homed on that queue.
+pub fn seed_inventory_on(repo: &Repository, queue: &str, items: u32, count: u32) -> CoreResult<()> {
+    seed_store(repo.store_for(queue), items, count)
+}
+
+fn seed_store(store: &Arc<rrq_storage::kv::KvStore>, items: u32, count: u32) -> CoreResult<()> {
     let t = u64::MAX - 201;
-    repo.store().begin(t)?;
+    store.begin(t)?;
     for i in 0..items {
-        repo.store().put(t, &item_key(i), &count.to_le_bytes())?;
+        store.put(t, &item_key(i), &count.to_le_bytes())?;
     }
-    repo.store().commit(t)?;
+    store.commit(t)?;
     Ok(())
 }
 
-/// Remaining stock of `item`.
+/// Remaining stock of `item`, summed across partition stores (the item
+/// row lives on whichever partition seeded it).
 pub fn stock(repo: &Repository, item: u32) -> CoreResult<u32> {
-    Ok(repo
-        .store()
-        .get(None, &item_key(item))?
-        .map(|raw| u32::from_le_bytes(raw.try_into().unwrap_or([0; 4])))
-        .unwrap_or(0))
+    let mut sum = 0;
+    for p in 0..repo.partitions() {
+        sum += repo
+            .store_at(p)
+            .get(None, &item_key(item))?
+            .map(|raw| u32::from_le_bytes(raw.try_into().unwrap_or([0; 4])))
+            .unwrap_or(0);
+    }
+    Ok(sum)
 }
 
 /// The order handler: reserves inventory, rejects unknown items and
@@ -87,7 +102,6 @@ pub fn order_handler() -> Handler {
             .map_err(|e| HandlerError::Abort(e.to_string()))?;
         let txn = ctx.txn.id().raw();
         let Some(raw) = ctx
-            .repo
             .store()
             .get(Some(txn), &key)
             .map_err(|e| HandlerError::Abort(e.to_string()))?
@@ -101,8 +115,7 @@ pub fn order_handler() -> Handler {
                 order.qty
             )));
         }
-        ctx.repo
-            .store()
+        ctx.store()
             .put(txn, &key, &(have - order.qty).to_le_bytes())
             .map_err(|e| HandlerError::Abort(e.to_string()))?;
         Ok(HandlerOutcome::Reply(

@@ -22,13 +22,18 @@ pub fn seed_seats(repo: &Repository) -> CoreResult<()> {
     Ok(())
 }
 
-/// Number of seats booked so far (committed view).
+/// Number of seats booked so far (committed view), summed across
+/// partition stores — each booking server increments its home copy.
 pub fn seats_booked(repo: &Repository) -> CoreResult<u64> {
-    Ok(repo
-        .store()
-        .get(None, SEAT_KEY)?
-        .map(|raw| u64::from_le_bytes(raw.try_into().unwrap_or([0; 8])))
-        .unwrap_or(0))
+    let mut sum = 0;
+    for p in 0..repo.partitions() {
+        sum += repo
+            .store_at(p)
+            .get(None, SEAT_KEY)?
+            .map(|raw| u64::from_le_bytes(raw.try_into().unwrap_or([0; 8])))
+            .unwrap_or(0);
+    }
+    Ok(sum)
 }
 
 /// The booking handler: allocate the next seat number, reply with it.
@@ -42,14 +47,12 @@ pub fn booking_handler() -> Handler {
             .map_err(|e| HandlerError::Abort(e.to_string()))?;
         let txn = ctx.txn.id().raw();
         let next = ctx
-            .repo
             .store()
             .get(Some(txn), SEAT_KEY)
             .map_err(|e| HandlerError::Abort(e.to_string()))?
             .map(|raw| u64::from_le_bytes(raw.try_into().unwrap_or([0; 8])))
             .unwrap_or(0);
-        ctx.repo
-            .store()
+        ctx.store()
             .put(txn, SEAT_KEY, &(next + 1).to_le_bytes())
             .map_err(|e| HandlerError::Abort(e.to_string()))?;
         Ok(HandlerOutcome::Reply(
