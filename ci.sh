@@ -48,6 +48,13 @@ echo "== E21 repo-partition smoke (shared-nothing scaling, 4 vs 1 partitions)"
 # forcing a 100us WAL write (full sweep: experiments -- e21).
 cargo run --release -p rrq-bench --bin experiments -q -- e21 --smoke
 
+echo "== E22 planned-execution smoke (contention crossover + locked-baseline tripwire)"
+# Asserts the planned pool beats the full 2PL stack (group commit + flat
+# combining) >= 1.2x at 100% hot-pair traffic, and that the exec_mode-knob
+# locked cell holds >= 0.95x of the pre-PR plain-constructor baseline
+# (full sweep: experiments -- e22).
+cargo run --release -p rrq-bench --bin experiments -q -- e22 --smoke
+
 echo "== explorer smoke sweep (200 fixed-seed fault scripts)"
 # Deterministic: any failure prints the seed and a replayable script path
 # (replay with: cargo run --release -p rrq-bench --bin explore -- --replay <path>).
@@ -76,5 +83,13 @@ echo "== explorer shared-nothing sweep (200 scripts, repo_partitions=4)"
 cargo run --release -p rrq-bench --bin explore -- \
   --scripts 200 --seed 1 --budget-secs 240 --repo-partitions 4 \
   --out target/explorer-failures-repo4
+
+echo "== explorer planned-execution sweep (200 scripts, exec_mode=planned)"
+# Same fixed seeds with the dequeue-loop servers replaced by the epoch-
+# batched planned pool: crashes land inside plan, execute, and epoch-commit
+# windows and the oracle battery must stay green across every recovery.
+cargo run --release -p rrq-bench --bin explore -- \
+  --scripts 200 --seed 1 --budget-secs 240 --exec-mode planned \
+  --out target/explorer-failures-planned
 
 echo "CI OK"

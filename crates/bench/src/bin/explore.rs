@@ -9,6 +9,7 @@
 //! cargo run --release -p rrq-bench --bin explore -- --scripts 200 --wal-partitions 4
 //! cargo run --release -p rrq-bench --bin explore -- --scripts 200 --dequeue-combining
 //! cargo run --release -p rrq-bench --bin explore -- --scripts 200 --repo-partitions 4
+//! cargo run --release -p rrq-bench --bin explore -- --scripts 200 --exec-mode planned
 //! ```
 //!
 //! Runs seeded [`rrq_sim::script::FaultScript`]s through the explorer,
@@ -19,6 +20,7 @@
 //! the metrics double-count bug; both *expect* failures — proving the
 //! oracle battery bites — then shrink the first failure.
 
+use rrq_qm::repository::ExecMode;
 use rrq_sim::explorer::{self, ExplorerConfig, InjectedBug};
 use rrq_sim::script::FaultScript;
 use rrq_sim::shrink;
@@ -36,6 +38,7 @@ struct Args {
     wal_partitions: usize,
     dequeue_combining: bool,
     repo_partitions: usize,
+    exec_mode: ExecMode,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         wal_partitions: 1,
         dequeue_combining: false,
         repo_partitions: 1,
+        exec_mode: ExecMode::default(),
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(flag) = it.next() {
@@ -70,6 +74,13 @@ fn parse_args() -> Result<Args, String> {
                 args.repo_partitions = val("--repo-partitions")?
                     .parse()
                     .map_err(|e| format!("{e}"))?
+            }
+            "--exec-mode" => {
+                args.exec_mode = match val("--exec-mode")?.as_str() {
+                    "locked" => ExecMode::Locked,
+                    "planned" => ExecMode::Planned,
+                    other => return Err(format!("unknown exec mode {other}")),
+                }
             }
             "--replay" => args.replay = Some(PathBuf::from(val("--replay")?)),
             "--bug" => {
@@ -110,6 +121,7 @@ fn main() -> ExitCode {
         wal_partitions: args.wal_partitions,
         dequeue_combining: args.dequeue_combining,
         repo_partitions: args.repo_partitions,
+        exec_mode: args.exec_mode,
         ..ExplorerConfig::default()
     };
 

@@ -45,6 +45,7 @@ pub mod device;
 pub mod error;
 pub mod interactive;
 pub mod pipeline;
+pub mod planned;
 pub mod remote;
 pub mod request;
 pub mod rid;
@@ -59,6 +60,7 @@ pub use api::{LocalQm, QmApi};
 pub use clerk::{Clerk, ClerkConfig, ConnectInfo, SendMode};
 pub use client::{ClientRuntime, ResyncAction};
 pub use error::{CoreError, CoreResult};
+pub use planned::{AccessFn, EpochWindow, PlannedConfig, PlannedPool};
 pub use request::{Reply, ReplyStatus, Request};
 pub use rid::Rid;
 pub use route::RoutedQm;

@@ -202,6 +202,94 @@ mod tests {
         assert_eq!(n.wakeups(), 4, "1 + min(4, 3 remaining waiters)");
     }
 
+    /// Underflow edge: `signal_n` with zero parked waiters must not issue
+    /// (or count) any wakeup, no matter how large `newly` is — the
+    /// `min(newly, waiters)` clamp saturates at zero, it never wraps. The
+    /// version still moves exactly once, so a dequeuer arriving *after* the
+    /// burst returns immediately instead of parking.
+    #[test]
+    fn signal_n_with_no_waiters_issues_no_wakeups() {
+        let n = QueueNotifier::new();
+        n.signal_n("q", usize::MAX);
+        assert_eq!(n.wakeups(), 0, "no parked waiter ⇒ no wakeup issued");
+        assert_eq!(
+            n.version("q"),
+            1,
+            "version bumps once per signal, not per element"
+        );
+        n.signal_n("q", 1_000_000);
+        assert_eq!(n.wakeups(), 0);
+        assert_eq!(n.version("q"), 2);
+        // A later waiter sees the moved version without blocking.
+        assert!(n.wait_past("q", 0, Duration::from_millis(1)));
+        // And `newly: 0` is a pure no-op: no version bump, no wakeup.
+        n.signal_n("q", 0);
+        assert_eq!(n.version("q"), 2);
+        assert_eq!(n.wakeups(), 0);
+    }
+
+    /// Overflow edge: `newly` far beyond the waiter count wakes exactly the
+    /// parked waiters — `min` clamps to the live count, and the surplus is
+    /// not banked against future waiters.
+    #[test]
+    fn signal_n_overflow_clamps_to_live_waiters() {
+        let n = Arc::new(QueueNotifier::new());
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n2 = Arc::clone(&n);
+            handles.push(thread::spawn(move || {
+                n2.wait_past("q", 0, Duration::from_secs(5))
+            }));
+        }
+        while n.waiters("q") < 2 {
+            thread::yield_now();
+        }
+        n.signal_n("q", usize::MAX);
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+        assert_eq!(n.wakeups(), 2, "wakeups clamp to the 2 parked waiters");
+        // The huge surplus is not remembered: a fresh waiter on the same
+        // queue (past the new version) parks and times out normally.
+        assert!(!n.wait_past("q", n.version("q"), Duration::from_millis(30)));
+        assert_eq!(n.wakeups(), 2);
+    }
+
+    /// Waiter-count churn during a wake: a signal's clamp reads the count
+    /// at signal time, so waiters that leave (timeout) between the count
+    /// read and the wake landing just absorb a harmless extra notify, and
+    /// waiters that arrive after the signal see the bumped version and
+    /// never park at all. The count itself must return to zero — no
+    /// double-decrement from the timeout + wake race.
+    #[test]
+    fn waiter_count_survives_churn_during_wake() {
+        let n = Arc::new(QueueNotifier::new());
+        for round in 0..20u64 {
+            let mut handles = Vec::new();
+            for i in 0..4 {
+                let n2 = Arc::clone(&n);
+                // Mixed deadlines: some waiters time out right as the
+                // signal's wakeups land, racing their `waiters -= 1` with
+                // the winners'.
+                let timeout = Duration::from_micros(200 + 300 * i);
+                handles.push(thread::spawn(move || {
+                    n2.wait_past("churn", 2 * round, timeout);
+                }));
+            }
+            thread::sleep(Duration::from_micros(400));
+            n.signal_n("churn", 2);
+            n.signal_n("churn", 2);
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(
+                n.waiters("churn"),
+                0,
+                "round {round}: count must drain to 0"
+            );
+        }
+    }
+
     #[test]
     fn signal_n_wakes_up_to_n_waiters() {
         let n = Arc::new(QueueNotifier::new());

@@ -157,6 +157,11 @@ struct PendingTxn {
     /// Set by KillElement when this transaction holds a cancelled element:
     /// the transaction must abort (§7).
     poisoned: Option<Eid>,
+    /// Marked by the planned executor (`mark_planned`): commit defers both
+    /// durability (the WAL force) and the ready-index/notification mirror to
+    /// the epoch close (`apply_epoch`), so speculative results stay
+    /// invisible to clerks until the whole epoch is durable.
+    planned: bool,
 }
 
 /// The queue manager for one repository.
@@ -196,6 +201,11 @@ pub struct QueueManager {
     stats: Mutex<QmStats>,
     /// Queues whose alert threshold was crossed (drained by `take_alerts`).
     alerts: Mutex<Vec<String>>,
+    /// Committed-but-unapplied effect mirrors of planned transactions,
+    /// buffered until the epoch force (`apply_epoch`). Volatile by design:
+    /// a crash mid-epoch drops the buffer along with the (unforced)
+    /// commits it mirrors, and recovery rebuilds the index from storage.
+    epoch_buf: Mutex<Vec<PendingTxn>>,
 }
 
 /// How many candidates a dequeue scan decodes per storage page.
@@ -295,6 +305,7 @@ impl QueueManager {
             next_ns: AtomicU32::new(1),
             stats: Mutex::new(QmStats::default()),
             alerts: Mutex::new(Vec::new()),
+            epoch_buf: Mutex::new(Vec::new()),
         }))
     }
 
@@ -1268,6 +1279,141 @@ impl QueueManager {
         self.use_combining.load(Ordering::Acquire)
     }
 
+    /// Mark `txn` as a planned-epoch member: its commit defers durability
+    /// (the WAL force) and the index/notification mirror to the next
+    /// [`QueueManager::apply_epoch`]. Call right after enlisting the queue
+    /// manager, before the transaction touches any element.
+    pub fn mark_planned(&self, txn: u64) {
+        self.pending_shard(txn).entry(txn).or_default().planned = true;
+    }
+
+    /// Mirror every buffered planned commit into the ready index and fire
+    /// the deferred wakeups/alerts — the qindex batch application at epoch
+    /// close. The caller must force the durable store's WAL first
+    /// ([`rrq_storage::kv::KvStore::force_wal`]): a clerk woken here may
+    /// immediately read its reply, which therefore must already be durable.
+    pub fn apply_epoch(&self) {
+        let buffered = {
+            let mut buf = self.epoch_buf.lock();
+            std::mem::take(&mut *buf)
+        };
+        for pend in &buffered {
+            self.apply_committed(pend);
+        }
+    }
+
+    /// Mirror one committed transaction's effects into the ready index
+    /// *before* waking anyone: a dequeuer signalled below must find the new
+    /// entries. The index application itself is the batch
+    /// [`QueueIndex::apply_mirror`] — by the time this runs, the
+    /// transaction's commit record is already appended (and, per the
+    /// caller's protocol, forced), so the mirror redoes durable effects.
+    fn apply_committed(&self, pend: &PendingTxn) {
+        self.qindex.apply_mirror(
+            pend.enqueued
+                .iter()
+                .map(|e| (e.queue.as_str(), e.elem_key.clone(), e.eid)),
+            pend.dequeued
+                .iter()
+                .map(|dq| (dq.queue.as_str(), dq.elem_key.as_slice())),
+        );
+        rrq_obs::counter_add("qm.enqueue.committed", pend.enqueued.len() as u64);
+        for dq in &pend.dequeued {
+            self.dispenser.invalidate(&dq.queue, &dq.elem_key);
+            rrq_obs::counter_inc("qm.dequeue.committed");
+            rrq_obs::observe(
+                "qm.element.lock_hold_ticks",
+                rrq_obs::now().saturating_sub(dq.grabbed_at),
+            );
+        }
+        for q in &pend.enqueued_queues {
+            // Counted wakeup: at most one blocked dequeuer per newly
+            // available element, never the herd (see `notify`).
+            let newly = pend.enqueued.iter().filter(|e| &e.queue == q).count();
+            self.notifier.signal_n(q, newly);
+            // Alert thresholds (§9).
+            if let Ok(meta) = self.queue_meta(q) {
+                if let Some(thresh) = meta.alert_threshold {
+                    if let Ok(d) = self.depth(q) {
+                        if d as u64 >= thresh {
+                            self.alerts.lock().push(q.clone());
+                            self.stats.lock().alerts += 1;
+                        }
+                    }
+                }
+            }
+            // Fork/join triggers (§6).
+            let _ = self.check_triggers(q);
+        }
+    }
+
+    /// The first `max` committed ready elements of `queue`, in dequeue
+    /// order — the epoch batch former. Purely a read of the ready index:
+    /// nothing is locked, consumed, or handed out. Entries may race with
+    /// concurrent committed dequeues; [`QueueManager::dequeue_planned`]
+    /// revalidates against storage when the element is actually taken.
+    pub fn ready_batch(&self, queue: &str, max: usize) -> QmResult<Vec<(Vec<u8>, Eid)>> {
+        let meta = self.queue_meta(queue)?;
+        if !meta.started {
+            return Err(QmError::QueueStopped(meta.name.clone()));
+        }
+        let mut cands = Vec::new();
+        self.qindex
+            .candidates_after_into(&meta.name, None, max, &mut cands);
+        Ok(cands)
+    }
+
+    /// Take the specific element the epoch plan assigned to `txn`,
+    /// *without* the element-lock backstop: the plan already guarantees no
+    /// concurrent transaction was handed this key, so the try-lock that
+    /// `grab_element` uses to arbitrate racing dequeuers has nothing to
+    /// arbitrate. `Ok(None)` means the element is gone (consumed by an
+    /// earlier epoch, moved by abort disposition, or tombstoned by a racing
+    /// kill) — the caller drops the task from the plan.
+    pub fn dequeue_planned(
+        &self,
+        txn: u64,
+        handle: &QueueHandle,
+        ekey: &[u8],
+    ) -> QmResult<Option<Element>> {
+        let meta = self.queue_meta(&handle.queue)?;
+        if !meta.started {
+            return Err(QmError::QueueStopped(meta.name.clone()));
+        }
+        let store = self.store_for(&meta);
+        let Some(raw) = store.get(Some(txn), ekey)? else {
+            return Ok(None);
+        };
+        let elem = Element::decode_all(&raw).map_err(QmError::Storage)?;
+        // A kill tombstone means a cancel is racing; leave it for the kill.
+        if self.durable.get(None, &keys::kill_key(elem.eid))?.is_some() {
+            return Ok(None);
+        }
+        // Join the queue's happens-before edge, then touch the tracked
+        // element cell (the plan orders all access to this element, the way
+        // the element lock does on the locked path).
+        rrq_check::race::queue_dequeued(&meta.name);
+        rrq_check::race::on_write(&format!("qm/elem/{}", elem.eid));
+        store.delete(txn, ekey)?;
+        store.delete(txn, &keys::index_key(elem.eid))?;
+        // Retain the element contents for Read/Rereceive.
+        store.put(txn, &keys::retained_key(elem.eid), &raw)?;
+        self.pending_shard(txn)
+            .entry(txn)
+            .or_default()
+            .dequeued
+            .push(DequeuedRef {
+                queue: meta.name.clone(),
+                elem_key: ekey.to_vec(),
+                eid: elem.eid,
+                error_queue: None,
+                grabbed_at: rrq_obs::now(),
+            });
+        self.stats.lock().dequeues += 1;
+        rrq_obs::counter_inc("qm.dequeue.ops");
+        Ok(Some(elem))
+    }
+
     /// The ready index's current contents: `queue → ordered (key, eid)`.
     pub fn index_snapshot(&self) -> IndexSnapshot {
         self.qindex.snapshot()
@@ -1652,48 +1798,30 @@ impl ResourceManager for QueueManager {
                 }
             }
         }
-        self.durable.commit(txn.raw())?;
+        let planned = {
+            let g = self.pending_shard(txn.raw());
+            g.get(&txn.raw()).is_some_and(|p| p.planned)
+        };
+        if planned {
+            // Speculative epoch commit: visible at once, durable at the
+            // epoch force (`apply_epoch` is preceded by a WAL force).
+            self.durable.commit_deferred(txn.raw())?;
+        } else {
+            self.durable.commit(txn.raw())?;
+        }
         self.volatile.commit(txn.raw())?;
         let pend = self
             .pending_shard(txn.raw())
             .remove(&txn.raw())
             .unwrap_or_default();
-        // Mirror the committed effects into the ready index *before* waking
-        // anyone: a dequeuer signalled below must find the new entries.
-        // Insert-then-remove keeps an enqueue-then-dequeue of the same
-        // element within one transaction a net no-op.
-        for e in &pend.enqueued {
-            self.qindex.insert(&e.queue, e.elem_key.clone(), e.eid);
-            rrq_obs::counter_inc("qm.enqueue.committed");
+        if pend.planned {
+            // Defer the index/notification mirror to epoch close: clerks
+            // must not observe (or be woken for) a reply whose durability
+            // is still pending the epoch force.
+            self.epoch_buf.lock().push(pend);
+            return Ok(());
         }
-        for dq in &pend.dequeued {
-            self.qindex.remove(&dq.queue, &dq.elem_key);
-            self.dispenser.invalidate(&dq.queue, &dq.elem_key);
-            rrq_obs::counter_inc("qm.dequeue.committed");
-            rrq_obs::observe(
-                "qm.element.lock_hold_ticks",
-                rrq_obs::now().saturating_sub(dq.grabbed_at),
-            );
-        }
-        for q in &pend.enqueued_queues {
-            // Counted wakeup: at most one blocked dequeuer per newly
-            // available element, never the herd (see `notify`).
-            let newly = pend.enqueued.iter().filter(|e| &e.queue == q).count();
-            self.notifier.signal_n(q, newly);
-            // Alert thresholds (§9).
-            if let Ok(meta) = self.queue_meta(q) {
-                if let Some(thresh) = meta.alert_threshold {
-                    if let Ok(d) = self.depth(q) {
-                        if d as u64 >= thresh {
-                            self.alerts.lock().push(q.clone());
-                            self.stats.lock().alerts += 1;
-                        }
-                    }
-                }
-            }
-            // Fork/join triggers (§6).
-            let _ = self.check_triggers(q);
-        }
+        self.apply_committed(&pend);
         Ok(())
     }
 

@@ -161,6 +161,28 @@ impl QueueIndex {
         .unwrap_or(false)
     }
 
+    /// Batch mirror of one committed transaction: its enqueue inserts, then
+    /// its dequeue removes — the commit-boundary (and planned-mode
+    /// epoch-close) index application. Insert-then-remove keeps an
+    /// enqueue-then-dequeue of the same element within one transaction a
+    /// net no-op. Durability contract (see LOCKS.md, Durability): callers
+    /// mirror only transactions whose commit records are already appended —
+    /// the locked path syncs per commit, the planned path's `apply_epoch`
+    /// runs after the epoch `force_wal` — so like the recovery rebuild this
+    /// redoes already-durable effects.
+    pub fn apply_mirror<'a>(
+        &self,
+        inserts: impl IntoIterator<Item = (&'a str, Vec<u8>, Eid)>,
+        removes: impl IntoIterator<Item = (&'a str, &'a [u8])>,
+    ) {
+        for (queue, elem_key, eid) in inserts {
+            self.insert(queue, elem_key, eid);
+        }
+        for (queue, elem_key) in removes {
+            self.remove(queue, elem_key);
+        }
+    }
+
     /// Apply an abort-disposition fix-up as one atomic step: drop the
     /// element's old entry and add its new one (error-queue move, requeue,
     /// return) inside a single critical section, so index contents and the

@@ -140,6 +140,24 @@ fn crash_group(group: &[SimDisk], torn: Option<TornWriteMode>, mask: u8) {
     }
 }
 
+/// How servers execute requests against this repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The untouched 2PL baseline: every server transaction takes element
+    /// and application locks through the striped lock manager, and each
+    /// commit is its own durability point.
+    #[default]
+    Locked,
+    /// Deterministic planned execution (DESIGN.md §26): requests are
+    /// batched into epochs, a plan phase partitions each batch into
+    /// per-key access queues in priority order, and the execute phase runs
+    /// them lock-free — transactions commit speculatively (visible at
+    /// once, durable at the epoch force) and the queue index applies in
+    /// one batch at epoch close. Requires `dequeue_combining: false`; the
+    /// planner replaces the dispenser as the dequeue arbiter.
+    Planned,
+}
+
 /// Tuning knobs for [`Repository::open_with`]. `Default` is what
 /// [`Repository::open`] uses; `shards: 1` restores the pre-striping
 /// single-mutex coordination layer (the E18 baseline).
@@ -167,6 +185,11 @@ pub struct RepoOptions {
     /// plus its own store, WAL group, and lock manager; `1` is the exact
     /// single-repository baseline.
     pub repo_partitions: usize,
+    /// Request execution mode. [`ExecMode::Locked`] (the default) is the
+    /// exact 2PL baseline; [`ExecMode::Planned`] enables the epoch
+    /// planner's lock-free path and is rejected when combined with
+    /// `dequeue_combining` (both arbitrate dequeue candidates).
+    pub exec_mode: ExecMode,
 }
 
 impl Default for RepoOptions {
@@ -178,6 +201,7 @@ impl Default for RepoOptions {
             wal_partitions: 1,
             dequeue_combining: false,
             repo_partitions: 1,
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -236,6 +260,7 @@ pub struct Repository {
     name: String,
     parts: Vec<RepoPartition>,
     disks: RepoDisks,
+    exec_mode: ExecMode,
 }
 
 impl Repository {
@@ -260,6 +285,32 @@ impl Repository {
         let name = name.into();
         let wal_partitions = opts.wal_partitions.clamp(1, MAX_WAL_PARTITIONS);
         let repo_partitions = opts.repo_partitions.clamp(1, MAX_REPO_PARTITIONS);
+
+        // The flat-combining dispenser and the epoch planner are both
+        // dequeue-candidate arbiters; planned execution bypasses the
+        // dispenser entirely, so composing them would silently disable one.
+        // Reject the combination up front (DESIGN.md §26).
+        if opts.dequeue_combining && opts.exec_mode == ExecMode::Planned {
+            return Err(QmError::IncompatibleOptions(
+                "dequeue_combining cannot be used with ExecMode::Planned \
+                 (the epoch plan, not the dispenser, arbitrates dequeues)"
+                    .into(),
+            ));
+        }
+
+        // A planned transaction defers its home partition's WAL force to the
+        // epoch close, but a sibling partition enlisted for a cross-partition
+        // reply commits (and syncs) immediately — a crash inside the commit
+        // window would then leave a durable reply for a dequeue that never
+        // happened, breaking exactly-once. Until the epoch force spans every
+        // enlisted partition, planned execution is single-partition only.
+        if repo_partitions > 1 && opts.exec_mode == ExecMode::Planned {
+            return Err(QmError::IncompatibleOptions(
+                "repo_partitions > 1 cannot be used with ExecMode::Planned \
+                 (the epoch durability point covers only the home partition)"
+                    .into(),
+            ));
+        }
 
         // Cluster-shared pieces: one decision log, one id space.
         let coord = Arc::new(CoordinatorLog::new(Arc::new(disks.coord.clone())));
@@ -315,7 +366,7 @@ impl Repository {
                 volatile,
                 locks,
                 opts.shards,
-                (p as u64) << 20,
+                crate::route::epoch_band_base(p),
             )?;
             qm.set_dequeue_combining(opts.dequeue_combining);
             parts.push((RepoPartition { qm, tm, store }, report));
@@ -332,7 +383,15 @@ impl Repository {
             });
         let parts: Vec<RepoPartition> = parts.into_iter().map(|(p, _)| p).collect();
 
-        Ok((Repository { name, parts, disks }, report))
+        Ok((
+            Repository {
+                name,
+                parts,
+                disks,
+                exec_mode: opts.exec_mode,
+            },
+            report,
+        ))
     }
 
     /// Open on fresh devices.
@@ -349,6 +408,11 @@ impl Repository {
     /// Number of shared-nothing partitions in this cluster.
     pub fn partitions(&self) -> usize {
         self.parts.len()
+    }
+
+    /// The execution mode this repository was opened with.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// The partition that owns `queue`.

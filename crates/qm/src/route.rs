@@ -13,6 +13,23 @@
 /// full WAL group, so this bounds total device count in simulations.
 pub const MAX_REPO_PARTITIONS: usize = 8;
 
+/// Width of each partition's private epoch band, in bits.
+///
+/// Element ids compose as `(epoch << 40) | counter` and every repository
+/// open bumps the epoch, so partition `p` seeds its queue managers at epoch
+/// `(p << EPOCH_BAND_BITS) + restarts` — the single definition of the band
+/// arithmetic that `Repository::open_with` and the planned-execution epoch
+/// ids both use. A band of 2^20 epochs means ids from different partitions
+/// can only collide after a million restarts of one partition; the
+/// `partition_bands_never_collide` proptest pins the disjointness for every
+/// `repo_partitions <= MAX_REPO_PARTITIONS`.
+pub const EPOCH_BAND_BITS: u64 = 20;
+
+/// First epoch of partition `p`'s band (the `Repository::open_with` seed).
+pub fn epoch_band_base(p: usize) -> u64 {
+    (p as u64) << EPOCH_BAND_BITS
+}
+
 /// 64-bit FNV-1a over a queue name.
 fn fnv1a(name: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -70,5 +87,39 @@ mod tests {
     fn fnv1a_reference_vector() {
         // FNV-1a("a") per the published reference implementation.
         assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Eids minted by different partitions never collide: each partition's
+        /// epoch band is disjoint for any restart count below the band width,
+        /// for every legal cluster size.
+        #[test]
+        fn partition_bands_never_collide(
+            parts in 2usize..MAX_REPO_PARTITIONS + 1,
+            pa in 0usize..MAX_REPO_PARTITIONS,
+            pb in 0usize..MAX_REPO_PARTITIONS,
+            restarts_a in 0u64..(1 << EPOCH_BAND_BITS),
+            restarts_b in 0u64..(1 << EPOCH_BAND_BITS),
+            counter in 0u64..(1 << 40),
+        ) {
+            let (pa, pb) = (pa % parts, pb % parts);
+            let ea = epoch_band_base(pa) + restarts_a;
+            let eb = epoch_band_base(pb) + restarts_b;
+            // Epochs stay inside their own band...
+            prop_assert_eq!(ea >> EPOCH_BAND_BITS, pa as u64);
+            prop_assert_eq!(eb >> EPOCH_BAND_BITS, pb as u64);
+            // ...so eids from different partitions can never be equal.
+            if pa != pb {
+                prop_assert!(
+                    crate::element::Eid::compose(ea, counter)
+                        != crate::element::Eid::compose(eb, counter),
+                    "bands {pa}/{pb} collided at epochs {ea}/{eb}"
+                );
+            }
+        }
     }
 }

@@ -720,6 +720,35 @@ impl KvStore {
     /// sync; writes reach the shared tree only after the force returns, in
     /// global epoch order (the epoch allocated under the home append latch).
     pub fn commit(&self, txn: KvTxn) -> StorageResult<()> {
+        self.commit_inner(txn, true)
+    }
+
+    /// Commit `txn` with durability deferred: writes become visible and the
+    /// commit record is appended, but no force is issued even when
+    /// `sync_on_commit` is on. The caller owns the durability point and must
+    /// call [`KvStore::force_wal`] before externalizing the result (the
+    /// planned-execution epoch close). A crash before that force loses the
+    /// commit exactly as a `sync_on_commit: false` store would.
+    pub fn commit_deferred(&self, txn: KvTxn) -> StorageResult<()> {
+        self.commit_inner(txn, false)
+    }
+
+    /// Force every log partition through its current end. This is the epoch
+    /// durability point for [`KvStore::commit_deferred`]: after it returns,
+    /// every previously committed transaction survives a crash.
+    pub fn force_wal(&self) -> StorageResult<()> {
+        let _gate = self.ckpt_gate.read();
+        for unit in &self.logs {
+            let target = {
+                let _latch = unit.latch.lock();
+                unit.wal.len()
+            };
+            self.force_through(unit, target)?;
+        }
+        Ok(())
+    }
+
+    fn commit_inner(&self, txn: KvTxn, sync: bool) -> StorageResult<()> {
         let _gate = self.ckpt_gate.read();
         let (ops, logged, id) = {
             let g = self.txns.lock();
@@ -770,7 +799,7 @@ impl KvStore {
             appended = unit.wal.append(id, RecordKind::Commit, &payload);
             target = unit.wal.len();
         }
-        if let Err(e) = appended.and_then(|_| self.sync_through(unit, target)) {
+        if let Err(e) = appended.and_then(|_| self.sync_through(unit, target, sync)) {
             // Append or force failed after the epoch was allocated: keep the
             // retire line moving. Nothing is applied, the txn stays open, and
             // the caller sees the device error.
@@ -784,9 +813,12 @@ impl KvStore {
     }
 
     /// Force `unit`'s log through `target` for a commit point, honoring the
-    /// store's durability options.
-    fn sync_through(&self, unit: &LogUnit, target: u64) -> StorageResult<()> {
-        if !self.opts.sync_on_commit {
+    /// store's durability options. `want: false` is the deferred-commit
+    /// path: like `sync_on_commit: false`, the force is someone else's
+    /// responsibility — here the epoch close's [`KvStore::force_wal`], which
+    /// must run before the commit's effects are externalized.
+    fn sync_through(&self, unit: &LogUnit, target: u64, want: bool) -> StorageResult<()> {
+        if !want || !self.opts.sync_on_commit {
             return Ok(());
         }
         self.force_through(unit, target)
@@ -1064,6 +1096,53 @@ mod tests {
         assert_eq!(report.committed_txns, 1);
         assert_eq!(store2.get(None, b"a").unwrap(), Some(b"1".to_vec()));
         assert_eq!(store2.get(None, b"b").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn deferred_commit_visible_but_lost_until_forced() {
+        let (store, wal, ckpt) = fresh();
+        store.begin(1).unwrap();
+        store.put(1, b"a", b"1").unwrap();
+        store.commit_deferred(1).unwrap();
+        // Visible immediately, like any commit...
+        assert_eq!(store.get(None, b"a").unwrap(), Some(b"1".to_vec()));
+
+        // ...but a crash before the epoch force loses it.
+        wal.crash(CrashStyle::DropVolatile);
+        let (store2, _) = reopen(&wal, &ckpt);
+        assert_eq!(
+            store2.get(None, b"a").unwrap(),
+            None,
+            "unforced commit lost"
+        );
+
+        // A deferred commit followed by force_wal survives.
+        store2.begin(2).unwrap();
+        store2.put(2, b"b", b"2").unwrap();
+        store2.commit_deferred(2).unwrap();
+        store2.force_wal().unwrap();
+        wal.crash(CrashStyle::DropVolatile);
+        let (store3, report) = reopen(&wal, &ckpt);
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(store3.get(None, b"b").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn force_wal_covers_every_partition() {
+        let (store, wals, ckpt) = fresh_partitioned(3);
+        store.begin(1).unwrap();
+        for i in 0..9u8 {
+            store.put(1, &[b'k', i], &[i]).unwrap();
+        }
+        store.commit_deferred(1).unwrap();
+        store.force_wal().unwrap();
+        for d in &wals {
+            d.crash(CrashStyle::DropVolatile);
+        }
+        let (store2, _) = reopen_partitioned(&wals, &ckpt);
+        for i in 0..9u8 {
+            assert_eq!(store2.get(None, &[b'k', i]).unwrap(), Some(vec![i]));
+        }
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Epoch planner for deterministic planned execution (QueCC-style).
+//!
+//! Both Qadah papers in PAPERS.md (*A Queue-oriented Transaction Processing
+//! Paradigm*, *Highly Available Queue-oriented Speculative Transaction
+//! Processing*) make the same observation this repo's paper makes about
+//! requests: transactions, too, can be queues. A **plan phase** takes a
+//! batch of transactions (one epoch), gives each a priority (its arrival
+//! index in the batch), and partitions the batch into per-key access queues
+//! ordered by that priority. An **execute phase** then runs the queues
+//! without any locks: a transaction is runnable the moment it heads every
+//! queue it appears in, so two transactions with disjoint access sets never
+//! wait on each other, and conflicting ones run in plan priority order —
+//! the plan itself is the serialization order that 2PL would otherwise
+//! discover one blocked lock request at a time.
+//!
+//! [`EpochPlan`] is the pure data structure: it knows nothing about
+//! threads, stores, or queues-the-durable-kind. The executor
+//! (`rrq_core::planned`) drives it under a mutex, and the declared access
+//! sets come from the workload (`Txn::set_plan_scope` enforces them at
+//! execute time). Misspeculation — a transaction touching a key the plan
+//! never serialized it on — surfaces as `TxnError::OutsidePlan`; the
+//! executor aborts the attempt and calls [`EpochPlan::replan`] with the
+//! widened set, which re-enqueues the transaction at the *back* of its
+//! queues (deterministic: retries run after every first-round transaction
+//! that shares a key with them).
+//!
+//! Priority order is total and deterministic, so replaying the same batch
+//! always yields the same per-key commit order — the property the
+//! `exec_mode_equiv` lockstep oracle in `crates/sim` pins against the 2PL
+//! baseline.
+
+use crate::lock::LockKey;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Execution state of one planned transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    /// Waiting to head all of its access queues.
+    Pending,
+    /// Handed to a worker by [`EpochPlan::next_ready`].
+    Running,
+    /// Completed, aborted, or superseded by a replanned attempt.
+    Done,
+}
+
+/// One epoch's per-key access queues.
+///
+/// Tasks are identified by their batch index; the index doubles as the plan
+/// priority (lower = earlier). A task with an empty access set conflicts
+/// with nothing and is runnable immediately.
+#[derive(Default)]
+pub struct EpochPlan {
+    /// key → indices of tasks that declared it, in priority order.
+    queues: BTreeMap<LockKey, VecDeque<usize>>,
+    /// Deduplicated declared access set per task.
+    keys_of: Vec<Vec<LockKey>>,
+    state: Vec<TaskState>,
+    done: usize,
+}
+
+impl EpochPlan {
+    /// Plan a batch: task `i` of `access_sets` gets priority `i`. Duplicate
+    /// keys within one set are deduplicated (a task holds one slot per key).
+    pub fn build(access_sets: &[Vec<LockKey>]) -> Self {
+        let mut queues: BTreeMap<LockKey, VecDeque<usize>> = BTreeMap::new();
+        let mut keys_of = Vec::with_capacity(access_sets.len());
+        for (i, set) in access_sets.iter().enumerate() {
+            let mut keys = set.clone();
+            keys.sort();
+            keys.dedup();
+            for k in &keys {
+                queues.entry(k.clone()).or_default().push_back(i);
+            }
+            keys_of.push(keys);
+        }
+        EpochPlan {
+            queues,
+            state: vec![TaskState::Pending; access_sets.len()],
+            keys_of,
+            done: 0,
+        }
+    }
+
+    /// Number of tasks currently in the plan (grows on replan).
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True when the plan holds no tasks at all.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// The deduplicated access set task `i` was planned with.
+    pub fn keys_of(&self, i: usize) -> &[LockKey] {
+        &self.keys_of[i]
+    }
+
+    /// Hand out the highest-priority runnable task and mark it running, or
+    /// `None` if nothing is runnable right now (some tasks may still be
+    /// running or blocked behind them — check [`EpochPlan::is_done`]).
+    pub fn next_ready(&mut self) -> Option<usize> {
+        let ready = (0..self.state.len()).find(|&i| {
+            self.state[i] == TaskState::Pending
+                && self.keys_of[i]
+                    .iter()
+                    .all(|k| self.queues[k].front() == Some(&i))
+        })?;
+        self.state[ready] = TaskState::Running;
+        Some(ready)
+    }
+
+    /// Retire task `i` (committed, aborted without retry, or vanished),
+    /// unblocking its successors in every queue it headed.
+    pub fn complete(&mut self, i: usize) {
+        debug_assert_eq!(self.state[i], TaskState::Running, "complete of idle task");
+        for k in &self.keys_of[i] {
+            let q = self.queues.get_mut(k).expect("planned key has a queue");
+            debug_assert_eq!(q.front(), Some(&i), "completing task must head its queues");
+            q.pop_front();
+        }
+        self.state[i] = TaskState::Done;
+        self.done += 1;
+    }
+
+    /// Misspeculation: retire attempt `i` and re-enqueue the transaction
+    /// with `declared ∪ extra` at the back of each queue. Returns the new
+    /// task index (the caller maps it back to the request being retried).
+    pub fn replan(&mut self, i: usize, extra: &[LockKey]) -> usize {
+        self.complete(i);
+        let mut keys = self.keys_of[i].clone();
+        keys.extend_from_slice(extra);
+        keys.sort();
+        keys.dedup();
+        let idx = self.state.len();
+        for k in &keys {
+            self.queues.entry(k.clone()).or_default().push_back(idx);
+        }
+        self.keys_of.push(keys);
+        self.state.push(TaskState::Pending);
+        idx
+    }
+
+    /// Every task retired — the epoch can close.
+    pub fn is_done(&self) -> bool {
+        self.done == self.state.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(name: &str) -> LockKey {
+        LockKey::new(7, name)
+    }
+
+    #[test]
+    fn conflicting_tasks_run_in_priority_order() {
+        let mut plan = EpochPlan::build(&[vec![k("a")], vec![k("a")], vec![k("a")]]);
+        for expect in 0..3 {
+            assert_eq!(plan.next_ready(), Some(expect));
+            assert_eq!(plan.next_ready(), None, "same key: one at a time");
+            plan.complete(expect);
+        }
+        assert!(plan.is_done());
+    }
+
+    #[test]
+    fn disjoint_tasks_are_concurrently_runnable() {
+        let mut plan = EpochPlan::build(&[vec![k("a")], vec![k("b")]]);
+        assert_eq!(plan.next_ready(), Some(0));
+        assert_eq!(plan.next_ready(), Some(1), "no shared key, no waiting");
+        plan.complete(1);
+        plan.complete(0);
+        assert!(plan.is_done());
+    }
+
+    #[test]
+    fn multi_key_task_waits_for_all_heads() {
+        // t0{a}  t1{a,b}  t2{b}: t1 must wait for t0, t2 must wait for t1.
+        let mut plan = EpochPlan::build(&[vec![k("a")], vec![k("a"), k("b")], vec![k("b")]]);
+        assert_eq!(plan.next_ready(), Some(0));
+        assert_eq!(plan.next_ready(), None);
+        plan.complete(0);
+        assert_eq!(plan.next_ready(), Some(1));
+        assert_eq!(plan.next_ready(), None);
+        plan.complete(1);
+        assert_eq!(plan.next_ready(), Some(2));
+        plan.complete(2);
+        assert!(plan.is_done());
+    }
+
+    #[test]
+    fn replan_requeues_at_back_with_widened_set() {
+        let mut plan = EpochPlan::build(&[vec![k("a")], vec![k("a")]]);
+        let t0 = plan.next_ready().unwrap();
+        let retry = plan.replan(t0, &[k("b")]);
+        assert_eq!(retry, 2);
+        assert_eq!(plan.keys_of(retry), &[k("a"), k("b")]);
+        // The first-round peer goes first; the retry runs after it.
+        assert_eq!(plan.next_ready(), Some(1));
+        plan.complete(1);
+        assert_eq!(plan.next_ready(), Some(retry));
+        plan.complete(retry);
+        assert!(plan.is_done());
+    }
+
+    #[test]
+    fn empty_access_set_is_always_runnable() {
+        let mut plan = EpochPlan::build(&[vec![k("a")], vec![]]);
+        assert_eq!(plan.next_ready(), Some(0));
+        assert_eq!(plan.next_ready(), Some(1));
+        plan.complete(0);
+        plan.complete(1);
+        assert!(plan.is_done());
+    }
+
+    #[test]
+    fn duplicate_declared_keys_are_deduped() {
+        let mut plan = EpochPlan::build(&[vec![k("a"), k("a")], vec![k("a")]]);
+        assert_eq!(plan.keys_of(0), &[k("a")]);
+        assert_eq!(plan.next_ready(), Some(0));
+        plan.complete(0);
+        assert_eq!(plan.next_ready(), Some(1));
+        plan.complete(1);
+        assert!(plan.is_done());
+    }
+
+    #[test]
+    fn empty_plan_is_done_immediately() {
+        let mut plan = EpochPlan::build(&[]);
+        assert!(plan.is_empty());
+        assert!(plan.is_done());
+        assert_eq!(plan.next_ready(), None);
+    }
+}
